@@ -1,0 +1,1 @@
+"""Benchmark package regenerating the paper's figures (see conftest.py)."""

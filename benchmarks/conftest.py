@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark runs one (or a few) simulated experiments and records the
+*simulated* throughput/latency in ``benchmark.extra_info`` — that is the
+number to compare against the paper's figures.  The wall-clock time measured
+by pytest-benchmark is the cost of running the simulation itself.
+
+Set ``REPRO_BENCH_FULL=1`` to run the full-resolution sweeps (slower, closer
+to the paper's exact methodology); the default keeps the whole suite to a few
+minutes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.runner import BenchmarkSettings
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0", "false")
+
+
+@pytest.fixture(scope="session")
+def settings() -> BenchmarkSettings:
+    """Benchmark settings: quick by default, full with REPRO_BENCH_FULL=1."""
+    if FULL:
+        return BenchmarkSettings(duration=3.0, drain=5.0, quick=False)
+    return BenchmarkSettings(duration=1.0, drain=2.0, quick=True)
+
+
+def record_metrics(benchmark, metrics) -> None:
+    """Stash a RunMetrics summary into the benchmark's extra_info."""
+    benchmark.extra_info["paradigm"] = metrics.paradigm
+    benchmark.extra_info["offered_load_tps"] = round(metrics.offered_load, 1)
+    benchmark.extra_info["throughput_tps"] = round(metrics.throughput, 1)
+    benchmark.extra_info["latency_avg_ms"] = round(metrics.latency_avg * 1000.0, 2)
+    benchmark.extra_info["abort_rate"] = round(metrics.abort_rate, 4)
+    benchmark.extra_info["committed"] = metrics.committed
+    benchmark.extra_info["aborted"] = metrics.aborted

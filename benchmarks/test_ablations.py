@@ -1,0 +1,98 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* Commit-message batching (Algorithm 2) vs naive one-commit-per-transaction.
+* Single-version vs multi-version (MVCC) dependency-graph rules.
+* Consensus protocol plugged into the OXII ordering service.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_metrics
+from repro.bench.runner import run_point
+from repro.common.config import SystemConfig
+from repro.core.dependency_graph import GraphMode, build_dependency_graph
+from repro.core.execution import CommitBatcher
+from repro.core.transaction import TransactionResult
+from repro.workload.generator import ConflictScope, WorkloadConfig, WorkloadGenerator
+
+
+def _block(contention: float, scope: ConflictScope, count: int = 200):
+    generator = WorkloadGenerator(WorkloadConfig(contention=contention, conflict_scope=scope, seed=3))
+    return [tx.with_timestamp(i + 1) for i, tx in enumerate(generator.generate(count))]
+
+
+class TestCommitBatchingAblation:
+    @pytest.mark.parametrize("contention", [0.2, 0.8])
+    def test_commit_batching_message_savings(self, benchmark, contention):
+        """Algorithm 2 sends far fewer COMMIT multicasts than one per transaction."""
+        txs = _block(contention, ConflictScope.CROSS_APPLICATION)
+        graph = build_dependency_graph(txs)
+
+        def run():
+            batcher = CommitBatcher(graph, executor="e0", block_sequence=1)
+            batched = 0
+            for tx in graph.transactions():
+                result = TransactionResult(tx_id=tx.tx_id, application=tx.application, updates={})
+                if batcher.add_result(result) is not None:
+                    batched += 1
+            if batcher.flush() is not None:
+                batched += 1
+            return batched
+
+        batched_messages = benchmark(run)
+        naive_messages = len(txs)  # one commit multicast per transaction
+        benchmark.extra_info["batched_commit_messages"] = batched_messages
+        benchmark.extra_info["naive_commit_messages"] = naive_messages
+        assert batched_messages <= naive_messages
+        assert batched_messages < naive_messages * 0.9
+
+
+class TestMvccGraphAblation:
+    def test_mvcc_rules_produce_sparser_graphs(self, benchmark):
+        """Multi-version rules drop write-write and read-write edges."""
+        txs = _block(0.8, ConflictScope.WITHIN_APPLICATION)
+
+        def run():
+            single = build_dependency_graph(txs, mode=GraphMode.SINGLE_VERSION)
+            multi = build_dependency_graph(txs, mode=GraphMode.MULTI_VERSION)
+            return single, multi
+
+        single, multi = benchmark.pedantic(run, rounds=1, iterations=1)
+        benchmark.extra_info["single_version_edges"] = single.edge_count
+        benchmark.extra_info["multi_version_edges"] = multi.edge_count
+        benchmark.extra_info["single_version_critical_path"] = single.critical_path_length()
+        benchmark.extra_info["multi_version_critical_path"] = multi.critical_path_length()
+        assert multi.edge_count < single.edge_count
+        assert multi.critical_path_length() <= single.critical_path_length()
+
+
+class TestConsensusAblation:
+    @pytest.mark.parametrize("protocol,orderers,faulty", [
+        ("kafka", 3, 0),
+        ("raft", 3, 1),
+        ("pbft", 4, 1),
+    ])
+    def test_oxii_with_different_ordering_services(self, benchmark, settings, protocol, orderers, faulty):
+        """OXII keeps working (and keeps its ordering) with any plugged consensus."""
+        config = SystemConfig(
+            num_orderers=orderers,
+            consensus_protocol=protocol,
+            max_faulty_orderers=faulty,
+        )
+
+        def run():
+            return run_point(
+                "OXII",
+                offered_load=2000,
+                contention=0.2,
+                settings=settings,
+                system_config=config,
+            )
+
+        metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+        record_metrics(benchmark, metrics)
+        benchmark.extra_info["consensus"] = protocol
+        assert metrics.committed > 0
+        assert metrics.abort_rate == 0.0

@@ -1,0 +1,63 @@
+"""Figure 5 — throughput/latency vs block size (no-contention workload).
+
+Each benchmark runs one paradigm at one block size at a load near that
+paradigm's saturation point and records the simulated throughput and latency.
+The OXII series should rise and then fall with a peak around ~200 transactions
+per block; OX stays flat; XOV peaks around ~100.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_metrics
+from repro.bench.runner import run_point
+from repro.common.config import SystemConfig
+
+BLOCK_SIZES = (50, 200, 800)
+#: Offered load used to probe each paradigm near its ceiling.
+PROBE_LOAD = {"OX": 1100, "XOV": 2000, "OXII": 7000}
+
+
+@pytest.mark.parametrize("block_size", BLOCK_SIZES)
+@pytest.mark.parametrize("paradigm", ["OX", "XOV", "OXII"])
+def test_figure5_block_size(benchmark, settings, paradigm, block_size):
+    config = SystemConfig().with_block_size(block_size)
+
+    def run():
+        return run_point(
+            paradigm,
+            offered_load=PROBE_LOAD[paradigm],
+            contention=0.0,
+            settings=settings,
+            system_config=config,
+            workload_config=None,
+        )
+
+    metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_metrics(benchmark, metrics)
+    benchmark.extra_info["block_size"] = block_size
+    assert metrics.committed > 0
+
+
+def test_figure5_oxii_peak_is_at_moderate_block_size(benchmark, settings):
+    """OXII's throughput at a 200-transaction block beats both a tiny and a huge block."""
+
+    def run():
+        results = {}
+        for block_size in (20, 200, 1000):
+            config = SystemConfig().with_block_size(block_size)
+            results[block_size] = run_point(
+                "OXII",
+                offered_load=7000,
+                contention=0.0,
+                settings=settings,
+                system_config=config,
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for block_size, metrics in results.items():
+        benchmark.extra_info[f"throughput_at_{block_size}"] = round(metrics.throughput, 1)
+    assert results[200].throughput > results[20].throughput
+    assert results[200].throughput > results[1000].throughput

@@ -1,0 +1,71 @@
+"""Figure 6 — performance of OX / XOV / OXII / OXII* under contention.
+
+One benchmark per (contention level, series).  Each probes the series at a
+load near its no-contention ceiling and records the simulated committed
+throughput — the quantity Figure 6 plots on its x axis.  The final benchmark
+asserts the paper's qualitative ordering at high contention: OXII beats OX,
+which beats XOV; and XOV collapses relative to its no-contention peak.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_metrics
+from repro.bench.runner import run_point
+from repro.workload.generator import ConflictScope
+
+CONTENTION_LEVELS = (0.0, 0.2, 0.8, 1.0)
+SERIES = (
+    ("OX", "OX", ConflictScope.WITHIN_APPLICATION, 1100),
+    ("XOV", "XOV", ConflictScope.WITHIN_APPLICATION, 2000),
+    ("OXII", "OXII", ConflictScope.WITHIN_APPLICATION, 6500),
+    ("OXII-star", "OXII", ConflictScope.CROSS_APPLICATION, 6500),
+)
+
+
+@pytest.mark.parametrize("contention", CONTENTION_LEVELS)
+@pytest.mark.parametrize("label,paradigm,scope,load", SERIES, ids=[s[0] for s in SERIES])
+def test_figure6_contention(benchmark, settings, contention, label, paradigm, scope, load):
+    if label == "OXII-star" and contention == 0.0:
+        pytest.skip("no cross-application contention exists in a no-contention workload")
+
+    def run():
+        return run_point(
+            paradigm,
+            offered_load=load,
+            contention=contention,
+            conflict_scope=scope,
+            settings=settings,
+        )
+
+    metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_metrics(benchmark, metrics)
+    benchmark.extra_info["series"] = label
+    benchmark.extra_info["contention"] = contention
+    assert metrics.committed + metrics.aborted > 0
+
+
+def test_figure6_qualitative_ordering_at_high_contention(benchmark, settings):
+    """At 80% contention: OXII > OX > XOV, and XOV collapses vs its 0% peak."""
+
+    def run():
+        high = {
+            label: run_point(paradigm, offered_load=load, contention=0.8, conflict_scope=scope,
+                             settings=settings)
+            for label, paradigm, scope, load in SERIES
+            if label != "OXII-star"
+        }
+        xov_baseline = run_point("XOV", offered_load=2000, contention=0.0, settings=settings)
+        return high, xov_baseline
+
+    (high, xov_baseline) = benchmark.pedantic(run, rounds=1, iterations=1)
+    for label, metrics in high.items():
+        benchmark.extra_info[f"throughput_{label}"] = round(metrics.throughput, 1)
+    benchmark.extra_info["throughput_XOV_no_contention"] = round(xov_baseline.throughput, 1)
+    assert high["OXII"].throughput > high["OX"].throughput > high["XOV"].throughput
+    assert high["XOV"].throughput < 0.5 * xov_baseline.throughput
+    # OX never aborts and OXII never aborts; XOV loses most transactions to aborts.
+    assert high["OX"].abort_rate == 0.0
+    assert high["OXII"].abort_rate == 0.0
+    assert high["XOV"].abort_rate > 0.5

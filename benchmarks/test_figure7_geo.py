@@ -1,0 +1,83 @@
+"""Figure 7 — scalability over multiple data centers.
+
+One benchmark per (moved node group, paradigm): the group is placed in the far
+data center (100 ms one-way WAN latency) and the latency/throughput point at a
+moderate load is recorded.  The summary benchmark asserts the paper's
+qualitative claims: moving clients hurts XOV more than OXII, and moving the
+non-executor peers leaves OXII untouched while XOV degrades.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_metrics
+from repro.bench.figure7 import GROUPS
+from repro.bench.runner import run_point
+from repro.common.config import SystemConfig
+
+PROBE_LOAD = 700.0
+
+
+def _config(far_group=None):
+    config = SystemConfig(num_non_executors=2)
+    if far_group is not None:
+        config = config.with_far_groups([far_group])
+    return config
+
+
+@pytest.mark.parametrize("group", list(GROUPS))
+@pytest.mark.parametrize("paradigm", ["OX", "XOV", "OXII"])
+def test_figure7_moved_group(benchmark, settings, group, paradigm):
+    if paradigm not in GROUPS[group]:
+        pytest.skip("the paper omits OX from the executor / non-executor experiments")
+
+    def run():
+        return run_point(
+            paradigm,
+            offered_load=PROBE_LOAD,
+            contention=0.0,
+            settings=settings,
+            system_config=_config(group),
+        )
+
+    metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_metrics(benchmark, metrics)
+    benchmark.extra_info["moved_group"] = group
+    assert metrics.committed > 0
+
+
+def test_figure7_qualitative_claims(benchmark, settings):
+    """Clients far: XOV hurt most.  Non-executors far: OXII unaffected, XOV affected."""
+
+    def run():
+        baseline = {
+            paradigm: run_point(paradigm, offered_load=PROBE_LOAD, contention=0.0,
+                                settings=settings, system_config=_config())
+            for paradigm in ("XOV", "OXII")
+        }
+        clients_far = {
+            paradigm: run_point(paradigm, offered_load=PROBE_LOAD, contention=0.0,
+                                settings=settings, system_config=_config("clients"))
+            for paradigm in ("XOV", "OXII")
+        }
+        nonexec_far = {
+            paradigm: run_point(paradigm, offered_load=PROBE_LOAD, contention=0.0,
+                                settings=settings, system_config=_config("non_executors"))
+            for paradigm in ("XOV", "OXII")
+        }
+        return baseline, clients_far, nonexec_far
+
+    baseline, clients_far, nonexec_far = benchmark.pedantic(run, rounds=1, iterations=1)
+    xov_client_penalty = clients_far["XOV"].latency_avg - baseline["XOV"].latency_avg
+    oxii_client_penalty = clients_far["OXII"].latency_avg - baseline["OXII"].latency_avg
+    benchmark.extra_info["xov_client_penalty_ms"] = round(xov_client_penalty * 1000, 1)
+    benchmark.extra_info["oxii_client_penalty_ms"] = round(oxii_client_penalty * 1000, 1)
+    assert xov_client_penalty > oxii_client_penalty
+
+    oxii_nonexec_penalty = nonexec_far["OXII"].latency_avg - baseline["OXII"].latency_avg
+    xov_nonexec_penalty = nonexec_far["XOV"].latency_avg - baseline["XOV"].latency_avg
+    benchmark.extra_info["oxii_nonexec_penalty_ms"] = round(oxii_nonexec_penalty * 1000, 1)
+    benchmark.extra_info["xov_nonexec_penalty_ms"] = round(xov_nonexec_penalty * 1000, 1)
+    assert abs(oxii_nonexec_penalty) < 0.02  # OXII unaffected (within noise)
+    assert xov_nonexec_penalty > 0.05  # XOV pays roughly a WAN crossing

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Quickstart: compare OX, XOV and ParBlockchain (OXII) on one workload.
+
+Runs all three paradigms on the paper's accounting workload with a moderate
+degree of contention and prints throughput, latency and abort rate — the
+library's "hello world".
+
+Usage::
+
+    python examples/quickstart.py [--contention 0.2] [--load 1500]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import quick_comparison
+from repro.bench.reporting import format_comparison
+from repro.bench.runner import BenchmarkSettings
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--contention", type=float, default=0.2,
+                        help="fraction of conflicting transactions (0.0 - 1.0)")
+    parser.add_argument("--load", type=float, default=1500.0,
+                        help="offered load in transactions per second")
+    parser.add_argument("--duration", type=float, default=1.5,
+                        help="length of the submission phase in simulated seconds")
+    args = parser.parse_args()
+
+    settings = BenchmarkSettings(duration=args.duration, drain=3.0)
+    results = quick_comparison(
+        contention=args.contention, offered_load=args.load, settings=settings
+    )
+    print(format_comparison(
+        results,
+        title=f"Accounting workload, contention {args.contention:.0%}, offered load {args.load:.0f} tps",
+    ))
+    print()
+    oxii = results["OXII"]
+    xov = results["XOV"]
+    ox = results["OX"]
+    print(f"OXII commits {oxii.throughput / max(ox.throughput, 1):.1f}x more than OX "
+          f"and {oxii.throughput / max(xov.throughput, 1):.1f}x more than XOV on this workload.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The canonical project metadata lives in ``pyproject.toml``; this file only
+exists so that ``pip install -e .`` can fall back to a legacy editable install
+on machines where PEP 517 editable builds are unavailable (no ``wheel``).
+"""
+
+from setuptools import setup
+
+setup()

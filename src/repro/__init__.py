@@ -1,0 +1,76 @@
+"""ParBlockchain reproduction: transaction parallelism for permissioned blockchains.
+
+This library reproduces *ParBlockchain: Leveraging Transaction Parallelism in
+Permissioned Blockchain Systems* (Amiri, Agrawal, El Abbadi — ICDCS 2019).  It
+implements the three permissioned-blockchain paradigms the paper compares —
+
+* **OX** (order-execute, sequential execution on every node),
+* **XOV** (execute-order-validate, Hyperledger-Fabric style), and
+* **OXII / ParBlockchain** (order, generate a dependency graph, execute in
+  parallel following the graph) —
+
+on top of a shared substrate: a deterministic discrete-event simulator, an
+asynchronous authenticated network, pluggable consensus (PBFT / Raft / a
+Kafka-style ordering service), a hash-chained ledger with a versioned world
+state, smart contracts and a contention-controlled workload generator.
+
+Quickstart::
+
+    from repro import quick_comparison
+    report = quick_comparison(contention=0.2, offered_load=1500)
+    for paradigm, point in report.items():
+        print(paradigm, point.throughput, point.latency_avg)
+
+See ``examples/`` for complete scripts and ``DESIGN.md`` / ``EXPERIMENTS.md``
+for the mapping from the paper's figures to the benchmark harness.
+"""
+
+from repro.common.config import BlockCutPolicy, CostModel, LatencyConfig, SystemConfig
+from repro.core import (
+    Block,
+    DependencyGraph,
+    ParallelGraphExecutor,
+    ReadWriteSet,
+    Transaction,
+    TransactionResult,
+    build_dependency_graph,
+)
+from repro.contracts import (
+    AccountingContract,
+    KeyValueContract,
+    SmartContract,
+    SupplyChainContract,
+)
+from repro.workload.generator import ConflictScope, WorkloadConfig, WorkloadGenerator
+from repro.paradigms import OXDeployment, OXIIDeployment, XOVDeployment, run_paradigm
+from repro.metrics.collector import RunMetrics
+from repro.bench.runner import quick_comparison
+
+__all__ = [
+    "AccountingContract",
+    "Block",
+    "BlockCutPolicy",
+    "ConflictScope",
+    "CostModel",
+    "DependencyGraph",
+    "KeyValueContract",
+    "LatencyConfig",
+    "OXDeployment",
+    "OXIIDeployment",
+    "ParallelGraphExecutor",
+    "ReadWriteSet",
+    "RunMetrics",
+    "SmartContract",
+    "SupplyChainContract",
+    "SystemConfig",
+    "Transaction",
+    "TransactionResult",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "XOVDeployment",
+    "build_dependency_graph",
+    "quick_comparison",
+    "run_paradigm",
+]
+
+__version__ = "0.1.0"

@@ -1,0 +1,30 @@
+"""Benchmark harness regenerating every figure of the paper's evaluation.
+
+* :mod:`repro.bench.figure5` — throughput/latency vs. block size (Figure 5).
+* :mod:`repro.bench.figure6` — latency/throughput curves for workloads with
+  0 %, 20 %, 80 % and 100 % contention, including the cross-application
+  variant OXII* (Figure 6).
+* :mod:`repro.bench.figure7` — multi-datacenter scalability, moving one node
+  group at a time to a far data center (Figure 7).
+
+Each module exposes a ``run_*`` function returning structured results plus a
+``format`` helper that prints the same series the paper plots.  The
+:mod:`repro.bench.cli` module wires them into ``python -m repro.bench``.
+"""
+
+from repro.bench.runner import BenchmarkSettings, quick_comparison, run_point
+from repro.bench.figure5 import Figure5Result, run_figure5
+from repro.bench.figure6 import Figure6Result, run_figure6
+from repro.bench.figure7 import Figure7Result, run_figure7
+
+__all__ = [
+    "BenchmarkSettings",
+    "Figure5Result",
+    "Figure6Result",
+    "Figure7Result",
+    "quick_comparison",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "run_point",
+]

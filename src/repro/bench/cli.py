@@ -1,0 +1,93 @@
+"""Command-line entry point: ``python -m repro.bench <figure>``.
+
+Examples::
+
+    python -m repro.bench quick --contention 0.2
+    python -m repro.bench figure5 --quick
+    python -m repro.bench figure6 --contention 0 0.8 --quick
+    python -m repro.bench figure7 --group clients --quick --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from repro.bench.figure5 import format_figure5, run_figure5
+from repro.bench.figure6 import DEFAULT_CONTENTION_LEVELS, format_figure6, run_figure6
+from repro.bench.figure7 import GROUPS, format_figure7, run_figure7
+from repro.bench.reporting import format_comparison, rows_to_json
+from repro.bench.runner import BenchmarkSettings, quick_comparison
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for the benchmark CLI."""
+    parser = argparse.ArgumentParser(
+        prog="parblockchain-bench",
+        description="Regenerate the ParBlockchain paper's evaluation figures.",
+    )
+    parser.add_argument("--quick", action="store_true", help="smaller sweeps, shorter runs")
+    parser.add_argument("--duration", type=float, default=None, help="submission phase length [s]")
+    parser.add_argument("--json", dest="json_path", default=None, help="write result rows to a JSON file")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    quick = subparsers.add_parser("quick", help="one-shot comparison of the three paradigms")
+    quick.add_argument("--contention", type=float, default=0.0)
+    quick.add_argument("--load", type=float, default=1500.0)
+
+    subparsers.add_parser("figure5", help="throughput/latency vs block size")
+
+    figure6 = subparsers.add_parser("figure6", help="performance under contention")
+    figure6.add_argument(
+        "--contention", type=float, nargs="+", default=list(DEFAULT_CONTENTION_LEVELS)
+    )
+
+    figure7 = subparsers.add_parser("figure7", help="multi-datacenter scalability")
+    figure7.add_argument("--group", choices=sorted(GROUPS), nargs="+", default=list(GROUPS))
+    return parser
+
+
+def _settings(args: argparse.Namespace) -> BenchmarkSettings:
+    settings = BenchmarkSettings(quick=args.quick)
+    if args.duration is not None:
+        settings = settings.with_duration(args.duration)
+    return settings
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the selected benchmark and print (and optionally save) its results."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    settings = _settings(args)
+    rows: List[dict]
+
+    if args.command == "quick":
+        results = quick_comparison(
+            contention=args.contention, offered_load=args.load, settings=settings
+        )
+        print(format_comparison(results, title=f"Contention {args.contention:.0%} @ {args.load:.0f} tps"))
+        rows = [m.as_dict() for m in results.values()]
+    elif args.command == "figure5":
+        result = run_figure5(settings=settings)
+        print(format_figure5(result))
+        rows = result.as_rows()
+    elif args.command == "figure6":
+        result = run_figure6(contention_levels=args.contention, settings=settings)
+        print(format_figure6(result))
+        rows = result.as_rows()
+    elif args.command == "figure7":
+        result = run_figure7(groups=args.group, settings=settings)
+        print(format_figure7(result))
+        rows = result.as_rows()
+    else:  # pragma: no cover - argparse enforces the choices
+        parser.error(f"unknown command {args.command!r}")
+        return 2
+
+    if args.json_path:
+        rows_to_json(rows, args.json_path)
+        print(f"\nwrote {len(rows)} rows to {args.json_path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

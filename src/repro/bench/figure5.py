@@ -1,0 +1,117 @@
+"""Figure 5 — throughput and latency as a function of the block size.
+
+The paper sweeps the number of transactions per block from 10 to 1000 on a
+no-contention workload and reports, for each paradigm, the peak throughput and
+the end-to-end latency at that peak.  OXII's curve rises (fixed per-block
+costs amortise) until ~200 transactions per block and then falls again because
+dependency-graph generation is quadratic in the block size; OX is essentially
+flat (sequential execution dominates) and XOV peaks around ~100 transactions
+per block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.bench.runner import BenchmarkSettings, sweep_paradigm
+from repro.common.config import SystemConfig
+from repro.metrics.collector import RunMetrics
+
+DEFAULT_BLOCK_SIZES: Sequence[int] = (10, 50, 100, 200, 400, 700, 1000)
+QUICK_BLOCK_SIZES: Sequence[int] = (50, 200, 800)
+PARADIGM_ORDER: Sequence[str] = ("OX", "XOV", "OXII")
+
+
+@dataclass(frozen=True)
+class Figure5Point:
+    """Peak throughput and its latency for one (paradigm, block size) cell."""
+
+    paradigm: str
+    block_size: int
+    peak_throughput: float
+    latency_at_peak: float
+
+    def as_dict(self) -> dict:
+        return {
+            "paradigm": self.paradigm,
+            "block_size": self.block_size,
+            "peak_throughput": self.peak_throughput,
+            "latency_at_peak": self.latency_at_peak,
+        }
+
+
+@dataclass(frozen=True)
+class Figure5Result:
+    """All points of the block-size sweep (Figures 5(a) and 5(b))."""
+
+    points: Sequence[Figure5Point]
+
+    def series(self, paradigm: str) -> List[Figure5Point]:
+        """Points of one paradigm ordered by block size."""
+        return sorted(
+            (p for p in self.points if p.paradigm == paradigm), key=lambda p: p.block_size
+        )
+
+    def best_block_size(self, paradigm: str) -> int:
+        """Block size at which ``paradigm`` peaks."""
+        series = self.series(paradigm)
+        if not series:
+            raise ValueError(f"no points for paradigm {paradigm!r}")
+        return max(series, key=lambda p: p.peak_throughput).block_size
+
+    def as_rows(self) -> List[dict]:
+        """Flat list of dict rows (one per point)."""
+        return [p.as_dict() for p in self.points]
+
+
+def run_figure5(
+    block_sizes: Optional[Sequence[int]] = None,
+    settings: Optional[BenchmarkSettings] = None,
+    paradigms: Sequence[str] = PARADIGM_ORDER,
+    base_config: Optional[SystemConfig] = None,
+) -> Figure5Result:
+    """Regenerate Figure 5: for every block size, find each paradigm's peak."""
+    settings = settings or BenchmarkSettings()
+    if block_sizes is None:
+        block_sizes = QUICK_BLOCK_SIZES if settings.quick else DEFAULT_BLOCK_SIZES
+    base = base_config or SystemConfig()
+    points: List[Figure5Point] = []
+    for block_size in block_sizes:
+        for paradigm in paradigms:
+            config = base.with_block_size(block_size)
+            sweep = sweep_paradigm(
+                paradigm,
+                contention=0.0,
+                settings=settings,
+                system_config=config,
+                loads=settings.loads_for(paradigm),
+            )
+            points.append(
+                Figure5Point(
+                    paradigm=paradigm,
+                    block_size=block_size,
+                    peak_throughput=sweep.peak_throughput,
+                    latency_at_peak=sweep.peak_latency,
+                )
+            )
+    return Figure5Result(points=tuple(points))
+
+
+def format_figure5(result: Figure5Result) -> str:
+    """Render the Figure 5 series as a text table."""
+    lines = ["Figure 5 — peak throughput [txn/s] and latency [s] vs block size"]
+    header = f"{'block size':>10} " + " ".join(f"{p:>22}" for p in PARADIGM_ORDER)
+    lines.append(header)
+    block_sizes = sorted({p.block_size for p in result.points})
+    table: Mapping[tuple, Figure5Point] = {(p.paradigm, p.block_size): p for p in result.points}
+    for block_size in block_sizes:
+        cells = []
+        for paradigm in PARADIGM_ORDER:
+            point = table.get((paradigm, block_size))
+            if point is None:
+                cells.append(f"{'-':>22}")
+            else:
+                cells.append(f"{point.peak_throughput:>12.0f} @ {point.latency_at_peak:>6.3f}s")
+        lines.append(f"{block_size:>10} " + " ".join(cells))
+    return "\n".join(lines)

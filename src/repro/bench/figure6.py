@@ -1,0 +1,112 @@
+"""Figure 6 — latency/throughput curves under increasing contention.
+
+For each degree of contention (0 %, 20 %, 80 %, 100 %) the paper plots, per
+paradigm, average latency against measured throughput while the offered load
+increases.  Four series appear in each sub-figure: OX, XOV, OXII (conflicts
+within an application) and OXII* (conflicts across applications, the dashed
+line), except at 0 % contention where OXII and OXII* coincide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.bench.runner import BenchmarkSettings, run_point
+from repro.common.config import SystemConfig
+from repro.metrics.collector import RunMetrics
+from repro.workload.generator import ConflictScope
+
+DEFAULT_CONTENTION_LEVELS: Sequence[float] = (0.0, 0.2, 0.8, 1.0)
+#: Series plotted in every sub-figure: (label, paradigm, conflict scope).
+SERIES: Sequence[Tuple[str, str, ConflictScope]] = (
+    ("OX", "OX", ConflictScope.WITHIN_APPLICATION),
+    ("XOV", "XOV", ConflictScope.WITHIN_APPLICATION),
+    ("OXII", "OXII", ConflictScope.WITHIN_APPLICATION),
+    ("OXII*", "OXII", ConflictScope.CROSS_APPLICATION),
+)
+
+
+@dataclass(frozen=True)
+class Figure6Result:
+    """Measured points for every (contention level, series, offered load)."""
+
+    #: contention -> series label -> list of RunMetrics ordered by offered load.
+    curves: Mapping[float, Mapping[str, Sequence[RunMetrics]]]
+
+    def contention_levels(self) -> List[float]:
+        """The evaluated degrees of contention."""
+        return sorted(self.curves)
+
+    def series(self, contention: float, label: str) -> Sequence[RunMetrics]:
+        """One latency/throughput curve."""
+        return self.curves[contention][label]
+
+    def peak_throughput(self, contention: float, label: str) -> float:
+        """Highest measured throughput of one series."""
+        return max(point.throughput for point in self.series(contention, label))
+
+    def as_rows(self) -> List[dict]:
+        """Flat list of dict rows (one per measured point)."""
+        rows: List[dict] = []
+        for contention, by_label in self.curves.items():
+            for label, points in by_label.items():
+                for point in points:
+                    row = point.as_dict()
+                    row["series"] = label
+                    row["contention"] = contention
+                    rows.append(row)
+        return rows
+
+
+def run_figure6(
+    contention_levels: Sequence[float] = DEFAULT_CONTENTION_LEVELS,
+    settings: Optional[BenchmarkSettings] = None,
+    base_config: Optional[SystemConfig] = None,
+    include_cross_application: bool = True,
+) -> Figure6Result:
+    """Regenerate Figure 6: latency/throughput curves per contention level."""
+    settings = settings or BenchmarkSettings()
+    curves: Dict[float, Dict[str, List[RunMetrics]]] = {}
+    for contention in contention_levels:
+        by_label: Dict[str, List[RunMetrics]] = {}
+        for label, paradigm, scope in SERIES:
+            if label == "OXII*" and (not include_cross_application or contention == 0.0):
+                # With no conflicting transactions there is no cross-application
+                # contention; the paper plots a single OXII curve in Figure 6(a).
+                continue
+            points: List[RunMetrics] = []
+            for load in settings.loads_for(paradigm):
+                points.append(
+                    run_point(
+                        paradigm,
+                        offered_load=load,
+                        contention=contention,
+                        conflict_scope=scope,
+                        settings=settings,
+                        system_config=base_config,
+                    )
+                )
+            by_label[label] = points
+        curves[contention] = by_label
+    return Figure6Result(curves=curves)
+
+
+def format_figure6(result: Figure6Result) -> str:
+    """Render the Figure 6 curves as text tables (one per contention level)."""
+    lines: List[str] = []
+    for contention in result.contention_levels():
+        lines.append(
+            f"Figure 6 — contention {contention:.0%}: latency [s] vs throughput [txn/s]"
+        )
+        for label in ("OX", "XOV", "OXII", "OXII*"):
+            try:
+                points = result.series(contention, label)
+            except KeyError:
+                continue
+            series = ", ".join(
+                f"({p.throughput:.0f} tps, {p.latency_avg:.3f}s)" for p in points
+            )
+            lines.append(f"  {label:<6} {series}")
+        lines.append("")
+    return "\n".join(lines)

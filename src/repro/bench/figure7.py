@@ -1,0 +1,112 @@
+"""Figure 7 — scalability over multiple data centers.
+
+The paper moves one node group at a time (clients, orderers, executors,
+non-executors) to a far data center and re-measures the latency/throughput
+curve on a no-contention workload.  Moving the clients hurts XOV the most
+(clients participate in the endorsement round trip), moving the orderers hurts
+every paradigm, moving the executors adds one WAN phase to OXII but two to
+XOV, and moving the non-executors affects only XOV (OXII's passive peers are
+not on the measured path).  OX has no executor / non-executor distinction, so
+it only appears in the first two sub-figures, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.bench.runner import BenchmarkSettings, run_point
+from repro.common.config import SystemConfig
+from repro.metrics.collector import RunMetrics
+
+#: Sub-figures of Figure 7 in paper order, with the paradigms each one plots.
+GROUPS: Mapping[str, Sequence[str]] = {
+    "clients": ("OX", "XOV", "OXII"),
+    "orderers": ("OX", "XOV", "OXII"),
+    "executors": ("XOV", "OXII"),
+    "non_executors": ("XOV", "OXII"),
+}
+
+
+@dataclass(frozen=True)
+class Figure7Result:
+    """Latency/throughput curves per moved group and paradigm."""
+
+    #: group -> paradigm -> points ordered by offered load.
+    curves: Mapping[str, Mapping[str, Sequence[RunMetrics]]]
+
+    def groups(self) -> List[str]:
+        """The node groups that were moved to the far data center."""
+        return list(self.curves)
+
+    def series(self, group: str, paradigm: str) -> Sequence[RunMetrics]:
+        """One latency/throughput curve."""
+        return self.curves[group][paradigm]
+
+    def latency_at_lowest_load(self, group: str, paradigm: str) -> float:
+        """Average latency of the first (lowest-load) point of a series."""
+        return self.series(group, paradigm)[0].latency_avg
+
+    def as_rows(self) -> List[dict]:
+        """Flat list of dict rows (one per measured point)."""
+        rows: List[dict] = []
+        for group, by_paradigm in self.curves.items():
+            for paradigm, points in by_paradigm.items():
+                for point in points:
+                    row = point.as_dict()
+                    row["moved_group"] = group
+                    rows.append(row)
+        return rows
+
+
+def run_figure7(
+    groups: Optional[Sequence[str]] = None,
+    settings: Optional[BenchmarkSettings] = None,
+    base_config: Optional[SystemConfig] = None,
+    num_non_executors: int = 2,
+) -> Figure7Result:
+    """Regenerate Figure 7: move one group to the far DC and re-measure."""
+    settings = settings or BenchmarkSettings()
+    base = base_config or SystemConfig()
+    if base.num_non_executors < num_non_executors:
+        base = replace(base, num_non_executors=num_non_executors)
+    selected = list(groups) if groups is not None else list(GROUPS)
+    curves: Dict[str, Dict[str, List[RunMetrics]]] = {}
+    for group in selected:
+        if group not in GROUPS:
+            raise ValueError(f"unknown node group {group!r}; expected one of {list(GROUPS)}")
+        by_paradigm: Dict[str, List[RunMetrics]] = {}
+        for paradigm in GROUPS[group]:
+            config = settings.system_config_for(paradigm, base).with_far_groups([group])
+            points: List[RunMetrics] = []
+            for load in settings.loads_for(paradigm):
+                points.append(
+                    run_point(
+                        paradigm,
+                        offered_load=load,
+                        contention=0.0,
+                        settings=settings,
+                        system_config=config,
+                    )
+                )
+            by_paradigm[paradigm] = points
+        curves[group] = by_paradigm
+    return Figure7Result(curves=curves)
+
+
+def format_figure7(result: Figure7Result) -> str:
+    """Render the Figure 7 curves as text tables (one per moved group)."""
+    lines: List[str] = []
+    for group in result.groups():
+        lines.append(f"Figure 7 — {group} moved to the far data center")
+        for paradigm in ("OX", "XOV", "OXII"):
+            try:
+                points = result.series(group, paradigm)
+            except KeyError:
+                continue
+            series = ", ".join(
+                f"({p.throughput:.0f} tps, {p.latency_avg:.3f}s)" for p in points
+            )
+            lines.append(f"  {paradigm:<5} {series}")
+        lines.append("")
+    return "\n".join(lines)

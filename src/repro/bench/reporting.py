@@ -1,0 +1,48 @@
+"""Plain-text and JSON reporting helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+from repro.metrics.collector import RunMetrics
+
+
+def format_run_metrics(metrics: RunMetrics) -> str:
+    """One-line human-readable summary of a single run."""
+    return (
+        f"{metrics.paradigm:<6} load={metrics.offered_load:>7.0f} tps "
+        f"throughput={metrics.throughput:>7.0f} tps "
+        f"latency={metrics.latency_avg * 1000.0:>8.1f} ms "
+        f"committed={metrics.committed:>6d} aborted={metrics.aborted:>6d} "
+        f"abort_rate={metrics.abort_rate:>5.1%}"
+    )
+
+
+def format_comparison(results: Mapping[str, RunMetrics], title: str = "Paradigm comparison") -> str:
+    """Table comparing several paradigms on the same workload."""
+    lines = [title, f"{'paradigm':<8} {'throughput':>12} {'latency':>12} {'aborts':>8}"]
+    for name, metrics in results.items():
+        lines.append(
+            f"{name:<8} {metrics.throughput:>9.0f} tps {metrics.latency_avg * 1000.0:>9.1f} ms "
+            f"{metrics.abort_rate:>7.1%}"
+        )
+    return "\n".join(lines)
+
+
+def rows_to_json(rows: Sequence[Mapping[str, object]], path: Optional[str] = None) -> str:
+    """Serialise result rows to JSON; optionally also write them to ``path``."""
+    payload = json.dumps(list(rows), indent=2, sort_keys=True)
+    if path:
+        Path(path).write_text(payload + "\n", encoding="utf-8")
+    return payload
+
+
+def summarise_series(points: Iterable[RunMetrics]) -> dict:
+    """Peak throughput and the latency observed at that peak for one series."""
+    materialised: List[RunMetrics] = list(points)
+    if not materialised:
+        return {"peak_throughput": 0.0, "latency_at_peak": 0.0}
+    peak = max(materialised, key=lambda p: p.throughput)
+    return {"peak_throughput": peak.throughput, "latency_at_peak": peak.latency_avg}

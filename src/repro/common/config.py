@@ -1,0 +1,238 @@
+"""Configuration objects shared by every paradigm deployment.
+
+Two configuration families live here:
+
+* :class:`CostModel` — the simulated-time cost of the primitive operations the
+  paper's testbed performs for real (executing a transaction on a smart
+  contract, hashing, signing, checking one read/write-set pair while building
+  a dependency graph, ...).  The defaults are calibrated so that the
+  reproduction exhibits the same *shape* as the paper's figures (see
+  EXPERIMENTS.md): OX saturates around ~1k txn/s, XOV around ~1.8k txn/s and
+  OXII above 6k txn/s on a no-contention workload.
+
+* :class:`SystemConfig` — the deployment-level knobs the paper varies: number
+  of orderers, executors, applications, block-cut conditions, the required
+  number of matching results per application (``tau``), and the placement of
+  node groups across data centers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.common.errors import ConfigurationError
+
+#: Canonical node-group names used by the multi-datacenter experiments
+#: (Figure 7 in the paper).
+NODE_GROUPS = ("clients", "orderers", "executors", "non_executors")
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Simulated cost (in seconds) of the primitive operations.
+
+    The defaults approximate a c4.2xlarge-class machine (8 vCPUs) running the
+    paper's simple accounting contract.  Every cost is charged to simulated
+    time by the node that performs the operation; CPU-bound costs additionally
+    occupy one of the node's cores for their duration.
+    """
+
+    #: Executing one transaction against a smart contract (CPU-bound).
+    tx_execution: float = 1.0e-3
+    #: Validating one transaction during XOV's validation phase (read/write
+    #: conflict check against the committed state, signature checks amortised).
+    tx_validation: float = 5.0e-5
+    #: Checking a single ordered pair of transactions for an ordering
+    #: dependency while generating a dependency graph.
+    dependency_pair_check: float = 8.0e-7
+    #: Verifying or producing one signature.
+    signature: float = 3.0e-5
+    #: Hashing one block header / chaining one block.
+    block_hash: float = 5.0e-5
+    #: Fixed CPU cost of assembling a block (serialisation, bookkeeping).
+    block_assembly: float = 2.5e-3
+    #: Per-transaction cost of assembling a block (serialisation).
+    block_assembly_per_tx: float = 2.0e-6
+    #: Applying one transaction's write set to the world state.
+    state_update: float = 1.0e-5
+    #: Fixed CPU cost of one consensus message handling step.
+    consensus_step: float = 5.0e-5
+    #: Client-side cost of assembling a request / endorsement transaction.
+    client_assembly: float = 2.0e-5
+    #: Per-endorsement overhead at an XOV endorser on top of executing the
+    #: transaction (proposal checks, response assembly and signing).
+    endorsement_overhead: float = 5.0e-4
+
+    def dependency_graph_cost(self, block_size: int) -> float:
+        """Total CPU cost of building a dependency graph over ``block_size`` txns.
+
+        Construction compares every ordered pair of transactions, so the cost
+        is quadratic in the block size; this is the overhead that makes OXII's
+        throughput curve bend downwards after ~200 transactions per block
+        (Figure 5 in the paper).
+        """
+        if block_size < 0:
+            raise ConfigurationError(f"block_size must be >= 0, got {block_size}")
+        pairs = block_size * (block_size - 1) // 2
+        return pairs * self.dependency_pair_check
+
+    def scaled(self, factor: float) -> "CostModel":
+        """Return a copy of the cost model with every cost multiplied by ``factor``."""
+        if factor <= 0:
+            raise ConfigurationError(f"scale factor must be positive, got {factor}")
+        return CostModel(
+            tx_execution=self.tx_execution * factor,
+            tx_validation=self.tx_validation * factor,
+            dependency_pair_check=self.dependency_pair_check * factor,
+            signature=self.signature * factor,
+            block_hash=self.block_hash * factor,
+            block_assembly=self.block_assembly * factor,
+            block_assembly_per_tx=self.block_assembly_per_tx * factor,
+            state_update=self.state_update * factor,
+            consensus_step=self.consensus_step * factor,
+            client_assembly=self.client_assembly * factor,
+            endorsement_overhead=self.endorsement_overhead * factor,
+        )
+
+
+@dataclass(frozen=True)
+class LatencyConfig:
+    """One-way network latency parameters (seconds).
+
+    ``lan`` applies between nodes in the same data center, ``wan`` between
+    nodes in different data centers.  ``jitter_fraction`` adds a deterministic
+    pseudo-random +/- jitter to each message so that message arrival order is
+    not artificially synchronous.
+    """
+
+    lan: float = 5.0e-4
+    wan: float = 0.1
+    jitter_fraction: float = 0.1
+    bandwidth_bytes_per_sec: float = 1.25e9  # 10 Gbit/s
+    per_tx_bytes: int = 256
+    per_message_bytes: int = 128
+
+    def transfer_delay(self, payload_bytes: int) -> float:
+        """Serialisation delay for ``payload_bytes`` at the configured bandwidth."""
+        if payload_bytes <= 0:
+            return 0.0
+        return payload_bytes / self.bandwidth_bytes_per_sec
+
+
+@dataclass(frozen=True)
+class BlockCutPolicy:
+    """The three block-cut conditions described in Section IV-B of the paper.
+
+    A block is cut when it reaches ``max_transactions`` transactions, when its
+    serialised size reaches ``max_bytes``, or when ``max_delay`` seconds have
+    elapsed since the first transaction of the block was received — whichever
+    happens first.
+    """
+
+    max_transactions: int = 200
+    max_bytes: int = 1_000_000
+    max_delay: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_transactions <= 0:
+            raise ConfigurationError("max_transactions must be positive")
+        if self.max_bytes <= 0:
+            raise ConfigurationError("max_bytes must be positive")
+        if self.max_delay <= 0:
+            raise ConfigurationError("max_delay must be positive")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Deployment-level configuration for a paradigm run.
+
+    Defaults follow the paper's testbed: 3 orderers, 3 applications each with
+    its own executor (endorser) node, 8 cores per node, and a block size of
+    200 transactions for OX/OXII.
+    """
+
+    num_orderers: int = 3
+    num_applications: int = 3
+    executors_per_application: int = 1
+    num_non_executors: int = 0
+    cores_per_node: int = 8
+    block_cut: BlockCutPolicy = field(default_factory=BlockCutPolicy)
+    cost_model: CostModel = field(default_factory=CostModel)
+    latency: LatencyConfig = field(default_factory=LatencyConfig)
+    #: Required number of matching execution results per application
+    #: (tau(A) in the paper).  Maps application id to count; applications not
+    #: listed default to 1.
+    tau: Mapping[str, int] = field(default_factory=dict)
+    #: Consensus protocol used by the ordering service: "pbft", "raft" or
+    #: "kafka".
+    consensus_protocol: str = "kafka"
+    #: Maximum number of simultaneous faulty orderers tolerated.
+    max_faulty_orderers: int = 0
+    #: Which node groups live in the far data center (Figure 7).
+    far_groups: Sequence[str] = ()
+    #: Seed for all pseudo-random decisions (workload, jitter).
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_orderers <= 0:
+            raise ConfigurationError("num_orderers must be positive")
+        if self.num_applications <= 0:
+            raise ConfigurationError("num_applications must be positive")
+        if self.executors_per_application <= 0:
+            raise ConfigurationError("executors_per_application must be positive")
+        if self.num_non_executors < 0:
+            raise ConfigurationError("num_non_executors must be >= 0")
+        if self.cores_per_node <= 0:
+            raise ConfigurationError("cores_per_node must be positive")
+        if self.consensus_protocol not in ("pbft", "raft", "kafka"):
+            raise ConfigurationError(
+                f"unknown consensus protocol {self.consensus_protocol!r}"
+            )
+        unknown = set(self.far_groups) - set(NODE_GROUPS)
+        if unknown:
+            raise ConfigurationError(f"unknown node groups: {sorted(unknown)}")
+        if self.max_faulty_orderers < 0:
+            raise ConfigurationError("max_faulty_orderers must be >= 0")
+        quorum_need = (
+            3 * self.max_faulty_orderers + 1
+            if self.consensus_protocol == "pbft"
+            else 2 * self.max_faulty_orderers + 1
+        )
+        if self.max_faulty_orderers and self.num_orderers < quorum_need:
+            raise ConfigurationError(
+                f"{self.consensus_protocol} with f={self.max_faulty_orderers} needs "
+                f"at least {quorum_need} orderers, got {self.num_orderers}"
+            )
+
+    @property
+    def num_executors(self) -> int:
+        """Total number of executor (endorser) nodes across all applications."""
+        return self.num_applications * self.executors_per_application
+
+    def tau_for(self, application: str) -> int:
+        """Required number of matching execution results for ``application``."""
+        return int(self.tau.get(application, 1))
+
+    def with_block_size(self, max_transactions: int) -> "SystemConfig":
+        """Return a copy of the config with a different block-size cut."""
+        return replace(self, block_cut=replace(self.block_cut, max_transactions=max_transactions))
+
+    def with_far_groups(self, groups: Sequence[str]) -> "SystemConfig":
+        """Return a copy with ``groups`` placed in the far data center."""
+        return replace(self, far_groups=tuple(groups))
+
+    def with_consensus(self, protocol: str) -> "SystemConfig":
+        """Return a copy that uses ``protocol`` for the ordering service."""
+        return replace(self, consensus_protocol=protocol)
+
+    def application_names(self) -> list:
+        """Canonical application identifiers ``app-0 .. app-(n-1)``."""
+        return [f"app-{i}" for i in range(self.num_applications)]
+
+
+def default_tau(applications: Sequence[str], value: int = 1) -> Dict[str, int]:
+    """Build a ``tau`` mapping assigning ``value`` to every application."""
+    if value <= 0:
+        raise ConfigurationError("tau must be positive")
+    return {app: value for app in applications}

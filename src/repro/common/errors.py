@@ -1,0 +1,52 @@
+"""Exception hierarchy for the ParBlockchain reproduction.
+
+All library-specific exceptions derive from :class:`ParBlockchainError` so that
+callers can catch the whole family with a single ``except`` clause while still
+being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ParBlockchainError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ConfigurationError(ParBlockchainError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class TransactionError(ParBlockchainError):
+    """A transaction is malformed or cannot be executed."""
+
+
+class SignatureError(ParBlockchainError):
+    """A message signature failed verification."""
+
+
+class ProtocolError(ParBlockchainError):
+    """A consensus or replication protocol invariant was violated."""
+
+
+class LedgerError(ParBlockchainError):
+    """The hash chain or world state rejected an update."""
+
+
+class DependencyGraphError(ParBlockchainError):
+    """A dependency graph is malformed (e.g. edge against timestamp order)."""
+
+
+class SimulationError(ParBlockchainError):
+    """The discrete-event simulator was used incorrectly."""
+
+
+class NetworkError(ParBlockchainError):
+    """A simulated network operation failed (unknown peer, closed channel)."""
+
+
+class AccessControlError(ParBlockchainError):
+    """A client attempted an operation it is not authorised for."""
+
+
+class ContractError(TransactionError):
+    """A smart contract rejected a transaction (e.g. insufficient funds)."""

@@ -1,0 +1,34 @@
+"""Pluggable ordering/consensus substrate.
+
+OXII (like Fabric) treats consensus as a pluggable module: the ordering
+service only has to deliver the same sequence of transactions to every orderer
+node.  Three implementations are provided, matching the protocols the paper
+discusses:
+
+* :class:`~repro.consensus.pbft.PBFTOrdering` — Byzantine fault tolerant,
+  ``3f+1`` orderers, three communication phases (pre-prepare / prepare /
+  commit).
+* :class:`~repro.consensus.raft.RaftOrdering` — crash fault tolerant,
+  ``2f+1`` orderers, leader-based log replication with majority
+  acknowledgement.
+* :class:`~repro.consensus.kafka.KafkaOrdering` — the Kafka/ZooKeeper-style
+  ordering service Hyperledger Fabric (and the paper's testbed) uses: a
+  replicated partition leader assigns offsets and followers acknowledge.
+
+All three implement :class:`~repro.consensus.base.OrderingService`, so a
+deployment can swap them with a configuration switch.
+"""
+
+from repro.consensus.base import ConsensusDecision, OrderingService, make_ordering_service
+from repro.consensus.pbft import PBFTOrdering
+from repro.consensus.raft import RaftOrdering
+from repro.consensus.kafka import KafkaOrdering
+
+__all__ = [
+    "ConsensusDecision",
+    "KafkaOrdering",
+    "OrderingService",
+    "PBFTOrdering",
+    "RaftOrdering",
+    "make_ordering_service",
+]

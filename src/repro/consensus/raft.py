@@ -1,0 +1,130 @@
+"""Raft-style crash-fault-tolerant ordering.
+
+The ordering service only needs the log-replication half of Raft (the paper's
+testbed never exercises leader election during measurements): the leader
+appends the batch to its log, replicates it with an APPEND message, waits for
+acknowledgements from a majority of orderers, then commits and notifies the
+followers.  ``2f + 1`` orderers tolerate ``f`` crash failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Sequence, Set
+
+from repro.common.config import CostModel
+from repro.common.errors import ProtocolError
+from repro.consensus.base import DecisionCallback, OrderingService
+from repro.crypto.signatures import KeyRegistry
+from repro.network.message import Envelope
+from repro.network.transport import NetworkInterface
+from repro.simulation import Environment
+
+APPEND = "RAFT_APPEND"
+APPEND_ACK = "RAFT_APPEND_ACK"
+COMMIT_NOTICE = "RAFT_COMMIT"
+
+
+@dataclass
+class _LogEntry:
+    """Per-sequence replication bookkeeping on the leader."""
+
+    payload: Any = None
+    acks: Set[str] = field(default_factory=set)
+    committed: bool = False
+
+
+class RaftOrdering(OrderingService):
+    """One orderer's participation in Raft log replication (fixed leader)."""
+
+    message_kinds = (APPEND, APPEND_ACK, COMMIT_NOTICE)
+
+    def __init__(
+        self,
+        env: Environment,
+        node_id: str,
+        peers: Sequence[str],
+        interface: NetworkInterface,
+        registry: KeyRegistry,
+        cost_model: Optional[CostModel] = None,
+        on_decide: Optional[DecisionCallback] = None,
+        max_faulty: int = 0,
+        term: int = 1,
+    ) -> None:
+        super().__init__(env, node_id, peers, interface, registry, cost_model, on_decide)
+        self.max_faulty = max_faulty
+        required = 2 * max_faulty + 1
+        if len(peers) < required:
+            raise ProtocolError(
+                f"Raft with f={max_faulty} requires {required} orderers, got {len(peers)}"
+            )
+        self.term = term
+        self._log: Dict[int, _LogEntry] = {}
+        #: Follower-side store of replicated-but-uncommitted payloads.
+        self._replicated: Dict[int, Any] = {}
+
+    @property
+    def leader(self) -> str:
+        """Fixed leader: the first orderer in the configured set."""
+        return self.peers[0]
+
+    @property
+    def majority(self) -> int:
+        """Number of acknowledgements (including the leader) needed to commit."""
+        return len(self.peers) // 2 + 1
+
+    # ------------------------------------------------------------------- API
+    def propose(self, payload: Any):
+        """Leader: replicate ``payload`` and return once a majority has acked."""
+        if not self.is_leader:
+            raise ProtocolError(f"{self.node_id} is not the Raft leader")
+        sequence = self.allocate_sequence()
+        entry = self._log.setdefault(sequence, _LogEntry())
+        entry.payload = payload
+        entry.acks.add(self.node_id)
+        yield self.env.timeout(self.cost_model.consensus_step + self.cost_model.signature)
+        self.sign_and_multicast(APPEND, {"term": self.term, "seq": sequence, "payload": payload})
+        if self.majority == 1:
+            self._commit_as_leader(sequence)
+        decision = yield self.decision_event(sequence)
+        return decision
+
+    def handle_message(self, envelope: Envelope):
+        """Handle APPEND (follower), APPEND_ACK (leader) or COMMIT_NOTICE (follower)."""
+        self.messages_handled += 1
+        yield self.env.timeout(self.cost_model.consensus_step)
+        if not self.verify_envelope(envelope):
+            return None
+        kind = envelope.message.kind
+        body = envelope.message.body
+        sequence = int(body["seq"])
+        if kind == APPEND:
+            if envelope.sender != self.leader or int(body.get("term", 0)) != self.term:
+                return None
+            self._replicated[sequence] = body.get("payload")
+            self._note_sequence(sequence)
+            self.sign_and_send(self.leader, APPEND_ACK, {"term": self.term, "seq": sequence})
+        elif kind == APPEND_ACK:
+            if not self.is_leader:
+                return None
+            entry = self._log.get(sequence)
+            if entry is None or entry.committed:
+                return None
+            entry.acks.add(envelope.sender)
+            if len(entry.acks) >= self.majority:
+                self._commit_as_leader(sequence)
+        elif kind == COMMIT_NOTICE:
+            if envelope.sender != self.leader:
+                return None
+            payload = self._replicated.get(sequence, body.get("payload"))
+            self.record_decision(sequence, payload, proposer=self.leader)
+        return None
+
+    # -------------------------------------------------------------- internals
+    def _commit_as_leader(self, sequence: int) -> None:
+        entry = self._log[sequence]
+        if entry.committed:
+            return
+        entry.committed = True
+        self.record_decision(sequence, entry.payload, proposer=self.node_id)
+        self.sign_and_multicast(COMMIT_NOTICE, {"term": self.term, "seq": sequence})

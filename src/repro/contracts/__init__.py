@@ -1,0 +1,27 @@
+"""Smart contracts: application logic installed on agent (executor) nodes.
+
+A smart contract is a deterministic program that, given a transaction and a
+read view of the datastore, produces the transaction's state updates (or an
+abort).  Three contracts ship with the library:
+
+* :class:`~repro.contracts.accounting.AccountingContract` — the paper's
+  evaluation workload: accounts with balances and transfer transactions.
+* :class:`~repro.contracts.kvstore.KeyValueContract` — generic reads/writes,
+  handy for synthetic workloads with arbitrary read/write sets.
+* :class:`~repro.contracts.supply_chain.SupplyChainContract` — a multi-party
+  asset-tracking application, the kind of cross-organisation workload the
+  paper's introduction motivates.
+"""
+
+from repro.contracts.base import ContractRegistry, SmartContract
+from repro.contracts.accounting import AccountingContract
+from repro.contracts.kvstore import KeyValueContract
+from repro.contracts.supply_chain import SupplyChainContract
+
+__all__ = [
+    "AccountingContract",
+    "ContractRegistry",
+    "KeyValueContract",
+    "SmartContract",
+    "SupplyChainContract",
+]

@@ -1,0 +1,169 @@
+"""The paper's evaluation workload: a simple accounting application.
+
+Each account is a record ``(balance, owner)``; clients submit transfer
+transactions moving assets from one or more of their accounts to other
+accounts.  A transfer is valid if the issuing client owns every source account
+and each source balance covers the amount drawn from it; otherwise the
+transaction aborts (the paper's ``(x, "abort")`` case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.common.errors import ContractError
+from repro.contracts.base import SmartContract
+from repro.core.transaction import ReadWriteSet, Transaction, TransactionResult
+
+
+def account_key(account_number: int | str) -> str:
+    """Canonical state key for an account record."""
+    return f"account/{account_number}"
+
+
+@dataclass(frozen=True)
+class Account:
+    """An account record stored in the world state."""
+
+    balance: float
+    owner: str
+
+    def canonical_tuple(self) -> tuple:
+        return ("account", self.balance, self.owner)
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One leg of a transfer: draw ``amount`` from ``source`` into ``destination``."""
+
+    source: str
+    destination: str
+    amount: float
+
+
+class AccountingContract(SmartContract):
+    """Asset transfers between accounts, with owner and balance checks."""
+
+    def __init__(self, application: str, enforce_ownership: bool = True) -> None:
+        self.application = application
+        self.enforce_ownership = enforce_ownership
+
+    # ------------------------------------------------------------- tx helpers
+    @staticmethod
+    def make_transfer_transaction(
+        tx_id: str,
+        application: str,
+        client: str,
+        transfers: Sequence[Transfer],
+        client_timestamp: float = 0.0,
+    ) -> Transaction:
+        """Build a transfer transaction with its read/write sets pre-declared.
+
+        The read set contains every source account (balances and ownership are
+        checked); the write set contains every account whose balance changes —
+        sources and destinations — matching the paper's example where
+        ``rho(T) = {1001}`` and ``omega(T) = {1001, 1002}``.
+        """
+        if not transfers:
+            raise ContractError("a transfer transaction needs at least one transfer")
+        reads = {account_key(t.source) for t in transfers}
+        writes = {account_key(t.source) for t in transfers} | {
+            account_key(t.destination) for t in transfers
+        }
+        payload = {
+            "transfers": tuple(
+                {"source": t.source, "destination": t.destination, "amount": t.amount}
+                for t in transfers
+            )
+        }
+        return Transaction(
+            tx_id=tx_id,
+            application=application,
+            rw_set=ReadWriteSet.build(reads=reads, writes=writes),
+            payload=payload,
+            client=client,
+            client_timestamp=client_timestamp,
+        )
+
+    # -------------------------------------------------------------- execution
+    def execute(
+        self, transaction: Transaction, state_view: Mapping[str, object]
+    ) -> TransactionResult:
+        """Apply every transfer leg; abort on unknown account, bad owner or overdraft."""
+        transfers = transaction.payload.get("transfers", ())
+        if not transfers:
+            return TransactionResult.abort(transaction)
+        balances: Dict[str, float] = {}
+        owners: Dict[str, str] = {}
+        for leg in transfers:
+            for account in (leg["source"], leg["destination"]):
+                key = account_key(account)
+                if key in balances:
+                    continue
+                record = state_view.get(key)
+                if record is None:
+                    return TransactionResult.abort(transaction)
+                balance, owner = self._unpack(record)
+                balances[key] = balance
+                owners[key] = owner
+        for leg in transfers:
+            source_key = account_key(leg["source"])
+            if self.enforce_ownership and transaction.client and owners[source_key] != transaction.client:
+                return TransactionResult.abort(transaction)
+            if balances[source_key] < leg["amount"]:
+                return TransactionResult.abort(transaction)
+            balances[source_key] -= leg["amount"]
+            balances[account_key(leg["destination"])] += leg["amount"]
+        updates = {
+            key: {"balance": balances[key], "owner": owners[key]}
+            for key in sorted(balances)
+        }
+        return TransactionResult(
+            tx_id=transaction.tx_id,
+            application=transaction.application,
+            updates=updates,
+            status="ok",
+        )
+
+    @staticmethod
+    def _unpack(record: object) -> Tuple[float, str]:
+        if isinstance(record, Account):
+            return record.balance, record.owner
+        if isinstance(record, Mapping):
+            return float(record["balance"]), str(record.get("owner", ""))
+        raise ContractError(f"malformed account record: {record!r}")
+
+    # ---------------------------------------------------------- state helpers
+    @staticmethod
+    def initial_state(
+        accounts: Iterable[Tuple[str, float, str]]
+    ) -> Dict[str, Dict[str, object]]:
+        """Build the initial world state for ``(account, balance, owner)`` triples."""
+        return {
+            account_key(account): {"balance": float(balance), "owner": owner}
+            for account, balance, owner in accounts
+        }
+
+    @staticmethod
+    def balance_of(state: Mapping[str, object], account: int | str) -> float:
+        """Balance of ``account`` in ``state`` (0.0 when absent)."""
+        record = state.get(account_key(account))
+        if record is None:
+            return 0.0
+        if isinstance(record, Account):
+            return record.balance
+        return float(record["balance"])  # type: ignore[index,call-overload]
+
+    @staticmethod
+    def total_balance(state: Mapping[str, object]) -> float:
+        """Sum of every account balance — conserved by any valid execution."""
+        total = 0.0
+        for key, record in state.items():
+            if not key.startswith("account/"):
+                continue
+            if isinstance(record, Account):
+                total += record.balance
+            else:
+                total += float(record["balance"])  # type: ignore[index,call-overload]
+        return total

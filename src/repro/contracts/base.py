@@ -1,0 +1,110 @@
+"""The smart-contract interface and per-application contract registry."""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.common.errors import ContractError
+from repro.core.transaction import Transaction, TransactionResult
+
+
+class SmartContract(abc.ABC):
+    """Deterministic application logic executed by agent nodes.
+
+    Contracts must be pure functions of ``(transaction, state_view)``: given
+    the same inputs they must produce the same updates on every executor, which
+    is what makes τ(A) matching-result counting meaningful.
+    """
+
+    #: Name of the application this contract implements.
+    application: str = ""
+
+    @abc.abstractmethod
+    def execute(
+        self, transaction: Transaction, state_view: Mapping[str, object]
+    ) -> TransactionResult:
+        """Execute ``transaction`` against a read view of the datastore."""
+
+    def validate_access(self, client: str, transaction: Transaction) -> bool:
+        """Access control hook: is ``client`` allowed to submit this transaction?
+
+        The default allows everyone; deployments can subclass to restrict.
+        """
+        return True
+
+    def __call__(
+        self, transaction: Transaction, state_view: Mapping[str, object]
+    ) -> TransactionResult:
+        return self.execute(transaction, state_view)
+
+
+class ContractRegistry:
+    """Maps application ids to smart contracts and executors to their agents.
+
+    The registry plays the role of ``Σ`` in the paper: for each application it
+    records the non-empty set of executor nodes where the contract is
+    installed.  Orderers never appear here — they have no access to contracts
+    or application state.
+    """
+
+    def __init__(self) -> None:
+        self._contracts: Dict[str, SmartContract] = {}
+        self._agents: Dict[str, List[str]] = {}
+
+    # ----------------------------------------------------------- registration
+    def install(self, contract: SmartContract, agents: Iterable[str]) -> None:
+        """Install ``contract`` on ``agents`` (must be non-empty)."""
+        agent_list = list(agents)
+        if not agent_list:
+            raise ContractError(
+                f"application {contract.application!r} needs at least one agent"
+            )
+        if not contract.application:
+            raise ContractError("contract must declare its application name")
+        self._contracts[contract.application] = contract
+        self._agents[contract.application] = agent_list
+
+    # ---------------------------------------------------------------- queries
+    def applications(self) -> List[str]:
+        """Every registered application id."""
+        return list(self._contracts)
+
+    def contract(self, application: str) -> SmartContract:
+        """The contract implementing ``application``."""
+        try:
+            return self._contracts[application]
+        except KeyError:
+            raise ContractError(f"no contract installed for application {application!r}") from None
+
+    def agents_of(self, application: str) -> List[str]:
+        """``Σ(A)`` — executor nodes hosting ``application``'s contract."""
+        try:
+            return list(self._agents[application])
+        except KeyError:
+            raise ContractError(f"no agents registered for application {application!r}") from None
+
+    def is_agent(self, executor: str, application: str) -> bool:
+        """True if ``executor`` hosts the contract of ``application``."""
+        return executor in self._agents.get(application, ())
+
+    def applications_of(self, executor: str) -> List[str]:
+        """Applications for which ``executor`` is an agent."""
+        return [app for app, agents in self._agents.items() if executor in agents]
+
+    def execute(
+        self, transaction: Transaction, state_view: Mapping[str, object], executed_by: str = ""
+    ) -> TransactionResult:
+        """Run the right contract for ``transaction`` and stamp the executor id."""
+        contract = self.contract(transaction.application)
+        result = contract.execute(transaction, state_view)
+        if executed_by and not result.executed_by:
+            result = TransactionResult(
+                tx_id=result.tx_id,
+                application=result.application,
+                updates=result.updates,
+                status=result.status,
+                executed_by=executed_by,
+                read_versions=result.read_versions,
+            )
+        return result

@@ -1,0 +1,59 @@
+"""A generic key-value contract for synthetic workloads.
+
+Transactions carry explicit ``reads``/``writes`` in their payload; execution
+reads the listed keys and writes deterministic derived values.  The contract is
+used by property-based tests and by workloads that need precise control over
+read/write sets without the accounting semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from repro.contracts.base import SmartContract
+from repro.core.transaction import ReadWriteSet, Transaction, TransactionResult
+
+
+class KeyValueContract(SmartContract):
+    """Reads and writes opaque values; never aborts."""
+
+    def __init__(self, application: str) -> None:
+        self.application = application
+
+    @staticmethod
+    def make_transaction(
+        tx_id: str,
+        application: str,
+        reads: Sequence[str],
+        writes: Mapping[str, object],
+        client: str = "",
+    ) -> Transaction:
+        """Build a transaction reading ``reads`` and writing ``writes``."""
+        return Transaction(
+            tx_id=tx_id,
+            application=application,
+            rw_set=ReadWriteSet.build(reads=reads, writes=writes.keys()),
+            payload={"writes": dict(writes), "reads": tuple(reads)},
+            client=client,
+        )
+
+    def execute(
+        self, transaction: Transaction, state_view: Mapping[str, object]
+    ) -> TransactionResult:
+        """Write the payload values; values of ``None`` copy the read sum instead.
+
+        A ``None`` write value makes the output depend on the values read, so
+        tests can verify that dependency ordering actually affects results.
+        """
+        writes: Dict[str, object] = {}
+        read_values = [state_view.get(key, 0) for key in transaction.payload.get("reads", ())]
+        numeric_reads = [v for v in read_values if isinstance(v, (int, float))]
+        derived = sum(numeric_reads) + 1
+        for key, value in transaction.payload.get("writes", {}).items():
+            writes[key] = derived if value is None else value
+        return TransactionResult(
+            tx_id=transaction.tx_id,
+            application=transaction.application,
+            updates=writes,
+            status="ok",
+        )

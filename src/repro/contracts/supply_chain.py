@@ -1,0 +1,118 @@
+"""A supply-chain asset-tracking contract.
+
+The paper's introduction motivates permissioned blockchains with supply-chain
+management: multiple organisations record custody transfers of assets on a
+shared ledger.  This contract models that: assets move between organisations
+("ship"), change state ("inspect") and are created ("register").  Shipments of
+the same asset conflict on the asset record, producing realistic contention
+between the transactions of different applications sharing a datastore.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.contracts.base import SmartContract
+from repro.core.transaction import ReadWriteSet, Transaction, TransactionResult
+
+
+def asset_key(asset_id: str) -> str:
+    """Canonical state key for an asset record."""
+    return f"asset/{asset_id}"
+
+
+class SupplyChainContract(SmartContract):
+    """Register, ship and inspect assets with custody checks."""
+
+    def __init__(self, application: str) -> None:
+        self.application = application
+
+    # ------------------------------------------------------------- tx helpers
+    @staticmethod
+    def make_register(tx_id: str, application: str, asset_id: str, owner: str) -> Transaction:
+        """Create a new asset owned by ``owner``."""
+        return Transaction(
+            tx_id=tx_id,
+            application=application,
+            rw_set=ReadWriteSet.build(reads=(), writes=(asset_key(asset_id),)),
+            payload={"action": "register", "asset": asset_id, "owner": owner},
+            client=owner,
+        )
+
+    @staticmethod
+    def make_ship(
+        tx_id: str, application: str, asset_id: str, sender: str, recipient: str
+    ) -> Transaction:
+        """Transfer custody of ``asset_id`` from ``sender`` to ``recipient``."""
+        key = asset_key(asset_id)
+        return Transaction(
+            tx_id=tx_id,
+            application=application,
+            rw_set=ReadWriteSet.build(reads=(key,), writes=(key,)),
+            payload={"action": "ship", "asset": asset_id, "to": recipient},
+            client=sender,
+        )
+
+    @staticmethod
+    def make_inspect(tx_id: str, application: str, asset_id: str, inspector: str, verdict: str) -> Transaction:
+        """Record an inspection verdict on ``asset_id``."""
+        key = asset_key(asset_id)
+        return Transaction(
+            tx_id=tx_id,
+            application=application,
+            rw_set=ReadWriteSet.build(reads=(key,), writes=(key,)),
+            payload={"action": "inspect", "asset": asset_id, "verdict": verdict},
+            client=inspector,
+        )
+
+    # -------------------------------------------------------------- execution
+    def execute(
+        self, transaction: Transaction, state_view: Mapping[str, object]
+    ) -> TransactionResult:
+        """Dispatch on the payload action; abort on missing assets or bad custody."""
+        action = transaction.payload.get("action")
+        asset_id = transaction.payload.get("asset")
+        if not asset_id or action not in ("register", "ship", "inspect"):
+            return TransactionResult.abort(transaction)
+        key = asset_key(str(asset_id))
+        record = state_view.get(key)
+
+        if action == "register":
+            if record is not None:
+                return TransactionResult.abort(transaction)
+            new_record = {
+                "owner": transaction.payload.get("owner", transaction.client),
+                "history": ("registered",),
+                "status": "in_stock",
+            }
+            return self._ok(transaction, key, new_record)
+
+        if record is None or not isinstance(record, Mapping):
+            return TransactionResult.abort(transaction)
+
+        if action == "ship":
+            if transaction.client and record.get("owner") != transaction.client:
+                return TransactionResult.abort(transaction)
+            new_record = {
+                "owner": transaction.payload["to"],
+                "history": tuple(record.get("history", ())) + (f"shipped_to:{transaction.payload['to']}",),
+                "status": "in_transit",
+            }
+            return self._ok(transaction, key, new_record)
+
+        # action == "inspect"
+        new_record = {
+            "owner": record.get("owner"),
+            "history": tuple(record.get("history", ())) + (f"inspected:{transaction.payload['verdict']}",),
+            "status": transaction.payload["verdict"],
+        }
+        return self._ok(transaction, key, new_record)
+
+    @staticmethod
+    def _ok(transaction: Transaction, key: str, record: Mapping[str, object]) -> TransactionResult:
+        return TransactionResult(
+            tx_id=transaction.tx_id,
+            application=transaction.application,
+            updates={key: dict(record)},
+            status="ok",
+        )

@@ -1,0 +1,331 @@
+"""Algorithms 1-3 of the paper: dependency-graph-driven execution.
+
+The three procedures an OXII executor runs concurrently are factored into
+plain, deployment-independent classes so the same logic drives the simulated
+executor nodes, the thread-pool executor and the unit tests:
+
+* :class:`GraphScheduler` — Algorithm 1.  Tracks the waiting set ``W_e`` (the
+  transactions this executor is an agent for), the executed set ``X_e`` and
+  the committed set ``C_e``, and yields transactions whose predecessors are
+  all in ``C_e ∪ X_e``.
+* :class:`CommitBatcher` — Algorithm 2.  Accumulates execution results and
+  decides when a COMMIT message must be multicast: as soon as an executed
+  transaction has a successor belonging to a *different* application (a "cut"
+  edge), the batch is flushed, which bounds the number of commit messages
+  while preventing cross-application deadlock.
+* :class:`StateUpdater` — Algorithm 3.  Collects COMMIT messages from
+  executors and commits a transaction's updates to the blockchain state once
+  ``τ(A)`` matching results from distinct agents have been received.
+* :class:`ExecutionEngine` — a synchronous convenience engine that runs a
+  whole block in-process (used by the OX paradigm's sequential execution and
+  by correctness tests comparing parallel schedules against the sequential
+  reference).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.common.errors import DependencyGraphError, TransactionError
+from repro.core.dependency_graph import DependencyGraph
+from repro.core.transaction import Transaction, TransactionResult
+
+
+class GraphScheduler:
+    """Algorithm 1 — decide which waiting transactions are ready to execute."""
+
+    def __init__(
+        self,
+        graph: DependencyGraph,
+        assigned: Iterable[str],
+    ) -> None:
+        self._graph = graph
+        assigned_set = set(assigned)
+        unknown = assigned_set - set(graph.transaction_ids)
+        if unknown:
+            raise DependencyGraphError(f"assigned transactions not in graph: {sorted(unknown)}")
+        #: ``W_e`` — transactions this executor must execute, in block order.
+        self._waiting: List[str] = [t for t in graph.transaction_ids if t in assigned_set]
+        #: ``X_e`` — transactions this executor has executed.
+        self._executed: Set[str] = set()
+        #: ``C_e`` — transactions known to be committed (locally or via COMMITs).
+        self._committed: Set[str] = set()
+        self._dispatched: Set[str] = set()
+
+    # ------------------------------------------------------------------ state
+    @property
+    def waiting(self) -> List[str]:
+        """``W_e`` — transactions still to be executed by this executor."""
+        return list(self._waiting)
+
+    @property
+    def executed(self) -> Set[str]:
+        """``X_e`` — transactions executed locally."""
+        return set(self._executed)
+
+    @property
+    def committed(self) -> Set[str]:
+        """``C_e`` — transactions committed (here or remotely)."""
+        return set(self._committed)
+
+    def is_done(self) -> bool:
+        """True once every assigned transaction has been executed."""
+        return not self._waiting
+
+    # -------------------------------------------------------------- Algorithm 1
+    def ready_transactions(self) -> List[Transaction]:
+        """Transactions in ``W_e`` whose predecessors are all in ``C_e ∪ X_e``.
+
+        Already-dispatched transactions are not returned twice, so callers can
+        poll this after every state change without double-executing.
+        """
+        done = self._executed | self._committed
+        ready: List[Transaction] = []
+        for tx_id in self._waiting:
+            if tx_id in self._dispatched:
+                continue
+            if self._graph.predecessors(tx_id) <= done:
+                ready.append(self._graph.transaction(tx_id))
+        for tx in ready:
+            self._dispatched.add(tx.tx_id)
+        return ready
+
+    def mark_executed(self, tx_id: str) -> None:
+        """Record that this executor finished executing ``tx_id``."""
+        if tx_id not in self._graph:
+            raise DependencyGraphError(f"unknown transaction {tx_id!r}")
+        self._executed.add(tx_id)
+        if tx_id in self._waiting:
+            self._waiting.remove(tx_id)
+
+    def mark_committed(self, tx_id: str) -> None:
+        """Record that ``tx_id`` is committed (its results are in the state)."""
+        if tx_id not in self._graph:
+            # Commit messages may mention transactions from other blocks; the
+            # scheduler only tracks its own block.
+            return
+        self._committed.add(tx_id)
+
+    def blocked_on(self, tx_id: str) -> Set[str]:
+        """Predecessors of ``tx_id`` that are not yet executed or committed."""
+        return self._graph.predecessors(tx_id) - (self._executed | self._committed)
+
+
+@dataclass(frozen=True)
+class CommitMessage:
+    """The payload of a COMMIT multicast: executed results from one executor."""
+
+    executor: str
+    block_sequence: int
+    results: Tuple[TransactionResult, ...]
+
+    def canonical_tuple(self) -> tuple:
+        return (
+            "commit",
+            self.executor,
+            self.block_sequence,
+            tuple(r.canonical_tuple() for r in self.results),
+        )
+
+
+class CommitBatcher:
+    """Algorithm 2 — batch execution results and flush on cross-application cuts."""
+
+    def __init__(self, graph: DependencyGraph, executor: str, block_sequence: int) -> None:
+        self._graph = graph
+        self._executor = executor
+        self._block_sequence = block_sequence
+        self._batch: List[TransactionResult] = []
+        self.flushes = 0
+
+    @property
+    def pending_results(self) -> List[TransactionResult]:
+        """Results executed but not yet multicast."""
+        return list(self._batch)
+
+    def add_result(self, result: TransactionResult) -> Optional[CommitMessage]:
+        """Record a finished execution; return a COMMIT message if a flush is due.
+
+        A flush is due when the executed transaction has at least one
+        successor that belongs to a different application — those agents need
+        this result to make progress, so the accumulated batch is multicast.
+        """
+        self._batch.append(result)
+        tx = self._graph.transaction(result.tx_id)
+        needs_flush = any(
+            self._graph.transaction(successor).application != tx.application
+            for successor in self._graph.successors(result.tx_id)
+        )
+        if needs_flush:
+            return self.flush()
+        return None
+
+    def flush(self) -> Optional[CommitMessage]:
+        """Multicast everything accumulated so far (no-op on an empty batch)."""
+        if not self._batch:
+            return None
+        message = CommitMessage(
+            executor=self._executor,
+            block_sequence=self._block_sequence,
+            results=tuple(self._batch),
+        )
+        self._batch = []
+        self.flushes += 1
+        return message
+
+
+@dataclass
+class _ResultVotes:
+    """Bookkeeping for one transaction's received results (``R_e(x)``)."""
+
+    votes: List[Tuple[TransactionResult, str]] = field(default_factory=list)
+    committed: bool = False
+
+    def add(self, result: TransactionResult, executor: str) -> None:
+        if any(sender == executor for _, sender in self.votes):
+            return  # an executor only gets one vote per transaction
+        self.votes.append((result, executor))
+
+    def matching_count(self, result: TransactionResult) -> int:
+        return sum(1 for candidate, _ in self.votes if candidate.matches(result))
+
+    def best(self) -> Optional[Tuple[TransactionResult, int]]:
+        """The result with the most matching votes and its count."""
+        best_result: Optional[TransactionResult] = None
+        best_count = 0
+        for candidate, _ in self.votes:
+            count = self.matching_count(candidate)
+            if count > best_count:
+                best_result, best_count = candidate, count
+        if best_result is None:
+            return None
+        return best_result, best_count
+
+
+class StateUpdater:
+    """Algorithm 3 — commit results once τ(A) matching votes have arrived."""
+
+    def __init__(
+        self,
+        block_transactions: Sequence[Transaction],
+        tau: Callable[[str], int],
+        is_agent: Callable[[str, str], bool],
+        apply_update: Callable[[TransactionResult], None],
+    ) -> None:
+        """``tau(app)`` gives the required matching-vote count for ``app``;
+        ``is_agent(executor, app)`` says whether ``executor`` is an agent of
+        ``app`` (votes from non-agents are discarded); ``apply_update`` is
+        called exactly once per committed transaction with the winning result.
+        """
+        self._transactions: Dict[str, Transaction] = {tx.tx_id: tx for tx in block_transactions}
+        self._tau = tau
+        self._is_agent = is_agent
+        self._apply_update = apply_update
+        self._votes: Dict[str, _ResultVotes] = {tx_id: _ResultVotes() for tx_id in self._transactions}
+        self._committed: Dict[str, TransactionResult] = {}
+
+    # ------------------------------------------------------------------ state
+    @property
+    def committed_ids(self) -> Set[str]:
+        """Transactions whose results have been applied to the state."""
+        return set(self._committed)
+
+    def committed_result(self, tx_id: str) -> Optional[TransactionResult]:
+        """The winning result for a committed transaction, if any."""
+        return self._committed.get(tx_id)
+
+    def is_complete(self) -> bool:
+        """True once every transaction of the block has been committed."""
+        return len(self._committed) == len(self._transactions)
+
+    def pending_ids(self) -> Set[str]:
+        """Transactions still waiting for enough matching votes."""
+        return set(self._transactions) - set(self._committed)
+
+    # -------------------------------------------------------------- Algorithm 3
+    def receive(self, message: CommitMessage) -> List[str]:
+        """Process a COMMIT message; return transactions committed by it."""
+        newly_committed: List[str] = []
+        for result in message.results:
+            tx = self._transactions.get(result.tx_id)
+            if tx is None:
+                continue  # result for a transaction outside this block
+            if not self._is_agent(message.executor, tx.application):
+                continue  # only agents of the application may vote
+            votes = self._votes[result.tx_id]
+            if votes.committed:
+                continue
+            votes.add(result, message.executor)
+            best = votes.best()
+            if best is None:
+                continue
+            winning, count = best
+            if count >= self._tau(tx.application):
+                votes.committed = True
+                self._committed[result.tx_id] = winning
+                if not winning.is_abort:
+                    self._apply_update(winning)
+                newly_committed.append(result.tx_id)
+        return newly_committed
+
+
+class ExecutionEngine:
+    """Synchronous reference engine: execute a block in a single process.
+
+    ``contract_runner(tx, state_view)`` executes one transaction against a
+    read view of the current state and returns its :class:`TransactionResult`.
+    The engine applies committed updates to ``state`` (a mutable mapping) in
+    dependency-graph order, which is the sequential-equivalent baseline every
+    parallel schedule must match.
+    """
+
+    def __init__(
+        self,
+        contract_runner: Callable[[Transaction, Mapping[str, object]], TransactionResult],
+        state: Dict[str, object],
+    ) -> None:
+        self._contract_runner = contract_runner
+        self._state = state
+
+    @property
+    def state(self) -> Dict[str, object]:
+        """The mutable world state the engine applies updates to."""
+        return self._state
+
+    def execute_sequentially(self, transactions: Sequence[Transaction]) -> List[TransactionResult]:
+        """Execute ``transactions`` one by one in the given order (OX paradigm)."""
+        results: List[TransactionResult] = []
+        for tx in transactions:
+            result = self._contract_runner(tx, self._state)
+            if not result.is_abort:
+                self._state.update(result.updates)
+            results.append(result)
+        return results
+
+    def execute_with_graph(self, graph: DependencyGraph) -> List[TransactionResult]:
+        """Execute a block following its dependency graph (OXII semantics).
+
+        Transactions are executed wave by wave: every transaction whose
+        predecessors have committed runs (conceptually in parallel), then their
+        updates are applied, then the next wave runs.  The final state is
+        guaranteed to equal the sequential execution of the block because the
+        graph orders every conflicting pair.
+        """
+        scheduler = GraphScheduler(graph, assigned=graph.transaction_ids)
+        results: Dict[str, TransactionResult] = {}
+        while not scheduler.is_done():
+            wave = scheduler.ready_transactions()
+            if not wave:
+                blocked = {tx_id: scheduler.blocked_on(tx_id) for tx_id in scheduler.waiting}
+                raise TransactionError(f"execution deadlock; blocked on {blocked}")
+            wave_results: List[TransactionResult] = []
+            for tx in wave:
+                wave_results.append(self._contract_runner(tx, self._state))
+            for result in wave_results:
+                if not result.is_abort:
+                    self._state.update(result.updates)
+                results[result.tx_id] = result
+                scheduler.mark_executed(result.tx_id)
+                scheduler.mark_committed(result.tx_id)
+        return [results[tx_id] for tx_id in graph.transaction_ids]

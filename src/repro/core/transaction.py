@@ -1,0 +1,237 @@
+"""Transactions with pre-declared read/write sets.
+
+Section III-A of the paper assumes that each transaction's read-set ``rho(T)``
+and write-set ``omega(T)`` are pre-declared (or obtainable by static
+analysis), and that each transaction carries a timestamp ``ts(T)`` consistent
+with its position in the block.  :class:`Transaction` captures exactly that,
+plus the application the transaction belongs to and an opaque payload that the
+application's smart contract interprets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from repro.common.errors import TransactionError
+from repro.crypto.hashing import content_hash
+
+
+class OperationType(str, Enum):
+    """A single read or write access to one record."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One access to a single record, used by DGCC-style operation-level graphs."""
+
+    op_type: OperationType
+    key: str
+
+    def canonical_tuple(self) -> tuple:
+        return ("op", self.op_type.value, self.key)
+
+
+@dataclass(frozen=True)
+class ReadWriteSet:
+    """The pre-declared read and write sets of a transaction."""
+
+    reads: FrozenSet[str] = frozenset()
+    writes: FrozenSet[str] = frozenset()
+
+    @classmethod
+    def build(cls, reads: Iterable[str] = (), writes: Iterable[str] = ()) -> "ReadWriteSet":
+        """Normalise arbitrary iterables of keys into a ReadWriteSet."""
+        return cls(reads=frozenset(reads), writes=frozenset(writes))
+
+    @property
+    def keys(self) -> FrozenSet[str]:
+        """Every record the transaction touches."""
+        return self.reads | self.writes
+
+    def is_read_only(self) -> bool:
+        """True if the transaction writes nothing."""
+        return not self.writes
+
+    def canonical_tuple(self) -> tuple:
+        return ("rwset", tuple(sorted(self.reads)), tuple(sorted(self.writes)))
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """A client request ordered into a block.
+
+    Attributes mirror the paper's notation:
+
+    * ``tx_id`` — unique identifier.
+    * ``application`` — the application (smart contract) the transaction is for.
+    * ``rw_set`` — ``rho(T)`` and ``omega(T)``.
+    * ``timestamp`` — ``ts(T)``; within a block, earlier transactions have
+      strictly smaller timestamps.
+    * ``payload`` — contract-specific arguments (e.g. transfer amount).
+    * ``client`` / ``client_timestamp`` — issuing client and its local
+      timestamp, used for exactly-once semantics.
+    """
+
+    tx_id: str
+    application: str
+    rw_set: ReadWriteSet
+    timestamp: int = 0
+    payload: Mapping[str, Any] = field(default_factory=dict)
+    client: str = ""
+    client_timestamp: float = 0.0
+    submitted_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.tx_id:
+            raise TransactionError("transaction id must be non-empty")
+        if not self.application:
+            raise TransactionError("transaction application must be non-empty")
+
+    # --------------------------------------------------------------- notation
+    @property
+    def read_set(self) -> FrozenSet[str]:
+        """``rho(T)`` — records read by this transaction."""
+        return self.rw_set.reads
+
+    @property
+    def write_set(self) -> FrozenSet[str]:
+        """``omega(T)`` — records written by this transaction."""
+        return self.rw_set.writes
+
+    def operations(self) -> Tuple[Operation, ...]:
+        """Flatten the read/write sets into per-record operations."""
+        reads = tuple(Operation(OperationType.READ, k) for k in sorted(self.read_set))
+        writes = tuple(Operation(OperationType.WRITE, k) for k in sorted(self.write_set))
+        return reads + writes
+
+    def with_timestamp(self, timestamp: int) -> "Transaction":
+        """Return a copy stamped with its position in the total order."""
+        return Transaction(
+            tx_id=self.tx_id,
+            application=self.application,
+            rw_set=self.rw_set,
+            timestamp=timestamp,
+            payload=self.payload,
+            client=self.client,
+            client_timestamp=self.client_timestamp,
+            submitted_at=self.submitted_at,
+        )
+
+    def with_submitted_at(self, submitted_at: float) -> "Transaction":
+        """Return a copy recording when the client submitted the transaction."""
+        return Transaction(
+            tx_id=self.tx_id,
+            application=self.application,
+            rw_set=self.rw_set,
+            timestamp=self.timestamp,
+            payload=self.payload,
+            client=self.client,
+            client_timestamp=self.client_timestamp,
+            submitted_at=submitted_at,
+        )
+
+    def canonical_tuple(self) -> tuple:
+        return (
+            "tx",
+            self.tx_id,
+            self.application,
+            self.rw_set.canonical_tuple(),
+            self.timestamp,
+            content_hash(dict(self.payload)),
+            self.client,
+            self.client_timestamp,
+        )
+
+    def digest(self) -> str:
+        """Content hash of the transaction (cached — transactions are immutable)."""
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            cached = content_hash(self)
+            object.__setattr__(self, "_digest", cached)
+        return cached
+
+
+ABORTED = "abort"
+
+
+@dataclass(frozen=True)
+class TransactionResult:
+    """The outcome of executing a transaction on a smart contract.
+
+    ``updates`` maps record keys to their new values; an aborted transaction
+    (e.g. insufficient funds) carries the sentinel status ``"abort"`` and no
+    updates, matching the paper's ``(x, "abort")`` pairs in commit messages.
+    """
+
+    tx_id: str
+    application: str
+    updates: Mapping[str, Any] = field(default_factory=dict)
+    status: str = "ok"
+    executed_by: str = ""
+    read_versions: Mapping[str, int] = field(default_factory=dict)
+
+    @property
+    def is_abort(self) -> bool:
+        """True if the contract rejected the transaction."""
+        return self.status == ABORTED
+
+    @classmethod
+    def abort(cls, tx: "Transaction", executed_by: str = "", reason: str = "") -> "TransactionResult":
+        """Build an abort result for ``tx``."""
+        return cls(
+            tx_id=tx.tx_id,
+            application=tx.application,
+            updates={},
+            status=ABORTED,
+            executed_by=executed_by,
+        )
+
+    def canonical_tuple(self) -> tuple:
+        return (
+            "result",
+            self.tx_id,
+            self.application,
+            content_hash(dict(self.updates)),
+            self.status,
+        )
+
+    def matches(self, other: "TransactionResult") -> bool:
+        """Two results match if they agree on outcome and state updates.
+
+        The executor identity is deliberately excluded: τ(A) counts *matching*
+        results from distinct executors.
+        """
+        return (
+            self.tx_id == other.tx_id
+            and self.status == other.status
+            and dict(self.updates) == dict(other.updates)
+        )
+
+
+def validate_block_timestamps(transactions: Iterable[Transaction]) -> None:
+    """Check that transaction timestamps are strictly increasing.
+
+    The paper requires ``ts(Ti) < ts(Tj)`` whenever ``Ti`` appears before
+    ``Tj`` in a block; orderers stamp transactions accordingly and executors
+    can re-validate with this helper.
+    """
+    previous: Optional[int] = None
+    for tx in transactions:
+        if previous is not None and tx.timestamp <= previous:
+            raise TransactionError(
+                f"non-increasing timestamp {tx.timestamp} after {previous} (tx {tx.tx_id})"
+            )
+        previous = tx.timestamp
+
+
+def summarize_applications(transactions: Iterable[Transaction]) -> Dict[str, int]:
+    """Count how many transactions each application contributes."""
+    counts: Dict[str, int] = {}
+    for tx in transactions:
+        counts[tx.application] = counts.get(tx.application, 0) + 1
+    return counts

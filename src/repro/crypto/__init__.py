@@ -1,0 +1,25 @@
+"""Cryptographic substrate: hashing, signatures and Merkle trees.
+
+The paper's testbed uses real public-key signatures and TLS identities; what
+matters for the reproduction is (a) the authenticity semantics — a Byzantine
+node cannot forge a message from a correct node — and (b) the (amortised) CPU
+cost of the operations.  This package provides HMAC-based signatures keyed by
+a per-node secret registered with a :class:`KeyRegistry`, a SHA-256 content
+hash and a binary Merkle tree, all deterministic and dependency-free.
+"""
+
+from repro.crypto.hashing import content_hash, hash_chain, hash_pair
+from repro.crypto.signatures import KeyPair, KeyRegistry, SignedMessage, sign, verify
+from repro.crypto.merkle import MerkleTree
+
+__all__ = [
+    "KeyPair",
+    "KeyRegistry",
+    "MerkleTree",
+    "SignedMessage",
+    "content_hash",
+    "hash_chain",
+    "hash_pair",
+    "sign",
+    "verify",
+]

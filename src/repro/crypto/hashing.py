@@ -1,0 +1,74 @@
+"""Deterministic content hashing used for the block hash chain.
+
+Blocks, transactions and messages in this library are plain Python objects
+(dataclasses, tuples, dicts, strings, numbers).  :func:`content_hash`
+canonicalises such an object into a byte string and hashes it with SHA-256, so
+two structurally equal objects always hash identically regardless of dict
+insertion order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Iterable
+
+GENESIS_HASH = "0" * 64
+
+
+def _canonical_bytes(value: Any) -> bytes:
+    """Serialise ``value`` into a canonical byte string.
+
+    Supported values: ``None``, bools, ints, floats, strings, bytes, and
+    (arbitrarily nested) lists/tuples, sets/frozensets and dicts of supported
+    values.  Objects exposing a ``canonical_tuple()`` method (transactions,
+    blocks) are serialised through it.
+    """
+    if value is None:
+        return b"N"
+    if isinstance(value, bool):
+        return b"T" if value else b"F"
+    if isinstance(value, int):
+        return b"i" + str(value).encode()
+    if isinstance(value, float):
+        return b"f" + repr(value).encode()
+    if isinstance(value, str):
+        encoded = value.encode("utf-8")
+        return b"s" + str(len(encoded)).encode() + b":" + encoded
+    if isinstance(value, bytes):
+        return b"b" + str(len(value)).encode() + b":" + value
+    if hasattr(value, "canonical_tuple"):
+        return b"o" + _canonical_bytes(value.canonical_tuple())
+    if isinstance(value, (list, tuple)):
+        parts = b"".join(_canonical_bytes(v) for v in value)
+        return b"l" + str(len(value)).encode() + b":" + parts
+    if isinstance(value, (set, frozenset)):
+        ordered = sorted(value, key=lambda v: _canonical_bytes(v))
+        return b"e" + _canonical_bytes(list(ordered))
+    if isinstance(value, dict):
+        items = sorted(value.items(), key=lambda kv: _canonical_bytes(kv[0]))
+        parts = b"".join(_canonical_bytes(k) + _canonical_bytes(v) for k, v in items)
+        return b"d" + str(len(items)).encode() + b":" + parts
+    raise TypeError(f"cannot canonically hash value of type {type(value).__name__}")
+
+
+def content_hash(value: Any) -> str:
+    """Return the hex SHA-256 hash of the canonical encoding of ``value``."""
+    return hashlib.sha256(_canonical_bytes(value)).hexdigest()
+
+
+def hash_pair(left: str, right: str) -> str:
+    """Hash two hex digests together (used by Merkle trees and the chain)."""
+    return hashlib.sha256((left + right).encode("ascii")).hexdigest()
+
+
+def hash_chain(previous_hash: str, value: Any) -> str:
+    """Chain ``value`` onto ``previous_hash`` — the ledger's append operation."""
+    return hash_pair(previous_hash, content_hash(value))
+
+
+def combined_hash(values: Iterable[Any]) -> str:
+    """Hash an iterable of values in order into a single digest."""
+    running = GENESIS_HASH
+    for value in values:
+        running = hash_chain(running, value)
+    return running

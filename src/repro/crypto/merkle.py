@@ -1,0 +1,74 @@
+"""Binary Merkle tree over transaction hashes.
+
+Blocks carry a Merkle root over their transactions so that executors can
+cheaply verify membership, mirroring what production permissioned blockchains
+(Fabric, Tendermint) store in their block headers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Tuple
+
+from repro.crypto.hashing import GENESIS_HASH, content_hash, hash_pair
+
+
+class MerkleTree:
+    """An immutable binary Merkle tree built over a sequence of leaves."""
+
+    def __init__(self, leaves: Sequence[Any]) -> None:
+        self._leaf_hashes: List[str] = [content_hash(leaf) for leaf in leaves]
+        self._levels: List[List[str]] = self._build_levels(self._leaf_hashes)
+
+    @staticmethod
+    def _build_levels(leaf_hashes: Sequence[str]) -> List[List[str]]:
+        if not leaf_hashes:
+            return [[GENESIS_HASH]]
+        levels: List[List[str]] = [list(leaf_hashes)]
+        while len(levels[-1]) > 1:
+            current = levels[-1]
+            parents: List[str] = []
+            for i in range(0, len(current), 2):
+                left = current[i]
+                right = current[i + 1] if i + 1 < len(current) else current[i]
+                parents.append(hash_pair(left, right))
+            levels.append(parents)
+        return levels
+
+    @property
+    def root(self) -> str:
+        """Hex digest of the Merkle root (genesis hash for an empty tree)."""
+        return self._levels[-1][0]
+
+    def __len__(self) -> int:
+        return len(self._leaf_hashes)
+
+    def proof(self, index: int) -> List[Tuple[str, str]]:
+        """Return the audit path for the leaf at ``index``.
+
+        Each path element is a ``(side, sibling_hash)`` pair where ``side`` is
+        ``"left"`` or ``"right"`` indicating where the sibling sits relative to
+        the running hash.
+        """
+        if not 0 <= index < len(self._leaf_hashes):
+            raise IndexError(f"leaf index {index} out of range")
+        path: List[Tuple[str, str]] = []
+        position = index
+        for level in self._levels[:-1]:
+            sibling_index = position ^ 1
+            if sibling_index >= len(level):
+                sibling_index = position
+            side = "right" if sibling_index > position else "left"
+            path.append((side, level[sibling_index]))
+            position //= 2
+        return path
+
+    @staticmethod
+    def verify_proof(leaf: Any, proof: Sequence[Tuple[str, str]], root: str) -> bool:
+        """Check that ``leaf`` is included under ``root`` via ``proof``."""
+        running = content_hash(leaf)
+        for side, sibling in proof:
+            if side == "right":
+                running = hash_pair(running, sibling)
+            else:
+                running = hash_pair(sibling, running)
+        return running == root

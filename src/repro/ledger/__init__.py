@@ -1,0 +1,25 @@
+"""The blockchain ledger and state substrate.
+
+Each executor peer maintains three components (Section III-B of the paper):
+the append-only hash-chained ledger, the blockchain state (datastore) and its
+smart contracts.  This package provides the first two:
+
+* :class:`~repro.ledger.ledger.Ledger` — the append-only chain of blocks with
+  hash-link verification.
+* :class:`~repro.ledger.state.WorldState` — a versioned key-value datastore
+  (the single-version store the default dependency-graph rules target).
+* :class:`~repro.ledger.mvcc.MultiVersionStore` — a multi-version datastore
+  supporting the relaxed dependency rules discussed in Section III-A.
+"""
+
+from repro.ledger.ledger import Ledger
+from repro.ledger.state import StateSnapshot, VersionedValue, WorldState
+from repro.ledger.mvcc import MultiVersionStore
+
+__all__ = [
+    "Ledger",
+    "MultiVersionStore",
+    "StateSnapshot",
+    "VersionedValue",
+    "WorldState",
+]

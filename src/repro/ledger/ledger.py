@@ -1,0 +1,80 @@
+"""The append-only, hash-chained block ledger."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.common.errors import LedgerError
+from repro.core.block import Block
+
+
+class Ledger:
+    """An append-only sequence of blocks linked by header hashes.
+
+    Every executor peer holds a copy; :meth:`append` enforces that each new
+    block's ``previous_hash`` matches the digest of the current tip and that
+    sequence numbers are consecutive, so a fork or a tampered block is rejected
+    immediately.
+    """
+
+    def __init__(self, genesis: Optional[Block] = None) -> None:
+        self._blocks: List[Block] = [genesis if genesis is not None else Block.genesis()]
+
+    # -------------------------------------------------------------- accessors
+    @property
+    def height(self) -> int:
+        """Sequence number of the latest block."""
+        return self._blocks[-1].sequence
+
+    @property
+    def tip(self) -> Block:
+        """The latest block."""
+        return self._blocks[-1]
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self._blocks)
+
+    def block(self, sequence: int) -> Block:
+        """Return the block with the given sequence number."""
+        if not 0 <= sequence < len(self._blocks):
+            raise LedgerError(f"no block with sequence {sequence} (height={self.height})")
+        return self._blocks[sequence]
+
+    def blocks(self) -> List[Block]:
+        """A copy of the full chain, genesis first."""
+        return list(self._blocks)
+
+    def transaction_count(self) -> int:
+        """Total number of transactions recorded in the chain."""
+        return sum(len(block) for block in self._blocks)
+
+    def contains_transaction(self, tx_id: str) -> bool:
+        """True if any block records a transaction with ``tx_id``."""
+        return any(tx.tx_id == tx_id for block in self._blocks for tx in block)
+
+    # ---------------------------------------------------------------- appends
+    def append(self, block: Block) -> None:
+        """Append ``block`` after verifying its hash link and sequence number."""
+        tip = self.tip
+        if block.sequence != tip.sequence + 1:
+            raise LedgerError(
+                f"expected sequence {tip.sequence + 1}, got {block.sequence}"
+            )
+        if block.previous_hash != tip.digest():
+            raise LedgerError(f"block {block.sequence} does not chain onto the current tip")
+        if not block.verify_merkle_root():
+            raise LedgerError(f"block {block.sequence} has an invalid Merkle root")
+        self._blocks.append(block)
+
+    # ------------------------------------------------------------ validation
+    def verify_chain(self) -> bool:
+        """Re-verify every hash link and Merkle root in the chain."""
+        for previous, current in zip(self._blocks, self._blocks[1:]):
+            if not current.verify_links_to(previous):
+                return False
+            if not current.verify_merkle_root():
+                return False
+        return True

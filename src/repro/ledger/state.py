@@ -1,0 +1,125 @@
+"""The blockchain world state: a versioned key-value datastore."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from repro.common.errors import LedgerError
+
+
+@dataclass(frozen=True)
+class VersionedValue:
+    """A value together with the version number of the write that produced it."""
+
+    value: Any
+    version: int
+
+
+class WorldState:
+    """A single-version key-value store with per-key version counters.
+
+    Versions increase by one on every committed write to a key, which is what
+    the XOV paradigm's validation phase checks read versions against (a
+    transaction whose read versions are stale is aborted, exactly like
+    Hyperledger Fabric's MVCC read-conflict check).
+    """
+
+    def __init__(self, initial: Optional[Mapping[str, Any]] = None) -> None:
+        self._data: Dict[str, VersionedValue] = {}
+        if initial:
+            for key, value in initial.items():
+                self._data[key] = VersionedValue(value=value, version=0)
+
+    # ---------------------------------------------------------------- queries
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Current value of ``key`` (or ``default``)."""
+        entry = self._data.get(key)
+        return entry.value if entry is not None else default
+
+    def version(self, key: str) -> int:
+        """Current version of ``key`` (-1 if the key has never been written)."""
+        entry = self._data.get(key)
+        return entry.version if entry is not None else -1
+
+    def read(self, key: str) -> Tuple[Any, int]:
+        """Return ``(value, version)`` for ``key`` (``(None, -1)`` if absent)."""
+        entry = self._data.get(key)
+        if entry is None:
+            return None, -1
+        return entry.value, entry.version
+
+    def snapshot(self) -> "StateSnapshot":
+        """An immutable snapshot of the current state (used by endorsers)."""
+        return StateSnapshot(dict(self._data))
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain ``key -> value`` view of the state."""
+        return {key: entry.value for key, entry in self._data.items()}
+
+    def keys(self) -> Iterable[str]:
+        """All keys currently present."""
+        return self._data.keys()
+
+    # ---------------------------------------------------------------- updates
+    def put(self, key: str, value: Any) -> int:
+        """Write ``value`` to ``key``; return the new version number."""
+        current = self._data.get(key)
+        new_version = (current.version + 1) if current is not None else 0
+        self._data[key] = VersionedValue(value=value, version=new_version)
+        return new_version
+
+    def apply_updates(self, updates: Mapping[str, Any]) -> None:
+        """Apply a transaction's write set atomically."""
+        for key, value in updates.items():
+            self.put(key, value)
+
+    def copy(self) -> "WorldState":
+        """A deep-enough copy for simulating independent replicas."""
+        clone = WorldState()
+        clone._data = dict(self._data)
+        return clone
+
+
+class StateSnapshot(Mapping[str, Any]):
+    """A read-only view of the world state at a point in time.
+
+    Endorsers in the XOV paradigm execute against snapshots and record the
+    versions of every key they read; the validation phase later compares those
+    versions with the committed state.
+    """
+
+    def __init__(self, data: Mapping[str, VersionedValue]) -> None:
+        self._data = dict(data)
+
+    def __getitem__(self, key: str) -> Any:
+        return self._data[key].value
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get_value(self, key: str, default: Any = None) -> Any:
+        """Value of ``key`` in the snapshot, or ``default``."""
+        entry = self._data.get(key)
+        return entry.value if entry is not None else default
+
+    def version(self, key: str) -> int:
+        """Version of ``key`` in the snapshot (-1 if absent)."""
+        entry = self._data.get(key)
+        return entry.version if entry is not None else -1
+
+    def read_versions(self, keys: Iterable[str]) -> Dict[str, int]:
+        """Versions of every key in ``keys`` (used to build XOV read sets)."""
+        return {key: self.version(key) for key in keys}

@@ -1,0 +1,22 @@
+"""Measurement: latency distributions, throughput and saturation search.
+
+The paper reports peak throughput "just below saturation" and the average
+end-to-end latency measured during the steady state of each experiment.  The
+collector in this package records per-transaction submission and commit times
+at every measurement peer, computes throughput over a steady-state window and
+latency percentiles, and the saturation module sweeps the offered load to find
+the knee of the latency/throughput curve.
+"""
+
+from repro.metrics.collector import MetricsCollector, RunMetrics
+from repro.metrics.latency import LatencyStats, percentile
+from repro.metrics.saturation import LoadSweepResult, sweep_offered_load
+
+__all__ = [
+    "LatencyStats",
+    "LoadSweepResult",
+    "MetricsCollector",
+    "RunMetrics",
+    "percentile",
+    "sweep_offered_load",
+]

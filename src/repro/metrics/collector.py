@@ -1,0 +1,170 @@
+"""Per-run measurement: submissions, commits, aborts, throughput, latency."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set
+
+from repro.metrics.latency import LatencyStats
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """The result of one experiment run (one paradigm, one workload, one load)."""
+
+    paradigm: str
+    offered_load: float
+    submitted: int
+    committed: int
+    aborted: int
+    duration: float
+    measurement_window: float
+    throughput: float
+    latency: LatencyStats
+    blocks_committed: int = 0
+    messages_sent: int = 0
+    extra: Mapping[str, float] = field(default_factory=dict)
+
+    @property
+    def latency_avg(self) -> float:
+        """Average end-to-end latency (seconds) of committed transactions."""
+        return self.latency.average
+
+    @property
+    def abort_rate(self) -> float:
+        """Fraction of finished transactions that aborted."""
+        finished = self.committed + self.aborted
+        return self.aborted / finished if finished else 0.0
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for reports and JSON output."""
+        return {
+            "paradigm": self.paradigm,
+            "offered_load": self.offered_load,
+            "submitted": self.submitted,
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "duration": self.duration,
+            "measurement_window": self.measurement_window,
+            "throughput": self.throughput,
+            "latency": self.latency.as_dict(),
+            "blocks_committed": self.blocks_committed,
+            "messages_sent": self.messages_sent,
+            "abort_rate": self.abort_rate,
+            **dict(self.extra),
+        }
+
+
+class MetricsCollector:
+    """Records per-transaction timings across the deployment's measurement peers.
+
+    A transaction is *complete* once every measurement peer has reported a
+    commit (or abort) for it; its end-to-end latency is the difference between
+    the last such report and the client submission time.  OXII counts only
+    executor peers as measurement peers (non-executors are merely informed of
+    the state), whereas OX and XOV count every peer, matching how the paper's
+    Figure 7(d) experiment distinguishes the two paradigms.
+    """
+
+    def __init__(self, measurement_peers: Sequence[str]) -> None:
+        self._measurement_peers: Set[str] = set(measurement_peers)
+        self._submissions: Dict[str, float] = {}
+        self._reports: Dict[str, Dict[str, float]] = {}
+        self._aborted_votes: Dict[str, Set[str]] = {}
+        self._completion_time: Dict[str, float] = {}
+        self._completed_aborted: Set[str] = set()
+        self.blocks_committed = 0
+
+    # -------------------------------------------------------------- recording
+    def record_submission(self, tx_id: str, time: float) -> None:
+        """Record the client submission time of ``tx_id``."""
+        self._submissions.setdefault(tx_id, time)
+
+    def record_commit(self, node_id: str, tx_id: str, time: float, aborted: bool = False) -> None:
+        """Record that ``node_id`` committed (or aborted) ``tx_id`` at ``time``."""
+        if node_id not in self._measurement_peers:
+            return
+        reports = self._reports.setdefault(tx_id, {})
+        if node_id in reports:
+            return
+        reports[node_id] = time
+        if aborted:
+            self._aborted_votes.setdefault(tx_id, set()).add(node_id)
+        if len(reports) == len(self._measurement_peers) and tx_id not in self._completion_time:
+            self._completion_time[tx_id] = max(reports.values())
+            aborts = self._aborted_votes.get(tx_id, set())
+            if len(aborts) >= len(self._measurement_peers):
+                self._completed_aborted.add(tx_id)
+
+    def record_block_commit(self) -> None:
+        """Count one block reaching the ledger (reference peer only)."""
+        self.blocks_committed += 1
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def submitted_count(self) -> int:
+        """Number of transactions submitted so far."""
+        return len(self._submissions)
+
+    @property
+    def completed_count(self) -> int:
+        """Transactions complete at every measurement peer (committed or aborted)."""
+        return len(self._completion_time)
+
+    @property
+    def aborted_count(self) -> int:
+        """Completed transactions that aborted on every measurement peer."""
+        return len(self._completed_aborted)
+
+    @property
+    def committed_count(self) -> int:
+        """Completed transactions that committed (whole run, not windowed)."""
+        return len(self._completion_time) - len(self._completed_aborted)
+
+    def all_complete(self, expected: int) -> bool:
+        """True once ``expected`` transactions have completed everywhere."""
+        return self.completed_count >= expected
+
+    def completion_times(self) -> Dict[str, float]:
+        """Completion time per completed transaction."""
+        return dict(self._completion_time)
+
+    # ------------------------------------------------------------- summarising
+    def summarise(
+        self,
+        paradigm: str,
+        offered_load: float,
+        warmup: float,
+        horizon: float,
+        messages_sent: int = 0,
+        extra: Optional[Mapping[str, float]] = None,
+    ) -> RunMetrics:
+        """Compute throughput/latency over the steady-state window [warmup, horizon]."""
+        window = max(horizon - warmup, 1e-9)
+        committed_in_window = 0
+        aborted_in_window = 0
+        latencies: List[float] = []
+        for tx_id, completed_at in self._completion_time.items():
+            if completed_at < warmup or completed_at > horizon:
+                continue
+            if tx_id in self._completed_aborted:
+                aborted_in_window += 1
+                continue
+            committed_in_window += 1
+            submitted_at = self._submissions.get(tx_id)
+            if submitted_at is not None:
+                latencies.append(completed_at - submitted_at)
+        return RunMetrics(
+            paradigm=paradigm,
+            offered_load=offered_load,
+            submitted=self.submitted_count,
+            committed=committed_in_window,
+            aborted=aborted_in_window,
+            duration=horizon,
+            measurement_window=window,
+            throughput=committed_in_window / window,
+            latency=LatencyStats.from_samples(latencies),
+            blocks_committed=self.blocks_committed,
+            messages_sent=messages_sent,
+            extra=dict(extra or {}),
+        )

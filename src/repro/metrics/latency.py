@@ -1,0 +1,63 @@
+"""Latency statistics helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """The ``fraction``-quantile of ``values`` using linear interpolation.
+
+    Returns 0.0 for an empty sequence so callers can report empty runs without
+    special-casing.
+    """
+    if not values:
+        return 0.0
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = fraction * (len(ordered) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    weight = position - lower
+    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of a latency sample (seconds)."""
+
+    count: int
+    average: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "LatencyStats":
+        """Compute the summary of ``samples`` (all zeros when empty)."""
+        if not samples:
+            return cls(count=0, average=0.0, p50=0.0, p95=0.0, p99=0.0, maximum=0.0)
+        return cls(
+            count=len(samples),
+            average=sum(samples) / len(samples),
+            p50=percentile(samples, 0.50),
+            p95=percentile(samples, 0.95),
+            p99=percentile(samples, 0.99),
+            maximum=max(samples),
+        )
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for reports."""
+        return {
+            "count": self.count,
+            "average": self.average,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.maximum,
+        }

@@ -1,0 +1,71 @@
+"""Offered-load sweeps and peak-throughput (saturation) search.
+
+The paper's methodology: increase the client load until end-to-end throughput
+saturates and report the throughput just below saturation together with its
+latency.  :func:`sweep_offered_load` reproduces that by running an experiment
+at increasing offered loads and detecting the knee where measured throughput
+stops tracking the offered load (or latency explodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.metrics.collector import RunMetrics
+
+RunFunction = Callable[[float], RunMetrics]
+
+
+@dataclass(frozen=True)
+class LoadSweepResult:
+    """Every point of a load sweep plus the detected peak."""
+
+    points: Sequence[RunMetrics]
+    peak: RunMetrics
+
+    @property
+    def peak_throughput(self) -> float:
+        """Throughput at the detected saturation knee."""
+        return self.peak.throughput
+
+    @property
+    def peak_latency(self) -> float:
+        """Average latency at the detected saturation knee."""
+        return self.peak.latency_avg
+
+    def throughput_series(self) -> List[float]:
+        """Measured throughput at every swept load."""
+        return [p.throughput for p in self.points]
+
+    def latency_series(self) -> List[float]:
+        """Average latency at every swept load."""
+        return [p.latency_avg for p in self.points]
+
+
+def sweep_offered_load(
+    run: RunFunction,
+    loads: Sequence[float],
+    efficiency_threshold: float = 0.85,
+    latency_ceiling: Optional[float] = None,
+) -> LoadSweepResult:
+    """Run ``run(load)`` for each load and locate the saturation knee.
+
+    A point is *saturated* when its measured throughput falls below
+    ``efficiency_threshold`` of the offered load, or when its average latency
+    exceeds ``latency_ceiling`` (if given).  The peak is the highest-throughput
+    point that is not saturated; if every point saturates, the
+    highest-throughput point overall is reported (the system's ceiling).
+    """
+    if not loads:
+        raise ValueError("at least one offered load is required")
+    points: List[RunMetrics] = [run(load) for load in loads]
+    unsaturated: List[RunMetrics] = []
+    for point in points:
+        efficient = point.throughput >= efficiency_threshold * point.offered_load
+        latency_ok = latency_ceiling is None or point.latency_avg <= latency_ceiling
+        if efficient and latency_ok:
+            unsaturated.append(point)
+    candidates = unsaturated if unsaturated else list(points)
+    peak = max(candidates, key=lambda p: p.throughput)
+    return LoadSweepResult(points=tuple(points), peak=peak)

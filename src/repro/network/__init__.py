@@ -1,0 +1,25 @@
+"""Simulated asynchronous network with authenticated point-to-point channels.
+
+Every pair of nodes is connected by a bi-directional channel (Section III of
+the paper).  The network delivers messages after a latency drawn from the
+:class:`~repro.network.topology.Topology` (LAN within a data center, WAN
+across data centers, plus deterministic jitter), optionally degraded by a
+:class:`~repro.network.faults.FaultPlan` (crashed nodes, dropped or delayed
+links, partitions).  Channels are pairwise authenticated: the transport stamps
+the true sender on every envelope, so a Byzantine node cannot forge a message
+from a correct node.
+"""
+
+from repro.network.message import Envelope, Message
+from repro.network.topology import Topology
+from repro.network.transport import Network, NetworkInterface
+from repro.network.faults import FaultPlan
+
+__all__ = [
+    "Envelope",
+    "FaultPlan",
+    "Message",
+    "Network",
+    "NetworkInterface",
+    "Topology",
+]

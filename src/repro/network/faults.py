@@ -1,0 +1,93 @@
+"""Fault injection for the simulated network.
+
+The consensus substrate tolerates crash and Byzantine faults; this module
+provides the knobs the tests use to exercise those code paths: crashing nodes,
+dropping a fraction of messages on selected links, adding extra delay, and
+partitioning the network into isolated groups.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+
+@dataclass
+class LinkFault:
+    """Degradation applied to a single directed link."""
+
+    drop_probability: float = 0.0
+    extra_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_probability <= 1.0:
+            raise ValueError("drop_probability must be in [0, 1]")
+        if self.extra_delay < 0:
+            raise ValueError("extra_delay must be >= 0")
+
+
+@dataclass
+class FaultPlan:
+    """A mutable description of the faults currently active in the network."""
+
+    seed: int = 13
+    crashed: Set[str] = field(default_factory=set)
+    link_faults: Dict[Tuple[str, str], LinkFault] = field(default_factory=dict)
+    partitions: Optional[Tuple[FrozenSet[str], ...]] = None
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    # ------------------------------------------------------------------ nodes
+    def crash(self, node_id: str) -> None:
+        """Crash ``node_id``: it neither sends nor receives from now on."""
+        self.crashed.add(node_id)
+
+    def recover(self, node_id: str) -> None:
+        """Recover a previously crashed node."""
+        self.crashed.discard(node_id)
+
+    def is_crashed(self, node_id: str) -> bool:
+        """True if ``node_id`` is currently crashed."""
+        return node_id in self.crashed
+
+    # ------------------------------------------------------------------ links
+    def degrade_link(
+        self, sender: str, recipient: str, drop_probability: float = 0.0, extra_delay: float = 0.0
+    ) -> None:
+        """Apply drop probability / extra delay on the directed link."""
+        self.link_faults[(sender, recipient)] = LinkFault(drop_probability, extra_delay)
+
+    def heal_link(self, sender: str, recipient: str) -> None:
+        """Remove any degradation from the directed link."""
+        self.link_faults.pop((sender, recipient), None)
+
+    # ------------------------------------------------------------- partitions
+    def partition(self, *groups: Set[str]) -> None:
+        """Split the network: messages only flow within a group."""
+        self.partitions = tuple(frozenset(g) for g in groups)
+
+    def heal_partition(self) -> None:
+        """Remove the partition."""
+        self.partitions = None
+
+    # --------------------------------------------------------------- verdicts
+    def should_drop(self, sender: str, recipient: str) -> bool:
+        """Decide whether a message on this link is lost."""
+        if sender in self.crashed or recipient in self.crashed:
+            return True
+        if self.partitions is not None:
+            same_group = any(sender in g and recipient in g for g in self.partitions)
+            if not same_group:
+                return True
+        fault = self.link_faults.get((sender, recipient))
+        if fault and fault.drop_probability > 0:
+            return self._rng.random() < fault.drop_probability
+        return False
+
+    def extra_delay(self, sender: str, recipient: str) -> float:
+        """Additional delay injected on this link."""
+        fault = self.link_faults.get((sender, recipient))
+        return fault.extra_delay if fault else 0.0

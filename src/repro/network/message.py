@@ -1,0 +1,60 @@
+"""Message and envelope types carried by the simulated network."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.crypto.hashing import content_hash
+
+
+@dataclass(frozen=True)
+class Message:
+    """An application-level message.
+
+    ``kind`` is the protocol message type (``REQUEST``, ``NEWBLOCK``,
+    ``COMMIT``, ``PREPARE`` ...), ``body`` is an arbitrary payload dictionary
+    and ``signature`` optionally carries the sender's signature over the body.
+    """
+
+    kind: str
+    body: Mapping[str, Any] = field(default_factory=dict)
+    signature: str = ""
+
+    def canonical_tuple(self) -> tuple:
+        return ("msg", self.kind, content_hash(dict(self.body)), self.signature)
+
+    def with_signature(self, signature: str) -> "Message":
+        """Return a copy carrying ``signature``."""
+        return Message(kind=self.kind, body=self.body, signature=signature)
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A message in flight: payload plus transport metadata.
+
+    The ``sender`` field is stamped by the transport itself (not by the
+    sending node), modelling pairwise-authenticated channels: receivers can
+    trust that ``sender`` really originated the envelope.
+    """
+
+    sender: str
+    recipient: str
+    message: Message
+    sent_at: float
+    delivered_at: float
+    size_bytes: int
+
+    @property
+    def delay(self) -> float:
+        """Network delay experienced by this envelope."""
+        return self.delivered_at - self.sent_at
+
+    def canonical_tuple(self) -> tuple:
+        return (
+            "envelope",
+            self.sender,
+            self.recipient,
+            self.message.canonical_tuple(),
+            self.sent_at,
+        )

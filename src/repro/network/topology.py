@@ -1,0 +1,97 @@
+"""Data-center placement and link-latency model.
+
+The paper's scalability experiments (Figure 7) move one group of nodes at a
+time from AWS US-West to AWS Tokyo.  The :class:`Topology` captures exactly
+that: every node is assigned to a named data center, intra-DC links use the
+LAN latency and inter-DC links use the WAN latency, with a small deterministic
+jitter so message arrivals are not artificially synchronised.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.common.config import LatencyConfig
+from repro.common.errors import NetworkError
+
+NEAR_DC = "us-west"
+FAR_DC = "ap-tokyo"
+
+
+class Topology:
+    """Maps node ids to data centers and computes per-message link delays."""
+
+    def __init__(
+        self,
+        latency: Optional[LatencyConfig] = None,
+        placements: Optional[Mapping[str, str]] = None,
+        seed: int = 7,
+    ) -> None:
+        self.latency = latency or LatencyConfig()
+        self._placements: Dict[str, str] = dict(placements or {})
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------- placement
+    def place(self, node_id: str, datacenter: str = NEAR_DC) -> None:
+        """Assign ``node_id`` to ``datacenter``."""
+        self._placements[node_id] = datacenter
+
+    def place_all(self, node_ids: Iterable[str], datacenter: str = NEAR_DC) -> None:
+        """Assign every node in ``node_ids`` to ``datacenter``."""
+        for node_id in node_ids:
+            self.place(node_id, datacenter)
+
+    def datacenter_of(self, node_id: str) -> str:
+        """Data center of ``node_id`` (defaults to the near DC if unplaced)."""
+        return self._placements.get(node_id, NEAR_DC)
+
+    def nodes(self) -> Dict[str, str]:
+        """Copy of the node → datacenter mapping."""
+        return dict(self._placements)
+
+    # ---------------------------------------------------------------- latency
+    def base_latency(self, sender: str, recipient: str) -> float:
+        """One-way propagation delay between two nodes, without jitter."""
+        if sender == recipient:
+            return 0.0
+        if self.datacenter_of(sender) == self.datacenter_of(recipient):
+            return self.latency.lan
+        return self.latency.wan
+
+    def message_delay(self, sender: str, recipient: str, payload_bytes: int = 0) -> float:
+        """Total delay for one message: propagation + serialisation + jitter."""
+        if sender == recipient:
+            return 0.0
+        base = self.base_latency(sender, recipient)
+        transfer = self.latency.transfer_delay(payload_bytes)
+        jitter_span = base * self.latency.jitter_fraction
+        jitter = self._rng.uniform(-jitter_span, jitter_span) if jitter_span > 0 else 0.0
+        delay = base + transfer + jitter
+        if delay < 0:
+            raise NetworkError(f"negative link delay computed: {delay}")
+        return delay
+
+    # ------------------------------------------------------------- factories
+    @classmethod
+    def single_datacenter(
+        cls, node_ids: Iterable[str], latency: Optional[LatencyConfig] = None, seed: int = 7
+    ) -> "Topology":
+        """All nodes in the near data center (the paper's default setup)."""
+        topology = cls(latency=latency, seed=seed)
+        topology.place_all(node_ids, NEAR_DC)
+        return topology
+
+    @classmethod
+    def two_datacenters(
+        cls,
+        near_nodes: Iterable[str],
+        far_nodes: Iterable[str],
+        latency: Optional[LatencyConfig] = None,
+        seed: int = 7,
+    ) -> "Topology":
+        """Figure-7 style topology with one group moved to the far DC."""
+        topology = cls(latency=latency, seed=seed)
+        topology.place_all(near_nodes, NEAR_DC)
+        topology.place_all(far_nodes, FAR_DC)
+        return topology

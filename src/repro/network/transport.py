@@ -1,0 +1,152 @@
+"""The simulated transport: registration, unicast, multicast and inboxes."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.common.config import LatencyConfig
+from repro.common.errors import NetworkError
+from repro.network.faults import FaultPlan
+from repro.network.message import Envelope, Message
+from repro.network.topology import Topology
+from repro.simulation import Environment, Event, Store
+
+
+class NetworkInterface:
+    """A node's handle on the network: its inbox plus send helpers."""
+
+    def __init__(self, network: "Network", node_id: str) -> None:
+        self._network = network
+        self.node_id = node_id
+        self.inbox: Store = Store(network.env)
+
+    def send(self, recipient: str, message: Message, payload_bytes: Optional[int] = None) -> None:
+        """Send ``message`` to ``recipient`` (fire-and-forget)."""
+        self._network.send(self.node_id, recipient, message, payload_bytes)
+
+    def multicast(
+        self, recipients: Iterable[str], message: Message, payload_bytes: Optional[int] = None
+    ) -> None:
+        """Send ``message`` to every node in ``recipients``."""
+        self._network.multicast(self.node_id, recipients, message, payload_bytes)
+
+    def receive(self) -> Event:
+        """Event that fires with the next :class:`Envelope` in the inbox."""
+        return self.inbox.get()
+
+    def pending(self) -> int:
+        """Number of envelopes waiting in the inbox."""
+        return len(self.inbox)
+
+
+class Network:
+    """Point-to-point message delivery over a :class:`Topology`.
+
+    Messages are delivered to each recipient's inbox after the topology's
+    computed delay; the optional :class:`FaultPlan` can drop or further delay
+    them.  Delivery per link is FIFO: the transport never reorders two
+    messages sent over the same directed link (it enforces this by tracking
+    the last scheduled delivery time per link).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        topology: Optional[Topology] = None,
+        faults: Optional[FaultPlan] = None,
+        latency: Optional[LatencyConfig] = None,
+    ) -> None:
+        self.env = env
+        self.topology = topology or Topology(latency=latency)
+        self.faults = faults or FaultPlan()
+        self.latency = self.topology.latency
+        self._interfaces: Dict[str, NetworkInterface] = {}
+        self._last_delivery: Dict[tuple, float] = {}
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.bytes_sent = 0
+
+    # ----------------------------------------------------------- registration
+    def register(self, node_id: str, datacenter: Optional[str] = None) -> NetworkInterface:
+        """Attach ``node_id`` to the network and return its interface."""
+        if node_id in self._interfaces:
+            raise NetworkError(f"node {node_id!r} is already registered")
+        if datacenter is not None:
+            self.topology.place(node_id, datacenter)
+        interface = NetworkInterface(self, node_id)
+        self._interfaces[node_id] = interface
+        return interface
+
+    def interface(self, node_id: str) -> NetworkInterface:
+        """Return the interface of a registered node."""
+        try:
+            return self._interfaces[node_id]
+        except KeyError:
+            raise NetworkError(f"unknown node {node_id!r}") from None
+
+    def node_ids(self) -> List[str]:
+        """All registered node ids."""
+        return list(self._interfaces)
+
+    # ------------------------------------------------------------------ sends
+    def send(
+        self,
+        sender: str,
+        recipient: str,
+        message: Message,
+        payload_bytes: Optional[int] = None,
+    ) -> None:
+        """Deliver ``message`` from ``sender`` to ``recipient`` asynchronously."""
+        if sender not in self._interfaces:
+            raise NetworkError(f"unknown sender {sender!r}")
+        if recipient not in self._interfaces:
+            raise NetworkError(f"unknown recipient {recipient!r}")
+        size = payload_bytes if payload_bytes is not None else self.latency.per_message_bytes
+        self.messages_sent += 1
+        self.bytes_sent += size
+        if self.faults.should_drop(sender, recipient):
+            return
+        delay = self.topology.message_delay(sender, recipient, size)
+        delay += self.faults.extra_delay(sender, recipient)
+        deliver_at = self.env.now + delay
+        # FIFO per directed link: never deliver earlier than the previously
+        # scheduled delivery on the same link.
+        link = (sender, recipient)
+        previous = self._last_delivery.get(link, 0.0)
+        deliver_at = max(deliver_at, previous)
+        self._last_delivery[link] = deliver_at
+        envelope = Envelope(
+            sender=sender,
+            recipient=recipient,
+            message=message,
+            sent_at=self.env.now,
+            delivered_at=deliver_at,
+            size_bytes=size,
+        )
+        self.env.process(self._deliver(envelope, deliver_at - self.env.now), name="net-deliver")
+
+    def multicast(
+        self,
+        sender: str,
+        recipients: Iterable[str],
+        message: Message,
+        payload_bytes: Optional[int] = None,
+    ) -> None:
+        """Send ``message`` from ``sender`` to every node in ``recipients``."""
+        for recipient in recipients:
+            if recipient == sender:
+                continue
+            self.send(sender, recipient, message, payload_bytes)
+
+    def broadcast(self, sender: str, message: Message, payload_bytes: Optional[int] = None) -> None:
+        """Send ``message`` to every registered node except the sender."""
+        self.multicast(sender, self.node_ids(), message, payload_bytes)
+
+    # -------------------------------------------------------------- internals
+    def _deliver(self, envelope: Envelope, delay: float):
+        yield self.env.timeout(delay)
+        # Recipient may have crashed while the message was in flight.
+        if self.faults.is_crashed(envelope.recipient):
+            return
+        self.messages_delivered += 1
+        self._interfaces[envelope.recipient].inbox.put(envelope)

@@ -1,0 +1,33 @@
+"""Node implementations for every role in the three paradigms.
+
+* :class:`~repro.nodes.client.ClientGateway` — submits client requests
+  (directly to the orderers for OX/OXII, via the endorsement round trip for
+  XOV).
+* :class:`~repro.nodes.orderer.OrdererNode` — orders requests with a pluggable
+  consensus protocol, cuts blocks, generates dependency graphs (OXII) and
+  multicasts NEWBLOCK messages.
+* :class:`~repro.nodes.executor.ExecutorNode` — an OXII executor/agent running
+  Algorithms 1–3; with no contracts installed it doubles as a passive
+  non-executor peer.
+* :class:`~repro.nodes.ox_peer.OXPeerNode` — an order-execute peer executing
+  every transaction sequentially.
+* :class:`~repro.nodes.xov.XOVPeerNode` / :class:`~repro.nodes.xov.EndorserNode`
+  — Fabric-style committing peers and endorsers.
+"""
+
+from repro.nodes.base import BaseNode
+from repro.nodes.client import ClientGateway
+from repro.nodes.orderer import OrdererNode
+from repro.nodes.executor import ExecutorNode
+from repro.nodes.ox_peer import OXPeerNode
+from repro.nodes.xov import EndorserNode, XOVPeerNode
+
+__all__ = [
+    "BaseNode",
+    "ClientGateway",
+    "EndorserNode",
+    "ExecutorNode",
+    "OXPeerNode",
+    "OrdererNode",
+    "XOVPeerNode",
+]

@@ -1,0 +1,103 @@
+"""Shared behaviour of every simulated node."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional
+
+from repro.common.config import CostModel, LatencyConfig
+from repro.crypto.signatures import KeyRegistry, SignedMessage
+from repro.network.message import Envelope, Message
+from repro.network.transport import Network, NetworkInterface
+from repro.simulation import CpuPool, Environment
+
+
+class BaseNode:
+    """A simulated node: identity, network interface, CPU pool and main loop.
+
+    Subclasses implement :meth:`handle_envelope` (a process generator) and may
+    start extra background processes in :meth:`start`.  The main loop pulls
+    envelopes from the node's inbox and handles them one at a time, which
+    models the single dispatcher thread real nodes use for protocol handling;
+    CPU-heavy work should be pushed onto :attr:`cpu` or into spawned processes
+    so it does not head-of-line block message handling.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        node_id: str,
+        network: Network,
+        registry: KeyRegistry,
+        cost_model: Optional[CostModel] = None,
+        cores: int = 8,
+        datacenter: Optional[str] = None,
+    ) -> None:
+        self.env = env
+        self.node_id = node_id
+        self.network = network
+        self.registry = registry
+        self.cost_model = cost_model or CostModel()
+        self.interface: NetworkInterface = network.register(node_id, datacenter=datacenter)
+        self.cpu = CpuPool(env, cores)
+        registry.register(node_id)
+        self._started = False
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        """Start the node's main loop (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.env.process(self._main_loop(), name=f"{self.node_id}-main")
+
+    def _main_loop(self):
+        while True:
+            envelope = yield self.interface.receive()
+            yield from self.handle_envelope(envelope)
+
+    def handle_envelope(self, envelope: Envelope):
+        """Handle one received envelope (override in subclasses)."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes this a generator for type symmetry
+
+    # ------------------------------------------------------------ networking
+    @property
+    def latency(self) -> LatencyConfig:
+        """The network's latency configuration (for payload sizing)."""
+        return self.network.latency
+
+    def send_signed(
+        self, recipient: str, kind: str, body: Dict[str, Any], payload_bytes: Optional[int] = None
+    ) -> None:
+        """Sign a message with this node's key and send it to ``recipient``."""
+        message = self._signed_message(kind, body)
+        self.interface.send(recipient, message, payload_bytes)
+
+    def multicast_signed(
+        self, recipients: Iterable[str], kind: str, body: Dict[str, Any], payload_bytes: Optional[int] = None
+    ) -> None:
+        """Sign a message and send it to every node in ``recipients``."""
+        message = self._signed_message(kind, body)
+        self.interface.multicast(recipients, message, payload_bytes)
+
+    def _signed_message(self, kind: str, body: Dict[str, Any]) -> Message:
+        message = Message(kind=kind, body=body)
+        signed = self.registry.sign(message.canonical_tuple(), self.node_id)
+        return message.with_signature(signed.signature)
+
+    def verify_envelope(self, envelope: Envelope) -> bool:
+        """Verify the signature of a received envelope against its transport sender."""
+        message = envelope.message
+        if not message.signature:
+            return False
+        unsigned = Message(kind=message.kind, body=message.body)
+        return self.registry.verify(
+            SignedMessage(
+                payload=unsigned.canonical_tuple(),
+                signer=envelope.sender,
+                signature=message.signature,
+            )
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.node_id}>"

@@ -1,0 +1,164 @@
+"""The client gateway: open-loop submission of the workload's transactions.
+
+A single gateway node stands in for the paper's population of clients (which
+run on one VM in the testbed as well): it submits each transaction at its
+scheduled arrival time.  Under OX and OXII the request goes straight to the
+primary orderer; under XOV the gateway first runs the endorsement round trip —
+send the proposal to the application's endorsers, wait for the required number
+of endorsements, assemble the endorsed transaction — and only then submits it
+to the ordering service.  That extra client participation is why moving the
+clients to a far data center hurts XOV the most (Figure 7(a)).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.common.config import SystemConfig
+from repro.contracts.base import ContractRegistry
+from repro.core.transaction import Transaction
+from repro.crypto.signatures import KeyRegistry
+from repro.metrics.collector import MetricsCollector
+from repro.network.message import Envelope
+from repro.network.transport import Network
+from repro.nodes import messages
+from repro.nodes.base import BaseNode
+from repro.simulation import Environment
+from repro.workload.arrivals import ArrivalSchedule
+
+
+class ClientGateway(BaseNode):
+    """Submits the workload's transactions according to an arrival schedule."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node_id: str,
+        network: Network,
+        registry: KeyRegistry,
+        config: SystemConfig,
+        orderer_entry: str,
+        collector: Optional[MetricsCollector] = None,
+        mode: str = "direct",
+        contracts: Optional[ContractRegistry] = None,
+        endorsement_policy: int = 1,
+        datacenter: Optional[str] = None,
+    ) -> None:
+        if mode not in ("direct", "endorse"):
+            raise ValueError(f"unknown client mode {mode!r}")
+        if mode == "endorse" and contracts is None:
+            raise ValueError("endorse mode requires the contract registry (to find endorsers)")
+        super().__init__(
+            env,
+            node_id,
+            network,
+            registry,
+            cost_model=config.cost_model,
+            cores=config.cores_per_node,
+            datacenter=datacenter,
+        )
+        self.config = config
+        self.orderer_entry = orderer_entry
+        self.collector = collector
+        self.mode = mode
+        self.contracts = contracts
+        self.endorsement_policy = endorsement_policy
+        #: tx_id -> list of endorsement response bodies received so far.
+        self._pending_endorsements: Dict[str, List[Mapping[str, object]]] = {}
+        self._awaiting: Dict[str, Transaction] = {}
+        self.submitted = 0
+        self.endorsed = 0
+
+    # -------------------------------------------------------------- lifecycle
+    def submit_schedule(self, transactions: Sequence[Transaction], schedule: ArrivalSchedule) -> None:
+        """Start the open-loop submission of ``transactions`` at ``schedule`` times."""
+        if len(transactions) != len(schedule):
+            raise ValueError("schedule length must match the number of transactions")
+        self.start()
+        pairs = sorted(zip(schedule, transactions), key=lambda item: item[0])
+        self.env.process(self._submission_loop(pairs), name=f"{self.node_id}-submit")
+
+    def _submission_loop(self, pairs: Sequence[Tuple[float, Transaction]]):
+        for submit_at, tx in pairs:
+            delay = submit_at - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            self._submit_one(tx)
+
+    def _submit_one(self, tx: Transaction) -> None:
+        self.submitted += 1
+        if self.collector is not None:
+            self.collector.record_submission(tx.tx_id, self.env.now)
+        if self.mode == "direct":
+            self._send_to_orderer(tx)
+        else:
+            self._start_endorsement(tx)
+
+    # ---------------------------------------------------------- direct (OX/OXII)
+    def _send_to_orderer(self, tx: Transaction) -> None:
+        stamped = tx.with_submitted_at(self.env.now)
+        self.send_signed(
+            self.orderer_entry,
+            messages.REQUEST,
+            {"transaction": stamped, "application": tx.application, "client": tx.client},
+            payload_bytes=self.latency.per_tx_bytes,
+        )
+
+    # ------------------------------------------------------------- XOV endorsement
+    def _start_endorsement(self, tx: Transaction) -> None:
+        assert self.contracts is not None
+        endorsers = self.contracts.agents_of(tx.application)[: self.endorsement_policy]
+        self._pending_endorsements[tx.tx_id] = []
+        self._awaiting[tx.tx_id] = tx
+        self.multicast_signed(
+            endorsers,
+            messages.ENDORSE_REQUEST,
+            {"transaction": tx, "client": tx.client},
+            payload_bytes=self.latency.per_tx_bytes,
+        )
+
+    def handle_envelope(self, envelope: Envelope):
+        if envelope.message.kind != messages.ENDORSE_RESPONSE:
+            return
+        yield self.env.timeout(self.cost_model.signature)
+        if not self.verify_envelope(envelope):
+            return
+        body = envelope.message.body
+        tx_id = str(body.get("tx_id"))
+        if tx_id not in self._awaiting:
+            return
+        responses = self._pending_endorsements.setdefault(tx_id, [])
+        responses.append(body)
+        if len(responses) < self.endorsement_policy:
+            return
+        tx = self._awaiting.pop(tx_id)
+        self._pending_endorsements.pop(tx_id, None)
+        yield self.env.timeout(self.cost_model.client_assembly)
+        endorsed = self._assemble_endorsed_transaction(tx, responses)
+        self.endorsed += 1
+        self._send_to_orderer(endorsed)
+
+    @staticmethod
+    def _assemble_endorsed_transaction(
+        tx: Transaction, responses: Sequence[Mapping[str, object]]
+    ) -> Transaction:
+        """Fold the endorsement results into the transaction's payload."""
+        primary = responses[0]
+        endorsement = {
+            "status": primary.get("status", "ok"),
+            "updates": dict(primary.get("updates", {})),
+            "read_versions": dict(primary.get("read_versions", {})),
+            "endorsers": tuple(str(r.get("endorser", "")) for r in responses),
+        }
+        payload = dict(tx.payload)
+        payload["endorsement"] = endorsement
+        return Transaction(
+            tx_id=tx.tx_id,
+            application=tx.application,
+            rw_set=tx.rw_set,
+            timestamp=tx.timestamp,
+            payload=payload,
+            client=tx.client,
+            client_timestamp=tx.client_timestamp,
+            submitted_at=tx.submitted_at,
+        )

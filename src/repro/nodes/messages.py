@@ -1,0 +1,17 @@
+"""Application-level message kinds exchanged between nodes.
+
+Consensus-internal message kinds live next to their protocols in
+:mod:`repro.consensus`; the kinds below are the ones the paper names in its
+protocol descriptions.
+"""
+
+#: Client request carrying one transaction (to the primary orderer).
+REQUEST = "REQUEST"
+#: Orderer announcement of a sealed block (with dependency graph under OXII).
+NEW_BLOCK = "NEWBLOCK"
+#: Executor multicast of execution results (OXII Algorithm 2).
+COMMIT = "COMMIT"
+#: XOV client proposal asking an endorser to speculatively execute.
+ENDORSE_REQUEST = "ENDORSE_REQUEST"
+#: XOV endorser reply with the speculative results and read versions.
+ENDORSE_RESPONSE = "ENDORSE_RESPONSE"

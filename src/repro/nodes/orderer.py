@@ -1,0 +1,232 @@
+"""The orderer node: access control, ordering, block cutting, graph generation.
+
+Orderers are shared by all three paradigms; the differences are configuration:
+
+* **OXII** — ``generate_graphs=True``: the sealed block carries its dependency
+  graph, and generating it is charged to the orderer's (serialised) sealing
+  pipeline, which is exactly the overhead that bends Figure 5.
+* **OX / XOV** — ``generate_graphs=False``: blocks carry no graph.
+
+The orderer designated ``entry`` (the leader / primary / partition lead)
+receives client requests, batches them with the three block-cut conditions and
+drives the consensus protocol one block at a time; with PBFT every orderer
+multicasts the sealed block (executors wait for ``f+1`` matching NEWBLOCK
+messages), with the crash-fault-tolerant protocols only the leader does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.common.config import CostModel, SystemConfig
+from repro.consensus.base import ConsensusDecision, OrderingService, make_ordering_service
+from repro.core.block_builder import BlockBuilder, PendingBlock
+from repro.core.dependency_graph import GraphMode
+from repro.core.transaction import Transaction
+from repro.crypto.signatures import KeyRegistry
+from repro.network.message import Envelope
+from repro.network.transport import Network
+from repro.nodes import messages
+from repro.nodes.base import BaseNode
+from repro.simulation import Environment, Store
+
+
+class OrdererNode(BaseNode):
+    """One orderer of the ordering service."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node_id: str,
+        network: Network,
+        registry: KeyRegistry,
+        orderer_peers: Sequence[str],
+        block_targets: Sequence[str],
+        config: SystemConfig,
+        generate_graphs: bool = True,
+        graph_mode: GraphMode = GraphMode.SINGLE_VERSION,
+        allowed_clients: Optional[Set[str]] = None,
+        datacenter: Optional[str] = None,
+    ) -> None:
+        super().__init__(
+            env,
+            node_id,
+            network,
+            registry,
+            cost_model=config.cost_model,
+            cores=config.cores_per_node,
+            datacenter=datacenter,
+        )
+        self.config = config
+        self.orderer_peers = list(orderer_peers)
+        self.block_targets = list(block_targets)
+        self.generate_graphs = generate_graphs
+        self.allowed_clients = allowed_clients
+        self.builder = BlockBuilder(
+            policy=config.block_cut,
+            tx_size_bytes=config.latency.per_tx_bytes,
+            generate_graphs=generate_graphs,
+            graph_mode=graph_mode,
+        )
+        self.consensus: OrderingService = make_ordering_service(
+            config.consensus_protocol,
+            env=env,
+            node_id=node_id,
+            peers=self.orderer_peers,
+            interface=self.interface,
+            registry=registry,
+            cost_model=config.cost_model,
+            on_decide=self._on_decide,
+            max_faulty=config.max_faulty_orderers,
+        )
+        self._proposal_queue: Store = Store(env)
+        self._seal_queue: Store = Store(env)
+        self.requests_received = 0
+        self.requests_rejected = 0
+        self.blocks_ordered = 0
+
+    # ----------------------------------------------------------------- roles
+    @property
+    def is_entry(self) -> bool:
+        """True if this orderer receives client requests and drives consensus."""
+        return self.consensus.is_leader
+
+    @property
+    def multicasts_blocks(self) -> bool:
+        """Whether this orderer multicasts sealed blocks to the peers.
+
+        Under PBFT every orderer does (executors wait for ``f+1`` matching
+        NEWBLOCK messages); under the crash-fault-tolerant protocols only the
+        leader does.
+        """
+        if self.config.consensus_protocol == "pbft":
+            return True
+        return self.consensus.is_leader
+
+    @property
+    def newblock_quorum(self) -> int:
+        """Matching NEWBLOCK messages an executor needs before trusting a block."""
+        if self.config.consensus_protocol == "pbft":
+            return self.config.max_faulty_orderers + 1
+        return 1
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        """Start the main loop plus the proposer / sealer / block-cut ticker."""
+        if self._started:
+            return
+        super().start()
+        self.env.process(self._sealer_loop(), name=f"{self.node_id}-sealer")
+        if self.is_entry:
+            self.env.process(self._proposer_loop(), name=f"{self.node_id}-proposer")
+            self.env.process(self._cut_ticker(), name=f"{self.node_id}-ticker")
+
+    # ----------------------------------------------------------- message path
+    def handle_envelope(self, envelope: Envelope):
+        kind = envelope.message.kind
+        if kind == messages.REQUEST:
+            yield from self._handle_request(envelope)
+        elif kind in self.consensus.message_kinds:
+            # Consensus steps are handled concurrently; their (small) CPU cost
+            # is charged inside the protocol handler itself.
+            self.env.process(self.consensus.handle_message(envelope), name=f"{self.node_id}-cons")
+        # Unknown kinds are dropped silently (e.g. NEWBLOCK gossip echoes).
+
+    def _handle_request(self, envelope: Envelope):
+        """Validate a client request and feed it to the block builder."""
+        self.requests_received += 1
+        # Signature check of the client request (charged to the dispatcher).
+        yield self.env.timeout(self.cost_model.signature)
+        if not self.verify_envelope(envelope):
+            self.requests_rejected += 1
+            return
+        transaction = envelope.message.body.get("transaction")
+        if not isinstance(transaction, Transaction):
+            self.requests_rejected += 1
+            return
+        if not self._client_allowed(transaction):
+            self.requests_rejected += 1
+            return
+        if not self.is_entry:
+            # Non-primary orderers forward client requests to the primary.
+            self.send_signed(
+                self.consensus.leader,
+                messages.REQUEST,
+                dict(envelope.message.body),
+                payload_bytes=self.latency.per_tx_bytes,
+            )
+            return
+        pending = self.builder.add(transaction, now=self.env.now)
+        if pending is not None:
+            self._proposal_queue.put(pending)
+
+    def _client_allowed(self, transaction: Transaction) -> bool:
+        """Access control: discard requests from unauthorised clients."""
+        if self.allowed_clients is None:
+            return True
+        return transaction.client in self.allowed_clients
+
+    # -------------------------------------------------------------- pipelines
+    def _cut_ticker(self):
+        """Cut the open block when the maximal production time elapses."""
+        interval = max(self.config.block_cut.max_delay / 4.0, 1e-3)
+        while True:
+            yield self.env.timeout(interval)
+            if self.builder.timeout_due(self.env.now):
+                pending = self.builder.cut_on_timeout(self.env.now)
+                if pending is not None:
+                    self._proposal_queue.put(pending)
+
+    def _proposer_loop(self):
+        """Order cut blocks one at a time through the consensus protocol."""
+        while True:
+            pending = yield self._proposal_queue.get()
+            decision = yield self.env.process(self.consensus.propose(pending))
+            self.blocks_ordered += 1
+            if self.multicasts_blocks:
+                yield from self._seal_and_multicast(decision.payload)
+
+    def _on_decide(self, decision: ConsensusDecision) -> None:
+        """Non-leader orderers seal and multicast decided blocks when required."""
+        if self.consensus.is_leader:
+            return  # the proposer loop already handles the leader's copy
+        self.blocks_ordered += 1
+        if self.multicasts_blocks:
+            self._seal_queue.put(decision.payload)
+
+    def _sealer_loop(self):
+        """Serially seal blocks pushed by :meth:`_on_decide` (followers)."""
+        while True:
+            pending = yield self._seal_queue.get()
+            yield from self._seal_and_multicast(pending)
+
+    def _seal_and_multicast(self, pending: PendingBlock):
+        """Charge the sealing costs, build the block and multicast NEWBLOCK.
+
+        Sealing is strictly serialised per orderer (this generator runs inside
+        a single process), so its cost — dominated by the quadratic dependency
+        graph generation under OXII — bounds the block production rate.
+        """
+        size = len(pending.transactions)
+        cost = (
+            self.cost_model.block_assembly
+            + self.cost_model.block_assembly_per_tx * size
+            + self.cost_model.block_hash
+            + self.cost_model.signature
+        )
+        if self.generate_graphs:
+            cost += self.cost_model.dependency_graph_cost(size)
+        yield self.env.timeout(cost)
+        block = self.builder.seal(pending, now=self.env.now)
+        payload_bytes = self.latency.per_message_bytes + self.latency.per_tx_bytes * size
+        self.multicast_signed(
+            self.block_targets,
+            messages.NEW_BLOCK,
+            {
+                "sequence": block.sequence,
+                "block": block,
+                "applications": tuple(sorted(block.applications())),
+                "previous_hash": block.previous_hash,
+            },
+            payload_bytes=payload_bytes,
+        )

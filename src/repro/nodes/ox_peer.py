@@ -1,0 +1,122 @@
+"""The order-execute (OX) peer: execute every transaction sequentially.
+
+In the OX paradigm every peer receives the totally ordered blocks from the
+ordering service and executes every transaction, one after the other, against
+its local copy of the state.  Sequential execution makes the paradigm immune
+to contention (there is nothing to conflict with) but caps throughput at the
+single-threaded execution rate — the flat line of Figure 6.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.config import SystemConfig
+from repro.contracts.base import ContractRegistry
+from repro.core.block import Block
+from repro.crypto.signatures import KeyRegistry
+from repro.ledger.ledger import Ledger
+from repro.ledger.state import WorldState
+from repro.metrics.collector import MetricsCollector
+from repro.network.message import Envelope
+from repro.network.transport import Network
+from repro.nodes import messages
+from repro.nodes.base import BaseNode
+from repro.simulation import Environment, Store
+
+
+class OXPeerNode(BaseNode):
+    """A peer that executes every transaction of every block sequentially."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node_id: str,
+        network: Network,
+        registry: KeyRegistry,
+        contracts: ContractRegistry,
+        config: SystemConfig,
+        collector: Optional[MetricsCollector] = None,
+        initial_state: Optional[Dict[str, object]] = None,
+        newblock_quorum: int = 1,
+        is_reference: bool = False,
+        datacenter: Optional[str] = None,
+    ) -> None:
+        super().__init__(
+            env,
+            node_id,
+            network,
+            registry,
+            cost_model=config.cost_model,
+            cores=config.cores_per_node,
+            datacenter=datacenter,
+        )
+        self.config = config
+        self.contracts = contracts
+        self.collector = collector
+        self.newblock_quorum = newblock_quorum
+        self.is_reference = is_reference
+        self.state = WorldState(initial_state or {})
+        self.ledger = Ledger()
+        self._block_votes: Dict[int, Dict[str, str]] = {}
+        self._valid_blocks: Dict[int, Block] = {}
+        self._execution_queue: Store = Store(env)
+        self._next_sequence = 1
+        self.transactions_committed = 0
+        self.transactions_aborted = 0
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        """Start the dispatcher plus the single sequential execution worker."""
+        if self._started:
+            return
+        super().start()
+        self.env.process(self._execution_loop(), name=f"{self.node_id}-exec")
+
+    # ----------------------------------------------------------- message path
+    def handle_envelope(self, envelope: Envelope):
+        if envelope.message.kind != messages.NEW_BLOCK:
+            return
+            yield  # pragma: no cover
+        yield self.env.timeout(self.cost_model.signature + self.cost_model.block_hash)
+        if not self.verify_envelope(envelope):
+            return
+        block = envelope.message.body.get("block")
+        if not isinstance(block, Block):
+            return
+        votes = self._block_votes.setdefault(block.sequence, {})
+        votes[envelope.sender] = block.digest()
+        matching = sum(1 for digest in votes.values() if digest == block.digest())
+        if matching < self.newblock_quorum or block.sequence in self._valid_blocks:
+            return
+        if block.sequence < self._next_sequence:
+            return
+        self._valid_blocks[block.sequence] = block
+        self._release_ready_blocks()
+
+    def _release_ready_blocks(self) -> None:
+        while self._next_sequence in self._valid_blocks:
+            block = self._valid_blocks.pop(self._next_sequence)
+            self._next_sequence += 1
+            self._execution_queue.put(block)
+
+    # --------------------------------------------------------------- execution
+    def _execution_loop(self):
+        """Execute blocks in order, each transaction strictly after the previous."""
+        while True:
+            block: Block = yield self._execution_queue.get()
+            for tx in block.transactions:
+                yield self.env.timeout(self.cost_model.tx_execution)
+                result = self.contracts.execute(tx, self.state, executed_by=self.node_id)
+                aborted = result.is_abort
+                if not aborted:
+                    self.state.apply_updates(result.updates)
+                    self.transactions_committed += 1
+                else:
+                    self.transactions_aborted += 1
+                if self.collector is not None:
+                    self.collector.record_commit(self.node_id, tx.tx_id, self.env.now, aborted=aborted)
+            self.ledger.append(block)
+            self._block_votes.pop(block.sequence, None)
+            if self.is_reference and self.collector is not None:
+                self.collector.record_block_commit()

@@ -1,0 +1,197 @@
+"""XOV (execute-order-validate) peers: endorsers and committing peers.
+
+The XOV paradigm follows Hyperledger Fabric: clients send transaction
+proposals to the endorsers of the application (the peers holding its smart
+contract), each endorser simulates the transaction against its current state
+and returns the write set plus the versions of the records it observed.  The
+client assembles the endorsements into a transaction and submits it to the
+ordering service.  Every peer then validates each transaction of each ordered
+block: a transaction whose observed versions are stale by commit time — i.e.
+a conflicting transaction ordered earlier already updated one of its records —
+is aborted, which is exactly why the paradigm's throughput collapses under
+contention (Figure 6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.common.config import SystemConfig
+from repro.contracts.base import ContractRegistry
+from repro.core.block import Block
+from repro.core.transaction import Transaction, TransactionResult
+from repro.crypto.signatures import KeyRegistry
+from repro.ledger.ledger import Ledger
+from repro.ledger.state import WorldState
+from repro.metrics.collector import MetricsCollector
+from repro.network.message import Envelope
+from repro.network.transport import Network
+from repro.nodes import messages
+from repro.nodes.base import BaseNode
+from repro.simulation import Environment, Store
+
+
+class XOVPeerNode(BaseNode):
+    """A committing peer: validates ordered blocks and applies surviving writes."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node_id: str,
+        network: Network,
+        registry: KeyRegistry,
+        contracts: ContractRegistry,
+        config: SystemConfig,
+        collector: Optional[MetricsCollector] = None,
+        initial_state: Optional[Dict[str, object]] = None,
+        newblock_quorum: int = 1,
+        is_reference: bool = False,
+        datacenter: Optional[str] = None,
+    ) -> None:
+        super().__init__(
+            env,
+            node_id,
+            network,
+            registry,
+            cost_model=config.cost_model,
+            cores=config.cores_per_node,
+            datacenter=datacenter,
+        )
+        self.config = config
+        self.contracts = contracts
+        self.collector = collector
+        self.newblock_quorum = newblock_quorum
+        self.is_reference = is_reference
+        self.state = WorldState(initial_state or {})
+        self.ledger = Ledger()
+        self._block_votes: Dict[int, Dict[str, str]] = {}
+        self._valid_blocks: Dict[int, Block] = {}
+        self._validation_queue: Store = Store(env)
+        self._next_sequence = 1
+        self.transactions_committed = 0
+        self.transactions_aborted = 0
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        """Start the dispatcher plus the sequential validation/commit worker."""
+        if self._started:
+            return
+        super().start()
+        self.env.process(self._validation_loop(), name=f"{self.node_id}-validate")
+
+    # ----------------------------------------------------------- message path
+    def handle_envelope(self, envelope: Envelope):
+        kind = envelope.message.kind
+        if kind == messages.NEW_BLOCK:
+            yield from self._handle_new_block(envelope)
+
+    def _handle_new_block(self, envelope: Envelope):
+        yield self.env.timeout(self.cost_model.signature + self.cost_model.block_hash)
+        if not self.verify_envelope(envelope):
+            return
+        block = envelope.message.body.get("block")
+        if not isinstance(block, Block):
+            return
+        votes = self._block_votes.setdefault(block.sequence, {})
+        votes[envelope.sender] = block.digest()
+        matching = sum(1 for digest in votes.values() if digest == block.digest())
+        if matching < self.newblock_quorum or block.sequence in self._valid_blocks:
+            return
+        if block.sequence < self._next_sequence:
+            return
+        self._valid_blocks[block.sequence] = block
+        while self._next_sequence in self._valid_blocks:
+            ready = self._valid_blocks.pop(self._next_sequence)
+            self._next_sequence += 1
+            self._validation_queue.put(ready)
+
+    # -------------------------------------------------------------- validation
+    def _validation_loop(self):
+        """Validate blocks in order; commit survivors, abort stale transactions."""
+        while True:
+            block: Block = yield self._validation_queue.get()
+            for tx in block.transactions:
+                yield self.env.timeout(self.cost_model.tx_validation)
+                aborted = not self._validate_and_commit(tx)
+                if self.collector is not None:
+                    self.collector.record_commit(self.node_id, tx.tx_id, self.env.now, aborted=aborted)
+            self.ledger.append(block)
+            self._block_votes.pop(block.sequence, None)
+            if self.is_reference and self.collector is not None:
+                self.collector.record_block_commit()
+
+    def _validate_and_commit(self, tx: Transaction) -> bool:
+        """MVCC-style validation: commit iff every observed version is still current."""
+        endorsement = tx.payload.get("endorsement")
+        if not isinstance(endorsement, Mapping):
+            self.transactions_aborted += 1
+            return False
+        if endorsement.get("status") == "abort":
+            self.transactions_aborted += 1
+            return False
+        read_versions: Mapping[str, int] = endorsement.get("read_versions", {})
+        for key, version in read_versions.items():
+            if self.state.version(key) != version:
+                self.transactions_aborted += 1
+                return False
+        updates: Mapping[str, object] = endorsement.get("updates", {})
+        self.state.apply_updates(updates)
+        self.transactions_committed += 1
+        return True
+
+
+class EndorserNode(XOVPeerNode):
+    """A committing peer that additionally endorses (speculatively executes) proposals."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._endorse_queue: Store = Store(self.env)
+        self.endorsements_served = 0
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        """Start the dispatcher, validator and the (single-threaded) endorser."""
+        if self._started:
+            return
+        super().start()
+        self.env.process(self._endorsement_loop(), name=f"{self.node_id}-endorse")
+
+    # ----------------------------------------------------------- message path
+    def handle_envelope(self, envelope: Envelope):
+        kind = envelope.message.kind
+        if kind == messages.ENDORSE_REQUEST:
+            yield self.env.timeout(self.cost_model.signature)
+            if self.verify_envelope(envelope):
+                self._endorse_queue.put(envelope)
+        else:
+            yield from super().handle_envelope(envelope)
+
+    # ------------------------------------------------------------ endorsement
+    def _endorsement_loop(self):
+        """Serve proposals one at a time, as the paper's single-chaincode endorsers do."""
+        while True:
+            envelope: Envelope = yield self._endorse_queue.get()
+            tx = envelope.message.body.get("transaction")
+            if not isinstance(tx, Transaction):
+                continue
+            if not self.contracts.is_agent(self.node_id, tx.application):
+                continue
+            yield self.env.timeout(
+                self.cost_model.tx_execution + self.cost_model.endorsement_overhead
+            )
+            snapshot = self.state.snapshot()
+            result = self.contracts.execute(tx, snapshot, executed_by=self.node_id)
+            read_versions = {key: snapshot.version(key) for key in sorted(tx.rw_set.keys)}
+            self.endorsements_served += 1
+            self.send_signed(
+                envelope.sender,
+                messages.ENDORSE_RESPONSE,
+                {
+                    "tx_id": tx.tx_id,
+                    "endorser": self.node_id,
+                    "status": result.status,
+                    "updates": dict(result.updates),
+                    "read_versions": read_versions,
+                },
+                payload_bytes=self.latency.per_tx_bytes,
+            )

@@ -1,0 +1,31 @@
+"""Paradigm deployments: wire nodes, consensus, network and workload together.
+
+Each deployment builds a fresh simulated cluster for one experiment run:
+
+* :class:`~repro.paradigms.ox.OXDeployment` — order-execute: an ordering
+  service plus peers that execute every transaction sequentially.
+* :class:`~repro.paradigms.xov.XOVDeployment` — execute-order-validate:
+  endorsers, an ordering service and committing peers with MVCC validation.
+* :class:`~repro.paradigms.oxii.OXIIDeployment` — ParBlockchain: an ordering
+  service that generates dependency graphs and executors that run Algorithms
+  1–3.
+
+:func:`~repro.paradigms.run.run_paradigm` is the one-call entry point used by
+the examples and the benchmark harness.
+"""
+
+from repro.paradigms.base import Deployment, DeploymentHandles
+from repro.paradigms.ox import OXDeployment
+from repro.paradigms.xov import XOVDeployment
+from repro.paradigms.oxii import OXIIDeployment
+from repro.paradigms.run import PARADIGMS, run_paradigm
+
+__all__ = [
+    "Deployment",
+    "DeploymentHandles",
+    "OXDeployment",
+    "OXIIDeployment",
+    "PARADIGMS",
+    "XOVDeployment",
+    "run_paradigm",
+]

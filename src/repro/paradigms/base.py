@@ -1,0 +1,214 @@
+"""Common machinery shared by the three paradigm deployments."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.config import SystemConfig
+from repro.common.identifiers import executor_id, orderer_id
+from repro.contracts.accounting import AccountingContract
+from repro.contracts.base import ContractRegistry
+from repro.core.transaction import Transaction
+from repro.crypto.signatures import KeyRegistry
+from repro.metrics.collector import MetricsCollector, RunMetrics
+from repro.network.topology import FAR_DC, NEAR_DC, Topology
+from repro.network.transport import Network
+from repro.nodes.base import BaseNode
+from repro.nodes.client import ClientGateway
+from repro.nodes.orderer import OrdererNode
+from repro.simulation import Environment
+from repro.workload.arrivals import ArrivalSchedule
+
+CLIENT_GATEWAY = "client-gateway"
+
+
+@dataclass
+class DeploymentHandles:
+    """Everything a built deployment exposes for inspection and for the run loop."""
+
+    env: Environment
+    network: Network
+    registry: KeyRegistry
+    contracts: ContractRegistry
+    collector: MetricsCollector
+    gateway: ClientGateway
+    orderers: List[OrdererNode] = field(default_factory=list)
+    peers: List[BaseNode] = field(default_factory=list)
+    measurement_peers: List[str] = field(default_factory=list)
+
+
+class Deployment(abc.ABC):
+    """Template for building and running one paradigm's cluster."""
+
+    #: Human-readable paradigm name used in reports ("OX", "XOV", "OXII").
+    name: str = "abstract"
+
+    def __init__(self, config: Optional[SystemConfig] = None) -> None:
+        self.config = config or SystemConfig()
+        self.handles: Optional[DeploymentHandles] = None
+
+    # --------------------------------------------------------------- topology
+    def datacenter_for(self, group: str) -> str:
+        """Which data center a node group lives in (Figure 7 moves one group)."""
+        return FAR_DC if group in self.config.far_groups else NEAR_DC
+
+    def orderer_names(self) -> List[str]:
+        """Names of the ordering-service nodes."""
+        return [orderer_id(i) for i in range(self.config.num_orderers)]
+
+    def executor_names(self) -> List[str]:
+        """Names of the executor/endorser nodes (one group per application)."""
+        return [executor_id(i) for i in range(self.config.num_executors)]
+
+    def non_executor_names(self) -> List[str]:
+        """Names of the passive (non-executor) peers."""
+        return [f"nonexec-{i}" for i in range(self.config.num_non_executors)]
+
+    def agents_of_application(self, index: int) -> List[str]:
+        """Executor names hosting application ``index``'s contract."""
+        per_app = self.config.executors_per_application
+        names = self.executor_names()
+        return names[index * per_app : (index + 1) * per_app]
+
+    def build_contracts(self) -> ContractRegistry:
+        """Install one accounting contract per application on its agents."""
+        contracts = ContractRegistry()
+        for index, application in enumerate(self.config.application_names()):
+            contracts.install(
+                AccountingContract(application), agents=self.agents_of_application(index)
+            )
+        return contracts
+
+    @property
+    def newblock_quorum(self) -> int:
+        """Matching NEWBLOCK messages a peer requires before trusting a block."""
+        if self.config.consensus_protocol == "pbft":
+            return self.config.max_faulty_orderers + 1
+        return 1
+
+    # ------------------------------------------------------------------ build
+    @abc.abstractmethod
+    def build(self, initial_state: Optional[Dict[str, object]] = None) -> DeploymentHandles:
+        """Construct a fresh simulated cluster and return its handles."""
+
+    def _build_common(
+        self, measurement_peers: Sequence[str]
+    ) -> DeploymentHandles:
+        """Create the environment, network, registry and metrics collector."""
+        env = Environment()
+        topology = Topology(latency=self.config.latency, seed=self.config.seed)
+        network = Network(env, topology=topology)
+        registry = KeyRegistry(seed=str(self.config.seed))
+        collector = MetricsCollector(measurement_peers=measurement_peers)
+        contracts = self.build_contracts()
+        handles = DeploymentHandles(
+            env=env,
+            network=network,
+            registry=registry,
+            contracts=contracts,
+            collector=collector,
+            gateway=None,  # type: ignore[arg-type]  # set by the concrete build()
+            measurement_peers=list(measurement_peers),
+        )
+        return handles
+
+    def _build_orderers(
+        self,
+        handles: DeploymentHandles,
+        block_targets: Sequence[str],
+        generate_graphs: bool,
+    ) -> List[OrdererNode]:
+        """Create the ordering service nodes."""
+        orderer_names = self.orderer_names()
+        datacenter = self.datacenter_for("orderers")
+        orderers = [
+            OrdererNode(
+                env=handles.env,
+                node_id=name,
+                network=handles.network,
+                registry=handles.registry,
+                orderer_peers=orderer_names,
+                block_targets=list(block_targets),
+                config=self.config,
+                generate_graphs=generate_graphs,
+                datacenter=datacenter,
+            )
+            for name in orderer_names
+        ]
+        handles.orderers = orderers
+        return orderers
+
+    def _build_gateway(self, handles: DeploymentHandles, mode: str) -> ClientGateway:
+        """Create the client gateway in the right data center."""
+        gateway = ClientGateway(
+            env=handles.env,
+            node_id=CLIENT_GATEWAY,
+            network=handles.network,
+            registry=handles.registry,
+            config=self.config,
+            orderer_entry=self.orderer_names()[0],
+            collector=handles.collector,
+            mode=mode,
+            contracts=handles.contracts if mode == "endorse" else None,
+            datacenter=self.datacenter_for("clients"),
+        )
+        handles.gateway = gateway
+        return gateway
+
+    # -------------------------------------------------------------------- run
+    def run(
+        self,
+        transactions: Sequence[Transaction],
+        schedule: ArrivalSchedule,
+        initial_state: Optional[Dict[str, object]] = None,
+        offered_load: Optional[float] = None,
+        warmup_fraction: float = 0.2,
+        drain: float = 10.0,
+        poll_interval: float = 0.05,
+    ) -> RunMetrics:
+        """Build a fresh cluster, replay the workload and summarise the run.
+
+        The simulation ends as soon as every transaction has completed at
+        every measurement peer, or after ``schedule.duration + drain``
+        simulated seconds, whichever comes first.  Throughput and latency are
+        computed over the steady-state window ``[warmup_fraction * duration,
+        duration]`` — completions during the drain tail are excluded, matching
+        the paper's "average measured during the steady state" methodology.
+        """
+        handles = self.build(initial_state=initial_state)
+        env = handles.env
+        for orderer in handles.orderers:
+            orderer.start()
+        for peer in handles.peers:
+            peer.start()
+        handles.gateway.submit_schedule(transactions, schedule)
+
+        expected = len(transactions)
+        horizon = schedule.duration + drain
+
+        def monitor():
+            while env.now < horizon:
+                if handles.collector.all_complete(expected):
+                    return "complete"
+                yield env.timeout(poll_interval)
+            return "horizon"
+
+        env.run(until=env.process(monitor(), name="run-monitor"))
+        warmup = schedule.duration * warmup_fraction
+        measurement_end = schedule.duration
+        load = offered_load if offered_load is not None else schedule.offered_rate
+        extra = {
+            "blocks_ordered": float(sum(o.blocks_ordered for o in handles.orderers)),
+            "requests_rejected": float(sum(o.requests_rejected for o in handles.orderers)),
+            "simulated_time": float(env.now),
+        }
+        return handles.collector.summarise(
+            paradigm=self.name,
+            offered_load=load,
+            warmup=warmup,
+            horizon=measurement_end,
+            messages_sent=handles.network.messages_sent,
+            extra=extra,
+        )

@@ -1,0 +1,61 @@
+"""The classic order-execute (OX) deployment."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.contracts.base import ContractRegistry
+from repro.contracts.accounting import AccountingContract
+from repro.nodes.ox_peer import OXPeerNode
+from repro.paradigms.base import Deployment, DeploymentHandles
+
+
+class OXDeployment(Deployment):
+    """Order-execute: order with the ordering service, execute sequentially everywhere.
+
+    There is no executor/non-executor distinction in OX — every peer executes
+    every transaction — so the peer count equals the OXII deployment's
+    executor plus non-executor count (keeping the comparison fair) and every
+    peer is a measurement peer.
+    """
+
+    name = "OX"
+
+    def peer_names(self) -> List[str]:
+        """Names of the OX peers (as many as OXII has executors + passives)."""
+        total = self.config.num_executors + self.config.num_non_executors
+        return [f"peer-{i}" for i in range(total)]
+
+    def build_contracts(self) -> ContractRegistry:
+        """Every OX peer runs every smart contract (no confidentiality boundary)."""
+        contracts = ContractRegistry()
+        peer_names = self.peer_names()
+        for application in self.config.application_names():
+            contracts.install(AccountingContract(application), agents=peer_names)
+        return contracts
+
+    def build(self, initial_state: Optional[Dict[str, object]] = None) -> DeploymentHandles:
+        peer_names = self.peer_names()
+        handles = self._build_common(measurement_peers=peer_names)
+        self._build_orderers(handles, block_targets=peer_names, generate_graphs=False)
+        peer_dc = self.datacenter_for("executors")
+        peers = [
+            OXPeerNode(
+                env=handles.env,
+                node_id=name,
+                network=handles.network,
+                registry=handles.registry,
+                contracts=handles.contracts,
+                config=self.config,
+                collector=handles.collector,
+                initial_state=initial_state,
+                newblock_quorum=self.newblock_quorum,
+                is_reference=(index == 0),
+                datacenter=peer_dc,
+            )
+            for index, name in enumerate(peer_names)
+        ]
+        handles.peers = peers
+        self._build_gateway(handles, mode="direct")
+        self.handles = handles
+        return handles

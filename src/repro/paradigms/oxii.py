@@ -1,0 +1,73 @@
+"""The OXII / ParBlockchain deployment."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.common.config import SystemConfig
+from repro.nodes.executor import ExecutorNode
+from repro.paradigms.base import Deployment, DeploymentHandles
+
+
+class OXIIDeployment(Deployment):
+    """ParBlockchain: order, generate dependency graphs, execute in parallel.
+
+    The cluster consists of the ordering service (graph generation enabled),
+    one executor group per application and optionally some passive
+    non-executor peers.  Only the executors are measurement peers — passive
+    peers are merely informed of the blockchain state, which is why moving
+    them across data centers does not change the measured performance
+    (Figure 7(d)).
+    """
+
+    name = "OXII"
+
+    def build(self, initial_state: Optional[Dict[str, object]] = None) -> DeploymentHandles:
+        executor_names = self.executor_names()
+        non_executor_names = self.non_executor_names()
+        all_peer_names = executor_names + non_executor_names
+        handles = self._build_common(measurement_peers=executor_names)
+
+        self._build_orderers(handles, block_targets=all_peer_names, generate_graphs=True)
+        executor_dc = self.datacenter_for("executors")
+        non_executor_dc = self.datacenter_for("non_executors")
+
+        peers = []
+        for index, name in enumerate(executor_names):
+            peers.append(
+                ExecutorNode(
+                    env=handles.env,
+                    node_id=name,
+                    network=handles.network,
+                    registry=handles.registry,
+                    contracts=handles.contracts,
+                    config=self.config,
+                    executor_peers=all_peer_names,
+                    collector=handles.collector,
+                    initial_state=initial_state,
+                    newblock_quorum=self.newblock_quorum,
+                    is_reference=(index == 0),
+                    datacenter=executor_dc,
+                )
+            )
+        for name in non_executor_names:
+            peers.append(
+                ExecutorNode(
+                    env=handles.env,
+                    node_id=name,
+                    network=handles.network,
+                    registry=handles.registry,
+                    contracts=handles.contracts,
+                    config=self.config,
+                    executor_peers=all_peer_names,
+                    collector=handles.collector,
+                    initial_state=initial_state,
+                    newblock_quorum=self.newblock_quorum,
+                    is_reference=False,
+                    datacenter=non_executor_dc,
+                )
+            )
+        handles.peers = peers
+        self._build_gateway(handles, mode="direct")
+        self.handles = handles
+        return handles

@@ -1,0 +1,83 @@
+"""One-call experiment runner used by examples, benchmarks and the CLI."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from repro.common.config import SystemConfig
+from repro.common.errors import ConfigurationError
+from repro.metrics.collector import RunMetrics
+from repro.paradigms.base import Deployment
+from repro.paradigms.ox import OXDeployment
+from repro.paradigms.oxii import OXIIDeployment
+from repro.paradigms.xov import XOVDeployment
+from repro.workload.arrivals import poisson_rate
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+#: Registry of paradigm names to deployment classes.
+PARADIGMS: Dict[str, Type[Deployment]] = {
+    "OX": OXDeployment,
+    "XOV": XOVDeployment,
+    "OXII": OXIIDeployment,
+}
+
+
+def run_paradigm(
+    paradigm: str,
+    system_config: Optional[SystemConfig] = None,
+    workload_config: Optional[WorkloadConfig] = None,
+    offered_load: float = 1000.0,
+    duration: float = 2.0,
+    warmup_fraction: float = 0.2,
+    drain: float = 20.0,
+    seed: Optional[int] = None,
+) -> RunMetrics:
+    """Run one paradigm against one workload at one offered load.
+
+    ``offered_load`` is the open-loop client request rate (transactions per
+    second) and ``duration`` the length of the submission phase in simulated
+    seconds; the run keeps going (up to ``drain`` extra seconds) until every
+    submitted transaction has completed at every measurement peer.
+    """
+    try:
+        deployment_cls = PARADIGMS[paradigm.upper()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown paradigm {paradigm!r}; expected one of {sorted(PARADIGMS)}"
+        ) from None
+    if offered_load <= 0:
+        raise ConfigurationError("offered_load must be positive")
+    if duration <= 0:
+        raise ConfigurationError("duration must be positive")
+
+    system_config = system_config or SystemConfig()
+    workload_config = workload_config or WorkloadConfig(
+        num_applications=system_config.num_applications
+    )
+    if seed is not None:
+        workload_config = WorkloadConfig(
+            num_applications=workload_config.num_applications,
+            num_clients=workload_config.num_clients,
+            contention=workload_config.contention,
+            conflict_scope=workload_config.conflict_scope,
+            transfer_amount=workload_config.transfer_amount,
+            initial_balance=workload_config.initial_balance,
+            seed=seed,
+            hot_accounts=workload_config.hot_accounts,
+        )
+
+    generator = WorkloadGenerator(workload_config)
+    count = max(1, int(round(offered_load * duration)))
+    transactions = generator.generate(count)
+    schedule = poisson_rate(count, offered_load, seed=workload_config.seed)
+    initial_state = generator.initial_state(transactions)
+
+    deployment = deployment_cls(system_config)
+    return deployment.run(
+        transactions=transactions,
+        schedule=schedule,
+        initial_state=initial_state,
+        offered_load=offered_load,
+        warmup_fraction=warmup_fraction,
+        drain=drain,
+    )

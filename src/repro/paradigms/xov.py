@@ -1,0 +1,69 @@
+"""The execute-order-validate (XOV, Hyperledger-Fabric-style) deployment."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.nodes.xov import EndorserNode, XOVPeerNode
+from repro.paradigms.base import Deployment, DeploymentHandles
+
+
+class XOVDeployment(Deployment):
+    """Execute-order-validate: endorse first, order, then validate on every peer.
+
+    Endorsers double as committing peers; non-executor nodes are committing
+    peers without chaincode.  Every peer validates every block, so all of them
+    are measurement peers — which is why, unlike OXII, XOV's measured
+    performance degrades when the non-executor peers move to a far data center
+    (Figure 7(d)).
+    """
+
+    name = "XOV"
+
+    def build(self, initial_state: Optional[Dict[str, object]] = None) -> DeploymentHandles:
+        endorser_names = self.executor_names()
+        non_executor_names = self.non_executor_names()
+        all_peer_names = endorser_names + non_executor_names
+        handles = self._build_common(measurement_peers=all_peer_names)
+
+        self._build_orderers(handles, block_targets=all_peer_names, generate_graphs=False)
+        endorser_dc = self.datacenter_for("executors")
+        non_executor_dc = self.datacenter_for("non_executors")
+
+        peers = []
+        for index, name in enumerate(endorser_names):
+            peers.append(
+                EndorserNode(
+                    env=handles.env,
+                    node_id=name,
+                    network=handles.network,
+                    registry=handles.registry,
+                    contracts=handles.contracts,
+                    config=self.config,
+                    collector=handles.collector,
+                    initial_state=initial_state,
+                    newblock_quorum=self.newblock_quorum,
+                    is_reference=(index == 0),
+                    datacenter=endorser_dc,
+                )
+            )
+        for name in non_executor_names:
+            peers.append(
+                XOVPeerNode(
+                    env=handles.env,
+                    node_id=name,
+                    network=handles.network,
+                    registry=handles.registry,
+                    contracts=handles.contracts,
+                    config=self.config,
+                    collector=handles.collector,
+                    initial_state=initial_state,
+                    newblock_quorum=self.newblock_quorum,
+                    is_reference=False,
+                    datacenter=non_executor_dc,
+                )
+            )
+        handles.peers = peers
+        self._build_gateway(handles, mode="endorse")
+        self.handles = handles
+        return handles

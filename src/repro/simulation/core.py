@@ -1,0 +1,113 @@
+"""The simulation environment: event heap, clock and scheduler."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Generator, List, Optional, Sequence, Tuple
+
+from repro.common.errors import SimulationError
+from repro.simulation.events import AllOf, AnyOf, Event, Timeout
+from repro.simulation.process import Process
+
+
+class Environment:
+    """A deterministic discrete-event simulation environment.
+
+    Events scheduled at the same simulated time are processed in FIFO order of
+    scheduling, which keeps runs fully deterministic.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+        self._active_process: Optional[Process] = None
+
+    # ------------------------------------------------------------------ clock
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # ------------------------------------------------------------ event API
+    def event(self) -> Event:
+        """Create a new untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any], name: str = "") -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Sequence[Event]) -> AllOf:
+        """Event that fires when all ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Sequence[Event]) -> AnyOf:
+        """Event that fires when any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    # -------------------------------------------------------------- scheduling
+    def schedule(self, event: Event, delay: float = 0.0) -> None:
+        """Insert ``event`` into the queue ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + delay, next(self._counter), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise SimulationError("cannot step an empty event queue")
+        when, _, event = heapq.heappop(self._queue)
+        if when < self._now:
+            raise SimulationError("event scheduled in the past — scheduler bug")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks or ():
+            callback(event)
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        * ``until=None`` — run until no events remain.
+        * ``until=<float>`` — run until the clock reaches that time.
+        * ``until=<Event>`` — run until that event has been processed and
+          return its value (raising its exception if it failed).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            stop_event = until
+            while not stop_event.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited event fired"
+                    )
+                self.step()
+            if not stop_event.ok:
+                raise stop_event._value
+            return stop_event.value
+
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimulationError(f"cannot run to {horizon}, already at {self._now}")
+        while self._queue and self.peek() <= horizon:
+            self.step()
+        self._now = horizon
+        return None

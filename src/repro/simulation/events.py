@@ -1,0 +1,149 @@
+"""Event primitives for the discrete-event simulator.
+
+An :class:`Event` is a one-shot future living on a specific
+:class:`~repro.simulation.core.Environment`.  Processes yield events to
+suspend until the event is triggered; the environment then resumes them with
+the event's value (or raises the event's exception inside the generator).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, TYPE_CHECKING
+
+from repro.common.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.simulation.core import Environment
+
+PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that callbacks (usually processes) wait on."""
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises if the event has not been triggered."""
+        if self._value is PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception to be raised in waiters."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback`` to run when the event is processed."""
+        if self.callbacks is None:
+            # Already processed: run immediately at the current simulation time.
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at t={self.env.now:.6f}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` seconds after it is created."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"timeout delay must be >= 0, got {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+
+class ConditionEvent(Event):
+    """Base for events that fire when a condition over child events holds."""
+
+    def __init__(self, env: "Environment", events: Sequence[Event]) -> None:
+        super().__init__(env)
+        self.events = list(events)
+        self._pending = 0
+        for event in self.events:
+            if event.env is not env:
+                raise SimulationError("cannot combine events from different environments")
+        if not self.events:
+            self.succeed([])
+            return
+        for event in self.events:
+            if event.processed:
+                self._child_done(event)
+            else:
+                self._pending += 1
+                event.add_callback(self._child_done)
+
+    def _child_done(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(ConditionEvent):
+    """Fires when every child event has fired; value is the list of values."""
+
+    def __init__(self, env: "Environment", events: Sequence[Event]) -> None:
+        self._remaining = len(events)
+        super().__init__(env, events)
+
+    def _child_done(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._remaining -= 1
+        if self._remaining <= 0:
+            self.succeed([e.value for e in self.events])
+
+
+class AnyOf(ConditionEvent):
+    """Fires as soon as one child fires; value is that child's value."""
+
+    def _child_done(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self.succeed(event.value)

@@ -1,0 +1,101 @@
+"""Generator-based simulation processes.
+
+A process wraps a Python generator.  The generator yields :class:`Event`
+objects; each yield suspends the process until the event fires, at which point
+the environment resumes the generator with the event's value.  When the
+generator returns, the process event itself fires with the returned value, so
+processes can be awaited like any other event (``yield env.process(...)``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, TYPE_CHECKING
+
+from repro.common.errors import SimulationError
+from repro.simulation.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulation.core import Environment
+
+
+class Interrupt(Exception):
+    """Raised inside a process generator when the process is interrupted."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """An executing generator; also an event that fires when it terminates."""
+
+    def __init__(self, env: "Environment", generator: Generator[Event, Any, Any], name: str = "") -> None:
+        if not hasattr(generator, "send"):
+            raise SimulationError("Process requires a generator (did you call the function?)")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Event | None = None
+        # Kick the process off at the current simulation time.
+        bootstrap = Event(env)
+        bootstrap.succeed(None)
+        bootstrap.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        wakeup = Event(self.env)
+        wakeup._ok = False
+        wakeup._value = Interrupt(cause)
+        # Detach from the event we were waiting on, if any.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        self.env.schedule(wakeup)
+        wakeup.add_callback(self._resume)
+
+    def _resume(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self.env._active_process = self
+        try:
+            if event.ok:
+                target = self._generator.send(event.value)
+            else:
+                target = self._generator.throw(event.value)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate into waiters
+            self.env._active_process = None
+            self.fail(exc)
+            return
+        self.env._active_process = None
+        if not isinstance(target, Event):
+            failure = SimulationError(
+                f"process {self.name!r} yielded a non-event: {target!r}"
+            )
+            self._generator.close()
+            self.fail(failure)
+            return
+        if target.env is not self.env:
+            failure = SimulationError("process yielded an event from another environment")
+            self._generator.close()
+            self.fail(failure)
+            return
+        self._target = target
+        target.add_callback(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self.triggered else "alive"
+        return f"<Process {self.name!r} {state}>"

@@ -1,0 +1,25 @@
+"""Workload generation for the evaluation experiments.
+
+The paper evaluates all three paradigms on a simple accounting application
+with workloads of varying *degree of contention* — the fraction of conflicting
+transactions in each block — both within a single application and across
+applications.  :class:`~repro.workload.generator.WorkloadGenerator` produces
+exactly those workloads: it pre-creates the account population, then emits
+transfer transactions where a configurable fraction write a designated hot
+account (creating a dependency chain) while the rest touch unique accounts
+(fully parallelisable).
+"""
+
+from repro.workload.generator import ConflictScope, WorkloadConfig, WorkloadGenerator
+from repro.workload.arrivals import ArrivalSchedule, constant_rate, poisson_rate
+from repro.workload.zipfian import ZipfianSampler
+
+__all__ = [
+    "ArrivalSchedule",
+    "ConflictScope",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "ZipfianSampler",
+    "constant_rate",
+    "poisson_rate",
+]

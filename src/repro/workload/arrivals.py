@@ -1,0 +1,64 @@
+"""Client request arrival schedules (open-loop load generation).
+
+The paper reports throughput "just below saturation" by increasing the number
+of clients until end-to-end throughput saturates.  The reproduction drives
+each run with an open-loop arrival schedule at a configurable offered rate and
+sweeps the rate to find the saturation knee (see
+:mod:`repro.metrics.saturation`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List
+
+
+@dataclass(frozen=True)
+class ArrivalSchedule:
+    """Submission times (seconds from the start of the run) for each transaction."""
+
+    times: tuple
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.times)
+
+    @property
+    def duration(self) -> float:
+        """Time of the last arrival."""
+        return self.times[-1] if self.times else 0.0
+
+    @property
+    def offered_rate(self) -> float:
+        """Average offered load in transactions per second."""
+        if not self.times or self.duration == 0:
+            return 0.0
+        return len(self.times) / self.duration
+
+
+def constant_rate(count: int, rate: float) -> ArrivalSchedule:
+    """Evenly spaced arrivals at ``rate`` transactions per second."""
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    interval = 1.0 / rate
+    return ArrivalSchedule(times=tuple(i * interval for i in range(count)))
+
+
+def poisson_rate(count: int, rate: float, seed: int = 7) -> ArrivalSchedule:
+    """Poisson arrivals at mean ``rate`` transactions per second."""
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    rng = random.Random(seed)
+    times: List[float] = []
+    now = 0.0
+    for _ in range(count):
+        now += rng.expovariate(rate)
+        times.append(now)
+    return ArrivalSchedule(times=tuple(times))

@@ -1,0 +1,175 @@
+"""Contention-controlled accounting workload (Section V of the paper).
+
+Every generated transaction transfers assets between accounts of the paper's
+accounting application.  The generator controls exactly which transactions
+conflict:
+
+* A fraction ``contention`` of the transactions write a designated *hot*
+  account.  All of them therefore conflict pairwise and form a dependency
+  chain in every block, which is precisely the paper's notion of an
+  X%-contention workload (0 % — no edges, 100 % — the block's graph is a
+  chain).
+* The remaining transactions draw from / deposit to accounts used by no other
+  transaction, so they never conflict with anything.
+
+``conflict_scope`` selects where the conflicting transactions live:
+
+* ``WITHIN_APPLICATION`` — all conflicting transactions belong to one
+  application and write that application's hot account (the solid OXII line
+  in Figure 6), so a single agent group can resolve the whole chain locally.
+* ``CROSS_APPLICATION`` — conflicting transactions are assigned round-robin
+  across applications but share one global hot account (the dashed OXII* line),
+  so consecutive transactions of the chain belong to different applications
+  and their agents must exchange commit messages during execution.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.contracts.accounting import AccountingContract, Transfer, account_key
+from repro.core.transaction import Transaction
+
+
+class ConflictScope(str, Enum):
+    """Where conflicting transactions live relative to application boundaries."""
+
+    WITHIN_APPLICATION = "within_application"
+    CROSS_APPLICATION = "cross_application"
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters of one generated workload."""
+
+    num_applications: int = 3
+    num_clients: int = 12
+    contention: float = 0.0
+    conflict_scope: ConflictScope = ConflictScope.WITHIN_APPLICATION
+    transfer_amount: float = 1.0
+    initial_balance: float = 1.0e9
+    seed: int = 7
+    #: Number of hot accounts per contention domain (1 reproduces the paper's
+    #: chain-shaped graphs; larger values spread the contention).
+    hot_accounts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_applications <= 0:
+            raise ConfigurationError("num_applications must be positive")
+        if self.num_clients <= 0:
+            raise ConfigurationError("num_clients must be positive")
+        if not 0.0 <= self.contention <= 1.0:
+            raise ConfigurationError("contention must be in [0, 1]")
+        if self.transfer_amount <= 0:
+            raise ConfigurationError("transfer_amount must be positive")
+        if self.hot_accounts <= 0:
+            raise ConfigurationError("hot_accounts must be positive")
+
+    def application_names(self) -> List[str]:
+        """Canonical application ids."""
+        return [f"app-{i}" for i in range(self.num_applications)]
+
+    def client_names(self) -> List[str]:
+        """Canonical client ids."""
+        return [f"client-{i}" for i in range(self.num_clients)]
+
+
+class WorkloadGenerator:
+    """Generates transfer transactions plus the initial state they need."""
+
+    def __init__(self, config: WorkloadConfig) -> None:
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self._generated = 0
+        self._applications = config.application_names()
+        self._clients = config.client_names()
+        #: Which application hosts the within-application contention chain.
+        self._hot_application = self._applications[0]
+
+    # ------------------------------------------------------------- hot keys
+    def hot_account_name(self, index: int, application: Optional[str] = None) -> str:
+        """Name of the ``index``-th hot account for ``application`` (or global)."""
+        if self.config.conflict_scope is ConflictScope.CROSS_APPLICATION or application is None:
+            return f"hot-global-{index}"
+        return f"hot-{application}-{index}"
+
+    def _hot_accounts_for(self, application: str) -> List[str]:
+        return [self.hot_account_name(i, application) for i in range(self.config.hot_accounts)]
+
+    # --------------------------------------------------------------- workload
+    def generate(self, count: int) -> List[Transaction]:
+        """Generate ``count`` transfer transactions (timestamps left to orderers).
+
+        Transaction ids encode the generator sequence number so repeated calls
+        keep producing fresh, non-overlapping identifiers and accounts.
+        """
+        if count < 0:
+            raise ConfigurationError("count must be >= 0")
+        transactions: List[Transaction] = []
+        for _ in range(count):
+            index = self._generated
+            self._generated += 1
+            conflicting = self._rng.random() < self.config.contention
+            client = self._clients[index % len(self._clients)]
+            application = self._pick_application(index, conflicting)
+            source = f"src-{index}"
+            if conflicting:
+                hot_pool = self._hot_accounts_for(application)
+                destination = hot_pool[index % len(hot_pool)]
+            else:
+                destination = f"sink-{index}"
+            tx = AccountingContract.make_transfer_transaction(
+                tx_id=f"tx-{index}",
+                application=application,
+                client=client,
+                transfers=[Transfer(source=source, destination=destination, amount=self.config.transfer_amount)],
+            )
+            transactions.append(tx)
+        return transactions
+
+    def _pick_application(self, index: int, conflicting: bool) -> str:
+        if conflicting and self.config.conflict_scope is ConflictScope.WITHIN_APPLICATION:
+            return self._hot_application
+        return self._applications[index % len(self._applications)]
+
+    # ------------------------------------------------------------------ state
+    def initial_state(self, transactions: Sequence[Transaction]) -> Dict[str, Dict[str, object]]:
+        """Build the world state every account touched by ``transactions`` needs.
+
+        Source accounts are owned by the issuing client (so ownership checks
+        pass) and funded generously; destination and hot accounts start at
+        zero balance with a neutral owner.
+        """
+        accounts: Dict[str, Tuple[float, str]] = {}
+        for tx in transactions:
+            for leg in tx.payload.get("transfers", ()):
+                source_key = account_key(leg["source"])
+                destination_key = account_key(leg["destination"])
+                if source_key not in accounts:
+                    accounts[source_key] = (self.config.initial_balance, tx.client)
+                if destination_key not in accounts:
+                    accounts[destination_key] = (0.0, "treasury")
+        return {
+            key: {"balance": balance, "owner": owner}
+            for key, (balance, owner) in accounts.items()
+        }
+
+    # -------------------------------------------------------------- analytics
+    def expected_conflict_fraction(self) -> float:
+        """The configured degree of contention."""
+        return self.config.contention
+
+    def describe(self) -> Dict[str, object]:
+        """Human-readable summary used by the benchmark reports."""
+        return {
+            "applications": self.config.num_applications,
+            "clients": self.config.num_clients,
+            "contention": self.config.contention,
+            "conflict_scope": self.config.conflict_scope.value,
+            "hot_accounts": self.config.hot_accounts,
+            "generated": self._generated,
+        }

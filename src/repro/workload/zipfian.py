@@ -1,0 +1,56 @@
+"""Zipfian key sampling.
+
+Hot-spot access patterns in transactional workloads are commonly modelled with
+a Zipf distribution; the workload generator can use this sampler instead of a
+single hot key when a smoother contention profile is wanted (e.g. for the
+ablation benchmarks).
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import List, Sequence
+
+
+class ZipfianSampler:
+    """Samples indices ``0 .. n-1`` with probability proportional to ``1/(i+1)^s``."""
+
+    def __init__(self, population: int, exponent: float = 1.0, seed: int = 7) -> None:
+        if population <= 0:
+            raise ValueError("population must be positive")
+        if exponent < 0:
+            raise ValueError("exponent must be >= 0")
+        self.population = population
+        self.exponent = exponent
+        self._rng = random.Random(seed)
+        weights = [1.0 / ((i + 1) ** exponent) for i in range(population)]
+        total = sum(weights)
+        cumulative: List[float] = []
+        running = 0.0
+        for weight in weights:
+            running += weight / total
+            cumulative.append(running)
+        cumulative[-1] = 1.0
+        self._cumulative = cumulative
+
+    def sample(self) -> int:
+        """Draw one index."""
+        return bisect.bisect_left(self._cumulative, self._rng.random())
+
+    def sample_many(self, count: int) -> List[int]:
+        """Draw ``count`` indices."""
+        return [self.sample() for _ in range(count)]
+
+    def probability(self, index: int) -> float:
+        """Probability mass of ``index``."""
+        if not 0 <= index < self.population:
+            raise IndexError(f"index {index} out of range")
+        previous = self._cumulative[index - 1] if index > 0 else 0.0
+        return self._cumulative[index] - previous
+
+    def pick(self, items: Sequence[str]) -> str:
+        """Pick an item from ``items`` (must have length ``population``)."""
+        if len(items) != self.population:
+            raise ValueError("items length must equal the sampler population")
+        return items[self.sample()]

@@ -1,0 +1,75 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import BlockCutPolicy, CostModel, LatencyConfig, SystemConfig
+from repro.contracts.accounting import AccountingContract, Transfer
+from repro.core.transaction import ReadWriteSet, Transaction
+from repro.crypto.signatures import KeyRegistry
+from repro.network.transport import Network
+from repro.simulation import Environment
+
+
+@pytest.fixture
+def env() -> Environment:
+    """A fresh simulation environment."""
+    return Environment()
+
+
+@pytest.fixture
+def registry() -> KeyRegistry:
+    """A key registry seeded for reproducibility."""
+    return KeyRegistry(seed="tests")
+
+
+@pytest.fixture
+def network(env: Environment) -> Network:
+    """A single-datacenter network on the fresh environment."""
+    return Network(env)
+
+
+@pytest.fixture
+def small_config() -> SystemConfig:
+    """A small, fast deployment configuration used by integration tests."""
+    return SystemConfig(
+        num_orderers=3,
+        num_applications=3,
+        executors_per_application=1,
+        cores_per_node=4,
+        block_cut=BlockCutPolicy(max_transactions=20, max_bytes=1_000_000, max_delay=0.2),
+        cost_model=CostModel(),
+        latency=LatencyConfig(),
+    )
+
+
+def make_tx(
+    tx_id: str,
+    reads=(),
+    writes=(),
+    application: str = "app-0",
+    timestamp: int = 0,
+    client: str = "client-0",
+    payload=None,
+) -> Transaction:
+    """Convenience transaction constructor used across the unit tests."""
+    return Transaction(
+        tx_id=tx_id,
+        application=application,
+        rw_set=ReadWriteSet.build(reads=reads, writes=writes),
+        timestamp=timestamp,
+        payload=payload or {},
+        client=client,
+    )
+
+
+def make_transfer(tx_id: str, source: str, destination: str, amount: float = 1.0,
+                  application: str = "app-0", client: str = "client-0") -> Transaction:
+    """Convenience transfer-transaction constructor."""
+    return AccountingContract.make_transfer_transaction(
+        tx_id=tx_id,
+        application=application,
+        client=client,
+        transfers=[Transfer(source=source, destination=destination, amount=amount)],
+    )

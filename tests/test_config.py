@@ -1,0 +1,91 @@
+"""Tests for the configuration objects and cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import (
+    BlockCutPolicy,
+    CostModel,
+    LatencyConfig,
+    SystemConfig,
+    default_tau,
+)
+from repro.common.errors import ConfigurationError
+
+
+class TestCostModel:
+    def test_dependency_graph_cost_is_quadratic(self):
+        cost = CostModel()
+        assert cost.dependency_graph_cost(0) == 0.0
+        assert cost.dependency_graph_cost(1) == 0.0
+        small = cost.dependency_graph_cost(100)
+        large = cost.dependency_graph_cost(200)
+        assert large / small == pytest.approx(200 * 199 / (100 * 99), rel=1e-6)
+
+    def test_negative_block_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CostModel().dependency_graph_cost(-1)
+
+    def test_scaled(self):
+        base = CostModel()
+        doubled = base.scaled(2.0)
+        assert doubled.tx_execution == pytest.approx(2 * base.tx_execution)
+        assert doubled.signature == pytest.approx(2 * base.signature)
+        with pytest.raises(ConfigurationError):
+            base.scaled(0.0)
+
+
+class TestLatencyConfig:
+    def test_transfer_delay(self):
+        latency = LatencyConfig(bandwidth_bytes_per_sec=1000.0)
+        assert latency.transfer_delay(500) == pytest.approx(0.5)
+        assert latency.transfer_delay(0) == 0.0
+
+
+class TestBlockCutPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BlockCutPolicy(max_transactions=0)
+        with pytest.raises(ConfigurationError):
+            BlockCutPolicy(max_delay=0.0)
+
+
+class TestSystemConfig:
+    def test_defaults_match_paper_testbed(self):
+        config = SystemConfig()
+        assert config.num_orderers == 3
+        assert config.num_applications == 3
+        assert config.num_executors == 3
+        assert config.cores_per_node == 8
+        assert config.block_cut.max_transactions == 200
+
+    def test_with_block_size(self):
+        config = SystemConfig().with_block_size(100)
+        assert config.block_cut.max_transactions == 100
+        assert SystemConfig().block_cut.max_transactions == 200  # original untouched
+
+    def test_with_far_groups_validation(self):
+        config = SystemConfig().with_far_groups(["clients"])
+        assert config.far_groups == ("clients",)
+        with pytest.raises(ConfigurationError):
+            SystemConfig(far_groups=["mars"])
+
+    def test_consensus_quorum_validation(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(consensus_protocol="pbft", max_faulty_orderers=1, num_orderers=3)
+        config = SystemConfig(consensus_protocol="pbft", max_faulty_orderers=1, num_orderers=4)
+        assert config.max_faulty_orderers == 1
+        with pytest.raises(ConfigurationError):
+            SystemConfig(consensus_protocol="tendermint")
+
+    def test_tau_defaults_and_overrides(self):
+        config = SystemConfig(tau={"app-0": 2})
+        assert config.tau_for("app-0") == 2
+        assert config.tau_for("app-1") == 1
+        assert default_tau(["a", "b"], 3) == {"a": 3, "b": 3}
+        with pytest.raises(ConfigurationError):
+            default_tau(["a"], 0)
+
+    def test_application_names(self):
+        assert SystemConfig(num_applications=2).application_names() == ["app-0", "app-1"]

@@ -1,0 +1,187 @@
+"""Tests for the pluggable ordering protocols (PBFT, Raft, Kafka-style)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError, ProtocolError
+from repro.consensus import KafkaOrdering, PBFTOrdering, RaftOrdering, make_ordering_service
+from repro.crypto.signatures import KeyRegistry
+from repro.network import FaultPlan, Network
+from repro.simulation import Environment
+
+
+def build_cluster(protocol: str, num_orderers: int, max_faulty: int = 0, faults=None):
+    """Wire a cluster of orderers running ``protocol`` over a simulated network."""
+    env = Environment()
+    network = Network(env, faults=faults or FaultPlan())
+    registry = KeyRegistry(seed="consensus-tests")
+    peers = [f"orderer-{i}" for i in range(num_orderers)]
+    decided = {name: [] for name in peers}
+    services = {}
+    for name in peers:
+        registry.register(name)
+        interface = network.register(name)
+        services[name] = make_ordering_service(
+            protocol,
+            env=env,
+            node_id=name,
+            peers=peers,
+            interface=interface,
+            registry=registry,
+            on_decide=lambda d, name=name: decided[name].append(d),
+            max_faulty=max_faulty,
+        )
+
+    def node_loop(env, service, interface):
+        while True:
+            envelope = yield interface.receive()
+            yield env.process(service.handle_message(envelope))
+
+    for name in peers:
+        env.process(node_loop(env, services[name], network.interface(name)))
+    return env, network, services, decided, peers
+
+
+@pytest.mark.parametrize("protocol,num,faulty", [("pbft", 4, 1), ("raft", 3, 1), ("kafka", 3, 1)])
+class TestAllProtocols:
+    def test_single_proposal_decided_everywhere(self, protocol, num, faulty):
+        env, network, services, decided, peers = build_cluster(protocol, num, faulty)
+        leader = services[peers[0]]
+
+        def propose(env):
+            decision = yield env.process(leader.propose({"batch": 1}))
+            return decision
+
+        process = env.process(propose(env))
+        env.run(until=5.0)
+        assert process.triggered and process.ok
+        assert process.value.sequence == 1
+        for name in peers:
+            assert [d.sequence for d in decided[name]] == [1]
+            assert decided[name][0].payload == {"batch": 1}
+
+    def test_multiple_proposals_delivered_in_order(self, protocol, num, faulty):
+        env, network, services, decided, peers = build_cluster(protocol, num, faulty)
+        leader = services[peers[0]]
+
+        def propose_many(env):
+            for i in range(5):
+                yield env.process(leader.propose({"batch": i}))
+
+        env.process(propose_many(env))
+        env.run(until=10.0)
+        for name in peers:
+            sequences = [d.sequence for d in decided[name]]
+            payloads = [d.payload["batch"] for d in decided[name]]
+            assert sequences == [1, 2, 3, 4, 5]
+            assert payloads == [0, 1, 2, 3, 4]
+
+    def test_non_leader_cannot_propose(self, protocol, num, faulty):
+        env, network, services, decided, peers = build_cluster(protocol, num, faulty)
+        follower = services[peers[1]]
+        with pytest.raises(ProtocolError):
+            # propose() validates leadership before yielding anything.
+            next(iter(follower.propose({"batch": 1})))
+
+    def test_decision_survives_f_crashed_followers(self, protocol, num, faulty):
+        faults = FaultPlan()
+        env, network, services, decided, peers = build_cluster(protocol, num, faulty, faults=faults)
+        # Crash the last f follower(s); quorum must still be reachable.
+        for name in peers[-faulty:]:
+            faults.crash(name)
+        leader = services[peers[0]]
+        process = env.process(leader.propose({"batch": 1}))
+        env.run(until=5.0)
+        assert process.triggered and process.ok
+        for name in peers[: num - faulty]:
+            assert [d.sequence for d in decided[name]] == [1]
+
+
+class TestQuorumSizes:
+    def test_pbft_requires_3f_plus_1(self):
+        env = Environment()
+        network = Network(env)
+        registry = KeyRegistry()
+        peers = ["o-0", "o-1", "o-2"]
+        registry.register("o-0")
+        with pytest.raises(ProtocolError):
+            PBFTOrdering(
+                env=env,
+                node_id="o-0",
+                peers=peers,
+                interface=network.register("o-0"),
+                registry=registry,
+                max_faulty=1,
+            )
+
+    def test_raft_requires_2f_plus_1(self):
+        env = Environment()
+        network = Network(env)
+        registry = KeyRegistry()
+        registry.register("o-0")
+        with pytest.raises(ProtocolError):
+            RaftOrdering(
+                env=env,
+                node_id="o-0",
+                peers=["o-0", "o-1"],
+                interface=network.register("o-0"),
+                registry=registry,
+                max_faulty=1,
+            )
+
+    def test_unknown_protocol_rejected(self):
+        env = Environment()
+        network = Network(env)
+        registry = KeyRegistry()
+        registry.register("o-0")
+        with pytest.raises(ConfigurationError):
+            make_ordering_service(
+                "pow",
+                env=env,
+                node_id="o-0",
+                peers=["o-0"],
+                interface=network.register("o-0"),
+                registry=registry,
+            )
+
+
+class TestPBFTByzantineBehaviour:
+    def test_forged_preprepare_from_non_primary_is_ignored(self):
+        env, network, services, decided, peers = build_cluster("pbft", 4, 1)
+        byzantine = peers[3]
+        # The Byzantine follower tries to pre-prepare its own value.
+        services[byzantine].sign_and_multicast(
+            "PBFT_PRE_PREPARE",
+            {"view": 0, "seq": 1, "digest": "bogus", "payload": {"evil": True}},
+        )
+        env.run(until=2.0)
+        for name in peers:
+            assert decided[name] == []
+
+    def test_pbft_stalls_without_quorum(self):
+        faults = FaultPlan()
+        env, network, services, decided, peers = build_cluster("pbft", 4, 1, faults=faults)
+        # Crash 2f followers: only 2 of 4 orderers remain, below the commit quorum.
+        faults.crash(peers[2])
+        faults.crash(peers[3])
+        leader = services[peers[0]]
+        process = env.process(leader.propose({"batch": 1}))
+        env.run(until=5.0)
+        assert not process.triggered
+        assert decided[peers[1]] == []
+
+
+class TestKafkaSpecifics:
+    def test_broker_delay_contributes_to_latency(self):
+        env, network, services, decided, peers = build_cluster("kafka", 3, 0)
+        leader = services[peers[0]]
+        process = env.process(leader.propose({"batch": 1}))
+        env.run(until=5.0)
+        assert process.value.decided_at >= KafkaOrdering(
+            env=Environment(),
+            node_id="x",
+            peers=["x"],
+            interface=Network(Environment()).register("x"),
+            registry=KeyRegistry(),
+        ).broker_delay

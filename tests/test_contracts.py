@@ -1,0 +1,196 @@
+"""Tests for the smart contracts and the contract registry."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ContractError
+from repro.contracts import (
+    AccountingContract,
+    ContractRegistry,
+    KeyValueContract,
+    SupplyChainContract,
+)
+from repro.contracts.accounting import Transfer, account_key
+from repro.core.execution import ExecutionEngine
+from repro.core.dependency_graph import build_dependency_graph
+
+
+class TestAccountingContract:
+    def setup_method(self):
+        self.contract = AccountingContract("app-0")
+        self.state = AccountingContract.initial_state(
+            [("1001", 100.0, "alice"), ("1002", 50.0, "bob"), ("1003", 0.0, "carol")]
+        )
+
+    def _transfer(self, tx_id, source, destination, amount, client="alice"):
+        return AccountingContract.make_transfer_transaction(
+            tx_id=tx_id,
+            application="app-0",
+            client=client,
+            transfers=[Transfer(source=source, destination=destination, amount=amount)],
+        )
+
+    def test_paper_example_read_write_sets(self):
+        tx = self._transfer("T", "1001", "1002", 10.0)
+        assert tx.read_set == {account_key("1001")}
+        assert tx.write_set == {account_key("1001"), account_key("1002")}
+
+    def test_valid_transfer_moves_funds(self):
+        tx = self._transfer("T", "1001", "1002", 30.0)
+        result = self.contract.execute(tx, self.state)
+        assert not result.is_abort
+        assert result.updates[account_key("1001")]["balance"] == 70.0
+        assert result.updates[account_key("1002")]["balance"] == 80.0
+
+    def test_overdraft_aborts(self):
+        tx = self._transfer("T", "1001", "1002", 1000.0)
+        assert self.contract.execute(tx, self.state).is_abort
+
+    def test_wrong_owner_aborts(self):
+        tx = self._transfer("T", "1001", "1002", 10.0, client="mallory")
+        assert self.contract.execute(tx, self.state).is_abort
+
+    def test_unknown_account_aborts(self):
+        tx = self._transfer("T", "9999", "1002", 10.0)
+        assert self.contract.execute(tx, self.state).is_abort
+
+    def test_ownership_check_can_be_disabled(self):
+        relaxed = AccountingContract("app-0", enforce_ownership=False)
+        tx = self._transfer("T", "1001", "1002", 10.0, client="mallory")
+        assert not relaxed.execute(tx, self.state).is_abort
+
+    def test_multi_leg_transfer(self):
+        tx = AccountingContract.make_transfer_transaction(
+            tx_id="T",
+            application="app-0",
+            client="alice",
+            transfers=[
+                Transfer(source="1001", destination="1002", amount=10.0),
+                Transfer(source="1001", destination="1003", amount=5.0),
+            ],
+        )
+        result = AccountingContract("app-0").execute(tx, self.state)
+        assert result.updates[account_key("1001")]["balance"] == 85.0
+        assert result.updates[account_key("1003")]["balance"] == 5.0
+
+    def test_empty_transfer_list_rejected(self):
+        with pytest.raises(ContractError):
+            AccountingContract.make_transfer_transaction(
+                tx_id="T", application="app-0", client="alice", transfers=[]
+            )
+
+    def test_balance_helpers(self):
+        assert AccountingContract.balance_of(self.state, "1001") == 100.0
+        assert AccountingContract.balance_of(self.state, "missing") == 0.0
+        assert AccountingContract.total_balance(self.state) == 150.0
+
+    def test_total_balance_conserved_by_block_execution(self):
+        txs = [
+            self._transfer("T1", "1001", "1002", 10.0),
+            self._transfer("T2", "1001", "1003", 20.0),
+            AccountingContract.make_transfer_transaction(
+                tx_id="T3", application="app-0", client="bob",
+                transfers=[Transfer(source="1002", destination="1003", amount=5.0)],
+            ),
+        ]
+        txs = [tx.with_timestamp(i + 1) for i, tx in enumerate(txs)]
+        engine = ExecutionEngine(lambda tx, s: AccountingContract("app-0").execute(tx, s), dict(self.state))
+        engine.execute_with_graph(build_dependency_graph(txs))
+        assert AccountingContract.total_balance(engine.state) == pytest.approx(150.0)
+
+    @given(st.floats(min_value=0.01, max_value=99.9))
+    @settings(max_examples=30, deadline=None)
+    def test_transfer_conserves_total_property(self, amount):
+        tx = self._transfer("T", "1001", "1002", amount)
+        result = AccountingContract("app-0").execute(tx, self.state)
+        merged = dict(self.state)
+        merged.update(result.updates)
+        assert AccountingContract.total_balance(merged) == pytest.approx(150.0)
+
+
+class TestKeyValueContract:
+    def test_literal_writes(self):
+        contract = KeyValueContract("app-kv")
+        tx = KeyValueContract.make_transaction("t", "app-kv", reads=[], writes={"x": 42})
+        result = contract.execute(tx, {})
+        assert result.updates == {"x": 42}
+
+    def test_derived_writes_depend_on_reads(self):
+        contract = KeyValueContract("app-kv")
+        tx = KeyValueContract.make_transaction("t", "app-kv", reads=["a", "b"], writes={"sum": None})
+        result = contract.execute(tx, {"a": 2, "b": 3})
+        assert result.updates == {"sum": 6}
+        different = contract.execute(tx, {"a": 10, "b": 3})
+        assert different.updates == {"sum": 14}
+
+
+class TestSupplyChainContract:
+    def setup_method(self):
+        self.contract = SupplyChainContract("app-sc")
+
+    def test_register_ship_inspect_flow(self):
+        state = {}
+        register = SupplyChainContract.make_register("t1", "app-sc", "asset-1", owner="factory")
+        result = self.contract.execute(register, state)
+        state.update(result.updates)
+        ship = SupplyChainContract.make_ship("t2", "app-sc", "asset-1", sender="factory", recipient="dc")
+        result = self.contract.execute(ship, state)
+        state.update(result.updates)
+        inspect = SupplyChainContract.make_inspect("t3", "app-sc", "asset-1", inspector="auditor", verdict="ok")
+        result = self.contract.execute(inspect, state)
+        state.update(result.updates)
+        record = state["asset/asset-1"]
+        assert record["owner"] == "dc"
+        assert record["status"] == "ok"
+        assert len(record["history"]) == 3
+
+    def test_double_register_aborts(self):
+        state = {}
+        first = SupplyChainContract.make_register("t1", "app-sc", "a", owner="x")
+        state.update(self.contract.execute(first, state).updates)
+        second = SupplyChainContract.make_register("t2", "app-sc", "a", owner="y")
+        assert self.contract.execute(second, state).is_abort
+
+    def test_ship_by_non_owner_aborts(self):
+        state = {}
+        state.update(self.contract.execute(
+            SupplyChainContract.make_register("t1", "app-sc", "a", owner="factory"), state).updates)
+        theft = SupplyChainContract.make_ship("t2", "app-sc", "a", sender="thief", recipient="fence")
+        assert self.contract.execute(theft, state).is_abort
+
+    def test_ship_unknown_asset_aborts(self):
+        ship = SupplyChainContract.make_ship("t", "app-sc", "ghost", sender="x", recipient="y")
+        assert self.contract.execute(ship, {}).is_abort
+
+
+class TestContractRegistry:
+    def test_install_and_lookup(self):
+        registry = ContractRegistry()
+        registry.install(AccountingContract("app-0"), agents=["e0", "e1"])
+        registry.install(KeyValueContract("app-1"), agents=["e2"])
+        assert set(registry.applications()) == {"app-0", "app-1"}
+        assert registry.agents_of("app-0") == ["e0", "e1"]
+        assert registry.is_agent("e0", "app-0")
+        assert not registry.is_agent("e0", "app-1")
+        assert registry.applications_of("e2") == ["app-1"]
+
+    def test_install_requires_agents(self):
+        registry = ContractRegistry()
+        with pytest.raises(ContractError):
+            registry.install(AccountingContract("app-0"), agents=[])
+
+    def test_unknown_application_rejected(self):
+        registry = ContractRegistry()
+        with pytest.raises(ContractError):
+            registry.contract("ghost")
+        with pytest.raises(ContractError):
+            registry.agents_of("ghost")
+
+    def test_execute_stamps_executor(self):
+        registry = ContractRegistry()
+        registry.install(KeyValueContract("app-kv"), agents=["e0"])
+        tx = KeyValueContract.make_transaction("t", "app-kv", reads=[], writes={"x": 1})
+        result = registry.execute(tx, {}, executed_by="e0")
+        assert result.executed_by == "e0"

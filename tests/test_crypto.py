@@ -1,0 +1,159 @@
+"""Unit tests for the crypto substrate: hashing, signatures, Merkle trees."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import SignatureError
+from repro.crypto.hashing import GENESIS_HASH, combined_hash, content_hash, hash_chain, hash_pair
+from repro.crypto.merkle import MerkleTree
+from repro.crypto.signatures import KeyPair, KeyRegistry, SignedMessage, sign, verify
+
+
+class TestContentHash:
+    def test_deterministic(self):
+        value = {"b": 2, "a": [1, 2, {"x": None}]}
+        assert content_hash(value) == content_hash(value)
+
+    def test_dict_order_independent(self):
+        assert content_hash({"a": 1, "b": 2}) == content_hash({"b": 2, "a": 1})
+
+    def test_different_values_different_hashes(self):
+        assert content_hash({"a": 1}) != content_hash({"a": 2})
+
+    def test_type_distinction(self):
+        # The canonical encoding distinguishes types even when reprs collide.
+        assert content_hash(1) != content_hash("1")
+        assert content_hash(True) != content_hash(1)
+
+    def test_nested_sequences(self):
+        assert content_hash([1, [2, 3]]) != content_hash([[1, 2], 3])
+
+    def test_sets_are_order_independent(self):
+        assert content_hash({"x", "y", "z"}) == content_hash({"z", "y", "x"})
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            content_hash(object())
+
+    def test_canonical_tuple_protocol(self):
+        class Thing:
+            def canonical_tuple(self):
+                return ("thing", 42)
+
+        assert content_hash(Thing()) == content_hash(Thing())
+
+    @given(st.dictionaries(st.text(max_size=8), st.integers(), max_size=8))
+    def test_hash_is_stable_under_reinsertion(self, mapping):
+        reordered = dict(reversed(list(mapping.items())))
+        assert content_hash(mapping) == content_hash(reordered)
+
+
+class TestHashChain:
+    def test_chain_depends_on_previous(self):
+        first = hash_chain(GENESIS_HASH, "block-1")
+        second = hash_chain(first, "block-2")
+        assert first != second
+        assert hash_chain(GENESIS_HASH, "block-2") != second
+
+    def test_hash_pair_is_order_sensitive(self):
+        assert hash_pair("ab", "cd") != hash_pair("cd", "ab")
+
+    def test_combined_hash_matches_manual_chaining(self):
+        values = ["a", "b", "c"]
+        manual = GENESIS_HASH
+        for value in values:
+            manual = hash_chain(manual, value)
+        assert combined_hash(values) == manual
+
+
+class TestSignatures:
+    def test_sign_and_verify_roundtrip(self):
+        key = KeyPair.generate("node-1", seed="s")
+        signature = sign({"msg": 1}, key)
+        assert verify({"msg": 1}, signature, key)
+
+    def test_verification_fails_on_tampered_payload(self):
+        key = KeyPair.generate("node-1")
+        signature = sign({"msg": 1}, key)
+        assert not verify({"msg": 2}, signature, key)
+
+    def test_verification_fails_with_wrong_key(self):
+        key1 = KeyPair.generate("node-1")
+        key2 = KeyPair.generate("node-2")
+        signature = sign("payload", key1)
+        assert not verify("payload", signature, key2)
+
+    def test_registry_sign_and_verify(self):
+        registry = KeyRegistry(seed="t")
+        registry.register("orderer-0")
+        message = registry.sign({"seq": 1}, "orderer-0")
+        assert registry.verify(message)
+
+    def test_registry_rejects_forged_signer(self):
+        registry = KeyRegistry(seed="t")
+        registry.register("honest")
+        registry.register("byzantine")
+        # The Byzantine node signs with its own key but claims to be "honest".
+        forged = registry.sign({"seq": 1}, "byzantine")
+        claim = SignedMessage(payload=forged.payload, signer="honest", signature=forged.signature)
+        assert not registry.verify(claim)
+
+    def test_registry_unknown_signer(self):
+        registry = KeyRegistry()
+        message = SignedMessage(payload="x", signer="ghost", signature="00")
+        assert not registry.verify(message)
+        with pytest.raises(SignatureError):
+            registry.key_for("ghost")
+
+    def test_registry_check_raises(self):
+        registry = KeyRegistry()
+        registry.register("a")
+        good = registry.sign("payload", "a")
+        registry.check(good)
+        bad = SignedMessage(payload="other", signer="a", signature=good.signature)
+        with pytest.raises(SignatureError):
+            registry.check(bad)
+
+    def test_deterministic_keys_with_same_seed(self):
+        assert KeyPair.generate("n", seed="x") == KeyPair.generate("n", seed="x")
+        assert KeyPair.generate("n", seed="x") != KeyPair.generate("n", seed="y")
+
+
+class TestMerkleTree:
+    def test_empty_tree_has_genesis_root(self):
+        assert MerkleTree([]).root == GENESIS_HASH
+
+    def test_single_leaf_root_is_leaf_hash(self):
+        tree = MerkleTree(["tx-1"])
+        assert tree.root == content_hash("tx-1")
+
+    def test_root_changes_with_leaves(self):
+        assert MerkleTree(["a", "b"]).root != MerkleTree(["a", "c"]).root
+
+    def test_root_depends_on_order(self):
+        assert MerkleTree(["a", "b"]).root != MerkleTree(["b", "a"]).root
+
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 5, 8, 13])
+    def test_proofs_verify_for_every_leaf(self, size):
+        leaves = [f"tx-{i}" for i in range(size)]
+        tree = MerkleTree(leaves)
+        for index, leaf in enumerate(leaves):
+            proof = tree.proof(index)
+            assert MerkleTree.verify_proof(leaf, proof, tree.root)
+
+    def test_proof_fails_for_wrong_leaf(self):
+        tree = MerkleTree(["a", "b", "c", "d"])
+        proof = tree.proof(1)
+        assert not MerkleTree.verify_proof("tampered", proof, tree.root)
+
+    def test_proof_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            MerkleTree(["a"]).proof(3)
+
+    @given(st.lists(st.text(max_size=6), min_size=1, max_size=20))
+    def test_every_proof_verifies_property(self, leaves):
+        tree = MerkleTree(leaves)
+        for index, leaf in enumerate(leaves):
+            assert MerkleTree.verify_proof(leaf, tree.proof(index), tree.root)

@@ -1,0 +1,249 @@
+"""Tests for dependency-graph construction — the paper's core data structure."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import DependencyGraphError
+from repro.core.dependency_graph import (
+    ConflictType,
+    DependencyEdge,
+    DependencyGraph,
+    GraphMode,
+    build_dependency_graph,
+    build_operation_graph,
+    conflicts,
+    contention_statistics,
+    has_ordering_dependency,
+)
+from tests.conftest import make_tx
+
+
+def paper_example_block():
+    """The block of Figure 2: [T1, T5, T4, T3, T2] with the paper's conflicts.
+
+    T1 writes b; T4 reads b (T1 ~> T4).  T5 writes d and reads e; T2 writes d
+    (T5 ~> T2); T3 writes e (T5 ~> T3).
+    """
+    t1 = make_tx("T1", reads=["a"], writes=["b"], application="app-1", timestamp=1)
+    t5 = make_tx("T5", reads=["e"], writes=["d"], application="app-2", timestamp=2)
+    t4 = make_tx("T4", reads=["b"], writes=["f"], application="app-2", timestamp=3)
+    t3 = make_tx("T3", reads=["g"], writes=["e"], application="app-1", timestamp=4)
+    t2 = make_tx("T2", reads=["h"], writes=["d"], application="app-2", timestamp=5)
+    return [t1, t5, t4, t3, t2]
+
+
+class TestConflictDetection:
+    def test_read_write_conflict(self):
+        earlier = make_tx("a", reads=["x"], timestamp=1)
+        later = make_tx("b", writes=["x"], timestamp=2)
+        assert conflicts(earlier, later) == [ConflictType.READ_WRITE]
+        assert has_ordering_dependency(earlier, later)
+
+    def test_write_read_conflict(self):
+        earlier = make_tx("a", writes=["x"], timestamp=1)
+        later = make_tx("b", reads=["x"], timestamp=2)
+        assert ConflictType.WRITE_READ in conflicts(earlier, later)
+
+    def test_write_write_conflict(self):
+        earlier = make_tx("a", writes=["x"], timestamp=1)
+        later = make_tx("b", writes=["x"], timestamp=2)
+        assert ConflictType.WRITE_WRITE in conflicts(earlier, later)
+
+    def test_read_read_is_not_a_conflict(self):
+        earlier = make_tx("a", reads=["x"], timestamp=1)
+        later = make_tx("b", reads=["x"], timestamp=2)
+        assert conflicts(earlier, later) == []
+        assert not has_ordering_dependency(earlier, later)
+
+    def test_no_dependency_against_timestamp_order(self):
+        earlier = make_tx("a", writes=["x"], timestamp=2)
+        later = make_tx("b", writes=["x"], timestamp=1)
+        assert not has_ordering_dependency(earlier, later)
+
+    def test_multi_version_only_write_read_orders(self):
+        w = make_tx("w", writes=["x"], timestamp=1)
+        r = make_tx("r", reads=["x"], timestamp=2)
+        w2 = make_tx("w2", writes=["x"], timestamp=2)
+        assert has_ordering_dependency(w, r, GraphMode.MULTI_VERSION)
+        assert not has_ordering_dependency(w, w2, GraphMode.MULTI_VERSION)
+        r1 = make_tx("r1", reads=["x"], timestamp=1)
+        assert not has_ordering_dependency(r1, w2, GraphMode.MULTI_VERSION)
+
+
+class TestPaperExample:
+    def test_figure2_edges(self):
+        graph = build_dependency_graph(paper_example_block())
+        edge_pairs = {(e.source, e.target) for e in graph.edges()}
+        assert edge_pairs == {("T1", "T4"), ("T5", "T2"), ("T5", "T3")}
+
+    def test_figure2_concurrency(self):
+        graph = build_dependency_graph(paper_example_block())
+        # T1 and T2 are not connected and can be processed concurrently.
+        assert "T2" not in graph.successors("T1")
+        assert "T1" not in graph.predecessors("T2")
+        assert graph.predecessors("T4") == {"T1"}
+        assert graph.successors("T5") == {"T2", "T3"}
+        assert set(graph.roots()) == {"T1", "T5"}
+
+    def test_figure2_cross_application_edges(self):
+        graph = build_dependency_graph(paper_example_block())
+        cross = {(e.source, e.target) for e in graph.cross_application_edges()}
+        assert ("T1", "T4") in cross  # app-1 -> app-2
+        assert ("T5", "T3") in cross  # app-2 -> app-1
+        assert graph.has_cross_application_dependency()
+
+
+class TestGraphStructure:
+    def test_no_contention_has_no_edges(self):
+        txs = [make_tx(f"t{i}", reads=[f"r{i}"], writes=[f"w{i}"], timestamp=i + 1) for i in range(10)]
+        graph = build_dependency_graph(txs)
+        assert graph.edge_count == 0
+        assert graph.critical_path_length() == 1
+        assert not graph.is_chain()
+        assert len(graph.components()) == 10
+        assert graph.degree_of_contention() == 0.0
+
+    def test_full_contention_is_a_chain(self):
+        txs = [make_tx(f"t{i}", reads=["hot"], writes=["hot"], timestamp=i + 1) for i in range(8)]
+        graph = build_dependency_graph(txs)
+        assert graph.is_chain()
+        assert graph.critical_path_length() == 8
+        assert graph.degree_of_contention() == 1.0
+
+    def test_partial_contention_profile(self):
+        hot = [make_tx(f"h{i}", writes=["hot"], timestamp=i + 1) for i in range(3)]
+        cold = [make_tx(f"c{i}", writes=[f"cold{i}"], timestamp=10 + i) for i in range(3)]
+        graph = build_dependency_graph(hot + cold)
+        assert graph.critical_path_length() == 3
+        profile = graph.parallelism_profile()
+        assert profile[0] == 4  # the three cold transactions plus the first hot one
+        assert sum(profile) == 6
+
+    def test_topological_order_respects_edges(self):
+        graph = build_dependency_graph(paper_example_block())
+        order = graph.topological_order()
+        assert order.index("T1") < order.index("T4")
+        assert order.index("T5") < order.index("T2")
+        assert order.index("T5") < order.index("T3")
+
+    def test_subgraph_for_application(self):
+        graph = build_dependency_graph(paper_example_block())
+        sub = graph.subgraph_for_application("app-2")
+        assert set(sub.transaction_ids) == {"T5", "T4", "T2"}
+        assert {(e.source, e.target) for e in sub.edges()} == {("T5", "T2")}
+
+    def test_single_transaction_is_trivially_a_chain(self):
+        graph = build_dependency_graph([make_tx("only", writes=["x"], timestamp=1)])
+        assert graph.is_chain()
+        assert graph.critical_path_length() == 1
+
+    def test_contention_statistics(self):
+        stats = contention_statistics(build_dependency_graph(paper_example_block()))
+        assert stats["transactions"] == 5.0
+        assert stats["edges"] == 3.0
+        assert stats["cross_application_edges"] == 2.0
+
+
+class TestGraphValidation:
+    def test_duplicate_transaction_ids_rejected(self):
+        txs = [make_tx("dup", timestamp=1), make_tx("dup", timestamp=2)]
+        with pytest.raises(DependencyGraphError):
+            DependencyGraph(txs, edges=[])
+
+    def test_edge_against_timestamp_order_rejected(self):
+        txs = [make_tx("a", timestamp=1), make_tx("b", timestamp=2)]
+        bad_edge = DependencyEdge(source="b", target="a", kinds=(ConflictType.WRITE_WRITE,))
+        with pytest.raises(DependencyGraphError):
+            DependencyGraph(txs, edges=[bad_edge])
+
+    def test_edge_with_unknown_transaction_rejected(self):
+        txs = [make_tx("a", timestamp=1)]
+        bad_edge = DependencyEdge(source="a", target="ghost", kinds=(ConflictType.WRITE_WRITE,))
+        with pytest.raises(DependencyGraphError):
+            DependencyGraph(txs, edges=[bad_edge])
+
+    def test_unknown_lookup_rejected(self):
+        graph = build_dependency_graph([make_tx("a", timestamp=1)])
+        with pytest.raises(DependencyGraphError):
+            graph.predecessors("ghost")
+
+    def test_duplicate_timestamps_rejected(self):
+        txs = [make_tx("a", writes=["x"], timestamp=1), make_tx("b", writes=["x"], timestamp=1)]
+        with pytest.raises(DependencyGraphError):
+            build_dependency_graph(txs)
+
+
+class TestOperationGraph:
+    def test_operation_graph_splits_transactions(self):
+        txs = [
+            make_tx("a", reads=["x"], writes=["y"], timestamp=1),
+            make_tx("b", reads=["y"], writes=["z"], timestamp=2),
+        ]
+        graph = build_operation_graph(txs)
+        assert graph.number_of_nodes() == 4
+        # a's write of y must precede b's read of y.
+        assert graph.has_edge("a:write:y", "b:read:y")
+
+    def test_reads_do_not_conflict_at_operation_level(self):
+        txs = [
+            make_tx("a", reads=["x"], timestamp=1),
+            make_tx("b", reads=["x"], timestamp=2),
+        ]
+        graph = build_operation_graph(txs)
+        assert graph.number_of_edges() == 0
+
+
+# ----------------------------------------------------------- property tests
+_keys = st.sampled_from(["k0", "k1", "k2", "k3", "k4", "k5"])
+
+
+@st.composite
+def _random_block(draw):
+    size = draw(st.integers(min_value=1, max_value=12))
+    txs = []
+    for i in range(size):
+        reads = draw(st.frozensets(_keys, max_size=3))
+        writes = draw(st.frozensets(_keys, max_size=3))
+        txs.append(make_tx(f"t{i}", reads=reads, writes=writes, timestamp=i + 1))
+    return txs
+
+
+class TestDependencyGraphProperties:
+    @given(_random_block())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_naive_pairwise_definition(self, txs):
+        """The per-record construction equals the paper's pairwise definition."""
+        graph = build_dependency_graph(txs)
+        expected = set()
+        for i, earlier in enumerate(txs):
+            for later in txs[i + 1 :]:
+                if has_ordering_dependency(earlier, later):
+                    expected.add((earlier.tx_id, later.tx_id))
+        assert {(e.source, e.target) for e in graph.edges()} == expected
+
+    @given(_random_block())
+    @settings(max_examples=60, deadline=None)
+    def test_graph_is_acyclic_and_edges_follow_timestamps(self, txs):
+        graph = build_dependency_graph(txs)
+        by_id = {tx.tx_id: tx for tx in txs}
+        for edge in graph.edges():
+            assert by_id[edge.source].timestamp < by_id[edge.target].timestamp
+        order = graph.topological_order()
+        assert len(order) == len(txs)
+
+    @given(_random_block())
+    @settings(max_examples=60, deadline=None)
+    def test_multi_version_graph_is_subgraph_of_single_version(self, txs):
+        single = build_dependency_graph(txs, mode=GraphMode.SINGLE_VERSION)
+        multi = build_dependency_graph(txs, mode=GraphMode.MULTI_VERSION)
+        single_edges = {(e.source, e.target) for e in single.edges()}
+        multi_edges = {(e.source, e.target) for e in multi.edges()}
+        assert multi_edges <= single_edges
+
+    @given(_random_block())
+    @settings(max_examples=40, deadline=None)
+    def test_critical_path_bounded_by_block_size(self, txs):
+        graph = build_dependency_graph(txs)
+        assert 1 <= graph.critical_path_length() <= len(txs)

@@ -1,0 +1,259 @@
+"""Tests for Algorithms 1-3: scheduling, commit batching and state updates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import DependencyGraphError, TransactionError
+from repro.core.dependency_graph import build_dependency_graph
+from repro.core.execution import (
+    CommitBatcher,
+    CommitMessage,
+    ExecutionEngine,
+    GraphScheduler,
+    StateUpdater,
+)
+from repro.core.transaction import TransactionResult
+from tests.conftest import make_tx
+
+
+def chain_block():
+    """Three transactions forming a chain t0 -> t1 -> t2 on a hot key."""
+    return [make_tx(f"t{i}", reads=["hot"], writes=["hot"], timestamp=i + 1) for i in range(3)]
+
+
+def cross_app_block():
+    """T1(app-0) -> T2(app-1) -> T3(app-0): the Figure 4(c) situation."""
+    t1 = make_tx("T1", writes=["x"], application="app-0", timestamp=1)
+    t2 = make_tx("T2", reads=["x"], writes=["y"], application="app-1", timestamp=2)
+    t3 = make_tx("T3", reads=["y"], writes=["z"], application="app-0", timestamp=3)
+    return [t1, t2, t3]
+
+
+def result_for(tx, updates=None, executor="e0", status="ok"):
+    return TransactionResult(
+        tx_id=tx.tx_id, application=tx.application, updates=updates or {}, status=status,
+        executed_by=executor,
+    )
+
+
+class TestGraphScheduler:
+    def test_roots_are_ready_immediately(self):
+        txs = [make_tx(f"t{i}", writes=[f"k{i}"], timestamp=i + 1) for i in range(4)]
+        graph = build_dependency_graph(txs)
+        scheduler = GraphScheduler(graph, assigned=[t.tx_id for t in txs])
+        ready = scheduler.ready_transactions()
+        assert {t.tx_id for t in ready} == {t.tx_id for t in txs}
+
+    def test_ready_transactions_not_returned_twice(self):
+        graph = build_dependency_graph(chain_block())
+        scheduler = GraphScheduler(graph, assigned=["t0", "t1", "t2"])
+        assert [t.tx_id for t in scheduler.ready_transactions()] == ["t0"]
+        assert scheduler.ready_transactions() == []
+
+    def test_chain_unlocks_one_at_a_time(self):
+        graph = build_dependency_graph(chain_block())
+        scheduler = GraphScheduler(graph, assigned=["t0", "t1", "t2"])
+        assert [t.tx_id for t in scheduler.ready_transactions()] == ["t0"]
+        scheduler.mark_executed("t0")
+        assert [t.tx_id for t in scheduler.ready_transactions()] == ["t1"]
+        scheduler.mark_executed("t1")
+        assert [t.tx_id for t in scheduler.ready_transactions()] == ["t2"]
+        scheduler.mark_executed("t2")
+        assert scheduler.is_done()
+
+    def test_remote_commit_unlocks_dependant(self):
+        """A predecessor executed by another agent unlocks via mark_committed."""
+        graph = build_dependency_graph(cross_app_block())
+        scheduler = GraphScheduler(graph, assigned=["T2"])  # agent of app-1 only
+        assert scheduler.ready_transactions() == []
+        assert scheduler.blocked_on("T2") == {"T1"}
+        scheduler.mark_committed("T1")
+        assert [t.tx_id for t in scheduler.ready_transactions()] == ["T2"]
+
+    def test_unknown_assignment_rejected(self):
+        graph = build_dependency_graph(chain_block())
+        with pytest.raises(DependencyGraphError):
+            GraphScheduler(graph, assigned=["ghost"])
+
+    def test_commit_for_foreign_transaction_is_ignored(self):
+        graph = build_dependency_graph(chain_block())
+        scheduler = GraphScheduler(graph, assigned=["t0"])
+        scheduler.mark_committed("not-in-this-block")  # must not raise
+        assert scheduler.committed == set()
+
+
+class TestCommitBatcher:
+    def test_no_flush_without_cross_application_successor(self):
+        graph = build_dependency_graph(chain_block())
+        batcher = CommitBatcher(graph, executor="e0", block_sequence=1)
+        tx0 = graph.transaction("t0")
+        assert batcher.add_result(result_for(tx0)) is None
+        assert len(batcher.pending_results) == 1
+
+    def test_flush_on_cross_application_cut_edge(self):
+        graph = build_dependency_graph(cross_app_block())
+        batcher = CommitBatcher(graph, executor="e0", block_sequence=1)
+        message = batcher.add_result(result_for(graph.transaction("T1")))
+        assert message is not None
+        assert [r.tx_id for r in message.results] == ["T1"]
+        assert batcher.pending_results == []
+
+    def test_flush_accumulates_prior_results(self):
+        """Results executed before the cut are carried in the same commit message."""
+        t_other = make_tx("T0", writes=["q"], application="app-0", timestamp=1)
+        t1 = make_tx("T1", writes=["x"], application="app-0", timestamp=2)
+        t2 = make_tx("T2", reads=["x"], application="app-1", timestamp=3)
+        graph = build_dependency_graph([t_other, t1, t2])
+        batcher = CommitBatcher(graph, executor="e0", block_sequence=1)
+        assert batcher.add_result(result_for(t_other)) is None
+        message = batcher.add_result(result_for(t1))
+        assert message is not None
+        assert [r.tx_id for r in message.results] == ["T0", "T1"]
+
+    def test_final_flush_returns_remainder(self):
+        graph = build_dependency_graph(chain_block())
+        batcher = CommitBatcher(graph, executor="e0", block_sequence=4)
+        batcher.add_result(result_for(graph.transaction("t0")))
+        message = batcher.flush()
+        assert message is not None
+        assert message.block_sequence == 4
+        assert batcher.flush() is None
+
+    def test_message_count_savings_versus_per_transaction(self):
+        """Batching sends far fewer commit messages than one-per-transaction."""
+        txs = [make_tx(f"t{i}", writes=[f"k{i}"], application="app-0", timestamp=i + 1) for i in range(20)]
+        graph = build_dependency_graph(txs)
+        batcher = CommitBatcher(graph, executor="e0", block_sequence=1)
+        messages = [batcher.add_result(result_for(tx)) for tx in txs]
+        messages.append(batcher.flush())
+        sent = [m for m in messages if m is not None]
+        assert len(sent) == 1  # single-application block -> one commit message
+
+
+class TestStateUpdater:
+    def _updater(self, txs, tau=1, agents=None):
+        applied = {}
+        agents = agents or {"app-0": ["e0", "e1"], "app-1": ["e2", "e3"]}
+
+        def is_agent(executor, application):
+            return executor in agents.get(application, [])
+
+        updater = StateUpdater(
+            block_transactions=txs,
+            tau=lambda app: tau,
+            is_agent=is_agent,
+            apply_update=lambda result: applied.update(result.updates),
+        )
+        return updater, applied
+
+    def test_commit_after_tau_matching_results(self):
+        txs = cross_app_block()
+        updater, applied = self._updater(txs, tau=2)
+        t1 = txs[0]
+        first = CommitMessage(executor="e0", block_sequence=1, results=(result_for(t1, {"x": 1}, "e0"),))
+        assert updater.receive(first) == []
+        second = CommitMessage(executor="e1", block_sequence=1, results=(result_for(t1, {"x": 1}, "e1"),))
+        assert updater.receive(second) == ["T1"]
+        assert applied == {"x": 1}
+        assert updater.committed_ids == {"T1"}
+
+    def test_non_agent_votes_are_ignored(self):
+        txs = cross_app_block()
+        updater, applied = self._updater(txs, tau=1)
+        bogus = CommitMessage(executor="e2", block_sequence=1, results=(result_for(txs[0], {"x": 9}, "e2"),))
+        assert updater.receive(bogus) == []  # e2 is not an agent of app-0
+        assert applied == {}
+
+    def test_duplicate_votes_from_same_executor_do_not_count_twice(self):
+        txs = cross_app_block()
+        updater, applied = self._updater(txs, tau=2)
+        msg = CommitMessage(executor="e0", block_sequence=1, results=(result_for(txs[0], {"x": 1}, "e0"),))
+        updater.receive(msg)
+        updater.receive(msg)
+        assert updater.committed_ids == set()
+
+    def test_mismatching_results_do_not_commit(self):
+        txs = cross_app_block()
+        updater, applied = self._updater(txs, tau=2)
+        updater.receive(CommitMessage(executor="e0", block_sequence=1, results=(result_for(txs[0], {"x": 1}, "e0"),)))
+        updater.receive(CommitMessage(executor="e1", block_sequence=1, results=(result_for(txs[0], {"x": 2}, "e1"),)))
+        assert updater.committed_ids == set()
+
+    def test_aborted_results_commit_without_state_change(self):
+        txs = cross_app_block()
+        updater, applied = self._updater(txs, tau=1)
+        abort = TransactionResult.abort(txs[0], executed_by="e0")
+        updater.receive(CommitMessage(executor="e0", block_sequence=1, results=(abort,)))
+        assert updater.committed_ids == {"T1"}
+        assert applied == {}
+
+    def test_results_for_unknown_transactions_are_ignored(self):
+        txs = cross_app_block()
+        updater, applied = self._updater(txs, tau=1)
+        foreign = TransactionResult(tx_id="ghost", application="app-0", updates={"x": 1})
+        updater.receive(CommitMessage(executor="e0", block_sequence=1, results=(foreign,)))
+        assert updater.committed_ids == set()
+
+    def test_completion_tracking(self):
+        txs = cross_app_block()
+        updater, _ = self._updater(txs, tau=1)
+        assert not updater.is_complete()
+        for tx, executor in zip(txs, ["e0", "e2", "e0"]):
+            updater.receive(
+                CommitMessage(executor=executor, block_sequence=1, results=(result_for(tx, {}, executor),))
+            )
+        assert updater.is_complete()
+        assert updater.pending_ids() == set()
+
+
+class TestExecutionEngine:
+    def _counter_runner(self):
+        """A contract incrementing the hot key by one each execution."""
+
+        def runner(tx, state):
+            value = state.get("hot", 0)
+            return TransactionResult(tx_id=tx.tx_id, application=tx.application, updates={"hot": value + 1})
+
+        return runner
+
+    def test_sequential_execution(self):
+        engine = ExecutionEngine(self._counter_runner(), state={})
+        results = engine.execute_sequentially(chain_block())
+        assert engine.state["hot"] == 3
+        assert [r.tx_id for r in results] == ["t0", "t1", "t2"]
+
+    def test_graph_execution_matches_sequential_on_chain(self):
+        graph = build_dependency_graph(chain_block())
+        engine = ExecutionEngine(self._counter_runner(), state={})
+        engine.execute_with_graph(graph)
+        assert engine.state["hot"] == 3
+
+    def test_graph_execution_matches_sequential_on_mixed_block(self):
+        txs = [
+            make_tx("a", reads=["hot"], writes=["hot"], timestamp=1),
+            make_tx("b", writes=["solo-b"], timestamp=2),
+            make_tx("c", reads=["hot"], writes=["hot"], timestamp=3),
+            make_tx("d", writes=["solo-d"], timestamp=4),
+        ]
+
+        def runner(tx, state):
+            if "hot" in tx.write_set:
+                return TransactionResult(tx_id=tx.tx_id, application=tx.application,
+                                         updates={"hot": state.get("hot", 0) + 1})
+            return TransactionResult(tx_id=tx.tx_id, application=tx.application,
+                                     updates={tx.tx_id: "done"})
+
+        sequential = ExecutionEngine(runner, state={})
+        sequential.execute_sequentially(txs)
+        graph_engine = ExecutionEngine(runner, state={})
+        graph_engine.execute_with_graph(build_dependency_graph(txs))
+        assert graph_engine.state == sequential.state
+
+    def test_aborted_transactions_do_not_update_state(self):
+        def runner(tx, state):
+            return TransactionResult.abort(tx)
+
+        engine = ExecutionEngine(runner, state={"hot": 0})
+        engine.execute_with_graph(build_dependency_graph(chain_block()))
+        assert engine.state == {"hot": 0}

@@ -1,0 +1,174 @@
+"""Tests for the ledger hash chain, the world state and the MVCC store."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import LedgerError
+from repro.core.block import Block
+from repro.ledger import Ledger, MultiVersionStore, WorldState
+from tests.conftest import make_tx
+
+
+def _block_chain(lengths):
+    """Build a valid chain of blocks with the given transaction counts."""
+    blocks = []
+    previous = Block.genesis()
+    for index, count in enumerate(lengths, start=1):
+        txs = [make_tx(f"b{index}-t{i}", writes=[f"k{i}"], timestamp=i + 1) for i in range(count)]
+        block = Block.create(sequence=index, transactions=txs, previous_hash=previous.digest())
+        blocks.append(block)
+        previous = block
+    return blocks
+
+
+class TestLedger:
+    def test_starts_with_genesis(self):
+        ledger = Ledger()
+        assert ledger.height == 0
+        assert len(ledger) == 1
+
+    def test_append_and_verify(self):
+        ledger = Ledger()
+        for block in _block_chain([2, 3, 1]):
+            ledger.append(block)
+        assert ledger.height == 3
+        assert ledger.transaction_count() == 6
+        assert ledger.verify_chain()
+        assert ledger.contains_transaction("b2-t0")
+        assert not ledger.contains_transaction("ghost")
+
+    def test_rejects_wrong_sequence(self):
+        ledger = Ledger()
+        blocks = _block_chain([1, 1])
+        with pytest.raises(LedgerError):
+            ledger.append(blocks[1])  # skipping sequence 1
+
+    def test_rejects_broken_hash_link(self):
+        ledger = Ledger()
+        good = _block_chain([1])[0]
+        bad = Block.create(sequence=1, transactions=good.transactions, previous_hash="0" * 64)
+        with pytest.raises(LedgerError):
+            ledger.append(bad)
+
+    def test_block_lookup(self):
+        ledger = Ledger()
+        blocks = _block_chain([1, 2])
+        for block in blocks:
+            ledger.append(block)
+        assert ledger.block(2).sequence == 2
+        with pytest.raises(LedgerError):
+            ledger.block(9)
+
+    def test_identical_appends_produce_identical_tips(self):
+        """Replicas applying the same blocks end with the same tip digest."""
+        blocks = _block_chain([2, 2])
+        ledgers = [Ledger(), Ledger()]
+        for ledger in ledgers:
+            for block in blocks:
+                ledger.append(block)
+        assert ledgers[0].tip.digest() == ledgers[1].tip.digest()
+
+
+class TestWorldState:
+    def test_get_put_and_versions(self):
+        state = WorldState({"a": 1})
+        assert state.get("a") == 1
+        assert state.version("a") == 0
+        assert state.version("missing") == -1
+        assert state.put("a", 2) == 1
+        assert state.put("b", 10) == 0
+        assert state.read("a") == (2, 1)
+
+    def test_apply_updates_bumps_versions(self):
+        state = WorldState()
+        state.apply_updates({"x": 1, "y": 2})
+        state.apply_updates({"x": 3})
+        assert state.get("x") == 3
+        assert state.version("x") == 1
+        assert state.version("y") == 0
+
+    def test_snapshot_is_immutable_view(self):
+        state = WorldState({"a": 1})
+        snapshot = state.snapshot()
+        state.put("a", 99)
+        assert snapshot["a"] == 1
+        assert snapshot.version("a") == 0
+        assert state.get("a") == 99
+        assert snapshot.get_value("missing", "default") == "default"
+        assert snapshot.read_versions(["a", "missing"]) == {"a": 0, "missing": -1}
+
+    def test_copy_is_independent(self):
+        state = WorldState({"a": 1})
+        clone = state.copy()
+        clone.put("a", 2)
+        assert state.get("a") == 1
+
+    def test_mapping_protocol(self):
+        state = WorldState({"a": 1, "b": 2})
+        assert "a" in state
+        assert len(state) == 2
+        assert sorted(state) == ["a", "b"]
+        assert state.as_dict() == {"a": 1, "b": 2}
+
+
+class TestMultiVersionStore:
+    def test_reads_see_correct_version(self):
+        store = MultiVersionStore({"x": 0})
+        store.write("x", 10, at_timestamp=5)
+        store.write("x", 20, at_timestamp=9)
+        assert store.read("x", 0) == (0, 0)
+        assert store.read("x", 5) == (10, 5)
+        assert store.read("x", 7) == (10, 5)
+        assert store.read("x", 100) == (20, 9)
+        assert store.latest("x") == 20
+
+    def test_read_before_any_version(self):
+        store = MultiVersionStore()
+        assert store.read("x", 3) == (None, None)
+
+    def test_out_of_order_writes_are_supported(self):
+        store = MultiVersionStore()
+        store.write("x", "late", at_timestamp=10)
+        store.write("x", "early", at_timestamp=2)
+        assert store.read("x", 5) == ("early", 2)
+        assert store.read("x", 10) == ("late", 10)
+        assert store.versions_of("x") == [2, 10]
+
+    def test_idempotent_same_write(self):
+        store = MultiVersionStore()
+        store.write("x", 1, at_timestamp=3)
+        store.write("x", 1, at_timestamp=3)
+        assert store.versions_of("x") == [3]
+
+    def test_conflicting_write_at_same_timestamp_rejected(self):
+        store = MultiVersionStore()
+        store.write("x", 1, at_timestamp=3)
+        with pytest.raises(LedgerError):
+            store.write("x", 2, at_timestamp=3)
+
+    def test_prune_keeps_visible_version(self):
+        store = MultiVersionStore()
+        for ts in (1, 2, 3, 4):
+            store.write("x", ts, at_timestamp=ts)
+        removed = store.prune(before_timestamp=3)
+        assert removed == 2
+        assert store.read("x", 3) == (3, 3)
+        assert store.read("x", 10) == (4, 4)
+
+    @given(st.lists(st.tuples(st.integers(1, 50), st.integers(0, 1000)), min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_reads_always_return_newest_visible_version(self, writes):
+        """Property: a read at time t sees the write with the largest timestamp <= t."""
+        store = MultiVersionStore()
+        reference = {}
+        for timestamp, value in writes:
+            if timestamp in reference:
+                continue
+            store.write("k", value, at_timestamp=timestamp)
+            reference[timestamp] = value
+        for probe in range(0, 55):
+            visible = [ts for ts in reference if ts <= probe]
+            expected = (reference[max(visible)], max(visible)) if visible else (None, None)
+            assert store.read("k", probe) == expected

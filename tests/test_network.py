@@ -1,0 +1,197 @@
+"""Unit tests for the simulated network: topology, transport, fault injection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import LatencyConfig
+from repro.common.errors import NetworkError
+from repro.network import FaultPlan, Network, Topology
+from repro.network.message import Message
+from repro.network.topology import FAR_DC, NEAR_DC
+from repro.simulation import Environment
+
+
+def _receive_all(env, interface, out):
+    while True:
+        envelope = yield interface.receive()
+        out.append(envelope)
+
+
+class TestTopology:
+    def test_same_dc_uses_lan_latency(self):
+        latency = LatencyConfig(lan=0.001, wan=0.1, jitter_fraction=0.0)
+        topo = Topology.single_datacenter(["a", "b"], latency=latency)
+        assert topo.base_latency("a", "b") == pytest.approx(0.001)
+
+    def test_cross_dc_uses_wan_latency(self):
+        latency = LatencyConfig(lan=0.001, wan=0.1, jitter_fraction=0.0)
+        topo = Topology.two_datacenters(["a"], ["b"], latency=latency)
+        assert topo.base_latency("a", "b") == pytest.approx(0.1)
+        assert topo.datacenter_of("a") == NEAR_DC
+        assert topo.datacenter_of("b") == FAR_DC
+
+    def test_self_delay_is_zero(self):
+        topo = Topology.single_datacenter(["a"])
+        assert topo.message_delay("a", "a") == 0.0
+
+    def test_jitter_bounded(self):
+        latency = LatencyConfig(lan=0.001, wan=0.1, jitter_fraction=0.2, bandwidth_bytes_per_sec=1e12)
+        topo = Topology.single_datacenter(["a", "b"], latency=latency)
+        for _ in range(100):
+            delay = topo.message_delay("a", "b")
+            assert 0.0008 <= delay <= 0.0012
+
+    def test_unplaced_node_defaults_to_near(self):
+        topo = Topology()
+        assert topo.datacenter_of("whoever") == NEAR_DC
+
+
+class TestNetworkTransport:
+    def test_message_delivery(self):
+        env = Environment()
+        network = Network(env, topology=Topology(latency=LatencyConfig(jitter_fraction=0.0)))
+        a = network.register("a")
+        b = network.register("b")
+        received = []
+        env.process(_receive_all(env, b, received))
+        a.send("b", Message(kind="PING", body={"n": 1}))
+        env.run(until=1.0)
+        assert len(received) == 1
+        assert received[0].sender == "a"
+        assert received[0].message.kind == "PING"
+        assert received[0].delay == pytest.approx(LatencyConfig().lan, rel=0.2)
+
+    def test_duplicate_registration_rejected(self):
+        env = Environment()
+        network = Network(env)
+        network.register("a")
+        with pytest.raises(NetworkError):
+            network.register("a")
+
+    def test_unknown_recipient_rejected(self):
+        env = Environment()
+        network = Network(env)
+        network.register("a")
+        with pytest.raises(NetworkError):
+            network.send("a", "ghost", Message(kind="PING"))
+
+    def test_multicast_excludes_sender(self):
+        env = Environment()
+        network = Network(env)
+        interfaces = {name: network.register(name) for name in ["a", "b", "c"]}
+        inboxes = {name: [] for name in interfaces}
+        for name, interface in interfaces.items():
+            env.process(_receive_all(env, interface, inboxes[name]))
+        network.broadcast("a", Message(kind="HELLO"))
+        env.run(until=1.0)
+        assert len(inboxes["a"]) == 0
+        assert len(inboxes["b"]) == 1
+        assert len(inboxes["c"]) == 1
+
+    def test_fifo_per_link(self):
+        env = Environment()
+        # High jitter would reorder messages without the FIFO guard.
+        latency = LatencyConfig(jitter_fraction=0.9)
+        network = Network(env, topology=Topology(latency=latency, seed=3))
+        a = network.register("a")
+        b = network.register("b")
+        received = []
+        env.process(_receive_all(env, b, received))
+
+        def sender(env):
+            for i in range(20):
+                a.send("b", Message(kind="SEQ", body={"i": i}))
+                yield env.timeout(1e-5)
+
+        env.process(sender(env))
+        env.run(until=1.0)
+        order = [e.message.body["i"] for e in received]
+        assert order == sorted(order)
+        assert len(order) == 20
+
+    def test_wan_delay_applied(self):
+        env = Environment()
+        latency = LatencyConfig(lan=0.001, wan=0.2, jitter_fraction=0.0)
+        topo = Topology.two_datacenters(["near"], ["far"], latency=latency)
+        network = Network(env, topology=topo)
+        near = network.register("near")
+        far = network.register("far")
+        received = []
+        env.process(_receive_all(env, far, received))
+        near.send("far", Message(kind="PING"))
+        env.run(until=1.0)
+        assert received[0].delay >= 0.2
+
+    def test_message_counters(self):
+        env = Environment()
+        network = Network(env)
+        a = network.register("a")
+        network.register("b")
+        a.send("b", Message(kind="PING"), payload_bytes=512)
+        env.run(until=1.0)
+        assert network.messages_sent == 1
+        assert network.messages_delivered == 1
+        assert network.bytes_sent == 512
+
+
+class TestFaultInjection:
+    def _pair(self, faults=None):
+        env = Environment()
+        network = Network(env, faults=faults or FaultPlan())
+        a = network.register("a")
+        b = network.register("b")
+        received = []
+        env.process(_receive_all(env, b, received))
+        return env, network, a, received
+
+    def test_crashed_recipient_drops_messages(self):
+        faults = FaultPlan()
+        env, network, a, received = self._pair(faults)
+        faults.crash("b")
+        a.send("b", Message(kind="PING"))
+        env.run(until=1.0)
+        assert received == []
+
+    def test_recovered_node_receives_again(self):
+        faults = FaultPlan()
+        env, network, a, received = self._pair(faults)
+        faults.crash("b")
+        a.send("b", Message(kind="LOST"))
+        faults.recover("b")
+        a.send("b", Message(kind="FOUND"))
+        env.run(until=1.0)
+        assert [e.message.kind for e in received] == ["FOUND"]
+
+    def test_link_drop_probability_one_drops_everything(self):
+        faults = FaultPlan()
+        faults.degrade_link("a", "b", drop_probability=1.0)
+        env, network, a, received = self._pair(faults)
+        for _ in range(10):
+            a.send("b", Message(kind="PING"))
+        env.run(until=1.0)
+        assert received == []
+
+    def test_partition_blocks_cross_group_traffic(self):
+        faults = FaultPlan()
+        faults.partition({"a"}, {"b"})
+        env, network, a, received = self._pair(faults)
+        a.send("b", Message(kind="PING"))
+        env.run(until=1.0)
+        assert received == []
+        faults.heal_partition()
+        a.send("b", Message(kind="PING"))
+        env.run(until=2.0)
+        assert len(received) == 1
+
+    def test_extra_delay_applied(self):
+        faults = FaultPlan()
+        faults.degrade_link("a", "b", extra_delay=0.5)
+        env, network, a, received = self._pair(faults)
+        a.send("b", Message(kind="PING"))
+        env.run(until=1.0)
+        assert received[0].delay >= 0.5
+
+    def test_invalid_drop_probability(self):
+        with pytest.raises(ValueError):
+            FaultPlan().degrade_link("a", "b", drop_probability=1.5)

@@ -1,0 +1,243 @@
+"""Tests for the workload generator, arrival schedules and metrics collection."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.core.dependency_graph import build_dependency_graph
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.latency import LatencyStats, percentile
+from repro.metrics.saturation import sweep_offered_load
+from repro.metrics.collector import RunMetrics
+from repro.workload import (
+    ConflictScope,
+    WorkloadConfig,
+    WorkloadGenerator,
+    ZipfianSampler,
+    constant_rate,
+    poisson_rate,
+)
+
+
+class TestWorkloadGenerator:
+    def _graph_for(self, config, count=50):
+        generator = WorkloadGenerator(config)
+        txs = [tx.with_timestamp(i + 1) for i, tx in enumerate(generator.generate(count))]
+        return build_dependency_graph(txs), txs, generator
+
+    def test_no_contention_produces_no_edges(self):
+        graph, txs, _ = self._graph_for(WorkloadConfig(contention=0.0))
+        assert graph.edge_count == 0
+
+    def test_full_contention_produces_a_chain(self):
+        graph, txs, _ = self._graph_for(WorkloadConfig(contention=1.0))
+        assert graph.is_chain()
+        assert graph.critical_path_length() == len(txs)
+
+    def test_partial_contention_is_between_extremes(self):
+        graph, txs, _ = self._graph_for(WorkloadConfig(contention=0.5, seed=11), count=100)
+        assert 0 < graph.edge_count
+        assert 1 < graph.critical_path_length() < len(txs)
+        # Roughly half of the transactions should be involved in conflicts.
+        assert 0.3 <= graph.degree_of_contention() <= 0.7
+
+    def test_within_application_scope_keeps_conflicts_in_one_application(self):
+        graph, txs, _ = self._graph_for(
+            WorkloadConfig(contention=0.6, conflict_scope=ConflictScope.WITHIN_APPLICATION)
+        )
+        assert not graph.has_cross_application_dependency()
+
+    def test_cross_application_scope_creates_cross_application_edges(self):
+        graph, txs, _ = self._graph_for(
+            WorkloadConfig(contention=0.6, conflict_scope=ConflictScope.CROSS_APPLICATION)
+        )
+        assert graph.has_cross_application_dependency()
+
+    def test_initial_state_covers_every_account(self):
+        config = WorkloadConfig(contention=0.3)
+        generator = WorkloadGenerator(config)
+        txs = generator.generate(40)
+        state = generator.initial_state(txs)
+        for tx in txs:
+            for leg in tx.payload["transfers"]:
+                assert f"account/{leg['source']}" in state
+                assert f"account/{leg['destination']}" in state
+
+    def test_source_accounts_owned_by_issuing_client(self):
+        generator = WorkloadGenerator(WorkloadConfig(contention=0.0))
+        txs = generator.generate(10)
+        state = generator.initial_state(txs)
+        for tx in txs:
+            for leg in tx.payload["transfers"]:
+                assert state[f"account/{leg['source']}"]["owner"] == tx.client
+
+    def test_repeated_generation_yields_fresh_ids(self):
+        generator = WorkloadGenerator(WorkloadConfig())
+        first = generator.generate(5)
+        second = generator.generate(5)
+        assert {t.tx_id for t in first}.isdisjoint({t.tx_id for t in second})
+
+    def test_applications_are_spread_round_robin(self):
+        generator = WorkloadGenerator(WorkloadConfig(contention=0.0, num_applications=3))
+        txs = generator.generate(30)
+        apps = {tx.application for tx in txs}
+        assert apps == {"app-0", "app-1", "app-2"}
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(contention=1.5)
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(num_applications=0)
+        with pytest.raises(ConfigurationError):
+            WorkloadGenerator(WorkloadConfig()).generate(-1)
+
+    @given(st.floats(min_value=0.0, max_value=1.0), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_generated_contention_tracks_configuration(self, contention, apps):
+        config = WorkloadConfig(contention=contention, num_applications=apps, seed=3)
+        generator = WorkloadGenerator(config)
+        txs = [tx.with_timestamp(i + 1) for i, tx in enumerate(generator.generate(80))]
+        graph = build_dependency_graph(txs)
+        measured = graph.degree_of_contention()
+        assert abs(measured - contention) < 0.25
+
+
+class TestArrivalSchedules:
+    def test_constant_rate_spacing(self):
+        schedule = constant_rate(5, rate=10.0)
+        assert list(schedule) == pytest.approx([0.0, 0.1, 0.2, 0.3, 0.4])
+        assert schedule.offered_rate == pytest.approx(12.5)  # 5 arrivals over 0.4s
+
+    def test_poisson_rate_is_monotone_and_seeded(self):
+        a = poisson_rate(100, rate=50.0, seed=1)
+        b = poisson_rate(100, rate=50.0, seed=1)
+        c = poisson_rate(100, rate=50.0, seed=2)
+        assert list(a) == list(b)
+        assert list(a) != list(c)
+        times = list(a)
+        assert times == sorted(times)
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            constant_rate(5, rate=0.0)
+        with pytest.raises(ValueError):
+            poisson_rate(-1, rate=5.0)
+
+
+class TestZipfian:
+    def test_probabilities_decrease(self):
+        sampler = ZipfianSampler(population=10, exponent=1.0, seed=1)
+        probs = [sampler.probability(i) for i in range(10)]
+        assert probs == sorted(probs, reverse=True)
+        assert sum(probs) == pytest.approx(1.0)
+
+    def test_samples_within_range_and_skewed(self):
+        sampler = ZipfianSampler(population=20, exponent=1.2, seed=5)
+        samples = sampler.sample_many(2000)
+        assert all(0 <= s < 20 for s in samples)
+        head = sum(1 for s in samples if s < 3)
+        assert head > len(samples) * 0.4
+
+    def test_uniform_when_exponent_zero(self):
+        sampler = ZipfianSampler(population=4, exponent=0.0)
+        assert sampler.probability(0) == pytest.approx(0.25)
+
+
+class TestLatencyStats:
+    def test_percentile_interpolation(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 4.0
+        assert percentile(values, 0.5) == pytest.approx(2.5)
+
+    def test_empty_stats(self):
+        stats = LatencyStats.from_samples([])
+        assert stats.count == 0
+        assert stats.average == 0.0
+
+    def test_summary_fields(self):
+        stats = LatencyStats.from_samples([0.1, 0.2, 0.3, 0.4, 10.0])
+        assert stats.count == 5
+        assert stats.maximum == 10.0
+        assert stats.p50 == pytest.approx(0.3)
+        assert stats.average == pytest.approx(2.2)
+
+
+class TestMetricsCollector:
+    def test_completion_requires_all_measurement_peers(self):
+        collector = MetricsCollector(measurement_peers=["e0", "e1"])
+        collector.record_submission("tx", 0.0)
+        collector.record_commit("e0", "tx", 1.0)
+        assert collector.completed_count == 0
+        collector.record_commit("e1", "tx", 1.5)
+        assert collector.completed_count == 1
+        assert collector.completion_times()["tx"] == 1.5
+
+    def test_non_measurement_peers_are_ignored(self):
+        collector = MetricsCollector(measurement_peers=["e0"])
+        collector.record_submission("tx", 0.0)
+        collector.record_commit("passive", "tx", 0.5)
+        assert collector.completed_count == 0
+
+    def test_summarise_window_and_latency(self):
+        collector = MetricsCollector(measurement_peers=["e0"])
+        for i in range(10):
+            collector.record_submission(f"tx{i}", float(i))
+            collector.record_commit("e0", f"tx{i}", float(i) + 0.5)
+        metrics = collector.summarise("OXII", offered_load=1.0, warmup=2.0, horizon=10.0)
+        assert metrics.committed == 8  # completions at 2.5 .. 9.5
+        assert metrics.throughput == pytest.approx(1.0)
+        assert metrics.latency_avg == pytest.approx(0.5)
+        assert metrics.abort_rate == 0.0
+
+    def test_aborts_counted_when_all_peers_abort(self):
+        collector = MetricsCollector(measurement_peers=["e0", "e1"])
+        collector.record_submission("tx", 0.0)
+        collector.record_commit("e0", "tx", 1.0, aborted=True)
+        collector.record_commit("e1", "tx", 1.0, aborted=True)
+        metrics = collector.summarise("XOV", offered_load=1.0, warmup=0.0, horizon=2.0)
+        assert metrics.aborted == 1
+        assert metrics.committed == 0
+        assert metrics.abort_rate == 1.0
+
+    def test_duplicate_reports_ignored(self):
+        collector = MetricsCollector(measurement_peers=["e0"])
+        collector.record_submission("tx", 0.0)
+        collector.record_commit("e0", "tx", 1.0)
+        collector.record_commit("e0", "tx", 2.0)
+        assert collector.completion_times()["tx"] == 1.0
+
+
+class TestSaturationSweep:
+    def _fake_run(self, capacity=1000.0):
+        def run(load):
+            throughput = min(load, capacity)
+            latency = 0.05 if load <= capacity else 1.5
+            return RunMetrics(
+                paradigm="fake",
+                offered_load=load,
+                submitted=int(load),
+                committed=int(throughput),
+                aborted=0,
+                duration=1.0,
+                measurement_window=1.0,
+                throughput=throughput,
+                latency=LatencyStats.from_samples([latency]),
+            )
+
+        return run
+
+    def test_peak_detected_just_below_saturation(self):
+        result = sweep_offered_load(self._fake_run(1000.0), loads=[250, 500, 1000, 2000, 4000])
+        assert result.peak.offered_load == 1000
+        assert result.peak_throughput == 1000
+
+    def test_all_saturated_returns_ceiling(self):
+        result = sweep_offered_load(self._fake_run(100.0), loads=[500, 1000])
+        assert result.peak_throughput == 100
+
+    def test_empty_loads_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_offered_load(self._fake_run(), loads=[])
