@@ -8,17 +8,30 @@ by pytest-benchmark is the cost of running the simulation itself.
 Set ``REPRO_BENCH_FULL=1`` to run the full-resolution sweeps (slower, closer
 to the paper's exact methodology); the default keeps the whole suite to a few
 minutes.
+
+Everything recorded through :func:`record_metrics` / :func:`record_rows` is
+also written as machine-readable JSON (``BENCH_results.json`` at the repo
+root, or ``$REPRO_BENCH_JSON`` if set) when the session ends, so CI can
+archive perf trajectories as artifacts.
 """
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
+from typing import Iterable, List
 
 import pytest
 
 from repro.bench.runner import BenchmarkSettings
 
 FULL = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0", "false")
+
+_JSON_PATH = Path(
+    os.environ.get("REPRO_BENCH_JSON", Path(__file__).resolve().parents[1] / "BENCH_results.json")
+)
+_ROWS: List[dict] = []
 
 
 @pytest.fixture(scope="session")
@@ -29,8 +42,13 @@ def settings() -> BenchmarkSettings:
     return BenchmarkSettings(duration=1.0, drain=2.0, quick=True)
 
 
+def record_rows(rows: Iterable[dict]) -> None:
+    """Queue machine-readable result rows for the end-of-session JSON dump."""
+    _ROWS.extend(dict(row) for row in rows)
+
+
 def record_metrics(benchmark, metrics) -> None:
-    """Stash a RunMetrics summary into the benchmark's extra_info."""
+    """Stash a RunMetrics summary into the benchmark's extra_info (and the JSON)."""
     benchmark.extra_info["paradigm"] = metrics.paradigm
     benchmark.extra_info["offered_load_tps"] = round(metrics.offered_load, 1)
     benchmark.extra_info["throughput_tps"] = round(metrics.throughput, 1)
@@ -38,3 +56,11 @@ def record_metrics(benchmark, metrics) -> None:
     benchmark.extra_info["abort_rate"] = round(metrics.abort_rate, 4)
     benchmark.extra_info["committed"] = metrics.committed
     benchmark.extra_info["aborted"] = metrics.aborted
+    record_rows([{"benchmark": getattr(benchmark, "name", None), **benchmark.extra_info}])
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    """Write everything recorded this session to ``BENCH_results.json``."""
+    if not _ROWS:
+        return
+    _JSON_PATH.write_text(json.dumps(_ROWS, indent=2) + "\n")

@@ -14,7 +14,7 @@ from repro.core.dependency_graph import build_dependency_graph
 from repro.core.parallel_executor import ParallelGraphExecutor
 from repro.core.transaction import TransactionResult
 from repro.crypto.merkle import MerkleTree
-from repro.workload.generator import ConflictScope, WorkloadConfig, WorkloadGenerator
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
 
 
 def _block_txs(count: int, contention: float):

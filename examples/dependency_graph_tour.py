@@ -17,7 +17,6 @@ from __future__ import annotations
 import time
 
 from repro import AccountingContract, build_dependency_graph
-from repro.contracts.accounting import Transfer
 from repro.core.execution import ExecutionEngine
 from repro.core.parallel_executor import ParallelGraphExecutor
 from repro.core.transaction import ReadWriteSet, Transaction

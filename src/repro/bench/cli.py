@@ -29,7 +29,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--quick", action="store_true", help="smaller sweeps, shorter runs")
     parser.add_argument("--duration", type=float, default=None, help="submission phase length [s]")
     parser.add_argument("--json", dest="json_path", default=None, help="write result rows to a JSON file")
-    subparsers = parser.add_subparsers(dest="command", required=True)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny end-to-end run of all three paradigms (CI perf smoke); no subcommand needed",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=False)
 
     quick = subparsers.add_parser("quick", help="one-shot comparison of the three paradigms")
     quick.add_argument("--contention", type=float, default=0.0)
@@ -58,8 +63,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Run the selected benchmark and print (and optionally save) its results."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    settings = _settings(args)
     rows: List[dict]
+
+    if args.smoke:
+        if args.command is not None:
+            parser.error(f"--smoke cannot be combined with the {args.command!r} subcommand")
+        settings = BenchmarkSettings(
+            duration=args.duration if args.duration is not None else 1.0,
+            drain=2.0,
+            quick=True,
+        )
+        results = quick_comparison(contention=0.2, offered_load=500.0, settings=settings)
+        print(format_comparison(results, title="Smoke: contention 20% @ 500 tps"))
+        rows = [m.as_dict() for m in results.values()]
+        if args.json_path:
+            rows_to_json(rows, args.json_path)
+            print(f"\nwrote {len(rows)} rows to {args.json_path}")
+        if not all(m.committed > 0 for m in results.values()):
+            print("smoke FAILED: a paradigm committed no transactions")
+            return 1
+        return 0
+
+    if args.command is None:
+        parser.error("a subcommand is required unless --smoke is given")
+
+    settings = _settings(args)
 
     if args.command == "quick":
         results = quick_comparison(

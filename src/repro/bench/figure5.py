@@ -12,11 +12,10 @@ per block.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 from repro.bench.runner import BenchmarkSettings, sweep_paradigm
 from repro.common.config import SystemConfig
-from repro.metrics.collector import RunMetrics
 
 DEFAULT_BLOCK_SIZES: Sequence[int] = (10, 50, 100, 200, 400, 700, 1000)
 QUICK_BLOCK_SIZES: Sequence[int] = (50, 200, 800)

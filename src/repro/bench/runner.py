@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Mapping, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Dict, Mapping, Optional, Sequence
 
 from repro.common.config import SystemConfig
 from repro.metrics.collector import RunMetrics

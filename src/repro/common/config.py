@@ -19,7 +19,7 @@ Two configuration families live here:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Dict, Mapping, Sequence
 
 from repro.common.errors import ConfigurationError
 

@@ -7,7 +7,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.common.config import CostModel
-from repro.common.errors import ConfigurationError, ProtocolError
+from repro.common.errors import ConfigurationError
 from repro.crypto.hashing import content_hash
 from repro.crypto.signatures import KeyRegistry
 from repro.network.message import Envelope, Message

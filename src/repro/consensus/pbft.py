@@ -18,7 +18,7 @@ from typing import Any, Dict, Optional, Sequence, Set
 
 from repro.common.config import CostModel
 from repro.common.errors import ProtocolError
-from repro.consensus.base import ConsensusDecision, DecisionCallback, OrderingService
+from repro.consensus.base import DecisionCallback, OrderingService
 from repro.crypto.hashing import content_hash
 from repro.crypto.signatures import KeyRegistry
 from repro.network.message import Envelope

@@ -10,7 +10,7 @@ transaction aborts (the paper's ``(x, "abort")`` case).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
 
 from repro.common.errors import ContractError
 from repro.contracts.base import SmartContract

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import abc
-from typing import Dict, Iterable, List, Mapping, Optional
+from typing import Dict, Iterable, List, Mapping
 
 from repro.common.errors import ContractError
 from repro.core.transaction import Transaction, TransactionResult

@@ -23,11 +23,17 @@ idea, independent of any particular deployment:
 from repro.core.transaction import Operation, ReadWriteSet, Transaction, TransactionResult
 from repro.core.dependency_graph import (
     ConflictType,
+    DependencyEdge,
     DependencyGraph,
+    GraphMode,
+    OperationGraph,
+    StreamingGraphBuilder,
     build_dependency_graph,
+    build_operation_graph,
     conflicts,
     has_ordering_dependency,
 )
+from repro.core.graph_core import AdjacencyDAG, UnionFind
 from repro.core.block import Block, BlockHeader
 from repro.core.block_builder import BlockBuilder, CutReason
 from repro.core.execution import (
@@ -39,22 +45,29 @@ from repro.core.execution import (
 from repro.core.parallel_executor import ParallelGraphExecutor
 
 __all__ = [
+    "AdjacencyDAG",
     "Block",
     "BlockBuilder",
     "BlockHeader",
     "CommitBatcher",
     "ConflictType",
     "CutReason",
+    "DependencyEdge",
     "DependencyGraph",
     "ExecutionEngine",
+    "GraphMode",
     "GraphScheduler",
     "Operation",
+    "OperationGraph",
     "ParallelGraphExecutor",
     "ReadWriteSet",
     "StateUpdater",
+    "StreamingGraphBuilder",
     "Transaction",
     "TransactionResult",
+    "UnionFind",
     "build_dependency_graph",
+    "build_operation_graph",
     "conflicts",
     "has_ordering_dependency",
 ]

@@ -18,6 +18,17 @@ Three construction modes are provided, all discussed in the paper:
 * operation-level graphs (DGCC-style) via :func:`build_operation_graph`, which
   splits each transaction into per-record operations so execution can be
   parallelised at operation granularity.
+
+The graphs are backed by the dense integer-indexed adjacency core in
+:mod:`repro.core.graph_core` — nodes are block positions, edges are plain
+Python lists and every structural query (roots, components, critical path,
+topological order) runs on arrays rather than dict-of-dict storage.  Orderers
+that fill a block transaction-by-transaction should use
+:class:`StreamingGraphBuilder`, which maintains per-record writer/reader
+indices so each arriving transaction only pays for the conflicts it actually
+introduces instead of rebuilding the graph from scratch.  ``networkx`` is
+*not* required at runtime; :meth:`DependencyGraph.to_networkx` imports it
+lazily for debugging/plotting only (install the ``debug`` extra).
 """
 
 from __future__ import annotations
@@ -26,9 +37,8 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
-import networkx as nx
-
 from repro.common.errors import DependencyGraphError
+from repro.core.graph_core import AdjacencyDAG, depth_histogram
 from repro.core.transaction import Operation, OperationType, Transaction
 
 
@@ -45,6 +55,26 @@ class GraphMode(str, Enum):
 
     SINGLE_VERSION = "single_version"
     MULTI_VERSION = "multi_version"
+
+
+# Conflict kinds as bit flags for the hot construction path; tuples of
+# ConflictType are only materialised when edges are inspected.
+_RW = 1
+_WR = 2
+_WW = 4
+_KIND_TO_MASK = {ConflictType.READ_WRITE: _RW, ConflictType.WRITE_READ: _WR, ConflictType.WRITE_WRITE: _WW}
+_MASK_TO_KINDS: Tuple[Tuple[ConflictType, ...], ...] = tuple(
+    tuple(
+        kind
+        for kind, flag in (
+            (ConflictType.READ_WRITE, _RW),
+            (ConflictType.WRITE_READ, _WR),
+            (ConflictType.WRITE_WRITE, _WW),
+        )
+        if mask & flag
+    )
+    for mask in range(8)
+)
 
 
 def conflicts(earlier: Transaction, later: Transaction) -> List[ConflictType]:
@@ -95,6 +125,13 @@ class DependencyGraph:
     The class exposes the notation of the paper — ``pre(x)`` and ``suc(x)`` —
     plus the structural queries the execution engine, the commit batcher and
     the benchmarks need (components, critical path, chain detection).
+
+    Internally transactions are indexed ``0 .. n-1`` in block (timestamp)
+    order and edges live in adjacency lists; every edge points from a lower
+    to a higher index, so the graph is acyclic by construction and block
+    order is a valid topological order.  The graph is immutable once built,
+    which lets structural results (critical-path depths, predecessor sets)
+    be computed once and cached.
     """
 
     def __init__(
@@ -103,31 +140,94 @@ class DependencyGraph:
         edges: Iterable[DependencyEdge],
         mode: GraphMode = GraphMode.SINGLE_VERSION,
     ) -> None:
-        self._mode = mode
-        self._transactions: Dict[str, Transaction] = {}
-        self._graph = nx.DiGraph()
-        for tx in transactions:
-            if tx.tx_id in self._transactions:
-                raise DependencyGraphError(f"duplicate transaction id {tx.tx_id!r}")
-            self._transactions[tx.tx_id] = tx
-            self._graph.add_node(tx.tx_id)
+        ordered = sorted(transactions, key=lambda t: t.timestamp)
+        self._init_nodes(ordered, mode)
+        self._dag = AdjacencyDAG(len(self._ids))
         for edge in edges:
             self._add_edge(edge)
-        if not nx.is_directed_acyclic_graph(self._graph):
-            raise DependencyGraphError("dependency graph contains a cycle")
+
+    # ------------------------------------------------------------ construction
+    def _init_nodes(
+        self,
+        ordered: Sequence[Transaction],
+        mode: GraphMode,
+        index: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self._mode = mode
+        self._txs = list(ordered)
+        self._ids: List[str] = [tx.tx_id for tx in self._txs]
+        if index is None:
+            index = {tx_id: i for i, tx_id in enumerate(self._ids)}
+            if len(index) != len(self._ids):
+                seen: Set[str] = set()
+                for tx_id in self._ids:
+                    if tx_id in seen:
+                        raise DependencyGraphError(f"duplicate transaction id {tx_id!r}")
+                    seen.add(tx_id)
+        self._index = index
+        # Conflict kinds are derivable from the read/write sets, so the fast
+        # construction path does not store them; only edges supplied
+        # explicitly (public constructor) pin their kinds here.
+        self._explicit_masks: Dict[Tuple[int, int], int] = {}
+        # Lazily computed caches (the graph is immutable after construction).
+        self._depths: Optional[List[int]] = None
+        self._edge_cache: Optional[List[DependencyEdge]] = None
+        self._pred_sets: List[Optional[FrozenSet[str]]] = [None] * len(self._ids)
+        self._succ_sets: List[Optional[FrozenSet[str]]] = [None] * len(self._ids)
+
+    @classmethod
+    def _from_indexed(
+        cls,
+        ordered: Sequence[Transaction],
+        incoming: Sequence[Iterable[int]],
+        mode: GraphMode,
+        explicit_masks: Optional[Dict[Tuple[int, int], int]] = None,
+        index: Optional[Dict[str, int]] = None,
+    ) -> "DependencyGraph":
+        """Fast path for :class:`StreamingGraphBuilder`: transactions already in
+        block order, ``incoming[v]`` the already-validated predecessor indices."""
+        graph = cls.__new__(cls)
+        graph._init_nodes(ordered, mode, index=index)
+        graph._dag = AdjacencyDAG.from_incoming(incoming)
+        if explicit_masks:
+            graph._explicit_masks = dict(explicit_masks)
+        return graph
 
     def _add_edge(self, edge: DependencyEdge) -> None:
-        if edge.source not in self._transactions or edge.target not in self._transactions:
+        u = self._index.get(edge.source)
+        v = self._index.get(edge.target)
+        if u is None or v is None:
             raise DependencyGraphError(
                 f"edge ({edge.source!r}, {edge.target!r}) references unknown transactions"
             )
-        source_ts = self._transactions[edge.source].timestamp
-        target_ts = self._transactions[edge.target].timestamp
-        if source_ts >= target_ts:
+        if self._txs[u].timestamp >= self._txs[v].timestamp:
             raise DependencyGraphError(
                 f"edge ({edge.source!r}, {edge.target!r}) violates timestamp order"
             )
-        self._graph.add_edge(edge.source, edge.target, kinds=edge.kinds)
+        mask = 0
+        for kind in edge.kinds:
+            mask |= _KIND_TO_MASK[kind]
+        if (u, v) not in self._explicit_masks:
+            self._dag.add_edge(u, v)
+        self._explicit_masks[(u, v)] = mask
+
+    def _mask_for(self, u: int, v: int) -> int:
+        """The conflict kinds of the edge ``u -> v``, recomputed from the
+        read/write sets (used for edges built through the fast path)."""
+        explicit = self._explicit_masks.get((u, v))
+        if explicit is not None:
+            return explicit
+        if self._mode is GraphMode.MULTI_VERSION:
+            return _WR  # the only conflict that creates MVCC edges
+        earlier, later = self._txs[u], self._txs[v]
+        mask = 0
+        if earlier.read_set & later.write_set:
+            mask |= _RW
+        if earlier.write_set & later.read_set:
+            mask |= _WR
+        if earlier.write_set & later.write_set:
+            mask |= _WW
+        return mask
 
     # ------------------------------------------------------------- basic info
     @property
@@ -136,58 +236,78 @@ class DependencyGraph:
         return self._mode
 
     def __len__(self) -> int:
-        return len(self._transactions)
+        return len(self._ids)
 
     def __contains__(self, tx_id: str) -> bool:
-        return tx_id in self._transactions
+        return tx_id in self._index
 
     def __iter__(self) -> Iterator[str]:
-        return iter(self._transactions)
+        return iter(self._ids)
 
     @property
     def transaction_ids(self) -> List[str]:
         """Transaction ids in block (timestamp) order."""
-        return sorted(self._transactions, key=lambda t: self._transactions[t].timestamp)
+        return list(self._ids)
 
     def transaction(self, tx_id: str) -> Transaction:
         """The transaction stored under ``tx_id``."""
-        try:
-            return self._transactions[tx_id]
-        except KeyError:
-            raise DependencyGraphError(f"unknown transaction {tx_id!r}") from None
+        index = self._index.get(tx_id)
+        if index is None:
+            raise DependencyGraphError(f"unknown transaction {tx_id!r}")
+        return self._txs[index]
 
     def transactions(self) -> List[Transaction]:
         """All transactions in block order."""
-        return [self._transactions[t] for t in self.transaction_ids]
+        return list(self._txs)
 
     @property
     def edge_count(self) -> int:
         """Number of ordering dependencies."""
-        return self._graph.number_of_edges()
+        return self._dag.edge_count
 
     def edges(self) -> List[DependencyEdge]:
-        """All edges with their conflict kinds."""
-        return [
-            DependencyEdge(source=u, target=v, kinds=tuple(data.get("kinds", ())))
-            for u, v, data in self._graph.edges(data=True)
-        ]
+        """All edges with their conflict kinds, ordered by block position."""
+        if self._edge_cache is None:
+            ids = self._ids
+            self._edge_cache = [
+                DependencyEdge(
+                    source=ids[u], target=ids[v], kinds=_MASK_TO_KINDS[self._mask_for(u, v)]
+                )
+                for (u, v) in sorted(self._dag.edges())
+            ]
+        return list(self._edge_cache)
 
     # -------------------------------------------------------- paper notation
+    def _require(self, tx_id: str) -> int:
+        index = self._index.get(tx_id)
+        if index is None:
+            raise DependencyGraphError(f"unknown transaction {tx_id!r}")
+        return index
+
     def predecessors(self, tx_id: str) -> Set[str]:
         """``Pre(x)`` — transactions that must commit/execute before ``x``."""
-        if tx_id not in self._transactions:
-            raise DependencyGraphError(f"unknown transaction {tx_id!r}")
-        return set(self._graph.predecessors(tx_id))
+        v = self._require(tx_id)
+        cached = self._pred_sets[v]
+        if cached is None:
+            ids = self._ids
+            cached = frozenset(ids[u] for u in self._dag.predecessors(v))
+            self._pred_sets[v] = cached
+        return set(cached)
 
     def successors(self, tx_id: str) -> Set[str]:
         """``Suc(x)`` — transactions that depend on ``x``."""
-        if tx_id not in self._transactions:
-            raise DependencyGraphError(f"unknown transaction {tx_id!r}")
-        return set(self._graph.successors(tx_id))
+        u = self._require(tx_id)
+        cached = self._succ_sets[u]
+        if cached is None:
+            ids = self._ids
+            cached = frozenset(ids[v] for v in self._dag.successors(u))
+            self._succ_sets[u] = cached
+        return set(cached)
 
     def roots(self) -> List[str]:
         """Transactions with no predecessors (immediately executable)."""
-        return [t for t in self.transaction_ids if self._graph.in_degree(t) == 0]
+        ids = self._ids
+        return [ids[v] for v in self._dag.roots()]
 
     # ------------------------------------------------------------- structure
     def is_chain(self) -> bool:
@@ -216,39 +336,46 @@ class DependencyGraph:
         if no component mixes applications, agents never need to exchange
         intermediate commit messages (Figure 4(b) in the paper).
         """
-        return [set(c) for c in nx.weakly_connected_components(self._graph)]
+        ids = self._ids
+        return [{ids[v] for v in group} for group in self._dag.components()]
 
     def component_applications(self) -> List[Set[str]]:
         """The set of applications appearing in each component."""
+        txs = self._txs
         return [
-            {self._transactions[tx_id].application for tx_id in component}
-            for component in self.components()
+            {txs[v].application for v in group} for group in self._dag.components()
         ]
 
     def has_cross_application_dependency(self) -> bool:
         """True if any edge connects transactions of different applications."""
+        txs = self._txs
         return any(
-            self._transactions[u].application != self._transactions[v].application
-            for u, v in self._graph.edges()
+            txs[u].application != txs[v].application for (u, v) in self._dag.edges()
         )
 
     def cross_application_edges(self) -> List[DependencyEdge]:
         """Edges whose endpoints belong to different applications."""
+        index, txs = self._index, self._txs
         return [
             edge
             for edge in self.edges()
-            if self._transactions[edge.source].application
-            != self._transactions[edge.target].application
+            if txs[index[edge.source]].application != txs[index[edge.target]].application
         ]
 
     def topological_order(self) -> List[str]:
-        """A deterministic topological order (ties broken by timestamp)."""
-        order = list(
-            nx.lexicographical_topological_sort(
-                self._graph, key=lambda t: self._transactions[t].timestamp
-            )
-        )
-        return order
+        """A deterministic topological order (ties broken by timestamp).
+
+        Block order *is* the lexicographic-by-timestamp topological order:
+        nodes are indexed by timestamp and every edge points forward, so at
+        each Kahn step the lowest-timestamp available node is exactly the
+        next block position.
+        """
+        return list(self._ids)
+
+    def _depth_array(self) -> List[int]:
+        if self._depths is None:
+            self._depths = self._dag.longest_path_depths()
+        return self._depths
 
     def critical_path_length(self) -> int:
         """Number of transactions on the longest dependency chain.
@@ -260,7 +387,7 @@ class DependencyGraph:
         """
         if len(self) == 0:
             return 0
-        return nx.dag_longest_path_length(self._graph) + 1
+        return max(self._depth_array()) + 1
 
     def parallelism_profile(self) -> List[int]:
         """Number of transactions executable at each dependency depth.
@@ -269,30 +396,32 @@ class DependencyGraph:
         dependency chain has length ``i``; the profile describes how much
         parallelism an executor with enough cores can extract wave by wave.
         """
-        depth: Dict[str, int] = {}
-        for tx_id in self.topological_order():
-            preds = self.predecessors(tx_id)
-            depth[tx_id] = 0 if not preds else 1 + max(depth[p] for p in preds)
-        if not depth:
-            return []
-        profile = [0] * (max(depth.values()) + 1)
-        for d in depth.values():
-            profile[d] += 1
-        return profile
+        return depth_histogram(self._depth_array())
 
     def degree_of_contention(self) -> float:
         """Fraction of transactions involved in at least one dependency."""
-        if len(self) == 0:
+        n = len(self)
+        if n == 0:
             return 0.0
-        involved = {u for u, v in self._graph.edges()} | {v for u, v in self._graph.edges()}
-        return len(involved) / len(self)
+        dag = self._dag
+        involved = sum(1 for v in range(n) if dag.in_degree(v) or dag.out_degree(v))
+        return involved / n
 
     def subgraph_for_application(self, application: str) -> "DependencyGraph":
         """The induced subgraph containing only ``application``'s transactions."""
-        txs = [t for t in self.transactions() if t.application == application]
-        ids = {t.tx_id for t in txs}
-        edges = [e for e in self.edges() if e.source in ids and e.target in ids]
-        return DependencyGraph(txs, edges, mode=self._mode)
+        keep = [v for v, tx in enumerate(self._txs) if tx.application == application]
+        remap = {old: new for new, old in enumerate(keep)}
+        incoming = [
+            [remap[u] for u in self._dag.predecessors(old) if u in remap] for old in keep
+        ]
+        explicit = {
+            (remap[u], remap[v]): mask
+            for (u, v), mask in self._explicit_masks.items()
+            if u in remap and v in remap
+        }
+        return DependencyGraph._from_indexed(
+            [self._txs[v] for v in keep], incoming, self._mode, explicit_masks=explicit
+        )
 
     def canonical_tuple(self) -> tuple:
         return (
@@ -302,9 +431,186 @@ class DependencyGraph:
             self._mode.value,
         )
 
-    def to_networkx(self) -> nx.DiGraph:
-        """A copy of the underlying networkx graph (for analysis/plotting)."""
-        return self._graph.copy()
+    def to_networkx(self):
+        """A ``networkx.DiGraph`` copy for analysis/plotting (debug only).
+
+        ``networkx`` is an optional dependency — install the ``debug`` extra
+        (``pip install parblockchain-repro[debug]``); the runtime graph core
+        never touches it.
+        """
+        try:
+            import networkx as nx
+        except ImportError as exc:  # pragma: no cover - depends on environment
+            raise DependencyGraphError(
+                "networkx is required for to_networkx(); install the 'debug' extra"
+            ) from exc
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self._ids)
+        for edge in self.edges():
+            graph.add_edge(edge.source, edge.target, kinds=edge.kinds)
+        return graph
+
+
+class StreamingGraphBuilder:
+    """Incrementally build a block's dependency graph as transactions arrive.
+
+    Orderers fill a block one ordered transaction at a time; rebuilding the
+    dependency graph from scratch at every cut re-pays the whole construction
+    cost.  This builder maintains per-record writer and reader position
+    indices, so adding a transaction only inspects the accessors of the
+    records it actually touches — the same per-record construction as
+    :func:`build_dependency_graph`, amortised over the block's lifetime.
+
+    Transactions must be added in block order (strictly increasing
+    timestamps).  :meth:`graph` snapshots the current graph without
+    invalidating the builder, so an orderer can inspect the partial graph
+    (e.g. for contention-aware block cutting) and keep appending.
+    """
+
+    def __init__(self, mode: GraphMode = GraphMode.SINGLE_VERSION) -> None:
+        self._mode = mode
+        self._txs: List[Transaction] = []
+        self._index: Dict[str, int] = {}
+        self._writers: Dict[str, List[int]] = {}
+        self._readers: Dict[str, List[int]] = {}
+        #: ``_incoming[v]`` — predecessor indices of transaction ``v`` (a set,
+        #: or the shared empty tuple for conflict-free transactions).
+        self._incoming: List[object] = []
+        self._edge_count = 0
+        self._last_timestamp: Optional[int] = None
+
+    def __len__(self) -> int:
+        return len(self._txs)
+
+    @property
+    def mode(self) -> GraphMode:
+        """Datastore semantics the graph is generated for."""
+        return self._mode
+
+    @property
+    def edge_count(self) -> int:
+        """Number of ordering dependencies accumulated so far."""
+        return self._edge_count
+
+    def add(self, tx: Transaction) -> int:
+        """Append the next transaction; return how many dependencies it added.
+
+        Only the record indices of the keys ``tx`` touches are consulted, and
+        predecessor indices are merged with bulk set updates — the hot loop
+        does no per-edge Python-level bookkeeping (conflict *kinds* are
+        recomputed lazily from the read/write sets when edges are inspected).
+        Use :meth:`predecessors_of` for the ``Pre`` set of a queued
+        transaction (e.g. for contention-aware block cutting).
+        """
+        idx = len(self._txs)
+        if self._index.setdefault(tx.tx_id, idx) != idx:
+            raise DependencyGraphError(f"duplicate transaction id {tx.tx_id!r}")
+        timestamp = tx.timestamp
+        if self._last_timestamp is not None and timestamp <= self._last_timestamp:
+            del self._index[tx.tx_id]
+            raise DependencyGraphError(
+                "timestamps must be strictly increasing: "
+                f"{self._txs[-1].tx_id} and {tx.tx_id}"
+            )
+        writers = self._writers
+        readers = self._readers
+        rw_set = tx.rw_set
+        read_set = rw_set.reads
+        write_set = rw_set.writes
+        # ``preds`` is only allocated once a conflict is found; the bulk
+        # ``set.update`` over the per-record index lists is the entire
+        # per-edge cost of construction.
+        preds: Optional[Set[int]] = None
+        for key in read_set:
+            # write-then-read: the reader needs the writer's version (the
+            # only conflict that orders transactions under MVCC too).
+            earlier_writers = writers.get(key)
+            if earlier_writers:
+                if preds is None:
+                    preds = set(earlier_writers)
+                else:
+                    preds.update(earlier_writers)
+        if self._mode is not GraphMode.MULTI_VERSION:
+            for key in write_set:
+                earlier_writers = writers.get(key)
+                if earlier_writers:
+                    if preds is None:
+                        preds = set(earlier_writers)
+                    else:
+                        preds.update(earlier_writers)
+                earlier_readers = readers.get(key)
+                if earlier_readers:
+                    if preds is None:
+                        preds = set(earlier_readers)
+                    else:
+                        preds.update(earlier_readers)
+        for key in read_set:
+            earlier_readers = readers.get(key)
+            if earlier_readers is None:
+                readers[key] = [idx]
+            else:
+                earlier_readers.append(idx)
+        for key in write_set:
+            earlier_writers = writers.get(key)
+            if earlier_writers is None:
+                writers[key] = [idx]
+            else:
+                earlier_writers.append(idx)
+        if preds is None:
+            self._incoming.append(())
+            added = 0
+        else:
+            self._incoming.append(preds)
+            added = len(preds)
+            self._edge_count += added
+        self._txs.append(tx)
+        self._last_timestamp = timestamp
+        return added
+
+    def extend(self, transactions: Iterable[Transaction]) -> None:
+        """Add several transactions in order."""
+        for tx in transactions:
+            self.add(tx)
+
+    def predecessors_of(self, tx_id: str) -> Set[str]:
+        """``Pre(x)`` of an already-added transaction, as transaction ids."""
+        index = self._index.get(tx_id)
+        if index is None:
+            raise DependencyGraphError(f"unknown transaction {tx_id!r}")
+        txs = self._txs
+        return {txs[u].tx_id for u in self._incoming[index]}
+
+    def graph(self) -> DependencyGraph:
+        """Snapshot the dependency graph built so far (builder stays usable)."""
+        return DependencyGraph._from_indexed(
+            list(self._txs),
+            [set(preds) if preds else () for preds in self._incoming],
+            self._mode,
+            index=dict(self._index),
+        )
+
+    def take_graph(self) -> DependencyGraph:
+        """Hand the accumulated state to a graph without copying and reset.
+
+        This is what an orderer calls when it cuts a block: the graph takes
+        ownership of the builder's arrays and the builder starts the next
+        block empty.
+        """
+        graph = DependencyGraph._from_indexed(
+            self._txs, self._incoming, self._mode, index=self._index
+        )
+        self.reset()
+        return graph
+
+    def reset(self) -> None:
+        """Forget everything (the orderer cut the block)."""
+        self._txs = []
+        self._index = {}
+        self._writers = {}
+        self._readers = {}
+        self._incoming = []
+        self._edge_count = 0
+        self._last_timestamp = None
 
 
 def build_dependency_graph(
@@ -316,60 +622,17 @@ def build_dependency_graph(
     Transactions must already carry strictly increasing timestamps in block
     order (the orderers stamp them).  The construction is equivalent to
     checking every ordered pair (the definition in Section III-A) but is
-    implemented per record: only transactions that touch a common record can
-    conflict, so the work is proportional to the contention actually present
-    rather than always quadratic.  (The *simulated* cost charged to orderers
-    stays quadratic — see :meth:`repro.common.config.CostModel.dependency_graph_cost`
-    — because that is the cost the paper's implementation pays.)
+    implemented per record via :class:`StreamingGraphBuilder`: only
+    transactions that touch a common record can conflict, so the work is
+    proportional to the contention actually present rather than always
+    quadratic.  (The *simulated* cost charged to orderers stays quadratic —
+    see :meth:`repro.common.config.CostModel.dependency_graph_cost` — because
+    that is the cost the paper's implementation pays.)
     """
-    ordered = sorted(transactions, key=lambda t: t.timestamp)
-    for earlier, later in zip(ordered, ordered[1:]):
-        if earlier.timestamp >= later.timestamp:
-            raise DependencyGraphError(
-                f"timestamps must be strictly increasing: {earlier.tx_id} and {later.tx_id}"
-            )
-    # Index accessors per record, in block order.
-    readers: Dict[str, List[Transaction]] = {}
-    writers: Dict[str, List[Transaction]] = {}
-    for tx in ordered:
-        for key in tx.read_set:
-            readers.setdefault(key, []).append(tx)
-        for key in tx.write_set:
-            writers.setdefault(key, []).append(tx)
-
-    pair_kinds: Dict[Tuple[str, str], Set[ConflictType]] = {}
-
-    def note(earlier: Transaction, later: Transaction, kind: ConflictType) -> None:
-        if earlier.timestamp >= later.timestamp:
-            return
-        if mode is GraphMode.MULTI_VERSION and kind is not ConflictType.WRITE_READ:
-            return
-        pair_kinds.setdefault((earlier.tx_id, later.tx_id), set()).add(kind)
-
-    for key, key_writers in writers.items():
-        key_readers = readers.get(key, [])
-        for i, writer in enumerate(key_writers):
-            # write-write conflicts with later writers of the same record
-            for later_writer in key_writers[i + 1 :]:
-                note(writer, later_writer, ConflictType.WRITE_WRITE)
-            for reader in key_readers:
-                if reader.tx_id == writer.tx_id:
-                    continue
-                if reader.timestamp < writer.timestamp:
-                    note(reader, writer, ConflictType.READ_WRITE)
-                elif reader.timestamp > writer.timestamp:
-                    note(writer, reader, ConflictType.WRITE_READ)
-
-    kind_order = [ConflictType.READ_WRITE, ConflictType.WRITE_READ, ConflictType.WRITE_WRITE]
-    edges = [
-        DependencyEdge(
-            source=source,
-            target=target,
-            kinds=tuple(k for k in kind_order if k in kinds),
-        )
-        for (source, target), kinds in pair_kinds.items()
-    ]
-    return DependencyGraph(ordered, edges, mode=mode)
+    builder = StreamingGraphBuilder(mode=mode)
+    for tx in sorted(transactions, key=lambda t: t.timestamp):
+        builder.add(tx)
+    return builder.take_graph()
 
 
 @dataclass(frozen=True)
@@ -384,40 +647,126 @@ class OperationNode:
         return f"{self.tx_id}:{self.operation.op_type.value}:{self.operation.key}"
 
 
-def build_operation_graph(transactions: Sequence[Transaction]) -> nx.DiGraph:
+class OperationGraph:
+    """A DGCC-style operation-level dependency graph (networkx-free).
+
+    Nodes are per-record read/write operations identified by
+    ``"<tx_id>:<read|write>:<key>"``; edges connect conflicting operations of
+    different transactions in timestamp order.  The query surface mirrors the
+    small slice of ``networkx.DiGraph`` the callers used —
+    :meth:`number_of_nodes`, :meth:`number_of_edges`, :meth:`has_edge` — plus
+    neighbour and topological queries backed by the adjacency core.
+    """
+
+    def __init__(self, nodes: Sequence[OperationNode], edges: Iterable[Tuple[int, int]]) -> None:
+        self._nodes = list(nodes)
+        self._ids = [node.node_id for node in self._nodes]
+        self._index = {node_id: i for i, node_id in enumerate(self._ids)}
+        if len(self._index) != len(self._ids):
+            raise DependencyGraphError("duplicate operation node ids")
+        self._dag = AdjacencyDAG(len(self._ids))
+        self._edge_set: Set[Tuple[int, int]] = set()
+        for u, v in edges:
+            if (u, v) not in self._edge_set:
+                self._edge_set.add((u, v))
+                self._dag.add_edge(u, v)
+
+    def number_of_nodes(self) -> int:
+        """How many per-record operations the block contains."""
+        return len(self._ids)
+
+    def number_of_edges(self) -> int:
+        """How many operation-level conflicts were found."""
+        return self._dag.edge_count
+
+    def nodes(self) -> List[str]:
+        """Node ids in timestamp-then-operation order."""
+        return list(self._ids)
+
+    def node(self, node_id: str) -> OperationNode:
+        """The :class:`OperationNode` stored under ``node_id``."""
+        index = self._index.get(node_id)
+        if index is None:
+            raise DependencyGraphError(f"unknown operation node {node_id!r}")
+        return self._nodes[index]
+
+    def has_edge(self, source: str, target: str) -> bool:
+        """True iff the conflict edge ``source -> target`` exists."""
+        u = self._index.get(source)
+        v = self._index.get(target)
+        if u is None or v is None:
+            return False
+        return (u, v) in self._edge_set
+
+    def predecessors(self, node_id: str) -> Set[str]:
+        """Operations that must run before ``node_id``."""
+        index = self._index.get(node_id)
+        if index is None:
+            raise DependencyGraphError(f"unknown operation node {node_id!r}")
+        return {self._ids[u] for u in self._dag.predecessors(index)}
+
+    def successors(self, node_id: str) -> Set[str]:
+        """Operations that depend on ``node_id``."""
+        index = self._index.get(node_id)
+        if index is None:
+            raise DependencyGraphError(f"unknown operation node {node_id!r}")
+        return {self._ids[v] for v in self._dag.successors(index)}
+
+    def edges(self) -> List[Tuple[str, str]]:
+        """Every conflict edge as an ``(earlier, later)`` id pair."""
+        ids = self._ids
+        return [(ids[u], ids[v]) for (u, v) in sorted(self._edge_set)]
+
+    def topological_order(self) -> List[str]:
+        """A valid execution order of the operations."""
+        return list(self._ids)
+
+    def to_networkx(self):
+        """A ``networkx.DiGraph`` copy for analysis/plotting (debug only)."""
+        try:
+            import networkx as nx
+        except ImportError as exc:  # pragma: no cover - depends on environment
+            raise DependencyGraphError(
+                "networkx is required for to_networkx(); install the 'debug' extra"
+            ) from exc
+        graph = nx.DiGraph()
+        for node in self._nodes:
+            graph.add_node(node.node_id, tx_id=node.tx_id, op=node.operation)
+        graph.add_edges_from(self.edges())
+        return graph
+
+
+def build_operation_graph(transactions: Sequence[Transaction]) -> OperationGraph:
     """Build a DGCC-style operation-level dependency graph.
 
     Each transaction is broken into per-record read/write operations; edges
     connect conflicting operations of different transactions in timestamp
     order, allowing execution to be parallelised at the level of operations
     rather than whole transactions (the paper notes OXII's graph generator can
-    be designed this way, citing DGCC).
+    be designed this way, citing DGCC).  Construction is per record: an
+    operation only checks earlier accessors of its own key, so the cost is
+    proportional to the conflicts present rather than quadratic in the total
+    number of operations.
     """
     ordered = sorted(transactions, key=lambda t: t.timestamp)
-    graph = nx.DiGraph()
     nodes: List[OperationNode] = []
-    for tx in ordered:
+    edges: List[Tuple[int, int]] = []
+    # Per record: (transaction position, node index, is_read) of earlier accessors.
+    accessors: Dict[str, List[Tuple[int, int, bool]]] = {}
+    for tx_pos, tx in enumerate(ordered):
         for op in tx.operations():
-            node = OperationNode(tx_id=tx.tx_id, operation=op)
-            nodes.append(node)
-            graph.add_node(node.node_id, tx_id=tx.tx_id, op=op)
-    for i, earlier_tx in enumerate(ordered):
-        for later_tx in ordered[i + 1 :]:
-            for earlier_op in earlier_tx.operations():
-                for later_op in later_tx.operations():
-                    if earlier_op.key != later_op.key:
-                        continue
-                    both_reads = (
-                        earlier_op.op_type is OperationType.READ
-                        and later_op.op_type is OperationType.READ
-                    )
-                    if both_reads:
-                        continue
-                    graph.add_edge(
-                        OperationNode(earlier_tx.tx_id, earlier_op).node_id,
-                        OperationNode(later_tx.tx_id, later_op).node_id,
-                    )
-    return graph
+            node_index = len(nodes)
+            nodes.append(OperationNode(tx_id=tx.tx_id, operation=op))
+            is_read = op.op_type is OperationType.READ
+            history = accessors.setdefault(op.key, [])
+            for earlier_pos, earlier_index, earlier_is_read in history:
+                if earlier_pos == tx_pos:
+                    continue  # operations of one transaction are not ordered
+                if earlier_is_read and is_read:
+                    continue
+                edges.append((earlier_index, node_index))
+            history.append((tx_pos, node_index, is_read))
+    return OperationGraph(nodes, edges)
 
 
 def contention_statistics(graph: DependencyGraph) -> Mapping[str, float]:

@@ -63,7 +63,18 @@ class ParallelGraphExecutor:
                 done, _ = wait(list(in_flight), return_when=FIRST_COMPLETED)
                 for future in done:
                     tx_id = in_flight.pop(future)
-                    result = future.result()
+                    try:
+                        result = future.result()
+                    except Exception as exc:
+                        # A contract that raises (instead of returning an abort
+                        # result) breaks its contract; converting to an aborted
+                        # result keeps the scheduler consistent and lets the
+                        # rest of the block finish instead of abandoning the
+                        # in-flight transactions mid-loop.
+                        result = TransactionResult.abort(
+                            graph.transaction(tx_id),
+                            reason=f"contract raised {type(exc).__name__}: {exc}",
+                        )
                     with state_lock:
                         if not result.is_abort:
                             state.update(result.updates)

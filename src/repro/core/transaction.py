@@ -174,6 +174,9 @@ class TransactionResult:
     status: str = "ok"
     executed_by: str = ""
     read_versions: Mapping[str, int] = field(default_factory=dict)
+    #: Diagnostic only — excluded from canonical_tuple() and matches() so that
+    #: executors whose error messages differ still produce matching votes.
+    abort_reason: str = ""
 
     @property
     def is_abort(self) -> bool:
@@ -189,6 +192,7 @@ class TransactionResult:
             updates={},
             status=ABORTED,
             executed_by=executed_by,
+            abort_reason=reason,
         )
 
     def canonical_tuple(self) -> tuple:

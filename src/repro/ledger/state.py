@@ -5,7 +5,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Tuple
 
-from repro.common.errors import LedgerError
 
 
 @dataclass(frozen=True)

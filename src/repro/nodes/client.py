@@ -12,7 +12,7 @@ clients to a far data center hurts XOV the most (Figure 7(a)).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.common.config import SystemConfig
 from repro.contracts.base import ContractRegistry

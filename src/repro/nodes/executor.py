@@ -16,7 +16,7 @@ center does not affect OXII's measured performance (Figure 7(d)).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.common.config import SystemConfig
 from repro.contracts.base import ContractRegistry

@@ -16,9 +16,9 @@ messages), with the crash-fault-tolerant protocols only the leader does.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Optional, Sequence, Set
 
-from repro.common.config import CostModel, SystemConfig
+from repro.common.config import SystemConfig
 from repro.consensus.base import ConsensusDecision, OrderingService, make_ordering_service
 from repro.core.block_builder import BlockBuilder, PendingBlock
 from repro.core.dependency_graph import GraphMode

@@ -9,7 +9,7 @@ single-threaded execution rate — the flat line of Figure 6.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional
 
 from repro.common.config import SystemConfig
 from repro.contracts.base import ContractRegistry

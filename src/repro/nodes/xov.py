@@ -14,12 +14,12 @@ contention (Figure 6).
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, Mapping, Optional
 
 from repro.common.config import SystemConfig
 from repro.contracts.base import ContractRegistry
 from repro.core.block import Block
-from repro.core.transaction import Transaction, TransactionResult
+from repro.core.transaction import Transaction
 from repro.crypto.signatures import KeyRegistry
 from repro.ledger.ledger import Ledger
 from repro.ledger.state import WorldState

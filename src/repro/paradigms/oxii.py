@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.common.config import SystemConfig
 from repro.nodes.executor import ExecutorNode
 from repro.paradigms.base import Deployment, DeploymentHandles
 

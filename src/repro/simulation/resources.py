@@ -13,7 +13,7 @@ Three primitives cover everything the blockchain models need:
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, Generator, List, Optional
+from typing import Any, Deque, Generator, List, Optional
 
 from repro.common.errors import SimulationError
 from repro.simulation.core import Environment

@@ -135,6 +135,38 @@ class TestBlockBuilderSealing:
         assert block.dependency_graph is not None
         assert block.dependency_graph.edge_count == 1
 
+    def test_cut_attaches_incrementally_grown_graph(self):
+        """The orderer grows the graph as the block fills; seal reuses it."""
+        builder = BlockBuilder(BlockCutPolicy(max_transactions=3), generate_graphs=True)
+        pending = None
+        for i in range(3):
+            pending = builder.add(make_tx(f"t{i}", reads=["hot"], writes=["hot"]), 0.0) or pending
+        assert pending.graph is not None
+        assert len(pending.graph) == 3
+        block = builder.seal(pending, now=0.1)
+        assert block.dependency_graph is pending.graph
+        batch = build_dependency_graph(pending.transactions)
+        assert block.dependency_graph.canonical_tuple() == batch.canonical_tuple()
+
+    def test_incremental_graph_does_not_leak_across_blocks(self):
+        builder = BlockBuilder(BlockCutPolicy(max_transactions=1), generate_graphs=True)
+        first = builder.add(make_tx("a", writes=["hot"]), 0.0)
+        second = builder.add(make_tx("b", reads=["hot"]), 0.1)
+        # "b" reads what "a" wrote, but they sit in different blocks: no edge.
+        assert first.graph.edge_count == 0
+        assert second.graph.edge_count == 0
+        assert len(second.graph) == 1
+
+    def test_seal_rebuilds_graph_for_foreign_pending(self):
+        from repro.core.block_builder import PendingBlock
+
+        builder = BlockBuilder(BlockCutPolicy(max_transactions=10), generate_graphs=True)
+        txs = tuple(make_tx(f"t{i}", writes=["hot"], timestamp=i + 1) for i in range(2))
+        pending = PendingBlock(transactions=txs, reason=CutReason.FORCED, opened_at=0.0, cut_at=0.0)
+        block = builder.seal(pending, now=0.1)
+        assert block.dependency_graph is not None
+        assert block.dependency_graph.edge_count == 1
+
     def test_seal_without_graphs(self):
         builder = BlockBuilder(BlockCutPolicy(max_transactions=1), generate_graphs=False)
         pending = builder.add(make_tx("a"), 0.0)

@@ -11,6 +11,7 @@ from repro.core.dependency_graph import (
     DependencyEdge,
     DependencyGraph,
     GraphMode,
+    StreamingGraphBuilder,
     build_dependency_graph,
     build_operation_graph,
     conflicts,
@@ -146,6 +147,203 @@ class TestGraphStructure:
         assert stats["cross_application_edges"] == 2.0
 
 
+class TestGraphEdgeCases:
+    def test_empty_block(self):
+        graph = build_dependency_graph([])
+        assert len(graph) == 0
+        assert graph.edge_count == 0
+        assert graph.critical_path_length() == 0
+        assert graph.topological_order() == []
+        assert graph.components() == []
+        assert graph.parallelism_profile() == []
+        assert graph.roots() == []
+        assert graph.degree_of_contention() == 0.0
+        assert graph.is_chain()
+
+    def test_single_transaction(self):
+        graph = build_dependency_graph([make_tx("only", reads=["x"], writes=["x"], timestamp=1)])
+        assert graph.roots() == ["only"]
+        assert graph.predecessors("only") == set()
+        assert graph.successors("only") == set()
+        assert graph.components() == [{"only"}]
+        assert graph.parallelism_profile() == [1]
+
+    def test_figure6d_full_contention_chain(self):
+        """Figure 6(d): 100% contention makes the whole block one chain."""
+        n = 64
+        txs = [make_tx(f"t{i}", reads=["hot"], writes=["hot"], timestamp=i + 1) for i in range(n)]
+        graph = build_dependency_graph(txs)
+        assert graph.is_chain()
+        assert graph.critical_path_length() == n
+        # Every ordered pair conflicts, so the chain carries all transitive edges.
+        assert graph.edge_count == n * (n - 1) // 2
+        assert graph.parallelism_profile() == [1] * n
+        assert len(graph.components()) == 1
+
+    def test_multi_version_prunes_ww_and_rw_edges(self):
+        txs = [
+            make_tx("w1", writes=["x"], timestamp=1),
+            make_tx("r1", reads=["x"], timestamp=2),
+            make_tx("w2", writes=["x"], timestamp=3),
+            make_tx("r2", reads=["x"], timestamp=4),
+        ]
+        single = build_dependency_graph(txs, mode=GraphMode.SINGLE_VERSION)
+        multi = build_dependency_graph(txs, mode=GraphMode.MULTI_VERSION)
+        single_pairs = {(e.source, e.target) for e in single.edges()}
+        multi_pairs = {(e.source, e.target) for e in multi.edges()}
+        # Single-version orders every conflicting pair; multi-version keeps
+        # only write-then-read (the reader needs the writer's version).
+        assert ("w1", "w2") in single_pairs and ("r1", "w2") in single_pairs
+        assert multi_pairs == {("w1", "r1"), ("w1", "r2"), ("w2", "r2")}
+        assert all(e.kinds == (ConflictType.WRITE_READ,) for e in multi.edges())
+
+    def test_edge_kinds_accumulate(self):
+        txs = [
+            make_tx("a", reads=["x"], writes=["x"], timestamp=1),
+            make_tx("b", reads=["x"], writes=["x"], timestamp=2),
+        ]
+        graph = build_dependency_graph(txs)
+        (edge,) = graph.edges()
+        assert set(edge.kinds) == {
+            ConflictType.READ_WRITE,
+            ConflictType.WRITE_READ,
+            ConflictType.WRITE_WRITE,
+        }
+
+
+class TestStreamingGraphBuilder:
+    def test_incremental_equals_batch(self):
+        txs = paper_example_block()
+        builder = StreamingGraphBuilder()
+        for tx in sorted(txs, key=lambda t: t.timestamp):
+            builder.add(tx)
+        streamed = builder.graph()
+        batch = build_dependency_graph(txs)
+        assert streamed.canonical_tuple() == batch.canonical_tuple()
+
+    def test_add_returns_new_dependency_count(self):
+        builder = StreamingGraphBuilder()
+        assert builder.add(make_tx("a", writes=["x"], timestamp=1)) == 0
+        assert builder.add(make_tx("b", reads=["x"], timestamp=2)) == 1
+        assert builder.predecessors_of("b") == {"a"}
+        assert builder.edge_count == 1
+        (edge,) = builder.graph().edges()
+        assert (edge.source, edge.target) == ("a", "b")
+        assert edge.kinds == (ConflictType.WRITE_READ,)
+
+    def test_snapshot_does_not_invalidate_builder(self):
+        builder = StreamingGraphBuilder()
+        builder.add(make_tx("a", writes=["x"], timestamp=1))
+        first = builder.graph()
+        builder.add(make_tx("b", writes=["x"], timestamp=2))
+        second = builder.graph()
+        assert len(first) == 1 and first.edge_count == 0
+        assert len(second) == 2 and second.edge_count == 1
+
+    def test_reset_forgets_record_indices(self):
+        builder = StreamingGraphBuilder()
+        builder.add(make_tx("a", writes=["x"], timestamp=1))
+        builder.reset()
+        assert len(builder) == 0
+        # "a"'s write of x must not leak an edge into the next block.
+        assert builder.add(make_tx("b", reads=["x"], timestamp=1)) == 0
+
+    def test_rejects_duplicate_ids_and_stale_timestamps(self):
+        builder = StreamingGraphBuilder()
+        builder.add(make_tx("a", writes=["x"], timestamp=2))
+        with pytest.raises(DependencyGraphError):
+            builder.add(make_tx("a", writes=["y"], timestamp=3))
+        with pytest.raises(DependencyGraphError):
+            builder.add(make_tx("b", writes=["y"], timestamp=2))
+
+    def test_multi_version_mode(self):
+        builder = StreamingGraphBuilder(mode=GraphMode.MULTI_VERSION)
+        builder.add(make_tx("w1", writes=["x"], timestamp=1))
+        assert builder.add(make_tx("w2", writes=["x"], timestamp=2)) == 0
+        assert builder.add(make_tx("r", reads=["x"], timestamp=3)) == 2
+        assert builder.predecessors_of("r") == {"w1", "w2"}
+
+    def test_take_graph_resets_builder(self):
+        builder = StreamingGraphBuilder()
+        builder.add(make_tx("a", writes=["x"], timestamp=1))
+        builder.add(make_tx("b", reads=["x"], timestamp=2))
+        graph = builder.take_graph()
+        assert len(graph) == 2 and graph.edge_count == 1
+        assert len(builder) == 0 and builder.edge_count == 0
+        # The next block starts clean.
+        assert builder.add(make_tx("c", reads=["x"], timestamp=1)) == 0
+
+
+class TestNetworkxEquivalence:
+    """The native adjacency core must match the seed's networkx results."""
+
+    @staticmethod
+    def _random_blocks(count=25, max_size=40, keys=8):
+        import random
+
+        rng = random.Random(1234)
+        blocks = []
+        for b in range(count):
+            size = rng.randint(0, max_size)
+            txs = []
+            for i in range(size):
+                reads = frozenset(
+                    f"k{rng.randrange(keys)}" for _ in range(rng.randint(0, 3))
+                )
+                writes = frozenset(
+                    f"k{rng.randrange(keys)}" for _ in range(rng.randint(0, 3))
+                )
+                txs.append(
+                    make_tx(
+                        f"b{b}t{i}",
+                        reads=reads,
+                        writes=writes,
+                        application=f"app-{rng.randrange(3)}",
+                        timestamp=i + 1,
+                    )
+                )
+            blocks.append(txs)
+        return blocks
+
+    def test_matches_networkx_on_randomized_blocks(self):
+        nx = pytest.importorskip("networkx")
+        for txs in self._random_blocks():
+            for mode in (GraphMode.SINGLE_VERSION, GraphMode.MULTI_VERSION):
+                graph = build_dependency_graph(txs, mode=mode)
+                reference = nx.DiGraph()
+                reference.add_nodes_from(tx.tx_id for tx in txs)
+                for i, earlier in enumerate(txs):
+                    for later in txs[i + 1 :]:
+                        if has_ordering_dependency(earlier, later, mode):
+                            reference.add_edge(earlier.tx_id, later.tx_id)
+                assert {(e.source, e.target) for e in graph.edges()} == set(
+                    reference.edges()
+                )
+                assert graph.critical_path_length() == (
+                    nx.dag_longest_path_length(reference) + 1 if txs else 0
+                )
+                assert sorted(map(sorted, graph.components())) == sorted(
+                    sorted(c) for c in nx.weakly_connected_components(reference)
+                )
+                expected_order = list(
+                    nx.lexicographical_topological_sort(
+                        reference, key=lambda t, _ts={tx.tx_id: tx.timestamp for tx in txs}: _ts[t]
+                    )
+                )
+                assert graph.topological_order() == expected_order
+
+    def test_to_networkx_debug_export(self):
+        nx = pytest.importorskip("networkx")
+        graph = build_dependency_graph(paper_example_block())
+        exported = graph.to_networkx()
+        assert isinstance(exported, nx.DiGraph)
+        assert set(exported.nodes()) == set(graph.transaction_ids)
+        assert {(u, v) for u, v in exported.edges()} == {
+            (e.source, e.target) for e in graph.edges()
+        }
+        assert exported.edges["T1", "T4"]["kinds"] == (ConflictType.WRITE_READ,)
+
+
 class TestGraphValidation:
     def test_duplicate_transaction_ids_rejected(self):
         txs = [make_tx("dup", timestamp=1), make_tx("dup", timestamp=2)]
@@ -193,6 +391,61 @@ class TestOperationGraph:
         ]
         graph = build_operation_graph(txs)
         assert graph.number_of_edges() == 0
+
+    def test_same_transaction_operations_are_not_ordered(self):
+        txs = [make_tx("a", reads=["x"], writes=["x"], timestamp=1)]
+        graph = build_operation_graph(txs)
+        assert graph.number_of_nodes() == 2
+        assert graph.number_of_edges() == 0
+
+    def test_neighbour_queries_and_order(self):
+        txs = [
+            make_tx("a", writes=["x"], timestamp=1),
+            make_tx("b", reads=["x"], writes=["x"], timestamp=2),
+        ]
+        graph = build_operation_graph(txs)
+        assert graph.successors("a:write:x") == {"b:read:x", "b:write:x"}
+        assert graph.predecessors("b:write:x") == {"a:write:x"}
+        order = graph.topological_order()
+        assert order.index("a:write:x") < order.index("b:read:x")
+
+    def test_matches_networkx_pairwise_reference(self):
+        """Per-key construction equals the seed's all-pairs networkx build."""
+        nx = pytest.importorskip("networkx")
+        from repro.core.transaction import OperationType
+
+        import random
+
+        rng = random.Random(99)
+        keys = [f"k{i}" for i in range(5)]
+        txs = []
+        for i in range(15):
+            reads = frozenset(rng.sample(keys, rng.randint(0, 2)))
+            writes = frozenset(rng.sample(keys, rng.randint(0, 2)))
+            txs.append(make_tx(f"t{i}", reads=reads, writes=writes, timestamp=i + 1))
+        graph = build_operation_graph(txs)
+        reference = nx.DiGraph()
+        ordered = sorted(txs, key=lambda t: t.timestamp)
+        for tx in ordered:
+            for op in tx.operations():
+                reference.add_node(f"{tx.tx_id}:{op.op_type.value}:{op.key}")
+        for i, earlier_tx in enumerate(ordered):
+            for later_tx in ordered[i + 1 :]:
+                for earlier_op in earlier_tx.operations():
+                    for later_op in later_tx.operations():
+                        if earlier_op.key != later_op.key:
+                            continue
+                        if (
+                            earlier_op.op_type is OperationType.READ
+                            and later_op.op_type is OperationType.READ
+                        ):
+                            continue
+                        reference.add_edge(
+                            f"{earlier_tx.tx_id}:{earlier_op.op_type.value}:{earlier_op.key}",
+                            f"{later_tx.tx_id}:{later_op.op_type.value}:{later_op.key}",
+                        )
+        assert set(graph.nodes()) == set(reference.nodes())
+        assert set(graph.edges()) == set(reference.edges())
 
 
 # ----------------------------------------------------------- property tests

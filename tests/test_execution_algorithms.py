@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.common.errors import DependencyGraphError, TransactionError
+from repro.common.errors import DependencyGraphError
 from repro.core.dependency_graph import build_dependency_graph
 from repro.core.execution import (
     CommitBatcher,

@@ -92,6 +92,47 @@ class TestParallelGraphExecutor:
         with pytest.raises(ValueError):
             ParallelGraphExecutor(counter_runner, max_workers=0)
 
+    def test_raising_contract_becomes_abort_result(self):
+        """A contract that raises must not abandon the rest of the block."""
+
+        def runner(tx, state):
+            if tx.tx_id == "boom":
+                raise RuntimeError("contract bug")
+            return counter_runner(tx, state)
+
+        txs = [
+            make_tx("a", writes=["x"], timestamp=1),
+            make_tx("boom", reads=["x"], writes=["x"], timestamp=2),
+            make_tx("b", reads=["x"], writes=["y"], timestamp=3),
+            make_tx("c", writes=["z"], timestamp=4),
+        ]
+        state = {}
+        results = ParallelGraphExecutor(runner, max_workers=2).execute(
+            build_dependency_graph(txs), state
+        )
+        by_id = {r.tx_id: r for r in results}
+        assert by_id["boom"].is_abort
+        assert "contract bug" in by_id["boom"].abort_reason
+        # Every other transaction still executed and committed.
+        assert [r.tx_id for r in results] == ["a", "boom", "b", "c"]
+        assert state == {"x": 1, "y": 1, "z": 1}
+
+    def test_raising_contract_releases_dependants(self):
+        """Dependants of a raising transaction are still scheduled (no stall)."""
+
+        def runner(tx, state):
+            if tx.tx_id == "t0":
+                raise ValueError("broken")
+            return counter_runner(tx, state)
+
+        txs = [make_tx(f"t{i}", reads=["hot"], writes=["hot"], timestamp=i + 1) for i in range(5)]
+        results = ParallelGraphExecutor(runner, max_workers=2).execute(
+            build_dependency_graph(txs), {}
+        )
+        assert len(results) == 5
+        assert results[0].is_abort
+        assert all(not r.is_abort for r in results[1:])
+
     def test_aborts_do_not_touch_state(self):
         def runner(tx, state):
             if tx.tx_id == "bad":

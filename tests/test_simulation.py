@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.common.errors import SimulationError
-from repro.simulation import AllOf, AnyOf, CpuPool, Environment, Resource, Store
+from repro.simulation import AllOf, AnyOf, CpuPool, Resource, Store
 from repro.simulation.process import Interrupt
 
 
