@@ -1,0 +1,73 @@
+"""Sweep-engine scaling: parallel point execution vs serial, same results.
+
+The sweep engine executes an experiment's point matrix across worker
+processes; every point is an independent simulation, so the parallel run must
+return bit-identical rows in the same order as a serial run — only faster.
+This benchmark measures both on a multi-point quick sweep and enforces that
+parallel beats serial wall-clock whenever the machine actually has cores to
+parallelise over (skipped on single-core runners; REPRO_BENCH_NO_GATE=1
+records timings without enforcing the floor).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import record_rows
+from repro.experiments import ExperimentSpec, SweepEngine
+
+NO_GATE = os.environ.get("REPRO_BENCH_NO_GATE", "") not in ("", "0", "false")
+CORES = os.cpu_count() or 1
+
+#: A 3-paradigm x 2-load quick sweep — 6 independent points, each sizeable
+#: enough that process fan-out pays for itself.
+SWEEP_SPEC = {
+    "name": "sweep-parallel-bench",
+    "duration": 1.0,
+    "drain": 2.0,
+    "scenarios": [
+        {"name": "ox", "paradigm": "OX", "contention": 0.2, "loads": [700.0, 1100.0]},
+        {"name": "xov", "paradigm": "XOV", "contention": 0.2, "loads": [1200.0, 2000.0]},
+        {"name": "oxii", "paradigm": "OXII", "contention": 0.2, "loads": [3000.0, 6500.0]},
+    ],
+}
+
+
+def test_sweep_parallel_matches_and_beats_serial() -> None:
+    spec = ExperimentSpec.from_dict(SWEEP_SPEC)
+
+    start = time.perf_counter()
+    serial = SweepEngine(parallel=False).run(spec)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = SweepEngine(workers=min(CORES, len(spec.expand()))).run(spec)
+    parallel_s = time.perf_counter() - start
+
+    # Determinism: parallel execution changes wall-clock time, nothing else.
+    assert [r.metrics for r in serial.rows] == [r.metrics for r in parallel.rows]
+
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    record_rows(
+        [
+            {
+                "benchmark": "sweep_parallel",
+                "points": len(serial.rows),
+                "cores": CORES,
+                "serial_s": round(serial_s, 3),
+                "parallel_s": round(parallel_s, 3),
+                "speedup": round(speedup, 2),
+            }
+        ]
+    )
+    if NO_GATE:
+        return
+    if CORES < 2:
+        pytest.skip("single-core machine: no parallelism to measure")
+    assert speedup > 1.1, (
+        f"parallel sweep ({parallel_s:.2f}s) should beat serial ({serial_s:.2f}s) "
+        f"on {CORES} cores, got {speedup:.2f}x"
+    )

@@ -45,6 +45,15 @@ from repro.workload.generator import ConflictScope, WorkloadConfig, WorkloadGene
 from repro.paradigms import OXDeployment, OXIIDeployment, XOVDeployment, run_paradigm
 from repro.metrics.collector import RunMetrics
 from repro.bench.runner import quick_comparison
+from repro.experiments import (
+    ExperimentResult,
+    ExperimentSpec,
+    ScenarioSpec,
+    SweepEngine,
+    register_contract,
+    register_paradigm,
+    register_workload,
+)
 
 __all__ = [
     "AccountingContract",
@@ -53,6 +62,8 @@ __all__ = [
     "ConflictScope",
     "CostModel",
     "DependencyGraph",
+    "ExperimentResult",
+    "ExperimentSpec",
     "KeyValueContract",
     "LatencyConfig",
     "OXDeployment",
@@ -60,8 +71,10 @@ __all__ = [
     "ParallelGraphExecutor",
     "ReadWriteSet",
     "RunMetrics",
+    "ScenarioSpec",
     "SmartContract",
     "SupplyChainContract",
+    "SweepEngine",
     "SystemConfig",
     "Transaction",
     "TransactionResult",
@@ -70,6 +83,9 @@ __all__ = [
     "XOVDeployment",
     "build_dependency_graph",
     "quick_comparison",
+    "register_contract",
+    "register_paradigm",
+    "register_workload",
     "run_paradigm",
 ]
 

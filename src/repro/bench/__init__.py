@@ -1,5 +1,9 @@
 """Benchmark harness regenerating every figure of the paper's evaluation.
 
+Each figure is declared as an :class:`~repro.experiments.ExperimentSpec`
+(``figure5_spec`` / ``figure6_spec`` / ``figure7_spec``) and executed by the
+:class:`~repro.experiments.SweepEngine`:
+
 * :mod:`repro.bench.figure5` — throughput/latency vs. block size (Figure 5).
 * :mod:`repro.bench.figure6` — latency/throughput curves for workloads with
   0 %, 20 %, 80 % and 100 % contention, including the cross-application
@@ -7,21 +11,25 @@
 * :mod:`repro.bench.figure7` — multi-datacenter scalability, moving one node
   group at a time to a far data center (Figure 7).
 
-Each module exposes a ``run_*`` function returning structured results plus a
-``format`` helper that prints the same series the paper plots.  The
-:mod:`repro.bench.cli` module wires them into ``python -m repro.bench``.
+Each module keeps a ``run_*`` function returning the paper-shaped structured
+results plus a ``format`` helper.  The :mod:`repro.bench.cli` module wires
+them — and the generic ``run`` / ``matrix`` / ``list`` spec commands — into
+``python -m repro.bench``.
 """
 
 from repro.bench.runner import BenchmarkSettings, quick_comparison, run_point
-from repro.bench.figure5 import Figure5Result, run_figure5
-from repro.bench.figure6 import Figure6Result, run_figure6
-from repro.bench.figure7 import Figure7Result, run_figure7
+from repro.bench.figure5 import Figure5Result, figure5_spec, run_figure5
+from repro.bench.figure6 import Figure6Result, figure6_spec, run_figure6
+from repro.bench.figure7 import Figure7Result, figure7_spec, run_figure7
 
 __all__ = [
     "BenchmarkSettings",
     "Figure5Result",
     "Figure6Result",
     "Figure7Result",
+    "figure5_spec",
+    "figure6_spec",
+    "figure7_spec",
     "quick_comparison",
     "run_figure5",
     "run_figure6",

@@ -1,6 +1,13 @@
-"""Command-line entry point: ``python -m repro.bench <figure>``.
+"""Command-line entry point: ``python -m repro.bench <command>``.
 
-Examples::
+The generic, spec-driven interface::
+
+    python -m repro.bench run examples/specs/smoke.json --json out.json
+    python -m repro.bench run figure6 --quick --workers 4
+    python -m repro.bench matrix examples/specs/contention_sweep.toml
+    python -m repro.bench list
+
+plus the legacy figure shortcuts (thin wrappers over the same engine)::
 
     python -m repro.bench quick --contention 0.2
     python -m repro.bench figure5 --quick
@@ -11,24 +18,65 @@ Examples::
 from __future__ import annotations
 
 import argparse
-from typing import List, Optional, Sequence
+import dataclasses
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.bench.figure5 import format_figure5, run_figure5
-from repro.bench.figure6 import DEFAULT_CONTENTION_LEVELS, format_figure6, run_figure6
-from repro.bench.figure7 import GROUPS, format_figure7, run_figure7
-from repro.bench.reporting import format_comparison, rows_to_json
+from repro.bench.figure5 import figure5_spec, format_figure5, run_figure5
+from repro.bench.figure6 import (
+    DEFAULT_CONTENTION_LEVELS,
+    figure6_spec,
+    format_figure6,
+    run_figure6,
+)
+from repro.bench.figure7 import GROUPS, figure7_spec, format_figure7, run_figure7
+from repro.bench.reporting import (
+    format_comparison,
+    format_experiment_result,
+    format_matrix,
+    rows_to_json,
+)
 from repro.bench.runner import BenchmarkSettings, quick_comparison
+from repro.experiments import (
+    ExperimentSpec,
+    SweepEngine,
+    contract_registry,
+    ensure_builtins,
+    paradigm_registry,
+    workload_registry,
+)
+
+#: Built-in named specs usable wherever a spec file path is expected.
+BUILTIN_SPECS: Dict[str, Callable[[BenchmarkSettings], ExperimentSpec]] = {
+    "figure5": lambda settings: figure5_spec(settings=settings),
+    "figure6": lambda settings: figure6_spec(settings=settings),
+    "figure7": lambda settings: figure7_spec(settings=settings),
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """The argument parser for the benchmark CLI."""
+    """The argument parser for the benchmark CLI.
+
+    The shared flags (``--quick``, ``--duration``, ``--json``, ``--workers``)
+    are accepted both before and after the subcommand; the subcommand copies
+    use ``SUPPRESS`` defaults so they only override when actually given.
+    """
+    common = argparse.ArgumentParser(add_help=False, argument_default=argparse.SUPPRESS)
+    common.add_argument("--quick", action="store_true", help="smaller sweeps, shorter runs")
+    common.add_argument("--duration", type=float, help="submission phase length [s]")
+    common.add_argument("--json", dest="json_path", help="write results to a JSON file")
+    common.add_argument(
+        "--workers",
+        type=int,
+        help="run experiment points in parallel across N worker processes",
+    )
+
     parser = argparse.ArgumentParser(
         prog="parblockchain-bench",
-        description="Regenerate the ParBlockchain paper's evaluation figures.",
+        description="Run declarative experiment specs and regenerate the paper's figures.",
+        parents=[common],
     )
-    parser.add_argument("--quick", action="store_true", help="smaller sweeps, shorter runs")
-    parser.add_argument("--duration", type=float, default=None, help="submission phase length [s]")
-    parser.add_argument("--json", dest="json_path", default=None, help="write result rows to a JSON file")
+    parser.set_defaults(quick=False, duration=None, json_path=None, workers=None)
     parser.add_argument(
         "--smoke",
         action="store_true",
@@ -36,18 +84,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=False)
 
-    quick = subparsers.add_parser("quick", help="one-shot comparison of the three paradigms")
+    run = subparsers.add_parser(
+        "run", parents=[common], help="execute an experiment spec (file or built-in name)"
+    )
+    run.add_argument("spec", help=f"path to a .json/.toml spec, or one of {sorted(BUILTIN_SPECS)}")
+    run.add_argument("--serial", action="store_true", default=False,
+                     help="force serial in-process execution")
+
+    matrix = subparsers.add_parser(
+        "matrix", parents=[common], help="expand a spec into its point matrix (no runs)"
+    )
+    matrix.add_argument("spec", help=f"path to a .json/.toml spec, or one of {sorted(BUILTIN_SPECS)}")
+
+    subparsers.add_parser(
+        "list", parents=[common],
+        help="registered paradigms/contracts/workloads and built-in specs",
+    )
+
+    quick = subparsers.add_parser(
+        "quick", parents=[common], help="one-shot comparison of the three paradigms"
+    )
     quick.add_argument("--contention", type=float, default=0.0)
     quick.add_argument("--load", type=float, default=1500.0)
 
-    subparsers.add_parser("figure5", help="throughput/latency vs block size")
+    subparsers.add_parser("figure5", parents=[common], help="throughput/latency vs block size")
 
-    figure6 = subparsers.add_parser("figure6", help="performance under contention")
+    figure6 = subparsers.add_parser("figure6", parents=[common], help="performance under contention")
     figure6.add_argument(
         "--contention", type=float, nargs="+", default=list(DEFAULT_CONTENTION_LEVELS)
     )
 
-    figure7 = subparsers.add_parser("figure7", help="multi-datacenter scalability")
+    figure7 = subparsers.add_parser("figure7", parents=[common], help="multi-datacenter scalability")
     figure7.add_argument("--group", choices=sorted(GROUPS), nargs="+", default=list(GROUPS))
     return parser
 
@@ -57,6 +124,78 @@ def _settings(args: argparse.Namespace) -> BenchmarkSettings:
     if args.duration is not None:
         settings = settings.with_duration(args.duration)
     return settings
+
+
+def _engine(args: argparse.Namespace) -> Optional[SweepEngine]:
+    """Engine for figure subcommands: parallel only when --workers is given."""
+    if args.workers is not None:
+        return SweepEngine(workers=args.workers, parallel=args.workers > 1)
+    return None
+
+
+def _resolve_spec(ref: str, args: argparse.Namespace, settings: BenchmarkSettings) -> ExperimentSpec:
+    """A spec from a file path or a built-in builder name.
+
+    ``--duration`` overrides the spec's duration either way; ``--quick`` only
+    shapes the built-in specs (a file spec carries its own loads), so it is
+    called out rather than silently ignored.
+    """
+    path = Path(ref)
+    if path.exists():
+        spec = ExperimentSpec.from_file(path)
+        if args.quick:
+            print("note: --quick only affects built-in specs; using the file's loads as written")
+    elif ref in BUILTIN_SPECS:
+        spec = BUILTIN_SPECS[ref](settings)
+    else:
+        raise SystemExit(
+            f"error: {ref!r} is neither a spec file nor a built-in spec "
+            f"(expected one of {sorted(BUILTIN_SPECS)})"
+        )
+    if args.duration is not None and spec.duration != args.duration:
+        spec = dataclasses.replace(spec, duration=args.duration)
+    return spec
+
+
+def _cmd_run(args: argparse.Namespace, settings: BenchmarkSettings) -> int:
+    spec = _resolve_spec(args.spec, args, settings)
+    engine = SweepEngine(
+        workers=args.workers,
+        parallel=not args.serial and (args.workers is None or args.workers > 1),
+    )
+    points, workers, use_pool = engine.plan(spec)
+    if use_pool:
+        # Parallel pools report nothing per point, so announce the shape up front.
+        print(f"running {len(points)} point(s) on {workers} worker(s)...")
+    result = engine.run(spec, progress=lambda p: print(f"  running {p.scenario} @ {p.offered_load:.0f} tps"))
+    print(format_experiment_result(result))
+    if args.json_path:
+        result.to_json(args.json_path)
+        print(f"\nwrote {len(result.rows)} rows (provenance included) to {args.json_path}")
+    if not all(row.metrics.committed > 0 for row in result.rows):
+        print("FAILED: a scenario point committed no transactions")
+        return 1
+    return 0
+
+
+def _cmd_matrix(args: argparse.Namespace, settings: BenchmarkSettings) -> int:
+    spec = _resolve_spec(args.spec, args, settings)
+    points = spec.expand()
+    print(f"Experiment {spec.name!r} (spec {spec.spec_hash()})")
+    print(format_matrix(points))
+    if args.json_path:
+        rows_to_json([p.as_dict() for p in points], args.json_path)
+        print(f"\nwrote {len(points)} points to {args.json_path}")
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    ensure_builtins()
+    print("paradigms: ", ", ".join(paradigm_registry.names()))
+    print("contracts: ", ", ".join(contract_registry.names()))
+    print("workloads: ", ", ".join(workload_registry.names()))
+    print("built-in specs:", ", ".join(sorted(BUILTIN_SPECS)))
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -89,6 +228,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     settings = _settings(args)
 
+    if args.command == "run":
+        return _cmd_run(args, settings)
+    if args.command == "matrix":
+        return _cmd_matrix(args, settings)
+    if args.command == "list":
+        return _cmd_list(args)
+
     if args.command == "quick":
         results = quick_comparison(
             contention=args.contention, offered_load=args.load, settings=settings
@@ -96,15 +242,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(format_comparison(results, title=f"Contention {args.contention:.0%} @ {args.load:.0f} tps"))
         rows = [m.as_dict() for m in results.values()]
     elif args.command == "figure5":
-        result = run_figure5(settings=settings)
+        result = run_figure5(settings=settings, engine=_engine(args))
         print(format_figure5(result))
         rows = result.as_rows()
     elif args.command == "figure6":
-        result = run_figure6(contention_levels=args.contention, settings=settings)
+        result = run_figure6(
+            contention_levels=args.contention, settings=settings, engine=_engine(args)
+        )
         print(format_figure6(result))
         rows = result.as_rows()
     elif args.command == "figure7":
-        result = run_figure7(groups=args.group, settings=settings)
+        result = run_figure7(groups=args.group, settings=settings, engine=_engine(args))
         print(format_figure7(result))
         rows = result.as_rows()
     else:  # pragma: no cover - argparse enforces the choices

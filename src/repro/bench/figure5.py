@@ -7,6 +7,10 @@ costs amortise) until ~200 transactions per block and then falls again because
 dependency-graph generation is quadratic in the block size; OX is essentially
 flat (sequential execution dominates) and XOV peaks around ~100 transactions
 per block.
+
+The sweep is declared as an :class:`~repro.experiments.ExperimentSpec`
+(:func:`figure5_spec`) and executed by the sweep engine; :func:`run_figure5`
+reshapes the result rows into the paper's per-paradigm peak series.
 """
 
 from __future__ import annotations
@@ -14,8 +18,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Mapping, Optional, Sequence
 
-from repro.bench.runner import BenchmarkSettings, sweep_paradigm
+from repro.bench.runner import BenchmarkSettings
 from repro.common.config import SystemConfig
+from repro.experiments import ExperimentSpec, ScenarioSpec, SweepEngine, config_overrides
+from repro.metrics.saturation import find_peak
 
 DEFAULT_BLOCK_SIZES: Sequence[int] = (10, 50, 100, 200, 400, 700, 1000)
 QUICK_BLOCK_SIZES: Sequence[int] = (50, 200, 800)
@@ -64,28 +70,60 @@ class Figure5Result:
         return [p.as_dict() for p in self.points]
 
 
+def figure5_spec(
+    block_sizes: Optional[Sequence[int]] = None,
+    settings: Optional[BenchmarkSettings] = None,
+    paradigms: Sequence[str] = PARADIGM_ORDER,
+    base_config: Optional[SystemConfig] = None,
+) -> ExperimentSpec:
+    """The Figure 5 sweep as a declarative experiment spec."""
+    settings = settings or BenchmarkSettings()
+    if block_sizes is None:
+        block_sizes = QUICK_BLOCK_SIZES if settings.quick else DEFAULT_BLOCK_SIZES
+    base = base_config or SystemConfig()
+    scenarios = []
+    for block_size in block_sizes:
+        for paradigm in paradigms:
+            config = base.with_block_size(block_size)
+            scenarios.append(
+                ScenarioSpec(
+                    name=f"bs{block_size}/{paradigm}",
+                    paradigm=paradigm,
+                    contention=0.0,
+                    loads=tuple(settings.loads_for(paradigm)),
+                    system=config_overrides(config),
+                    tags=(f"block_size:{block_size}",),
+                )
+            )
+    return ExperimentSpec(
+        name="figure5",
+        description="Peak throughput/latency vs block size (paper Figure 5)",
+        scenarios=tuple(scenarios),
+        duration=settings.duration,
+        drain=settings.drain,
+        warmup_fraction=settings.warmup_fraction,
+        seeds=(settings.seed,),
+        tags=("figure5",),
+    )
+
+
 def run_figure5(
     block_sizes: Optional[Sequence[int]] = None,
     settings: Optional[BenchmarkSettings] = None,
     paradigms: Sequence[str] = PARADIGM_ORDER,
     base_config: Optional[SystemConfig] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> Figure5Result:
     """Regenerate Figure 5: for every block size, find each paradigm's peak."""
     settings = settings or BenchmarkSettings()
     if block_sizes is None:
         block_sizes = QUICK_BLOCK_SIZES if settings.quick else DEFAULT_BLOCK_SIZES
-    base = base_config or SystemConfig()
+    spec = figure5_spec(block_sizes, settings, paradigms, base_config)
+    result = (engine or SweepEngine(parallel=False)).run(spec)
     points: List[Figure5Point] = []
     for block_size in block_sizes:
         for paradigm in paradigms:
-            config = base.with_block_size(block_size)
-            sweep = sweep_paradigm(
-                paradigm,
-                contention=0.0,
-                settings=settings,
-                system_config=config,
-                loads=settings.loads_for(paradigm),
-            )
+            sweep = find_peak(result.metrics_for(f"bs{block_size}/{paradigm}"))
             points.append(
                 Figure5Point(
                     paradigm=paradigm,

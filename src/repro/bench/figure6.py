@@ -5,6 +5,11 @@ paradigm, average latency against measured throughput while the offered load
 increases.  Four series appear in each sub-figure: OX, XOV, OXII (conflicts
 within an application) and OXII* (conflicts across applications, the dashed
 line), except at 0 % contention where OXII and OXII* coincide.
+
+The grid is declared as an :class:`~repro.experiments.ExperimentSpec`
+(:func:`figure6_spec`) — one scenario per (contention, series) — and executed
+by the sweep engine; :func:`run_figure6` reshapes the rows into the paper's
+curves.
 """
 
 from __future__ import annotations
@@ -12,8 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.bench.runner import BenchmarkSettings, run_point
+from repro.bench.runner import BenchmarkSettings
 from repro.common.config import SystemConfig
+from repro.experiments import ExperimentSpec, ScenarioSpec, SweepEngine, config_overrides
 from repro.metrics.collector import RunMetrics
 from repro.workload.generator import ConflictScope
 
@@ -25,6 +31,26 @@ SERIES: Sequence[Tuple[str, str, ConflictScope]] = (
     ("OXII", "OXII", ConflictScope.WITHIN_APPLICATION),
     ("OXII*", "OXII", ConflictScope.CROSS_APPLICATION),
 )
+
+
+def _series_grid(
+    contention_levels: Sequence[float], include_cross_application: bool
+) -> List[Tuple[float, str, str, ConflictScope]]:
+    """The (contention, label, paradigm, scope) cells the figure actually plots."""
+    grid: List[Tuple[float, str, str, ConflictScope]] = []
+    for contention in contention_levels:
+        for label, paradigm, scope in SERIES:
+            if label == "OXII*" and (not include_cross_application or contention == 0.0):
+                # With no conflicting transactions there is no cross-application
+                # contention; the paper plots a single OXII curve in Figure 6(a).
+                continue
+            grid.append((contention, label, paradigm, scope))
+    return grid
+
+
+def scenario_name(contention: float, label: str) -> str:
+    """Canonical scenario id for one (contention, series) cell."""
+    return f"c{contention:g}/{label}"
 
 
 @dataclass(frozen=True)
@@ -59,36 +85,62 @@ class Figure6Result:
         return rows
 
 
+def figure6_spec(
+    contention_levels: Sequence[float] = DEFAULT_CONTENTION_LEVELS,
+    settings: Optional[BenchmarkSettings] = None,
+    base_config: Optional[SystemConfig] = None,
+    include_cross_application: bool = True,
+) -> ExperimentSpec:
+    """The Figure 6 contention grid as a declarative experiment spec."""
+    settings = settings or BenchmarkSettings()
+    scenarios = []
+    for contention, label, paradigm, scope in _series_grid(
+        contention_levels, include_cross_application
+    ):
+        # An explicit base_config is used exactly as supplied (block size
+        # included), matching the legacy run_point contract; the per-paradigm
+        # block-size defaults only apply when no config is given.
+        config = base_config if base_config is not None else settings.system_config_for(paradigm)
+        scenarios.append(
+            ScenarioSpec(
+                name=scenario_name(contention, label),
+                paradigm=paradigm,
+                contention=contention,
+                conflict_scope=scope.value,
+                loads=tuple(settings.loads_for(paradigm)),
+                system=config_overrides(config),
+                tags=(f"series:{label}",),
+            )
+        )
+    return ExperimentSpec(
+        name="figure6",
+        description="Latency/throughput under contention (paper Figure 6)",
+        scenarios=tuple(scenarios),
+        duration=settings.duration,
+        drain=settings.drain,
+        warmup_fraction=settings.warmup_fraction,
+        seeds=(settings.seed,),
+        tags=("figure6",),
+    )
+
+
 def run_figure6(
     contention_levels: Sequence[float] = DEFAULT_CONTENTION_LEVELS,
     settings: Optional[BenchmarkSettings] = None,
     base_config: Optional[SystemConfig] = None,
     include_cross_application: bool = True,
+    engine: Optional[SweepEngine] = None,
 ) -> Figure6Result:
     """Regenerate Figure 6: latency/throughput curves per contention level."""
     settings = settings or BenchmarkSettings()
+    spec = figure6_spec(contention_levels, settings, base_config, include_cross_application)
+    result = (engine or SweepEngine(parallel=False)).run(spec)
     curves: Dict[float, Dict[str, List[RunMetrics]]] = {}
-    for contention in contention_levels:
-        by_label: Dict[str, List[RunMetrics]] = {}
-        for label, paradigm, scope in SERIES:
-            if label == "OXII*" and (not include_cross_application or contention == 0.0):
-                # With no conflicting transactions there is no cross-application
-                # contention; the paper plots a single OXII curve in Figure 6(a).
-                continue
-            points: List[RunMetrics] = []
-            for load in settings.loads_for(paradigm):
-                points.append(
-                    run_point(
-                        paradigm,
-                        offered_load=load,
-                        contention=contention,
-                        conflict_scope=scope,
-                        settings=settings,
-                        system_config=base_config,
-                    )
-                )
-            by_label[label] = points
-        curves[contention] = by_label
+    for contention, label, _paradigm, _scope in _series_grid(
+        contention_levels, include_cross_application
+    ):
+        by_label = curves.setdefault(contention, {})
+        by_label[label] = result.metrics_for(scenario_name(contention, label))
     return Figure6Result(curves=curves)
 
 

@@ -8,6 +8,10 @@ every paradigm, moving the executors adds one WAN phase to OXII but two to
 XOV, and moving the non-executors affects only XOV (OXII's passive peers are
 not on the measured path).  OX has no executor / non-executor distinction, so
 it only appears in the first two sub-figures, as in the paper.
+
+The placement grid is declared as an :class:`~repro.experiments.ExperimentSpec`
+(:func:`figure7_spec`) — one scenario per (moved group, paradigm) — and
+executed by the sweep engine.
 """
 
 from __future__ import annotations
@@ -15,8 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Mapping, Optional, Sequence
 
-from repro.bench.runner import BenchmarkSettings, run_point
+from repro.bench.runner import BenchmarkSettings
 from repro.common.config import SystemConfig
+from repro.experiments import ExperimentSpec, ScenarioSpec, SweepEngine, config_overrides
 from repro.metrics.collector import RunMetrics
 
 #: Sub-figures of Figure 7 in paper order, with the paradigms each one plots.
@@ -59,38 +64,68 @@ class Figure7Result:
         return rows
 
 
+def _selected_groups(groups: Optional[Sequence[str]]) -> List[str]:
+    selected = list(groups) if groups is not None else list(GROUPS)
+    for group in selected:
+        if group not in GROUPS:
+            raise ValueError(f"unknown node group {group!r}; expected one of {list(GROUPS)}")
+    return selected
+
+
+def figure7_spec(
+    groups: Optional[Sequence[str]] = None,
+    settings: Optional[BenchmarkSettings] = None,
+    base_config: Optional[SystemConfig] = None,
+    num_non_executors: int = 2,
+) -> ExperimentSpec:
+    """The Figure 7 placement grid as a declarative experiment spec."""
+    settings = settings or BenchmarkSettings()
+    base = base_config or SystemConfig()
+    if base.num_non_executors < num_non_executors:
+        base = replace(base, num_non_executors=num_non_executors)
+    scenarios = []
+    for group in _selected_groups(groups):
+        for paradigm in GROUPS[group]:
+            config = settings.system_config_for(paradigm, base).with_far_groups([group])
+            scenarios.append(
+                ScenarioSpec(
+                    name=f"{group}/{paradigm}",
+                    paradigm=paradigm,
+                    contention=0.0,
+                    loads=tuple(settings.loads_for(paradigm)),
+                    system=config_overrides(config),
+                    tags=(f"moved_group:{group}",),
+                )
+            )
+    return ExperimentSpec(
+        name="figure7",
+        description="Multi-datacenter scalability (paper Figure 7)",
+        scenarios=tuple(scenarios),
+        duration=settings.duration,
+        drain=settings.drain,
+        warmup_fraction=settings.warmup_fraction,
+        seeds=(settings.seed,),
+        tags=("figure7",),
+    )
+
+
 def run_figure7(
     groups: Optional[Sequence[str]] = None,
     settings: Optional[BenchmarkSettings] = None,
     base_config: Optional[SystemConfig] = None,
     num_non_executors: int = 2,
+    engine: Optional[SweepEngine] = None,
 ) -> Figure7Result:
     """Regenerate Figure 7: move one group to the far DC and re-measure."""
     settings = settings or BenchmarkSettings()
-    base = base_config or SystemConfig()
-    if base.num_non_executors < num_non_executors:
-        base = replace(base, num_non_executors=num_non_executors)
-    selected = list(groups) if groups is not None else list(GROUPS)
+    selected = _selected_groups(groups)
+    spec = figure7_spec(selected, settings, base_config, num_non_executors)
+    result = (engine or SweepEngine(parallel=False)).run(spec)
     curves: Dict[str, Dict[str, List[RunMetrics]]] = {}
     for group in selected:
-        if group not in GROUPS:
-            raise ValueError(f"unknown node group {group!r}; expected one of {list(GROUPS)}")
-        by_paradigm: Dict[str, List[RunMetrics]] = {}
-        for paradigm in GROUPS[group]:
-            config = settings.system_config_for(paradigm, base).with_far_groups([group])
-            points: List[RunMetrics] = []
-            for load in settings.loads_for(paradigm):
-                points.append(
-                    run_point(
-                        paradigm,
-                        offered_load=load,
-                        contention=0.0,
-                        settings=settings,
-                        system_config=config,
-                    )
-                )
-            by_paradigm[paradigm] = points
-        curves[group] = by_paradigm
+        curves[group] = {
+            paradigm: result.metrics_for(f"{group}/{paradigm}") for paradigm in GROUPS[group]
+        }
     return Figure7Result(curves=curves)
 
 

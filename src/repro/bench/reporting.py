@@ -39,6 +39,39 @@ def rows_to_json(rows: Sequence[Mapping[str, object]], path: Optional[str] = Non
     return payload
 
 
+def format_experiment_result(result) -> str:
+    """Table of an :class:`~repro.experiments.ExperimentResult`'s rows."""
+    spec = result.spec
+    lines = [
+        f"Experiment {spec.name!r} — {len(result.rows)} point(s), "
+        f"spec {result.provenance.get('spec_hash', '?')} @ {result.provenance.get('git_rev', '?')}",
+        f"{'scenario':<24} {'paradigm':<8} {'load':>8} {'seed':>6} "
+        f"{'throughput':>12} {'latency':>12} {'aborts':>8}",
+    ]
+    for row in result.rows:
+        point, metrics = row.point, row.metrics
+        lines.append(
+            f"{point.scenario:<24} {point.paradigm:<8} {point.offered_load:>8.0f} {point.seed:>6d} "
+            f"{metrics.throughput:>9.0f} tps {metrics.latency_avg * 1000.0:>9.1f} ms "
+            f"{metrics.abort_rate:>7.1%}"
+        )
+    return "\n".join(lines)
+
+
+def format_matrix(points: Sequence) -> str:
+    """Table of an expanded (but not executed) experiment point matrix."""
+    lines = [
+        f"{len(points)} point(s)",
+        f"{'#':>4} {'scenario':<24} {'paradigm':<8} {'load':>8} {'seed':>6} {'repeat':>6}",
+    ]
+    for point in points:
+        lines.append(
+            f"{point.index:>4} {point.scenario:<24} {point.paradigm:<8} "
+            f"{point.offered_load:>8.0f} {point.seed:>6d} {point.repeat:>6d}"
+        )
+    return "\n".join(lines)
+
+
 def summarise_series(points: Iterable[RunMetrics]) -> dict:
     """Peak throughput and the latency observed at that peak for one series."""
     materialised: List[RunMetrics] = list(points)

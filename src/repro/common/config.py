@@ -18,10 +18,49 @@ Two configuration families live here:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field, replace
-from typing import Dict, Mapping, Sequence
+from typing import Any, Dict, Mapping, Sequence, TypeVar
 
 from repro.common.errors import ConfigurationError
+
+ConfigT = TypeVar("ConfigT")
+
+
+def reject_unknown_fields(kind: str, given: Mapping[str, Any], valid: "set[str]") -> None:
+    """Raise :class:`ConfigurationError` naming any key of ``given`` not in ``valid``."""
+    unknown = set(given) - valid
+    if unknown:
+        raise ConfigurationError(
+            f"unknown {kind} field(s) {sorted(unknown)}; expected a subset of {sorted(valid)}"
+        )
+
+
+def apply_overrides(config: ConfigT, overrides: Mapping[str, Any]) -> ConfigT:
+    """Validated copy of a (frozen) config dataclass with ``overrides`` applied.
+
+    Unknown field names raise :class:`ConfigurationError`.  A dict supplied for
+    a field that currently holds a nested dataclass (``block_cut``,
+    ``cost_model``, ``latency``, ...) is applied recursively, so callers can
+    override one knob of a nested config without spelling out the rest::
+
+        config.with_overrides(block_cut={"max_transactions": 100})
+
+    The copy re-runs the dataclass' ``__post_init__`` validation.
+    """
+    if not dataclasses.is_dataclass(config):
+        raise ConfigurationError(f"{type(config).__name__} is not a config dataclass")
+    valid = {f.name for f in dataclasses.fields(config)}
+    reject_unknown_fields(type(config).__name__, overrides, valid)
+    resolved: Dict[str, Any] = {}
+    for name, value in overrides.items():
+        current = getattr(config, name)
+        if dataclasses.is_dataclass(current) and isinstance(value, Mapping):
+            value = apply_overrides(current, value)
+        elif isinstance(current, tuple) and isinstance(value, list):
+            value = tuple(value)
+        resolved[name] = value
+    return replace(config, **resolved)
 
 #: Canonical node-group names used by the multi-datacenter experiments
 #: (Figure 7 in the paper).
@@ -167,6 +206,9 @@ class SystemConfig:
     #: Consensus protocol used by the ordering service: "pbft", "raft" or
     #: "kafka".
     consensus_protocol: str = "kafka"
+    #: Registered smart-contract name installed on every application's agents
+    #: (see :data:`repro.common.registry.contract_registry`).
+    contract: str = "accounting"
     #: Maximum number of simultaneous faulty orderers tolerated.
     max_faulty_orderers: int = 0
     #: Which node groups live in the far data center (Figure 7).
@@ -189,6 +231,8 @@ class SystemConfig:
             raise ConfigurationError(
                 f"unknown consensus protocol {self.consensus_protocol!r}"
             )
+        if not self.contract or not isinstance(self.contract, str):
+            raise ConfigurationError("contract must be a non-empty registered contract name")
         unknown = set(self.far_groups) - set(NODE_GROUPS)
         if unknown:
             raise ConfigurationError(f"unknown node groups: {sorted(unknown)}")
@@ -214,17 +258,21 @@ class SystemConfig:
         """Required number of matching execution results for ``application``."""
         return int(self.tau.get(application, 1))
 
+    def with_overrides(self, **overrides: Any) -> "SystemConfig":
+        """Validated copy with ``overrides`` applied (nested dicts allowed)."""
+        return apply_overrides(self, overrides)
+
     def with_block_size(self, max_transactions: int) -> "SystemConfig":
         """Return a copy of the config with a different block-size cut."""
-        return replace(self, block_cut=replace(self.block_cut, max_transactions=max_transactions))
+        return self.with_overrides(block_cut={"max_transactions": max_transactions})
 
     def with_far_groups(self, groups: Sequence[str]) -> "SystemConfig":
         """Return a copy with ``groups`` placed in the far data center."""
-        return replace(self, far_groups=tuple(groups))
+        return self.with_overrides(far_groups=tuple(groups))
 
     def with_consensus(self, protocol: str) -> "SystemConfig":
         """Return a copy that uses ``protocol`` for the ordering service."""
-        return replace(self, consensus_protocol=protocol)
+        return self.with_overrides(consensus_protocol=protocol)
 
     def application_names(self) -> list:
         """Canonical application identifiers ``app-0 .. app-(n-1)``."""

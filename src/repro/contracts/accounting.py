@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Mapping, Sequence, Tuple
 
 from repro.common.errors import ContractError
+from repro.common.registry import register_contract
 from repro.contracts.base import SmartContract
 from repro.core.transaction import ReadWriteSet, Transaction, TransactionResult
 
@@ -42,6 +43,7 @@ class Transfer:
     amount: float
 
 
+@register_contract("accounting")
 class AccountingContract(SmartContract):
     """Asset transfers between accounts, with owner and balance checks."""
 

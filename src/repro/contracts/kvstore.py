@@ -10,10 +10,12 @@ from __future__ import annotations
 
 from typing import Dict, Mapping, Sequence
 
+from repro.common.registry import register_contract
 from repro.contracts.base import SmartContract
 from repro.core.transaction import ReadWriteSet, Transaction, TransactionResult
 
 
+@register_contract("kvstore")
 class KeyValueContract(SmartContract):
     """Reads and writes opaque values; never aborts."""
 

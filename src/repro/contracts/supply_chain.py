@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Mapping
 
+from repro.common.registry import register_contract
 from repro.contracts.base import SmartContract
 from repro.core.transaction import ReadWriteSet, Transaction, TransactionResult
 
@@ -21,6 +22,7 @@ def asset_key(asset_id: str) -> str:
     return f"asset/{asset_id}"
 
 
+@register_contract("supply_chain")
 class SupplyChainContract(SmartContract):
     """Register, ship and inspect assets with custody checks."""
 

@@ -1,0 +1,85 @@
+"""Declarative experiment API: scenario specs, registries, sweep engine.
+
+The paper's evaluation — and every scenario beyond it — is described as data
+instead of bespoke benchmark modules:
+
+* :mod:`repro.experiments.spec` — :class:`ScenarioSpec` / :class:`ExperimentSpec`,
+  a schema-versioned dataclass family loadable from dicts and JSON/TOML files,
+  expanding into a deterministic :class:`ExperimentPoint` matrix.
+* :mod:`repro.common.registry` (re-exported here) — pluggable registries with
+  ``@register_paradigm`` / ``@register_contract`` / ``@register_workload``
+  decorators, so third-party components join the spec namespace without
+  editing core modules.
+* :mod:`repro.experiments.engine` — :class:`SweepEngine`, executing the matrix
+  serially or in parallel across processes with identical, deterministic
+  results.
+* :mod:`repro.experiments.result` — :class:`ExperimentResult` rows with
+  provenance (schema versions, spec hash, git revision, engine settings).
+
+Quickstart::
+
+    from repro.experiments import ExperimentSpec, SweepEngine
+
+    spec = ExperimentSpec.from_dict({
+        "name": "contention-probe",
+        "loads": [1000, 2000],
+        "scenarios": [
+            {"name": "oxii-20", "paradigm": "OXII", "contention": 0.2},
+            {"name": "xov-20", "paradigm": "XOV", "contention": 0.2,
+             "system": {"block_cut": {"max_transactions": 100}}},
+        ],
+    })
+    result = SweepEngine().run(spec)
+    for row in result.rows:
+        print(row.point.scenario, row.metrics.throughput)
+"""
+
+from repro.common.registry import (
+    Registry,
+    contract_registry,
+    ensure_builtins,
+    paradigm_registry,
+    register_contract,
+    register_paradigm,
+    register_workload,
+    workload_registry,
+)
+from repro.experiments.engine import SweepEngine, execute_point, run_spec
+from repro.experiments.result import (
+    RESULT_SCHEMA_VERSION,
+    ExperimentResult,
+    ExperimentRow,
+    git_revision,
+)
+from repro.experiments.spec import (
+    SPEC_SCHEMA_VERSION,
+    ExperimentPoint,
+    ExperimentSpec,
+    ScenarioSpec,
+    config_overrides,
+    single_point_spec,
+)
+
+__all__ = [
+    "RESULT_SCHEMA_VERSION",
+    "SPEC_SCHEMA_VERSION",
+    "ExperimentPoint",
+    "ExperimentResult",
+    "ExperimentRow",
+    "ExperimentSpec",
+    "Registry",
+    "ScenarioSpec",
+    "SweepEngine",
+    "config_overrides",
+    "contract_registry",
+    "ensure_builtins",
+    "execute_point",
+    "git_revision",
+    "paradigm_registry",
+    "register_contract",
+    "register_paradigm",
+    "register_workload",
+    "run_spec",
+    "single_point_spec",
+    "workload_registry",
+]

@@ -1,0 +1,131 @@
+"""The sweep engine: expand a spec into a point matrix and execute it.
+
+:class:`SweepEngine` turns an :class:`~repro.experiments.spec.ExperimentSpec`
+into its deterministic point matrix and runs every point — serially, or in
+parallel across worker processes with :mod:`multiprocessing`.  Each point is
+an independent simulation with its own seed, so parallel execution returns
+bit-identical results in the same deterministic order as a serial run; only
+the wall-clock time changes.
+
+On platforms with ``fork`` (Linux, CI) worker processes inherit every
+registered paradigm/contract/workload, including ones registered at runtime.
+Under ``spawn`` (Windows, macOS default) workers re-import :mod:`repro`, so
+third-party components must be registered at import time of an importable
+module to be visible to parallel runs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, List, Optional, Tuple
+
+from repro.common.config import SystemConfig
+from repro.common.errors import ConfigurationError
+from repro.common.registry import ensure_builtins
+from repro.experiments.result import ExperimentResult, ExperimentRow, build_provenance
+from repro.experiments.spec import ExperimentPoint, ExperimentSpec
+from repro.metrics.collector import RunMetrics
+from repro.workload.generator import WorkloadConfig
+
+
+def execute_point(point: ExperimentPoint) -> RunMetrics:
+    """Run one fully-resolved experiment point (the multiprocessing worker)."""
+    ensure_builtins()
+    from repro.paradigms.run import execute_run
+
+    system_config = SystemConfig().with_overrides(**dict(point.system))
+    workload_config = WorkloadConfig(
+        num_applications=system_config.num_applications
+    ).with_overrides(**dict(point.workload))
+    return execute_run(
+        point.paradigm,
+        system_config=system_config,
+        workload_config=workload_config,
+        offered_load=point.offered_load,
+        duration=point.duration,
+        warmup_fraction=point.warmup_fraction,
+        drain=point.drain,
+        generator=point.generator,
+    )
+
+
+def _pool_context():
+    """Prefer ``fork`` so runtime-registered components reach the workers."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+class SweepEngine:
+    """Expands experiment specs and executes their point matrices.
+
+    ``workers`` bounds the process pool for parallel runs (default: the CPU
+    count); ``parallel=False`` forces serial in-process execution, which is
+    also used automatically when the matrix has a single point or one worker.
+    """
+
+    def __init__(self, workers: Optional[int] = None, parallel: bool = True) -> None:
+        if workers is not None and workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        self.workers = workers
+        self.parallel = parallel
+
+    # ----------------------------------------------------------------- matrix
+    def matrix(self, spec: ExperimentSpec) -> List[ExperimentPoint]:
+        """The spec's deterministic point matrix (without running anything)."""
+        return spec.expand()
+
+    def _effective_workers(self, num_points: int) -> int:
+        limit = self.workers if self.workers is not None else (os.cpu_count() or 1)
+        return max(1, min(limit, num_points))
+
+    def plan(
+        self, spec: ExperimentSpec, parallel: Optional[bool] = None
+    ) -> Tuple[List[ExperimentPoint], int, bool]:
+        """How ``run`` would execute ``spec``: (points, workers, uses_pool)."""
+        points = self.matrix(spec)
+        parallel = self.parallel if parallel is None else parallel
+        workers = self._effective_workers(len(points))
+        use_pool = parallel and workers > 1 and len(points) > 1
+        return points, workers, use_pool
+
+    # -------------------------------------------------------------------- run
+    def run(
+        self,
+        spec: ExperimentSpec,
+        parallel: Optional[bool] = None,
+        progress: Optional[Callable[[ExperimentPoint], None]] = None,
+    ) -> ExperimentResult:
+        """Execute every point of ``spec`` and return the structured result.
+
+        ``progress`` (serial runs only) is invoked with each point before it
+        executes — the CLI uses it for per-point progress lines.
+        """
+        points, workers, use_pool = self.plan(spec, parallel)
+
+        if use_pool:
+            with _pool_context().Pool(processes=workers) as pool:
+                metrics = pool.map(execute_point, points, chunksize=1)
+        else:
+            workers = 1
+            metrics = []
+            for point in points:
+                if progress is not None:
+                    progress(point)
+                metrics.append(execute_point(point))
+
+        rows = tuple(ExperimentRow(point=p, metrics=m) for p, m in zip(points, metrics))
+        provenance = build_provenance(
+            spec, parallel=use_pool, workers=workers, points=len(points)
+        )
+        return ExperimentResult(spec=spec, rows=rows, provenance=provenance)
+
+
+def run_spec(
+    spec: ExperimentSpec,
+    workers: Optional[int] = None,
+    parallel: bool = True,
+) -> ExperimentResult:
+    """One-call convenience: ``SweepEngine(workers, parallel).run(spec)``."""
+    return SweepEngine(workers=workers, parallel=parallel).run(spec)

@@ -1,0 +1,130 @@
+"""Structured experiment results with provenance.
+
+Every engine run produces one :class:`ExperimentResult`: the spec it ran, one
+:class:`ExperimentRow` per executed point (in matrix order, so results are
+deterministic regardless of execution parallelism) and a provenance block —
+result/spec schema versions, spec content hash, git revision, library
+version and engine settings — stamped into every JSON export.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.experiments.spec import ExperimentPoint, ExperimentSpec
+from repro.metrics.collector import RunMetrics
+
+#: Version of the result dict/file format produced by this module.
+RESULT_SCHEMA_VERSION = 1
+
+
+def git_revision() -> str:
+    """This repository's short git revision, or ``"unknown"`` outside a checkout.
+
+    Guarded against site-packages installs that happen to live *inside some
+    other* git repository: the revision is only reported when the enclosing
+    checkout actually contains this source tree (``src/repro`` layout), so
+    provenance never stamps an unrelated project's commit.
+    """
+    package_dir = Path(__file__).resolve().parent
+
+    def _git(*args: str) -> str:
+        try:
+            out = subprocess.run(
+                ["git", *args], cwd=package_dir, capture_output=True, text=True, timeout=5
+            )
+        except (OSError, subprocess.SubprocessError):
+            return ""
+        return out.stdout.strip() if out.returncode == 0 else ""
+
+    toplevel = _git("rev-parse", "--show-toplevel")
+    if not toplevel or not (Path(toplevel) / "src" / "repro").is_dir():
+        return "unknown"
+    return _git("rev-parse", "--short", "HEAD") or "unknown"
+
+
+@dataclass(frozen=True)
+class ExperimentRow:
+    """One executed point: where it sits in the matrix plus its measurements."""
+
+    point: ExperimentPoint
+    metrics: RunMetrics
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flat row: the metrics dict plus the point's matrix coordinates."""
+        row = self.metrics.as_dict()
+        row.update(
+            {
+                "point_index": self.point.index,
+                "scenario": self.point.scenario,
+                "generator": self.point.generator,
+                "seed": self.point.seed,
+                "repeat": self.point.repeat,
+                "contention": self.point.workload.get("contention", 0.0),
+                "conflict_scope": self.point.workload.get("conflict_scope"),
+                "tags": list(self.point.tags),
+            }
+        )
+        return row
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """All rows of one engine run, in deterministic matrix order."""
+
+    spec: ExperimentSpec
+    rows: Tuple[ExperimentRow, ...]
+    provenance: Mapping[str, Any] = field(default_factory=dict)
+
+    def rows_for(self, scenario: str) -> List[ExperimentRow]:
+        """Rows of one scenario, in matrix (seed, repeat, load) order."""
+        return [row for row in self.rows if row.point.scenario == scenario]
+
+    def metrics_for(self, scenario: str) -> List[RunMetrics]:
+        """Just the :class:`RunMetrics` of one scenario's rows."""
+        return [row.metrics for row in self.rows_for(scenario)]
+
+    def rows_as_dicts(self) -> List[Dict[str, Any]]:
+        """Every row in flat-dict form (one JSON object per point)."""
+        return [row.as_dict() for row in self.rows]
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Full payload: provenance + spec + rows."""
+        return {
+            "provenance": dict(self.provenance),
+            "spec": self.spec.to_dict(),
+            "rows": self.rows_as_dicts(),
+        }
+
+    def to_json(self, path: Optional[Union[str, Path]] = None) -> str:
+        """Serialise the result (provenance included); optionally write ``path``."""
+        payload = json.dumps(self.as_dict(), indent=2, sort_keys=True)
+        if path is not None:
+            Path(path).write_text(payload + "\n", encoding="utf-8")
+        return payload
+
+
+def build_provenance(
+    spec: ExperimentSpec,
+    *,
+    parallel: bool,
+    workers: int,
+    points: int,
+) -> Dict[str, Any]:
+    """The provenance block stamped onto an :class:`ExperimentResult`."""
+    from repro import __version__
+
+    return {
+        "result_schema_version": RESULT_SCHEMA_VERSION,
+        "spec_schema_version": spec.schema_version,
+        "spec_hash": spec.spec_hash(),
+        "git_rev": git_revision(),
+        "repro_version": __version__,
+        "python_version": platform.python_version(),
+        "engine": {"parallel": parallel, "workers": workers, "points": points},
+    }

@@ -10,13 +10,14 @@ the knee of the latency/throughput curve.
 
 from repro.metrics.collector import MetricsCollector, RunMetrics
 from repro.metrics.latency import LatencyStats, percentile
-from repro.metrics.saturation import LoadSweepResult, sweep_offered_load
+from repro.metrics.saturation import LoadSweepResult, find_peak, sweep_offered_load
 
 __all__ = [
     "LatencyStats",
     "LoadSweepResult",
     "MetricsCollector",
     "RunMetrics",
+    "find_peak",
     "percentile",
     "sweep_offered_load",
 ]

@@ -43,13 +43,12 @@ class LoadSweepResult:
         return [p.latency_avg for p in self.points]
 
 
-def sweep_offered_load(
-    run: RunFunction,
-    loads: Sequence[float],
+def find_peak(
+    points: Sequence[RunMetrics],
     efficiency_threshold: float = 0.85,
     latency_ceiling: Optional[float] = None,
 ) -> LoadSweepResult:
-    """Run ``run(load)`` for each load and locate the saturation knee.
+    """Locate the saturation knee among already-measured sweep points.
 
     A point is *saturated* when its measured throughput falls below
     ``efficiency_threshold`` of the offered load, or when its average latency
@@ -57,9 +56,8 @@ def sweep_offered_load(
     point that is not saturated; if every point saturates, the
     highest-throughput point overall is reported (the system's ceiling).
     """
-    if not loads:
-        raise ValueError("at least one offered load is required")
-    points: List[RunMetrics] = [run(load) for load in loads]
+    if not points:
+        raise ValueError("at least one measured point is required")
     unsaturated: List[RunMetrics] = []
     for point in points:
         efficient = point.throughput >= efficiency_threshold * point.offered_load
@@ -69,3 +67,16 @@ def sweep_offered_load(
     candidates = unsaturated if unsaturated else list(points)
     peak = max(candidates, key=lambda p: p.throughput)
     return LoadSweepResult(points=tuple(points), peak=peak)
+
+
+def sweep_offered_load(
+    run: RunFunction,
+    loads: Sequence[float],
+    efficiency_threshold: float = 0.85,
+    latency_ceiling: Optional[float] = None,
+) -> LoadSweepResult:
+    """Run ``run(load)`` for each load and locate the saturation knee."""
+    if not loads:
+        raise ValueError("at least one offered load is required")
+    points: List[RunMetrics] = [run(load) for load in loads]
+    return find_peak(points, efficiency_threshold, latency_ceiling)

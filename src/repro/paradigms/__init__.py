@@ -18,7 +18,7 @@ from repro.paradigms.base import Deployment, DeploymentHandles
 from repro.paradigms.ox import OXDeployment
 from repro.paradigms.xov import XOVDeployment
 from repro.paradigms.oxii import OXIIDeployment
-from repro.paradigms.run import PARADIGMS, run_paradigm
+from repro.paradigms.run import PARADIGMS, execute_run, run_paradigm
 
 __all__ = [
     "Deployment",
@@ -27,5 +27,6 @@ __all__ = [
     "OXIIDeployment",
     "PARADIGMS",
     "XOVDeployment",
+    "execute_run",
     "run_paradigm",
 ]

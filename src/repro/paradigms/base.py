@@ -8,7 +8,8 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.common.config import SystemConfig
 from repro.common.identifiers import executor_id, orderer_id
-from repro.contracts.accounting import AccountingContract
+from repro.common.registry import contract_registry
+from repro.contracts.accounting import AccountingContract  # noqa: F401 - registers "accounting"
 from repro.contracts.base import ContractRegistry
 from repro.core.transaction import Transaction
 from repro.crypto.signatures import KeyRegistry
@@ -73,11 +74,17 @@ class Deployment(abc.ABC):
         return names[index * per_app : (index + 1) * per_app]
 
     def build_contracts(self) -> ContractRegistry:
-        """Install one accounting contract per application on its agents."""
+        """Install the configured contract per application on its agents.
+
+        ``config.contract`` names a class in the global contract registry
+        (:data:`repro.common.registry.contract_registry`); third-party
+        contracts registered with ``@register_contract`` plug in here.
+        """
+        contract_cls = contract_registry.get(self.config.contract)
         contracts = ContractRegistry()
         for index, application in enumerate(self.config.application_names()):
             contracts.install(
-                AccountingContract(application), agents=self.agents_of_application(index)
+                contract_cls(application), agents=self.agents_of_application(index)
             )
         return contracts
 

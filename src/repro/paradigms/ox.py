@@ -4,12 +4,13 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.common.registry import contract_registry, register_paradigm
 from repro.contracts.base import ContractRegistry
-from repro.contracts.accounting import AccountingContract
 from repro.nodes.ox_peer import OXPeerNode
 from repro.paradigms.base import Deployment, DeploymentHandles
 
 
+@register_paradigm("OX")
 class OXDeployment(Deployment):
     """Order-execute: order with the ordering service, execute sequentially everywhere.
 
@@ -28,10 +29,11 @@ class OXDeployment(Deployment):
 
     def build_contracts(self) -> ContractRegistry:
         """Every OX peer runs every smart contract (no confidentiality boundary)."""
+        contract_cls = contract_registry.get(self.config.contract)
         contracts = ContractRegistry()
         peer_names = self.peer_names()
         for application in self.config.application_names():
-            contracts.install(AccountingContract(application), agents=peer_names)
+            contracts.install(contract_cls(application), agents=peer_names)
         return contracts
 
     def build(self, initial_state: Optional[Dict[str, object]] = None) -> DeploymentHandles:

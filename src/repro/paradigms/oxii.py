@@ -4,10 +4,12 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.common.registry import register_paradigm
 from repro.nodes.executor import ExecutorNode
 from repro.paradigms.base import Deployment, DeploymentHandles
 
 
+@register_paradigm("OXII")
 class OXIIDeployment(Deployment):
     """ParBlockchain: order, generate dependency graphs, execute in parallel.
 

@@ -1,25 +1,81 @@
-"""One-call experiment runner used by examples, benchmarks and the CLI."""
+"""One-call experiment runner used by examples, benchmarks and the CLI.
+
+:func:`execute_run` is the primitive every layer shares: resolve the paradigm
+and workload generator from the global registries, generate the workload, and
+run one deployment at one offered load.  :func:`run_paradigm` is the legacy
+public entry point, kept as a deprecated shim over :func:`execute_run`; new
+code should describe experiments declaratively with
+:mod:`repro.experiments` and let the sweep engine call :func:`execute_run`.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Type
+import warnings
+from dataclasses import replace
+from typing import Optional
 
 from repro.common.config import SystemConfig
 from repro.common.errors import ConfigurationError
+from repro.common.registry import paradigm_registry, workload_registry
 from repro.metrics.collector import RunMetrics
-from repro.paradigms.base import Deployment
-from repro.paradigms.ox import OXDeployment
-from repro.paradigms.oxii import OXIIDeployment
-from repro.paradigms.xov import XOVDeployment
 from repro.workload.arrivals import poisson_rate
-from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+from repro.workload.generator import WorkloadConfig
 
-#: Registry of paradigm names to deployment classes.
-PARADIGMS: Dict[str, Type[Deployment]] = {
-    "OX": OXDeployment,
-    "XOV": XOVDeployment,
-    "OXII": OXIIDeployment,
-}
+#: Legacy name→deployment mapping, now a live read-only view over
+#: :data:`repro.common.registry.paradigm_registry` so paradigms registered
+#: with ``@register_paradigm`` appear here automatically.
+PARADIGMS = paradigm_registry.as_mapping()
+
+
+def execute_run(
+    paradigm: str,
+    system_config: Optional[SystemConfig] = None,
+    workload_config: Optional[WorkloadConfig] = None,
+    offered_load: float = 1000.0,
+    duration: float = 2.0,
+    warmup_fraction: float = 0.2,
+    drain: float = 20.0,
+    seed: Optional[int] = None,
+    generator: str = "accounting",
+) -> RunMetrics:
+    """Run one paradigm against one workload at one offered load.
+
+    ``offered_load`` is the open-loop client request rate (transactions per
+    second) and ``duration`` the length of the submission phase in simulated
+    seconds; the run keeps going (up to ``drain`` extra seconds) until every
+    submitted transaction has completed at every measurement peer.
+    ``generator`` names a workload-generator factory in the global workload
+    registry.
+    """
+    deployment_cls = paradigm_registry.get(paradigm)
+    generator_factory = workload_registry.get(generator)
+    if offered_load <= 0:
+        raise ConfigurationError("offered_load must be positive")
+    if duration <= 0:
+        raise ConfigurationError("duration must be positive")
+
+    system_config = system_config or SystemConfig()
+    workload_config = workload_config or WorkloadConfig(
+        num_applications=system_config.num_applications
+    )
+    if seed is not None:
+        workload_config = replace(workload_config, seed=seed)
+
+    workload = generator_factory(workload_config)
+    count = max(1, int(round(offered_load * duration)))
+    transactions = workload.generate(count)
+    schedule = poisson_rate(count, offered_load, seed=workload_config.seed)
+    initial_state = workload.initial_state(transactions)
+
+    deployment = deployment_cls(system_config)
+    return deployment.run(
+        transactions=transactions,
+        schedule=schedule,
+        initial_state=initial_state,
+        offered_load=offered_load,
+        warmup_fraction=warmup_fraction,
+        drain=drain,
+    )
 
 
 def run_paradigm(
@@ -32,52 +88,25 @@ def run_paradigm(
     drain: float = 20.0,
     seed: Optional[int] = None,
 ) -> RunMetrics:
-    """Run one paradigm against one workload at one offered load.
+    """Deprecated single-run entry point; use :mod:`repro.experiments` instead.
 
-    ``offered_load`` is the open-loop client request rate (transactions per
-    second) and ``duration`` the length of the submission phase in simulated
-    seconds; the run keeps going (up to ``drain`` extra seconds) until every
-    submitted transaction has completed at every measurement peer.
+    Behaves exactly like :func:`execute_run` with the built-in accounting
+    workload generator; kept (and tested) for backwards compatibility.
     """
-    try:
-        deployment_cls = PARADIGMS[paradigm.upper()]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown paradigm {paradigm!r}; expected one of {sorted(PARADIGMS)}"
-        ) from None
-    if offered_load <= 0:
-        raise ConfigurationError("offered_load must be positive")
-    if duration <= 0:
-        raise ConfigurationError("duration must be positive")
-
-    system_config = system_config or SystemConfig()
-    workload_config = workload_config or WorkloadConfig(
-        num_applications=system_config.num_applications
+    warnings.warn(
+        "run_paradigm() is deprecated; describe the run as an ExperimentSpec and "
+        "use repro.experiments.SweepEngine (or repro.paradigms.run.execute_run "
+        "for a single point)",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    if seed is not None:
-        workload_config = WorkloadConfig(
-            num_applications=workload_config.num_applications,
-            num_clients=workload_config.num_clients,
-            contention=workload_config.contention,
-            conflict_scope=workload_config.conflict_scope,
-            transfer_amount=workload_config.transfer_amount,
-            initial_balance=workload_config.initial_balance,
-            seed=seed,
-            hot_accounts=workload_config.hot_accounts,
-        )
-
-    generator = WorkloadGenerator(workload_config)
-    count = max(1, int(round(offered_load * duration)))
-    transactions = generator.generate(count)
-    schedule = poisson_rate(count, offered_load, seed=workload_config.seed)
-    initial_state = generator.initial_state(transactions)
-
-    deployment = deployment_cls(system_config)
-    return deployment.run(
-        transactions=transactions,
-        schedule=schedule,
-        initial_state=initial_state,
+    return execute_run(
+        paradigm,
+        system_config=system_config,
+        workload_config=workload_config,
         offered_load=offered_load,
+        duration=duration,
         warmup_fraction=warmup_fraction,
         drain=drain,
+        seed=seed,
     )

@@ -4,10 +4,12 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.common.registry import register_paradigm
 from repro.nodes.xov import EndorserNode, XOVPeerNode
 from repro.paradigms.base import Deployment, DeploymentHandles
 
 
+@register_paradigm("XOV")
 class XOVDeployment(Deployment):
     """Execute-order-validate: endorse first, order, then validate on every peer.
 

@@ -28,9 +28,11 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.common.config import apply_overrides
 from repro.common.errors import ConfigurationError
+from repro.common.registry import register_workload
 from repro.contracts.accounting import AccountingContract, Transfer, account_key
 from repro.core.transaction import Transaction
 
@@ -69,6 +71,23 @@ class WorkloadConfig:
         if self.hot_accounts <= 0:
             raise ConfigurationError("hot_accounts must be positive")
 
+    def with_overrides(self, **overrides: Any) -> "WorkloadConfig":
+        """Validated copy with ``overrides`` applied.
+
+        ``conflict_scope`` may be given as the enum or its string value (as it
+        appears in JSON/TOML experiment specs).
+        """
+        scope = overrides.get("conflict_scope")
+        if isinstance(scope, str):
+            try:
+                overrides = {**overrides, "conflict_scope": ConflictScope(scope)}
+            except ValueError:
+                raise ConfigurationError(
+                    f"unknown conflict_scope {scope!r}; expected one of "
+                    f"{[s.value for s in ConflictScope]}"
+                ) from None
+        return apply_overrides(self, overrides)
+
     def application_names(self) -> List[str]:
         """Canonical application ids."""
         return [f"app-{i}" for i in range(self.num_applications)]
@@ -78,6 +97,7 @@ class WorkloadConfig:
         return [f"client-{i}" for i in range(self.num_clients)]
 
 
+@register_workload("accounting")
 class WorkloadGenerator:
     """Generates transfer transactions plus the initial state they need."""
 

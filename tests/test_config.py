@@ -89,3 +89,63 @@ class TestSystemConfig:
 
     def test_application_names(self):
         assert SystemConfig(num_applications=2).application_names() == ["app-0", "app-1"]
+
+
+class TestWithOverrides:
+    def test_flat_and_nested_overrides(self):
+        config = SystemConfig().with_overrides(
+            num_orderers=5, block_cut={"max_transactions": 100, "max_delay": 0.1}
+        )
+        assert config.num_orderers == 5
+        assert config.block_cut.max_transactions == 100
+        assert config.block_cut.max_delay == 0.1
+        assert config.block_cut.max_bytes == SystemConfig().block_cut.max_bytes
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown SystemConfig field"):
+            SystemConfig().with_overrides(blok_size=100)
+        with pytest.raises(ConfigurationError, match="unknown BlockCutPolicy field"):
+            SystemConfig().with_overrides(block_cut={"max_txs": 100})
+
+    def test_overrides_are_validated(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig().with_overrides(num_orderers=0)
+        with pytest.raises(ConfigurationError):
+            SystemConfig().with_overrides(far_groups=["mars"])
+
+    def test_one_off_helpers_route_through_overrides(self):
+        assert SystemConfig().with_block_size(100) == SystemConfig().with_overrides(
+            block_cut={"max_transactions": 100}
+        )
+        assert SystemConfig().with_consensus("raft") == SystemConfig().with_overrides(
+            consensus_protocol="raft"
+        )
+        assert SystemConfig().with_far_groups(["clients"]).far_groups == ("clients",)
+
+    def test_list_coerced_to_tuple_field(self):
+        config = SystemConfig().with_overrides(far_groups=["clients", "orderers"])
+        assert config.far_groups == ("clients", "orderers")
+
+    def test_workload_config_overrides(self):
+        from repro.workload.generator import ConflictScope, WorkloadConfig
+
+        workload = WorkloadConfig().with_overrides(
+            contention=0.8, conflict_scope="cross_application", hot_accounts=2
+        )
+        assert workload.contention == 0.8
+        assert workload.conflict_scope is ConflictScope.CROSS_APPLICATION
+        assert workload.hot_accounts == 2
+        with pytest.raises(ConfigurationError, match="unknown conflict_scope"):
+            WorkloadConfig().with_overrides(conflict_scope="sideways")
+        with pytest.raises(ConfigurationError, match="unknown WorkloadConfig field"):
+            WorkloadConfig().with_overrides(block_size=10)
+
+    def test_benchmark_settings_overrides(self):
+        from repro.bench.runner import BenchmarkSettings
+
+        settings = BenchmarkSettings().with_overrides(duration=5.0, quick=True)
+        assert settings.duration == 5.0
+        assert settings.quick is True
+        assert BenchmarkSettings().with_duration(5.0).duration == 5.0
+        with pytest.raises(ConfigurationError, match="unknown BenchmarkSettings field"):
+            BenchmarkSettings().with_overrides(durration=5.0)
