@@ -1,0 +1,147 @@
+"""Workload suite — OX / XOV / OXII across the multi-application workloads.
+
+One benchmark per (workload, skew level, paradigm).  Each runs the workload
+through the declarative spec path (ScenarioSpec → SweepEngine) at a fixed
+offered load and records the simulated committed throughput, so
+BENCH_results.json carries a per-workload paradigm comparison at several skew
+levels.  The simulation is deterministic, so the cross-paradigm assertions
+are exact gates, not statistical ones.
+
+Skew axes per workload:
+
+* ``smallbank`` / ``kvstore`` — the Zipf exponent of key selection.
+* ``supply_chain`` — the hot-asset fraction (fewer hot assets ⇒ the same
+  chain-step budget concentrates on fewer, longer multi-hop chains).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_metrics
+from repro.experiments import SweepEngine, single_point_spec
+
+PARADIGMS = ("OX", "XOV", "OXII")
+
+#: (generator, offered load, contention, skew axis) — skew axis is a list
+#: of (skew label, workload override dict).
+SUITE = (
+    (
+        "smallbank",
+        800.0,
+        0.2,
+        [
+            ("zipf-0.5", {"conflict": {"selection": "zipfian", "zipf_exponent": 0.5,
+                                       "keyspace": 256, "write_set_size": 2}}),
+            ("zipf-0.99", {"conflict": {"selection": "zipfian", "zipf_exponent": 0.99,
+                                        "keyspace": 256, "write_set_size": 2}}),
+            ("zipf-1.3", {"conflict": {"selection": "zipfian", "zipf_exponent": 1.3,
+                                       "keyspace": 256, "write_set_size": 2}}),
+        ],
+    ),
+    (
+        "kvstore",
+        1500.0,
+        0.05,
+        [
+            ("zipf-0.5", {"conflict": {"selection": "zipfian", "zipf_exponent": 0.5,
+                                       "read_set_size": 4}}),
+            ("zipf-0.99", {"conflict": {"selection": "zipfian", "zipf_exponent": 0.99,
+                                        "read_set_size": 4}}),
+            ("zipf-1.3", {"conflict": {"selection": "zipfian", "zipf_exponent": 1.3,
+                                       "read_set_size": 4}}),
+        ],
+    ),
+    (
+        "supply_chain",
+        800.0,
+        0.3,
+        [
+            ("hot-5pct", {"conflict": {"keyspace": 512, "hot_fraction": 0.05}}),
+            ("hot-1pct", {"conflict": {"keyspace": 512, "hot_fraction": 0.01}}),
+            ("hot-0.2pct", {"conflict": {"keyspace": 512, "hot_fraction": 0.002}}),
+        ],
+    ),
+)
+
+CASES = [
+    (generator, skew_label, overrides, load, contention, paradigm)
+    for generator, load, contention, skews in SUITE
+    for skew_label, overrides in skews
+    for paradigm in PARADIGMS
+]
+
+
+def _run_suite_point(generator, paradigm, load, contention, overrides, settings):
+    spec = single_point_spec(
+        name=f"{generator}-{paradigm}",
+        paradigm=paradigm,
+        offered_load=load,
+        contention=contention,
+        workload=overrides,
+        duration=settings.duration,
+        drain=settings.drain,
+        seed=settings.seed,
+        generator=generator,
+    )
+    result = SweepEngine(parallel=False).run(spec)
+    return result.rows[0].metrics
+
+
+@pytest.mark.parametrize(
+    "generator,skew,overrides,load,contention,paradigm",
+    CASES,
+    ids=[f"{c[0]}-{c[1]}-{c[5]}" for c in CASES],
+)
+def test_workload_suite(benchmark, settings, generator, skew, overrides, load, contention, paradigm):
+    metrics = benchmark.pedantic(
+        lambda: _run_suite_point(generator, paradigm, load, contention, overrides, settings),
+        rounds=1,
+        iterations=1,
+    )
+    # Annotate before record_metrics: it snapshots extra_info into the
+    # BENCH_results.json row.
+    benchmark.extra_info["workload"] = generator
+    benchmark.extra_info["skew"] = skew
+    record_metrics(benchmark, metrics)
+    assert metrics.committed + metrics.aborted > 0
+    if paradigm != "XOV":
+        # OX and OXII execute after ordering and never lose transactions to
+        # optimistic-validation conflicts.
+        assert metrics.committed > 0
+        assert metrics.abort_rate == 0.0
+
+
+def test_workload_suite_qualitative(benchmark, settings):
+    """The suite's headline comparisons, at the highest skew of each workload.
+
+    * SmallBank (contended read-modify-write): OXII sustains more committed
+      throughput than XOV, which loses most transactions to validation aborts.
+    * Read-heavy KV at standard skew (near-conflict-free): every paradigm
+      commits nearly everything — aborts stay rare even for XOV.
+    """
+
+    def run():
+        sb = {
+            p: _run_suite_point("smallbank", p, 800.0, 0.2,
+                                SUITE[0][3][2][1], settings)
+            for p in PARADIGMS
+        }
+        # KV at the standard zipf-0.99 skew — the near-conflict-free regime
+        # (at extreme skew XOV's optimistic aborts start to climb).
+        kv = {
+            p: _run_suite_point("kvstore", p, 1500.0, 0.05,
+                                SUITE[1][3][1][1], settings)
+            for p in PARADIGMS
+        }
+        return sb, kv
+
+    sb, kv = benchmark.pedantic(run, rounds=1, iterations=1)
+    for label, metrics in {**{f"sb_{p}": m for p, m in sb.items()},
+                           **{f"kv_{p}": m for p, m in kv.items()}}.items():
+        benchmark.extra_info[f"throughput_{label}"] = round(metrics.throughput, 1)
+    assert sb["OXII"].throughput > sb["XOV"].throughput
+    assert sb["XOV"].abort_rate > 0.5
+    for metrics in kv.values():
+        assert metrics.abort_rate < 0.25
+        assert metrics.committed > 0

@@ -12,7 +12,8 @@ implements the three permissioned-blockchain paradigms the paper compares —
 on top of a shared substrate: a deterministic discrete-event simulator, an
 asynchronous authenticated network, pluggable consensus (PBFT / Raft / a
 Kafka-style ordering service), a hash-chained ledger with a versioned world
-state, smart contracts and a contention-controlled workload generator.
+state, smart contracts and a pluggable suite of multi-application benchmark
+workloads built on one general conflict model (see ``docs/workloads.md``).
 
 Quickstart::
 
@@ -21,8 +22,8 @@ Quickstart::
     for paradigm, point in report.items():
         print(paradigm, point.throughput, point.latency_avg)
 
-See ``examples/`` for complete scripts and ``DESIGN.md`` / ``EXPERIMENTS.md``
-for the mapping from the paper's figures to the benchmark harness.
+See ``examples/`` for complete scripts, ``docs/architecture.md`` for the
+layered tour and ``docs/experiments.md`` for the declarative experiment API.
 """
 
 from repro.common.config import BlockCutPolicy, CostModel, LatencyConfig, SystemConfig
@@ -41,7 +42,16 @@ from repro.contracts import (
     SmartContract,
     SupplyChainContract,
 )
-from repro.workload.generator import ConflictScope, WorkloadConfig, WorkloadGenerator
+from repro.workload import (
+    ConflictModel,
+    ConflictScope,
+    KeyValueWorkload,
+    SmallBankWorkload,
+    SupplyChainWorkload,
+    WorkloadBase,
+    WorkloadConfig,
+    WorkloadGenerator,
+)
 from repro.paradigms import OXDeployment, OXIIDeployment, XOVDeployment, run_paradigm
 from repro.metrics.collector import RunMetrics
 from repro.bench.runner import quick_comparison
@@ -59,12 +69,14 @@ __all__ = [
     "AccountingContract",
     "Block",
     "BlockCutPolicy",
+    "ConflictModel",
     "ConflictScope",
     "CostModel",
     "DependencyGraph",
     "ExperimentResult",
     "ExperimentSpec",
     "KeyValueContract",
+    "KeyValueWorkload",
     "LatencyConfig",
     "OXDeployment",
     "OXIIDeployment",
@@ -72,12 +84,15 @@ __all__ = [
     "ReadWriteSet",
     "RunMetrics",
     "ScenarioSpec",
+    "SmallBankWorkload",
     "SmartContract",
     "SupplyChainContract",
+    "SupplyChainWorkload",
     "SweepEngine",
     "SystemConfig",
     "Transaction",
     "TransactionResult",
+    "WorkloadBase",
     "WorkloadConfig",
     "WorkloadGenerator",
     "XOVDeployment",

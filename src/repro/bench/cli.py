@@ -191,9 +191,13 @@ def _cmd_matrix(args: argparse.Namespace, settings: BenchmarkSettings) -> int:
 
 def _cmd_list(args: argparse.Namespace) -> int:
     ensure_builtins()
+    workloads = []
+    for name in workload_registry.names():
+        contract = getattr(workload_registry.get(name), "contract", None)
+        workloads.append(f"{name} (-> {contract})" if contract else name)
     print("paradigms: ", ", ".join(paradigm_registry.names()))
     print("contracts: ", ", ".join(contract_registry.names()))
-    print("workloads: ", ", ".join(workload_registry.names()))
+    print("workloads: ", ", ".join(workloads))
     print("built-in specs:", ", ".join(sorted(BUILTIN_SPECS)))
     return 0
 

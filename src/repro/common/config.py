@@ -7,7 +7,7 @@ Two configuration families live here:
   contract, hashing, signing, checking one read/write-set pair while building
   a dependency graph, ...).  The defaults are calibrated so that the
   reproduction exhibits the same *shape* as the paper's figures (see
-  EXPERIMENTS.md): OX saturates around ~1k txn/s, XOV around ~1.8k txn/s and
+  docs/experiments.md): OX saturates around ~1k txn/s, XOV around ~1.8k txn/s and
   OXII above 6k txn/s on a no-contention workload.
 
 * :class:`SystemConfig` — the deployment-level knobs the paper varies: number
@@ -25,6 +25,30 @@ from typing import Any, Dict, Mapping, Sequence, TypeVar
 from repro.common.errors import ConfigurationError
 
 ConfigT = TypeVar("ConfigT")
+
+
+def check_positive(name: str, value: Any) -> None:
+    """Require ``value`` to be a positive number, naming the offending field."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool) or value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value!r}")
+
+
+def check_positive_int(name: str, value: Any) -> None:
+    """Require ``value`` to be a positive integer, naming the offending field."""
+    if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+        raise ConfigurationError(f"{name} must be a positive integer, got {value!r}")
+
+
+def check_non_negative(name: str, value: Any) -> None:
+    """Require ``value`` to be >= 0, naming the offending field."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool) or value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_fraction(name: str, value: Any) -> None:
+    """Require ``value`` to lie in [0, 1], naming the offending field."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool) or not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
 
 
 def reject_unknown_fields(kind: str, given: Mapping[str, Any], valid: "set[str]") -> None:

@@ -55,6 +55,13 @@ def execute_run(
         raise ConfigurationError("duration must be positive")
 
     system_config = system_config or SystemConfig()
+    # A workload generator may declare the registered contract its
+    # transactions are written for (WorkloadBase.contract); align the
+    # deployment so e.g. generator="kvstore" installs the KV contract without
+    # every spec having to repeat system.contract.
+    required_contract = getattr(generator_factory, "contract", None)
+    if required_contract and system_config.contract != required_contract:
+        system_config = system_config.with_overrides(contract=required_contract)
     workload_config = workload_config or WorkloadConfig(
         num_applications=system_config.num_applications
     )

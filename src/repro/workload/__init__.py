@@ -1,22 +1,44 @@
 """Workload generation for the evaluation experiments.
 
-The paper evaluates all three paradigms on a simple accounting application
-with workloads of varying *degree of contention* — the fraction of conflicting
-transactions in each block — both within a single application and across
-applications.  :class:`~repro.workload.generator.WorkloadGenerator` produces
-exactly those workloads: it pre-creates the account population, then emits
-transfer transactions where a configurable fraction write a designated hot
-account (creating a dependency chain) while the rest touch unique accounts
-(fully parallelisable).
+A pluggable suite of benchmark workloads built on one general conflict model
+(:mod:`repro.workload.conflict`): Zipfian/uniform key selection over
+configurable per-application keyspaces, tunable read/write-set sizes, a
+hot-set fraction and cross-application spill.  Four generators ship built in
+(all registered in :data:`repro.common.registry.workload_registry` and
+selectable by name from experiment specs):
+
+* ``accounting`` — the paper's Section V hot-account workload: a fraction
+  ``contention`` of transfers write a designated hot account and form a
+  dependency chain (Figures 5–7).
+* ``smallbank`` — a SmallBank-style banking mix over a shared account
+  population: multi-leg transfers, skewed destinations, organic
+  read-modify-write contention.
+* ``kvstore`` — read-heavy skewed reads with rare hot-set writes; blocks
+  carry near-conflict-free graphs.
+* ``supply_chain`` — asset lifecycles whose ship/inspect steps form natural
+  multi-hop dependency chains hopping across applications.
+
+See docs/workloads.md for the knob-by-knob guide.
 """
 
-from repro.workload.generator import ConflictScope, WorkloadConfig, WorkloadGenerator
 from repro.workload.arrivals import ArrivalSchedule, constant_rate, poisson_rate
+from repro.workload.base import WorkloadBase
+from repro.workload.conflict import ConflictModel, KeyChooser
+from repro.workload.generator import ConflictScope, WorkloadConfig, WorkloadGenerator
+from repro.workload.kvworkload import KeyValueWorkload
+from repro.workload.smallbank import SmallBankWorkload
+from repro.workload.supply import SupplyChainWorkload
 from repro.workload.zipfian import ZipfianSampler
 
 __all__ = [
     "ArrivalSchedule",
+    "ConflictModel",
     "ConflictScope",
+    "KeyChooser",
+    "KeyValueWorkload",
+    "SmallBankWorkload",
+    "SupplyChainWorkload",
+    "WorkloadBase",
     "WorkloadConfig",
     "WorkloadGenerator",
     "ZipfianSampler",

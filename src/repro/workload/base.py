@@ -1,0 +1,101 @@
+"""Shared machinery for workload generators.
+
+A workload generator is any factory registered with ``@register_workload``
+that, given a :class:`~repro.workload.generator.WorkloadConfig`, produces
+
+* ``generate(count)`` — a list of :class:`~repro.core.transaction.Transaction`
+  with fresh ids on every call,
+* ``initial_state(transactions)`` — the world state those transactions need,
+* optionally ``describe()`` and ``expected_conflict_fraction()`` for reports.
+
+:class:`WorkloadBase` implements the shared parts — seeded RNG, client and
+application cycling, sequence numbering, a :class:`~repro.workload.conflict.KeyChooser`
+built from the config's conflict model — so a concrete workload only writes
+``_build_transaction`` plus its state bootstrap.  Subclasses declare the
+registered smart contract their transactions execute against via the
+``contract`` class attribute; the run layer then aligns the deployment's
+installed contract with it automatically.  Left at ``None``, the deployment's
+own ``SystemConfig.contract`` is respected as-is.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.core.transaction import Transaction
+from repro.workload.conflict import KeyChooser
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (generator imports us)
+    from repro.workload.generator import WorkloadConfig
+
+
+class WorkloadBase(abc.ABC):
+    """Template for workload generators driven by one seeded RNG."""
+
+    #: Registered contract name the generated transactions are written for
+    #: (``None`` — no declaration; the deployment keeps its configured one).
+    contract: Optional[str] = None
+
+    def __init__(self, config: "WorkloadConfig") -> None:
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self._generated = 0
+        self._applications = config.application_names()
+        self._clients = config.client_names()
+        self._chooser = KeyChooser(config.conflict, self._rng)
+
+    # --------------------------------------------------------------- workload
+    def generate(self, count: int) -> List[Transaction]:
+        """Generate ``count`` transactions (timestamps left to the orderers).
+
+        Transaction ids encode the generator sequence number, so repeated
+        calls keep producing fresh, non-overlapping identifiers.
+        """
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count!r}")
+        transactions: List[Transaction] = []
+        for _ in range(count):
+            index = self._generated
+            self._generated += 1
+            transactions.append(self._build_transaction(index))
+        return transactions
+
+    @abc.abstractmethod
+    def _build_transaction(self, index: int) -> Transaction:
+        """Build the ``index``-th transaction of the stream."""
+
+    @abc.abstractmethod
+    def initial_state(self, transactions: Sequence[Transaction]) -> Dict[str, object]:
+        """World state required for ``transactions`` to execute."""
+
+    # ----------------------------------------------------------------- shared
+    def client_for(self, index: int) -> str:
+        """Issuing client of the ``index``-th transaction (round-robin)."""
+        return self._clients[index % len(self._clients)]
+
+    def application_for(self, index: int) -> str:
+        """Home application of the ``index``-th transaction (round-robin)."""
+        return self._applications[index % len(self._applications)]
+
+    # -------------------------------------------------------------- analytics
+    def expected_conflict_fraction(self) -> float:
+        """The configured degree of contention."""
+        return self.config.contention
+
+    def describe(self) -> Dict[str, object]:
+        """Human-readable summary used by the benchmark reports."""
+        conflict = self.config.conflict
+        return {
+            "contract": self.contract,
+            "applications": self.config.num_applications,
+            "clients": self.config.num_clients,
+            "contention": self.config.contention,
+            "conflict_scope": self.config.conflict_scope.value,
+            "keyspace": conflict.keyspace,
+            "selection": conflict.selection,
+            "spill": conflict.spill,
+            "generated": self._generated,
+        }

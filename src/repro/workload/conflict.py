@@ -1,0 +1,133 @@
+"""A general conflict model for benchmark workloads.
+
+Every built-in workload (and any third-party one) shapes its contention with
+the same small set of knobs, collected in :class:`ConflictModel`:
+
+* ``keyspace`` — how many records each application owns.
+* ``selection`` — how keys are drawn from a keyspace: ``"uniform"`` or
+  ``"zipfian"`` (key 0 most popular, skew set by ``zipf_exponent``).
+* ``hot_fraction`` — the leading fraction of each keyspace treated as the
+  *hot set*; workloads direct their conflicting accesses there.
+* ``read_set_size`` / ``write_set_size`` — how many records one transaction
+  reads / writes (workloads interpret these; e.g. the SmallBank mix uses the
+  write-set size as the number of transfer legs).
+* ``spill`` — probability that a key access lands in *another* application's
+  keyspace, creating cross-application dependencies on the shared datastore
+  (the paper's OXII* scenario generalised beyond one global hot account).
+
+:class:`KeyChooser` turns a model into concrete draws.  It deliberately takes
+the workload's own ``random.Random`` so that a generator's entire output is a
+pure function of ``WorkloadConfig.seed`` — the engine's bit-identical
+serial/parallel guarantee rests on that.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.common.config import check_fraction, check_non_negative, check_positive_int
+from repro.common.errors import ConfigurationError
+from repro.workload.zipfian import ZipfianSampler
+
+#: Accepted values of :attr:`ConflictModel.selection`.
+KEY_SELECTIONS = ("uniform", "zipfian")
+
+
+@dataclass(frozen=True)
+class ConflictModel:
+    """How a workload picks the records its transactions touch."""
+
+    keyspace: int = 1024
+    selection: str = "uniform"
+    zipf_exponent: float = 0.99
+    hot_fraction: float = 0.01
+    read_set_size: int = 1
+    write_set_size: int = 1
+    spill: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive_int("keyspace", self.keyspace)
+        if self.selection not in KEY_SELECTIONS:
+            raise ConfigurationError(
+                f"selection must be one of {list(KEY_SELECTIONS)}, got {self.selection!r}"
+            )
+        check_non_negative("zipf_exponent", self.zipf_exponent)
+        check_fraction("hot_fraction", self.hot_fraction)
+        check_positive_int("read_set_size", self.read_set_size)
+        check_positive_int("write_set_size", self.write_set_size)
+        check_fraction("spill", self.spill)
+
+    @property
+    def hot_set_size(self) -> int:
+        """Number of hot keys per application (at least 1)."""
+        return max(1, int(self.keyspace * self.hot_fraction))
+
+
+class KeyChooser:
+    """Draws key indices and applications according to a :class:`ConflictModel`.
+
+    All randomness comes from the ``rng`` handed in by the owning workload
+    generator, so draws interleave deterministically with the generator's
+    other decisions.
+    """
+
+    def __init__(self, model: ConflictModel, rng: random.Random) -> None:
+        self.model = model
+        self.rng = rng
+        self._zipf: Optional[ZipfianSampler] = (
+            ZipfianSampler(model.keyspace, model.zipf_exponent)
+            if model.selection == "zipfian"
+            else None
+        )
+
+    # ------------------------------------------------------------------ keys
+    def key_index(self) -> int:
+        """One key index drawn by the configured selection over the keyspace."""
+        if self._zipf is not None:
+            return self._zipf.sample_from(self.rng)
+        return self.rng.randrange(self.model.keyspace)
+
+    def hot_index(self) -> int:
+        """A key index from the hot set (uniform within the hot prefix)."""
+        return self.rng.randrange(self.model.hot_set_size)
+
+    def cold_index(self) -> int:
+        """A key index guaranteed to be outside the hot set (when one exists)."""
+        hot = self.model.hot_set_size
+        if hot >= self.model.keyspace:
+            return self.rng.randrange(self.model.keyspace)
+        return self.rng.randrange(hot, self.model.keyspace)
+
+    def distinct_indices(self, count: int, hot: bool = False) -> List[int]:
+        """``count`` distinct key indices (hot-set draws when ``hot``).
+
+        ``count`` is clamped to the size of the sampled region so degenerate
+        models (tiny keyspaces) still terminate.
+        """
+        region = self.model.hot_set_size if hot else self.model.keyspace
+        count = min(count, region)
+        picked: List[int] = []
+        seen = set()
+        while len(picked) < count:
+            index = self.hot_index() if hot else self.key_index()
+            if index not in seen:
+                seen.add(index)
+                picked.append(index)
+        return picked
+
+    # ---------------------------------------------------------- applications
+    def keyspace_application(self, home: str, applications: Sequence[str]) -> str:
+        """Which application's keyspace a key access targets.
+
+        Normally the transaction's home application; with probability
+        ``spill`` a uniformly-chosen *other* application, which makes the
+        transaction depend on records maintained by a different agent group.
+        """
+        if self.model.spill <= 0.0 or len(applications) < 2:
+            return home
+        if self.rng.random() >= self.model.spill:
+            return home
+        others = [app for app in applications if app != home]
+        return others[self.rng.randrange(len(others))]

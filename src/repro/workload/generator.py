@@ -21,20 +21,31 @@ conflict:
   across applications but share one global hot account (the dashed OXII* line),
   so consecutive transactions of the chain belong to different applications
   and their agents must exchange commit messages during execution.
+
+:class:`WorkloadConfig` is shared by every registered workload generator; the
+richer contention knobs (Zipfian key selection, keyspace sizes, read/write-set
+sizes, cross-application spill) live in its nested
+:class:`~repro.workload.conflict.ConflictModel` — see docs/workloads.md.
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.common.config import apply_overrides
+from repro.common.config import (
+    apply_overrides,
+    check_fraction,
+    check_positive,
+    check_positive_int,
+)
 from repro.common.errors import ConfigurationError
 from repro.common.registry import register_workload
 from repro.contracts.accounting import AccountingContract, Transfer, account_key
 from repro.core.transaction import Transaction
+from repro.workload.base import WorkloadBase
+from repro.workload.conflict import ConflictModel
 
 
 class ConflictScope(str, Enum):
@@ -46,7 +57,7 @@ class ConflictScope(str, Enum):
 
 @dataclass(frozen=True)
 class WorkloadConfig:
-    """Parameters of one generated workload."""
+    """Parameters of one generated workload (shared by every generator)."""
 
     num_applications: int = 3
     num_clients: int = 12
@@ -58,34 +69,35 @@ class WorkloadConfig:
     #: Number of hot accounts per contention domain (1 reproduces the paper's
     #: chain-shaped graphs; larger values spread the contention).
     hot_accounts: int = 1
+    #: General conflict-model knobs (keyspace, Zipf skew, rw-set sizes, spill).
+    conflict: ConflictModel = field(default_factory=ConflictModel)
 
     def __post_init__(self) -> None:
-        if self.num_applications <= 0:
-            raise ConfigurationError("num_applications must be positive")
-        if self.num_clients <= 0:
-            raise ConfigurationError("num_clients must be positive")
-        if not 0.0 <= self.contention <= 1.0:
-            raise ConfigurationError("contention must be in [0, 1]")
-        if self.transfer_amount <= 0:
-            raise ConfigurationError("transfer_amount must be positive")
-        if self.hot_accounts <= 0:
-            raise ConfigurationError("hot_accounts must be positive")
+        check_positive_int("num_applications", self.num_applications)
+        check_positive_int("num_clients", self.num_clients)
+        check_fraction("contention", self.contention)
+        check_positive("transfer_amount", self.transfer_amount)
+        check_positive("initial_balance", self.initial_balance)
+        check_positive_int("hot_accounts", self.hot_accounts)
+        if isinstance(self.conflict_scope, str):
+            object.__setattr__(self, "conflict_scope", _coerce_scope(self.conflict_scope))
+        if isinstance(self.conflict, Mapping):
+            # apply_overrides rejects unknown keys with a field-naming error.
+            object.__setattr__(self, "conflict", apply_overrides(ConflictModel(), self.conflict))
+        if not isinstance(self.conflict, ConflictModel):
+            raise ConfigurationError(
+                f"conflict must be a ConflictModel (or a mapping of its fields), "
+                f"got {self.conflict!r}"
+            )
 
     def with_overrides(self, **overrides: Any) -> "WorkloadConfig":
         """Validated copy with ``overrides`` applied.
 
-        ``conflict_scope`` may be given as the enum or its string value (as it
-        appears in JSON/TOML experiment specs).
+        ``conflict_scope`` may be given as the enum or its string value, and
+        ``conflict`` as a (partial) dict of :class:`ConflictModel` fields —
+        the forms they take in JSON/TOML experiment specs; ``__post_init__``
+        coerces both on the copy.
         """
-        scope = overrides.get("conflict_scope")
-        if isinstance(scope, str):
-            try:
-                overrides = {**overrides, "conflict_scope": ConflictScope(scope)}
-            except ValueError:
-                raise ConfigurationError(
-                    f"unknown conflict_scope {scope!r}; expected one of "
-                    f"{[s.value for s in ConflictScope]}"
-                ) from None
         return apply_overrides(self, overrides)
 
     def application_names(self) -> List[str]:
@@ -97,16 +109,23 @@ class WorkloadConfig:
         return [f"client-{i}" for i in range(self.num_clients)]
 
 
+def _coerce_scope(value: str) -> ConflictScope:
+    try:
+        return ConflictScope(value)
+    except ValueError:
+        raise ConfigurationError(
+            f"conflict_scope must be one of {[s.value for s in ConflictScope]}, got {value!r}"
+        ) from None
+
+
 @register_workload("accounting")
-class WorkloadGenerator:
+class WorkloadGenerator(WorkloadBase):
     """Generates transfer transactions plus the initial state they need."""
 
+    contract = "accounting"
+
     def __init__(self, config: WorkloadConfig) -> None:
-        self.config = config
-        self._rng = random.Random(config.seed)
-        self._generated = 0
-        self._applications = config.application_names()
-        self._clients = config.client_names()
+        super().__init__(config)
         #: Which application hosts the within-application contention chain.
         self._hot_application = self._applications[0]
 
@@ -121,40 +140,29 @@ class WorkloadGenerator:
         return [self.hot_account_name(i, application) for i in range(self.config.hot_accounts)]
 
     # --------------------------------------------------------------- workload
-    def generate(self, count: int) -> List[Transaction]:
-        """Generate ``count`` transfer transactions (timestamps left to orderers).
-
-        Transaction ids encode the generator sequence number so repeated calls
-        keep producing fresh, non-overlapping identifiers and accounts.
-        """
-        if count < 0:
-            raise ConfigurationError("count must be >= 0")
-        transactions: List[Transaction] = []
-        for _ in range(count):
-            index = self._generated
-            self._generated += 1
-            conflicting = self._rng.random() < self.config.contention
-            client = self._clients[index % len(self._clients)]
-            application = self._pick_application(index, conflicting)
-            source = f"src-{index}"
-            if conflicting:
-                hot_pool = self._hot_accounts_for(application)
-                destination = hot_pool[index % len(hot_pool)]
-            else:
-                destination = f"sink-{index}"
-            tx = AccountingContract.make_transfer_transaction(
-                tx_id=f"tx-{index}",
-                application=application,
-                client=client,
-                transfers=[Transfer(source=source, destination=destination, amount=self.config.transfer_amount)],
-            )
-            transactions.append(tx)
-        return transactions
+    def _build_transaction(self, index: int) -> Transaction:
+        conflicting = self._rng.random() < self.config.contention
+        client = self.client_for(index)
+        application = self._pick_application(index, conflicting)
+        source = f"src-{index}"
+        if conflicting:
+            hot_pool = self._hot_accounts_for(application)
+            destination = hot_pool[index % len(hot_pool)]
+        else:
+            destination = f"sink-{index}"
+        return AccountingContract.make_transfer_transaction(
+            tx_id=f"tx-{index}",
+            application=application,
+            client=client,
+            transfers=[
+                Transfer(source=source, destination=destination, amount=self.config.transfer_amount)
+            ],
+        )
 
     def _pick_application(self, index: int, conflicting: bool) -> str:
         if conflicting and self.config.conflict_scope is ConflictScope.WITHIN_APPLICATION:
             return self._hot_application
-        return self._applications[index % len(self._applications)]
+        return self.application_for(index)
 
     # ------------------------------------------------------------------ state
     def initial_state(self, transactions: Sequence[Transaction]) -> Dict[str, Dict[str, object]]:
@@ -179,17 +187,8 @@ class WorkloadGenerator:
         }
 
     # -------------------------------------------------------------- analytics
-    def expected_conflict_fraction(self) -> float:
-        """The configured degree of contention."""
-        return self.config.contention
-
     def describe(self) -> Dict[str, object]:
         """Human-readable summary used by the benchmark reports."""
-        return {
-            "applications": self.config.num_applications,
-            "clients": self.config.num_clients,
-            "contention": self.config.contention,
-            "conflict_scope": self.config.conflict_scope.value,
-            "hot_accounts": self.config.hot_accounts,
-            "generated": self._generated,
-        }
+        summary = super().describe()
+        summary["hot_accounts"] = self.config.hot_accounts
+        return summary

@@ -1,0 +1,72 @@
+"""A read-heavy key-value workload over the generic KV contract.
+
+Models the cache / analytics side of a permissioned deployment: most
+transactions only *read* (skewed towards a small popular set), and a small
+fraction write.  Because read-only transactions never conflict — dependency
+edges need a write on at least one side — the resulting blocks carry
+near-conflict-free graphs no matter how skewed the reads are.  That is the
+regime where OXII's graph overhead has to pay for itself, and where XOV's
+optimistic validation almost never aborts: the interesting comparison is the
+opposite end of Figure 6.
+
+Knob mapping (see docs/workloads.md):
+
+* ``contention`` — probability that a transaction also writes
+  (``0.05`` ⇒ 95 % read-only transactions).
+* ``conflict.read_set_size`` / ``conflict.write_set_size`` — keys read /
+  written per transaction.
+* ``conflict.selection`` + ``conflict.zipf_exponent`` — read skew; writes are
+  drawn from the hot set so the rare writes land where the reads are, which
+  is what makes XOV's occasional validation aborts possible at all.
+* ``conflict.spill`` — reads that cross into another application's keyspace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.common.registry import register_workload
+from repro.contracts.kvstore import KeyValueContract
+from repro.core.transaction import Transaction
+from repro.workload.base import WorkloadBase
+
+
+@register_workload("kvstore")
+class KeyValueWorkload(WorkloadBase):
+    """Skewed reads with rare hot-set writes over ``KeyValueContract``."""
+
+    contract = "kvstore"
+
+    def key_name(self, application: str, index: int) -> str:
+        """Canonical name of the ``index``-th record of ``application``."""
+        return f"kv-{application}-{index}"
+
+    def _read_keys(self, application: str) -> List[str]:
+        keys: List[str] = []
+        for index in self._chooser.distinct_indices(self.config.conflict.read_set_size):
+            target_app = self._chooser.keyspace_application(application, self._applications)
+            keys.append(self.key_name(target_app, index))
+        return keys
+
+    def _build_transaction(self, index: int) -> Transaction:
+        application = self.application_for(index)
+        reads = self._read_keys(application)
+        writes: Dict[str, object] = {}
+        if self._rng.random() < self.config.contention:
+            hot = self._chooser.distinct_indices(self.config.conflict.write_set_size, hot=True)
+            writes = {self.key_name(application, i): index for i in hot}
+        return KeyValueContract.make_transaction(
+            tx_id=f"kv-{index}",
+            application=application,
+            reads=reads,
+            writes=writes,
+            client=self.client_for(index),
+        )
+
+    def initial_state(self, transactions: Sequence[Transaction]) -> Dict[str, object]:
+        """Seed every read key with a deterministic integer value."""
+        state: Dict[str, object] = {}
+        for tx in transactions:
+            for key in tx.rw_set.keys:
+                state.setdefault(key, int(key.rsplit("-", 1)[1]))
+        return state

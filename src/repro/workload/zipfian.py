@@ -38,6 +38,15 @@ class ZipfianSampler:
         """Draw one index."""
         return bisect.bisect_left(self._cumulative, self._rng.random())
 
+    def sample_from(self, rng: random.Random) -> int:
+        """Draw one index using an external RNG (ignores the sampler's own seed).
+
+        Workload generators use this so every draw comes from one shared,
+        seeded ``random.Random`` and the whole workload stays a pure function
+        of its configured seed.
+        """
+        return bisect.bisect_left(self._cumulative, rng.random())
+
     def sample_many(self, count: int) -> List[int]:
         """Draw ``count`` indices."""
         return [self.sample() for _ in range(count)]

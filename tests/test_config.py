@@ -135,7 +135,7 @@ class TestWithOverrides:
         assert workload.contention == 0.8
         assert workload.conflict_scope is ConflictScope.CROSS_APPLICATION
         assert workload.hot_accounts == 2
-        with pytest.raises(ConfigurationError, match="unknown conflict_scope"):
+        with pytest.raises(ConfigurationError, match="conflict_scope must be one of"):
             WorkloadConfig().with_overrides(conflict_scope="sideways")
         with pytest.raises(ConfigurationError, match="unknown WorkloadConfig field"):
             WorkloadConfig().with_overrides(block_size=10)

@@ -1,0 +1,158 @@
+"""Tests for the general conflict model and its key chooser."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.workload import ConflictModel, KeyChooser, WorkloadConfig
+
+
+class TestConflictModelValidation:
+    def test_defaults_valid(self):
+        model = ConflictModel()
+        assert model.keyspace == 1024
+        assert model.hot_set_size == 10
+
+    @pytest.mark.parametrize(
+        "field,value,fragment",
+        [
+            ("keyspace", 0, "keyspace must be a positive integer"),
+            ("keyspace", -3, "keyspace must be a positive integer"),
+            ("zipf_exponent", -0.1, "zipf_exponent must be >= 0"),
+            ("hot_fraction", 1.5, "hot_fraction must be in [0, 1]"),
+            ("hot_fraction", -0.2, "hot_fraction must be in [0, 1]"),
+            ("read_set_size", 0, "read_set_size must be a positive integer"),
+            ("write_set_size", -1, "write_set_size must be a positive integer"),
+            ("spill", 2.0, "spill must be in [0, 1]"),
+        ],
+    )
+    def test_errors_name_field_and_range(self, field, value, fragment):
+        with pytest.raises(ConfigurationError) as excinfo:
+            ConflictModel(**{field: value})
+        assert fragment in str(excinfo.value)
+        assert repr(value) in str(excinfo.value)
+
+    def test_unknown_selection_lists_choices(self):
+        with pytest.raises(ConfigurationError, match="uniform.*zipfian|zipfian.*uniform"):
+            ConflictModel(selection="pareto")
+
+    def test_hot_set_size_has_floor_of_one(self):
+        assert ConflictModel(keyspace=10, hot_fraction=0.0).hot_set_size == 1
+        assert ConflictModel(keyspace=100, hot_fraction=0.25).hot_set_size == 25
+
+    @pytest.mark.parametrize("field", ["keyspace", "read_set_size", "write_set_size"])
+    def test_count_fields_reject_floats(self, field):
+        # A TOML spec writing `keyspace = 256.0` must fail at validation
+        # time with the field named, not crash later inside randrange().
+        with pytest.raises(ConfigurationError, match=f"{field} must be a positive integer"):
+            ConflictModel(**{field: 10.5})
+
+
+class TestWorkloadConfigIntegration:
+    def test_nested_conflict_overrides(self):
+        config = WorkloadConfig().with_overrides(
+            conflict={"selection": "zipfian", "keyspace": 64, "spill": 0.3}
+        )
+        assert config.conflict.selection == "zipfian"
+        assert config.conflict.keyspace == 64
+        assert config.conflict.spill == 0.3
+        # Untouched nested fields keep their defaults.
+        assert config.conflict.read_set_size == 1
+
+    def test_conflict_accepts_mapping_at_construction(self):
+        config = WorkloadConfig(conflict={"keyspace": 32})
+        assert isinstance(config.conflict, ConflictModel)
+        assert config.conflict.keyspace == 32
+
+    def test_nested_validation_propagates(self):
+        with pytest.raises(ConfigurationError, match="keyspace must be a positive integer"):
+            WorkloadConfig().with_overrides(conflict={"keyspace": 0})
+
+    @pytest.mark.parametrize("build", [
+        lambda: WorkloadConfig(conflict={"keyspce": 5}),
+        lambda: WorkloadConfig().with_overrides(conflict={"keyspce": 5}),
+    ])
+    def test_unknown_conflict_key_names_field(self, build):
+        with pytest.raises(ConfigurationError, match="keyspce"):
+            build()
+
+    @pytest.mark.parametrize(
+        "field,value,fragment",
+        [
+            ("num_applications", 0, "num_applications must be a positive integer"),
+            ("num_clients", -1, "num_clients must be a positive integer"),
+            ("contention", 1.5, "contention must be in [0, 1]"),
+            ("transfer_amount", 0, "transfer_amount must be positive"),
+            ("initial_balance", -1.0, "initial_balance must be positive"),
+            ("hot_accounts", 0, "hot_accounts must be a positive integer"),
+        ],
+    )
+    def test_workload_config_errors_name_field_and_value(self, field, value, fragment):
+        with pytest.raises(ConfigurationError) as excinfo:
+            WorkloadConfig(**{field: value})
+        message = str(excinfo.value)
+        assert fragment in message
+        assert repr(value) in message
+
+    def test_conflict_scope_coerced_and_rejected_at_construction(self):
+        from repro.workload import ConflictScope
+
+        assert (
+            WorkloadConfig(conflict_scope="cross_application").conflict_scope
+            is ConflictScope.CROSS_APPLICATION
+        )
+        with pytest.raises(ConfigurationError, match="conflict_scope must be one of"):
+            WorkloadConfig(conflict_scope="sideways")
+
+
+class TestKeyChooser:
+    def _chooser(self, seed=7, **model_kwargs):
+        return KeyChooser(ConflictModel(**model_kwargs), random.Random(seed))
+
+    def test_uniform_draws_cover_keyspace(self):
+        chooser = self._chooser(keyspace=8)
+        seen = {chooser.key_index() for _ in range(400)}
+        assert seen == set(range(8))
+
+    def test_zipfian_draws_are_skewed_to_the_head(self):
+        chooser = self._chooser(keyspace=50, selection="zipfian", zipf_exponent=1.2)
+        samples = [chooser.key_index() for _ in range(2000)]
+        head = sum(1 for s in samples if s < 5)
+        assert head > len(samples) * 0.4
+        assert all(0 <= s < 50 for s in samples)
+
+    def test_hot_and_cold_regions_are_disjoint(self):
+        chooser = self._chooser(keyspace=100, hot_fraction=0.1)
+        assert all(chooser.hot_index() < 10 for _ in range(100))
+        assert all(chooser.cold_index() >= 10 for _ in range(100))
+
+    def test_cold_index_degenerates_gracefully(self):
+        # hot_fraction 1.0 leaves no cold region; draws still succeed.
+        chooser = self._chooser(keyspace=4, hot_fraction=1.0)
+        assert 0 <= chooser.cold_index() < 4
+
+    def test_distinct_indices_distinct_and_clamped(self):
+        chooser = self._chooser(keyspace=5)
+        picked = chooser.distinct_indices(10)
+        assert sorted(picked) == [0, 1, 2, 3, 4]
+        hot = self._chooser(keyspace=100, hot_fraction=0.02).distinct_indices(5, hot=True)
+        assert len(hot) == 2  # hot set only has 2 keys
+
+    def test_spill_redirects_some_accesses(self):
+        chooser = self._chooser(spill=0.5)
+        apps = ["app-0", "app-1", "app-2"]
+        targets = {chooser.keyspace_application("app-0", apps) for _ in range(200)}
+        assert "app-0" in targets
+        assert targets - {"app-0"}  # some accesses spilled
+
+    def test_no_spill_without_other_applications(self):
+        chooser = self._chooser(spill=1.0)
+        assert chooser.keyspace_application("app-0", ["app-0"]) == "app-0"
+
+    def test_deterministic_for_equal_seeds(self):
+        a = self._chooser(seed=3, selection="zipfian")
+        b = self._chooser(seed=3, selection="zipfian")
+        assert [a.key_index() for _ in range(50)] == [b.key_index() for _ in range(50)]

@@ -1,0 +1,40 @@
+"""Fast guard: no dead relative links in README/docs.
+
+The docs CI job additionally executes the documented snippets
+(``tools/check_docs.py``); this tier-1 test only runs the cheap link pass so
+a dead link fails `pytest` locally too.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+_spec = importlib.util.spec_from_file_location(
+    "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+)
+check_docs = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_docs)
+
+
+def test_no_dead_links_in_readme_and_docs():
+    errors = []
+    for doc in [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]:
+        errors.extend(check_docs.check_links(doc))
+    assert errors == []
+
+
+def test_github_slug_rules():
+    assert check_docs.github_slug("Registering a custom workload") == (
+        "registering-a-custom-workload"
+    )
+    assert check_docs.github_slug("## `code` and *stars*!") == "-code-and-stars"
+
+
+def test_snippet_scanner_finds_and_skips():
+    doc = REPO_ROOT / "docs" / "workloads.md"
+    snippets = list(check_docs.python_snippets(doc))
+    assert len(snippets) >= 4
+    assert any(not skipped for _, _, skipped in snippets)

@@ -1,0 +1,170 @@
+"""Tests for network fault injection: partitions, link faults, crashes.
+
+The unit half exercises :class:`~repro.network.faults.FaultPlan` verdicts
+directly; the integration half wires a plan into a live
+:class:`~repro.network.transport.Network` and checks that messages actually
+stop flowing (or arrive late) under the configured faults.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import LatencyConfig
+from repro.network import FaultPlan, Network, Topology
+from repro.network.faults import LinkFault
+from repro.network.message import Message
+from repro.simulation import Environment
+
+
+class TestLinkFaultValidation:
+    def test_rejects_bad_drop_probability(self):
+        with pytest.raises(ValueError, match="drop_probability"):
+            LinkFault(drop_probability=1.5)
+        with pytest.raises(ValueError, match="drop_probability"):
+            LinkFault(drop_probability=-0.1)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError, match="extra_delay"):
+            LinkFault(extra_delay=-1.0)
+
+
+class TestFaultPlanVerdicts:
+    def test_partition_blocks_cross_group_traffic_both_ways(self):
+        plan = FaultPlan()
+        plan.partition({"a", "b"}, {"c"})
+        assert not plan.should_drop("a", "b")
+        assert not plan.should_drop("b", "a")
+        assert plan.should_drop("a", "c")
+        assert plan.should_drop("c", "b")
+
+    def test_node_outside_every_group_is_isolated(self):
+        plan = FaultPlan()
+        plan.partition({"a"}, {"b"})
+        assert plan.should_drop("a", "ghost")
+        assert plan.should_drop("ghost", "b")
+
+    def test_heal_partition_restores_traffic(self):
+        plan = FaultPlan()
+        plan.partition({"a"}, {"b"})
+        assert plan.should_drop("a", "b")
+        plan.heal_partition()
+        assert not plan.should_drop("a", "b")
+
+    def test_repartition_replaces_previous_groups(self):
+        plan = FaultPlan()
+        plan.partition({"a"}, {"b", "c"})
+        plan.partition({"a", "b"}, {"c"})
+        assert not plan.should_drop("a", "b")
+        assert plan.should_drop("b", "c")
+
+    def test_degraded_link_drops_deterministically_per_seed(self):
+        verdicts = []
+        for _ in range(2):
+            plan = FaultPlan(seed=99)
+            plan.degrade_link("a", "b", drop_probability=0.5)
+            verdicts.append([plan.should_drop("a", "b") for _ in range(50)])
+        assert verdicts[0] == verdicts[1]
+        assert any(verdicts[0])
+        assert not all(verdicts[0])
+
+    def test_degraded_link_is_directional(self):
+        plan = FaultPlan()
+        plan.degrade_link("a", "b", drop_probability=1.0)
+        assert plan.should_drop("a", "b")
+        assert not plan.should_drop("b", "a")
+
+    def test_heal_link_removes_degradation(self):
+        plan = FaultPlan()
+        plan.degrade_link("a", "b", drop_probability=1.0, extra_delay=0.5)
+        plan.heal_link("a", "b")
+        assert not plan.should_drop("a", "b")
+        assert plan.extra_delay("a", "b") == 0.0
+        plan.heal_link("a", "b")  # healing an already-healthy link is a no-op
+
+    def test_extra_delay_reported_only_for_faulted_link(self):
+        plan = FaultPlan()
+        plan.degrade_link("a", "b", extra_delay=0.25)
+        assert plan.extra_delay("a", "b") == 0.25
+        assert plan.extra_delay("b", "a") == 0.0
+
+    def test_crash_and_recover(self):
+        plan = FaultPlan()
+        plan.crash("a")
+        assert plan.is_crashed("a")
+        assert plan.should_drop("a", "b")
+        assert plan.should_drop("b", "a")
+        plan.recover("a")
+        assert not plan.should_drop("a", "b")
+
+    def test_crash_dominates_partition_membership(self):
+        plan = FaultPlan()
+        plan.partition({"a", "b"})
+        plan.crash("a")
+        assert plan.should_drop("a", "b")
+
+
+def _collect(env, interface, out):
+    while True:
+        envelope = yield interface.receive()
+        out.append(envelope)
+
+
+class TestTransportUnderFaults:
+    def _network(self):
+        env = Environment()
+        faults = FaultPlan()
+        latency = LatencyConfig(lan=0.001, jitter_fraction=0.0)
+        network = Network(env, topology=Topology(latency=latency), faults=faults)
+        inboxes = {}
+        for name in ("a", "b", "c"):
+            interface = network.register(name)
+            inboxes[name] = []
+            env.process(_collect(env, interface, inboxes[name]))
+        return env, network, faults, inboxes
+
+    def test_partition_blocks_delivery_until_healed(self):
+        env, network, faults, inboxes = self._network()
+        faults.partition({"a"}, {"b", "c"})
+        network.send("a", "b", Message(kind="PING"))
+        network.send("b", "c", Message(kind="PING"))
+        env.run(until=0.5)
+        assert inboxes["b"] == []      # cross-partition: silently dropped
+        assert len(inboxes["c"]) == 1  # same partition: delivered
+        faults.heal_partition()
+        network.send("a", "b", Message(kind="PING"))
+        env.run(until=1.0)
+        assert len(inboxes["b"]) == 1
+
+    def test_fully_degraded_link_loses_every_message(self):
+        env, network, faults, inboxes = self._network()
+        faults.degrade_link("a", "b", drop_probability=1.0)
+        for _ in range(5):
+            network.send("a", "b", Message(kind="PING"))
+        network.send("b", "a", Message(kind="PING"))
+        env.run(until=0.5)
+        assert inboxes["b"] == []      # forward direction dead
+        assert len(inboxes["a"]) == 1  # reverse direction unaffected
+        assert network.messages_sent == 6
+        assert network.messages_delivered == 1
+
+    def test_link_extra_delay_shifts_arrival_time(self):
+        env, network, faults, inboxes = self._network()
+        faults.degrade_link("a", "b", extra_delay=0.2)
+        network.send("a", "b", Message(kind="PING"))
+        network.send("a", "c", Message(kind="PING"))
+        env.run(until=0.5)
+        (slow,) = inboxes["b"]
+        (fast,) = inboxes["c"]
+        assert slow.delivered_at == pytest.approx(fast.delivered_at + 0.2)
+
+    def test_message_to_crashed_node_vanishes_in_flight(self):
+        env, network, faults, inboxes = self._network()
+        network.send("a", "b", Message(kind="PING"))
+        faults.crash("b")  # crashes while the message is in flight
+        env.run(until=0.5)
+        assert inboxes["b"] == []
+        faults.recover("b")
+        network.send("a", "b", Message(kind="PING"))
+        env.run(until=1.0)
+        assert len(inboxes["b"]) == 1

@@ -1,0 +1,272 @@
+"""Tests for the multi-application workload suite.
+
+Covers the three new generators' invariants (ownership, read-heaviness,
+chain structure), their end-to-end runs under all three paradigms through
+the declarative spec path (with seed-stable determinism), the automatic
+workload → contract alignment, and the registry errors raised for unknown
+workload names in specs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.registry import workload_registry
+from repro.contracts.supply_chain import SupplyChainContract
+from repro.core.dependency_graph import build_dependency_graph
+from repro.experiments import ExperimentSpec, SweepEngine, single_point_spec
+from repro.workload import (
+    KeyValueWorkload,
+    SmallBankWorkload,
+    SupplyChainWorkload,
+    WorkloadConfig,
+)
+
+NEW_WORKLOADS = ("smallbank", "kvstore", "supply_chain")
+
+
+def _stamped(transactions):
+    return [tx.with_timestamp(i + 1) for i, tx in enumerate(transactions)]
+
+
+class TestSmallBank:
+    def test_registered(self):
+        assert workload_registry.get("smallbank") is SmallBankWorkload
+        assert SmallBankWorkload.contract == "accounting"
+
+    def test_sources_owned_by_issuing_client(self):
+        generator = SmallBankWorkload(
+            WorkloadConfig(contention=0.3, conflict={"keyspace": 64, "write_set_size": 2})
+        )
+        txs = generator.generate(60)
+        state = generator.initial_state(txs)
+        for tx in txs:
+            for leg in tx.payload["transfers"]:
+                assert state[f"account/{leg['source']}"]["owner"] == tx.client
+
+    def test_multi_leg_transactions(self):
+        generator = SmallBankWorkload(WorkloadConfig(conflict={"write_set_size": 3}))
+        txs = generator.generate(10)
+        assert all(len(tx.payload["transfers"]) == 3 for tx in txs)
+
+    def test_skew_produces_conflicts(self):
+        config = WorkloadConfig(
+            contention=0.3,
+            conflict={"selection": "zipfian", "zipf_exponent": 1.2, "keyspace": 64},
+        )
+        graph = build_dependency_graph(_stamped(SmallBankWorkload(config).generate(100)))
+        assert graph.edge_count > 0
+
+    def test_spill_creates_cross_application_dependencies(self):
+        config = WorkloadConfig(
+            contention=0.5, conflict={"keyspace": 16, "spill": 0.8}
+        )
+        graph = build_dependency_graph(_stamped(SmallBankWorkload(config).generate(120)))
+        assert graph.has_cross_application_dependency()
+
+
+class TestKeyValueWorkload:
+    def test_registered(self):
+        assert workload_registry.get("kvstore") is KeyValueWorkload
+        assert KeyValueWorkload.contract == "kvstore"
+
+    def test_mostly_read_only(self):
+        generator = KeyValueWorkload(WorkloadConfig(contention=0.1, seed=5))
+        txs = generator.generate(200)
+        read_only = sum(1 for tx in txs if tx.rw_set.is_read_only())
+        assert read_only > 150
+        assert read_only < 200  # but some writes do occur
+
+    def test_read_set_size_honoured(self):
+        generator = KeyValueWorkload(
+            WorkloadConfig(contention=0.0, conflict={"read_set_size": 4, "keyspace": 1024})
+        )
+        txs = generator.generate(20)
+        assert all(len(tx.rw_set.reads) == 4 for tx in txs)
+
+    def test_near_conflict_free_graphs(self):
+        config = WorkloadConfig(
+            contention=0.05, conflict={"keyspace": 4096, "read_set_size": 3}
+        )
+        txs = _stamped(KeyValueWorkload(config).generate(150))
+        graph = build_dependency_graph(txs)
+        # Writes are rare and reads spread wide, so almost nothing conflicts.
+        assert graph.degree_of_contention() < 0.1
+
+    def test_skewed_reads_raise_contention(self):
+        def contention_at(selection):
+            config = WorkloadConfig(
+                contention=0.05,
+                conflict={"selection": selection, "read_set_size": 3, "zipf_exponent": 1.2},
+            )
+            txs = _stamped(KeyValueWorkload(config).generate(150))
+            return build_dependency_graph(txs).degree_of_contention()
+
+        # The rare writes land in the hot set, so the more the reads skew
+        # towards it, the more transactions pick up a dependency.
+        assert contention_at("zipfian") > contention_at("uniform")
+
+    def test_initial_state_covers_reads(self):
+        generator = KeyValueWorkload(WorkloadConfig(contention=0.2))
+        txs = generator.generate(50)
+        state = generator.initial_state(txs)
+        for tx in txs:
+            for key in tx.rw_set.reads:
+                assert key in state
+
+
+class TestSupplyChainWorkload:
+    def _generator(self, contention=0.5, **conflict):
+        conflict = {"keyspace": 64, "hot_fraction": 0.05, **conflict}
+        return SupplyChainWorkload(
+            WorkloadConfig(contention=contention, conflict=conflict, seed=11)
+        )
+
+    def test_registered(self):
+        assert workload_registry.get("supply_chain") is SupplyChainWorkload
+        assert SupplyChainWorkload.contract == "supply_chain"
+
+    def test_chains_span_applications(self):
+        generator = self._generator(contention=0.8)
+        graph = build_dependency_graph(_stamped(generator.generate(120)))
+        assert graph.has_cross_application_dependency()
+        # Chain steps stack on few hot assets, so paths run deep.
+        assert graph.critical_path_length() > 3
+
+    def test_chain_steps_execute_in_order(self):
+        """Replaying the stream sequentially commits every chain step."""
+        generator = self._generator(contention=0.7)
+        txs = generator.generate(80)
+        state = dict(generator.initial_state(txs))
+        contract = SupplyChainContract("app-0")
+        aborted = 0
+        for tx in txs:
+            result = contract.execute(tx, state)
+            aborted += result.is_abort
+            state.update(result.updates)
+        assert aborted == 0
+
+    def test_registers_are_conflict_free(self):
+        generator = self._generator(contention=0.0)
+        graph = build_dependency_graph(_stamped(generator.generate(60)))
+        assert graph.edge_count == 0
+        assert generator.initial_state([]) == {}
+
+    def test_describe_reports_chain_activity(self):
+        generator = self._generator(contention=0.9)
+        generator.generate(50)
+        summary = generator.describe()
+        assert summary["chain_steps"] > 0
+        assert summary["tracked_assets"] >= 1
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("generator", NEW_WORKLOADS)
+    @pytest.mark.parametrize("paradigm", ("OX", "XOV", "OXII"))
+    def test_runs_under_every_paradigm_deterministically(self, generator, paradigm):
+        """Each workload completes a spec-driven run, twice, bit-identically."""
+
+        def run_once():
+            spec = single_point_spec(
+                name=f"{generator}-{paradigm}",
+                paradigm=paradigm,
+                offered_load=150.0,
+                contention=0.25,
+                workload={"conflict": {"keyspace": 64, "selection": "zipfian"}},
+                duration=1.0,
+                drain=8.0,
+                generator=generator,
+            )
+            row = SweepEngine(parallel=False).run(spec).rows[0]
+            return row.metrics
+
+        first, second = run_once(), run_once()
+        assert first.submitted > 0
+        assert first.committed + first.aborted > 0
+        if paradigm != "XOV":
+            assert first.aborted == 0
+        assert first.as_dict() == second.as_dict()
+
+    def test_contract_aligned_with_generator(self):
+        """The deployment installs the contract the workload declares."""
+        from repro.common.config import SystemConfig
+        from repro.common.registry import paradigm_registry
+        from repro.contracts.kvstore import KeyValueContract
+
+        # execute_run swaps the default accounting contract for kvstore.
+        from repro.paradigms.run import execute_run
+
+        metrics = execute_run(
+            "OXII",
+            offered_load=100.0,
+            duration=1.0,
+            drain=5.0,
+            generator="kvstore",
+        )
+        assert metrics.committed > 0
+
+        # The alignment is visible on the deployment config level too.
+        deployment = paradigm_registry.get("OXII")(SystemConfig(contract="kvstore"))
+        contracts = deployment.build_contracts()
+        assert isinstance(contracts.contract("app-0"), KeyValueContract)
+
+    def test_undeclared_contract_respects_system_config(self):
+        """A generator without a contract declaration never overrides the
+        deployment's explicitly configured contract."""
+        from repro.common.config import SystemConfig
+        from repro.contracts.kvstore import KeyValueContract
+        from repro.paradigms.run import execute_run
+        from repro.workload import WorkloadBase
+
+        class AnonymousKV(WorkloadBase):
+            # Deliberately no `contract` declaration (inherits None).
+            def _build_transaction(self, index):
+                key = f"anon-{self._chooser.key_index()}"
+                return KeyValueContract.make_transaction(
+                    tx_id=f"anon-{index}",
+                    application=self.application_for(index),
+                    reads=[key],
+                    writes={key: index},
+                    client=self.client_for(index),
+                )
+
+            def initial_state(self, transactions):
+                return {key: 0 for tx in transactions for key in tx.rw_set.keys}
+
+        assert AnonymousKV.contract is None
+        workload_registry.register("anon-kv", AnonymousKV)
+        try:
+            metrics = execute_run(
+                "OXII",
+                system_config=SystemConfig(contract="kvstore"),
+                offered_load=100.0,
+                duration=1.0,
+                drain=5.0,
+                generator="anon-kv",
+            )
+            assert metrics.committed > 0
+            assert metrics.aborted == 0
+        finally:
+            workload_registry.unregister("anon-kv")
+
+    def test_unknown_generator_in_spec_names_known_workloads(self):
+        spec = ExperimentSpec.from_dict(
+            {
+                "name": "bad",
+                "loads": [100],
+                "scenarios": [{"name": "x", "paradigm": "OXII", "generator": "nope"}],
+            }
+        )
+        with pytest.raises(ConfigurationError) as excinfo:
+            SweepEngine(parallel=False).run(spec)
+        message = str(excinfo.value)
+        assert "unknown workload 'nope'" in message
+        for name in ("accounting", "smallbank", "kvstore", "supply_chain"):
+            assert name in message
+
+    def test_unknown_generator_via_execute_run(self):
+        from repro.paradigms.run import execute_run
+
+        with pytest.raises(ConfigurationError, match="unknown workload 'missing'"):
+            execute_run("OXII", generator="missing")

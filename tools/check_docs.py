@@ -1,0 +1,191 @@
+#!/usr/bin/env python
+"""Documentation checker: dead-link detection + snippet execution.
+
+Two passes over the repo's markdown (README.md and docs/*.md by default):
+
+1. **Link check** — every relative markdown link ``[text](target)`` must
+   resolve to an existing file (anchors are checked against the target
+   file's headings, GitHub-slug style).  External ``http(s)://`` /
+   ``mailto:`` links are not fetched.
+2. **Snippet execution** — every fenced ```` ```python ```` block in the
+   files passed with ``--run`` is executed, blocks of one file sharing a
+   namespace (so a class defined in one block is usable in the next).
+   Blocks containing the literal ellipsis placeholder ``...`` or preceded
+   by an HTML comment ``<!-- docs-check: skip -->`` are skipped — they are
+   illustrative fragments, not runnable programs.
+
+Run from the repo root (CI does)::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Exit status is non-zero on any dead link or failing snippet.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+import traceback
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: ``[text](target)`` — markdown links, excluding images handled identically.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+FENCE_RE = re.compile(r"^```(\w*)\s*$")
+SKIP_MARKER = "<!-- docs-check: skip -->"
+
+
+def github_slug(heading: str) -> str:
+    """The anchor GitHub generates for a heading."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _strip_code_blocks(text: str) -> str:
+    """Markdown with fenced code blocks blanked (links inside code aren't links)."""
+    out: List[str] = []
+    in_fence = False
+    for line in text.splitlines():
+        if line.strip().startswith("```"):
+            in_fence = not in_fence
+            out.append("")
+            continue
+        out.append("" if in_fence else line)
+    return "\n".join(out)
+
+
+def check_links(doc: Path) -> List[str]:
+    """Dead relative links (and missing anchors) in ``doc``."""
+    errors: List[str] = []
+    text = _strip_code_blocks(doc.read_text(encoding="utf-8"))
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, anchor = target.partition("#")
+        base = doc.parent / path_part if path_part else doc
+        try:
+            resolved = base.resolve()
+        except OSError:  # pragma: no cover - malformed path
+            errors.append(f"{doc}: unresolvable link {target!r}")
+            continue
+        if not resolved.is_relative_to(REPO_ROOT):
+            # Repo-escaping relative links (e.g. the ../../actions/... CI
+            # badge) address the GitHub web UI, not files — not checkable.
+            continue
+        if not resolved.exists():
+            errors.append(f"{doc}: dead link {target!r} ({resolved} does not exist)")
+            continue
+        if anchor and resolved.suffix == ".md":
+            headings = HEADING_RE.findall(resolved.read_text(encoding="utf-8"))
+            slugs = {github_slug(h) for h in headings}
+            if anchor.lower() not in slugs:
+                errors.append(f"{doc}: link {target!r} points at missing anchor #{anchor}")
+    return errors
+
+
+def python_snippets(doc: Path) -> Iterator[Tuple[int, str, bool]]:
+    """Yield ``(line_number, source, skipped)`` for each ```python block."""
+    lines = doc.read_text(encoding="utf-8").splitlines()
+    index = 0
+    skip_next = False
+    while index < len(lines):
+        stripped = lines[index].strip()
+        if stripped == SKIP_MARKER:
+            skip_next = True
+            index += 1
+            continue
+        fence = FENCE_RE.match(stripped)
+        if fence and fence.group(1) == "python":
+            start = index + 1
+            body: List[str] = []
+            index += 1
+            while index < len(lines) and not lines[index].strip().startswith("```"):
+                body.append(lines[index])
+                index += 1
+            source = "\n".join(body)
+            skipped = skip_next or "..." in source
+            yield start + 1, source, skipped
+            skip_next = False
+        elif stripped and not stripped.startswith("```"):
+            skip_next = False
+        index += 1
+
+
+def run_snippets(doc: Path) -> List[str]:
+    """Execute every runnable python snippet of ``doc`` in a shared namespace."""
+    errors: List[str] = []
+    namespace: Dict[str, object] = {"__name__": f"docs_snippet_{doc.stem}"}
+    ran = skipped = 0
+    for line, source, skip in python_snippets(doc):
+        if skip:
+            skipped += 1
+            continue
+        try:
+            code = compile(source, f"{doc}:{line}", "exec")
+            exec(code, namespace)  # noqa: S102 - that is the point of the check
+            ran += 1
+        except Exception:
+            errors.append(
+                f"{doc}: snippet at line {line} failed:\n{traceback.format_exc(limit=4)}"
+            )
+    print(f"  {doc.relative_to(REPO_ROOT)}: {ran} snippet(s) executed, {skipped} skipped")
+    return errors
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--docs",
+        nargs="*",
+        default=None,
+        help="markdown files to link-check (default: README.md and docs/*.md)",
+    )
+    parser.add_argument(
+        "--run",
+        nargs="*",
+        default=None,
+        help="markdown files whose python snippets are executed "
+        "(default: docs/experiments.md docs/workloads.md)",
+    )
+    args = parser.parse_args(argv)
+
+    docs = (
+        [Path(p) for p in args.docs]
+        if args.docs is not None
+        else [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+    )
+    runnable = (
+        [Path(p) for p in args.run]
+        if args.run is not None
+        else [REPO_ROOT / "docs" / "experiments.md", REPO_ROOT / "docs" / "workloads.md"]
+    )
+
+    errors: List[str] = []
+    print("link check:")
+    for doc in docs:
+        found = check_links(doc)
+        errors.extend(found)
+        status = "ok" if not found else f"{len(found)} dead"
+        print(f"  {doc.relative_to(REPO_ROOT)}: {status}")
+
+    print("snippet execution:")
+    for doc in runnable:
+        errors.extend(run_snippets(doc))
+
+    if errors:
+        print(f"\n{len(errors)} problem(s):", file=sys.stderr)
+        for error in errors:
+            print(f"  - {error}", file=sys.stderr)
+        return 1
+    print("\ndocs ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
