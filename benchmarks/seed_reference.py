@@ -1,0 +1,80 @@
+"""Faithful copies of the seed execution hot path, shared by two consumers.
+
+The equivalence tests (:mod:`tests.test_scheduler_equivalence`) prove the
+countdown scheduler dispatches identically to this code, and the scaling
+benchmark (:mod:`benchmarks.test_execution_scaling`) measures against it —
+one copy, so the equivalence proof and the perf baseline can never
+desynchronise.  Nothing here is collected as a test.
+
+Kept outside ``src/`` on purpose: this is the *pre-overhaul* implementation
+(poll-by-rescan scheduling, rebuild of ``X_e ∪ C_e`` per poll) preserved as
+a reference, exactly like the networkx copy in
+:mod:`benchmarks.test_graph_scaling`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from repro.core.dependency_graph import DependencyGraph
+from repro.core.transaction import Transaction, TransactionResult
+
+
+class SeedGraphScheduler:
+    """The seed's Algorithm 1: rescan the waiting list on every poll."""
+
+    def __init__(self, graph: DependencyGraph, assigned: Iterable[str]) -> None:
+        self._graph = graph
+        assigned_set = set(assigned)
+        self._waiting: List[str] = [t for t in graph.transaction_ids if t in assigned_set]
+        self._executed: Set[str] = set()
+        self._committed: Set[str] = set()
+        self._dispatched: Set[str] = set()
+
+    def is_done(self) -> bool:
+        return not self._waiting
+
+    def ready_transactions(self) -> List[Transaction]:
+        done = self._executed | self._committed
+        ready = []
+        for tx_id in self._waiting:
+            if tx_id in self._dispatched:
+                continue
+            if self._graph.predecessors(tx_id) <= done:
+                ready.append(self._graph.transaction(tx_id))
+        for tx in ready:
+            self._dispatched.add(tx.tx_id)
+        return ready
+
+    def mark_executed(self, tx_id: str) -> None:
+        self._executed.add(tx_id)
+        if tx_id in self._waiting:
+            self._waiting.remove(tx_id)
+
+    def mark_committed(self, tx_id: str) -> None:
+        if tx_id not in self._graph:
+            return
+        self._committed.add(tx_id)
+
+    def blocked_on(self, tx_id: str) -> Set[str]:
+        return self._graph.predecessors(tx_id) - (self._executed | self._committed)
+
+
+def seed_execute_with_graph(
+    graph: DependencyGraph, contract_runner, state: Dict[str, object]
+) -> List[TransactionResult]:
+    """The seed ``ExecutionEngine.execute_with_graph`` loop, verbatim."""
+    scheduler = SeedGraphScheduler(graph, assigned=graph.transaction_ids)
+    results: Dict[str, TransactionResult] = {}
+    while not scheduler.is_done():
+        wave = scheduler.ready_transactions()
+        if not wave:
+            raise AssertionError("seed engine deadlocked")
+        wave_results = [contract_runner(tx, state) for tx in wave]
+        for result in wave_results:
+            if not result.is_abort:
+                state.update(result.updates)
+            results[result.tx_id] = result
+            scheduler.mark_executed(result.tx_id)
+            scheduler.mark_committed(result.tx_id)
+    return [results[tx_id] for tx_id in graph.transaction_ids]

@@ -38,6 +38,7 @@ from repro.core.block import Block, BlockHeader
 from repro.core.block_builder import BlockBuilder, CutReason
 from repro.core.execution import (
     CommitBatcher,
+    CountdownScheduler,
     ExecutionEngine,
     GraphScheduler,
     StateUpdater,
@@ -51,6 +52,7 @@ __all__ = [
     "BlockHeader",
     "CommitBatcher",
     "ConflictType",
+    "CountdownScheduler",
     "CutReason",
     "DependencyEdge",
     "DependencyGraph",

@@ -174,6 +174,7 @@ class DependencyGraph:
         self._edge_cache: Optional[List[DependencyEdge]] = None
         self._pred_sets: List[Optional[FrozenSet[str]]] = [None] * len(self._ids)
         self._succ_sets: List[Optional[FrozenSet[str]]] = [None] * len(self._ids)
+        self._cross_app_succ: Optional[Tuple[bool, ...]] = None
 
     @classmethod
     def _from_indexed(
@@ -264,6 +265,55 @@ class DependencyGraph:
     def edge_count(self) -> int:
         """Number of ordering dependencies."""
         return self._dag.edge_count
+
+    # ----------------------------------------------------------- index surface
+    # The execution hot path (countdown scheduling, commit batching) works on
+    # the dense integer index space 0 .. n-1 shared with the adjacency core:
+    # index == block position == timestamp order.  These accessors avoid the
+    # string-keyed dict lookups and the set/list copies of the paper-notation
+    # API above.
+
+    @property
+    def dag(self) -> AdjacencyDAG:
+        """The dense integer-indexed adjacency core (read-only by convention)."""
+        return self._dag
+
+    def index_of(self, tx_id: str) -> int:
+        """Block position of ``tx_id`` (the node index in the adjacency core)."""
+        index = self._index.get(tx_id)
+        if index is None:
+            raise DependencyGraphError(f"unknown transaction {tx_id!r}")
+        return index
+
+    def id_at(self, index: int) -> str:
+        """Transaction id at block position ``index``."""
+        return self._ids[index]
+
+    def transaction_at(self, index: int) -> Transaction:
+        """Transaction at block position ``index``."""
+        return self._txs[index]
+
+    def cross_application_successor_flags(self) -> Sequence[bool]:
+        """``flags[u]`` — True iff ``u`` has a successor of another application.
+
+        Computed once per graph with a single pass over the edges; the commit
+        batcher (Algorithm 2) consults this per executed result, so loading
+        successor Transaction objects there would pay per-result what this
+        bitmap pays per-block.  Returned as a tuple: the cache is shared by
+        every batcher built on this graph, so it must be immutable.
+        """
+        if self._cross_app_succ is None:
+            txs = self._txs
+            dag = self._dag
+            flags = [False] * len(txs)
+            for u in range(dag.n):
+                app = txs[u].application
+                for v in dag.successors(u):
+                    if txs[v].application != app:
+                        flags[u] = True
+                        break
+            self._cross_app_succ = tuple(flags)
+        return self._cross_app_succ
 
     def edges(self) -> List[DependencyEdge]:
         """All edges with their conflict kinds, ordered by block position."""

@@ -4,10 +4,15 @@ The three procedures an OXII executor runs concurrently are factored into
 plain, deployment-independent classes so the same logic drives the simulated
 executor nodes, the thread-pool executor and the unit tests:
 
-* :class:`GraphScheduler` — Algorithm 1.  Tracks the waiting set ``W_e`` (the
-  transactions this executor is an agent for), the executed set ``X_e`` and
-  the committed set ``C_e``, and yields transactions whose predecessors are
-  all in ``C_e ∪ X_e``.
+* :class:`CountdownScheduler` — Algorithm 1 on the dense integer index space
+  of :mod:`repro.core.graph_core`.  Keeps an array of remaining-predecessor
+  counts and a FIFO of newly-ready indices, so scheduling a whole block costs
+  O(V+E) total instead of rescanning the waiting list per poll.
+* :class:`GraphScheduler` — the string-keyed compatibility facade over the
+  countdown scheduler.  Tracks the waiting set ``W_e`` (the transactions this
+  executor is an agent for), the executed set ``X_e`` and the committed set
+  ``C_e``, and yields transactions whose predecessors are all in
+  ``C_e ∪ X_e``.
 * :class:`CommitBatcher` — Algorithm 2.  Accumulates execution results and
   decides when a COMMIT message must be multicast: as soon as an executed
   transaction has a successor belonging to a *different* application (a "cut"
@@ -24,16 +29,178 @@ executor nodes, the thread-pool executor and the unit tests:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from collections import deque
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    KeysView,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.common.errors import DependencyGraphError, TransactionError
 from repro.core.dependency_graph import DependencyGraph
 from repro.core.transaction import Transaction, TransactionResult
 
 
+class CountdownScheduler:
+    """Algorithm 1 on dense indices: indegree countdown plus a ready FIFO.
+
+    A transaction is ready once every predecessor has *settled* (entered
+    ``X_e ∪ C_e``).  Instead of re-deriving that from sets on every poll, the
+    scheduler counts down each node's remaining unsettled predecessors; the
+    first settle event of a node decrements its successors, and any assigned
+    successor that reaches zero is appended to the ready queue.  Every edge is
+    therefore touched exactly once, so a whole block schedules in O(V+E).
+
+    Indices are block positions — the same index space as
+    :attr:`DependencyGraph.dag` — which keeps all bookkeeping in flat arrays.
+    """
+
+    __slots__ = (
+        "_graph",
+        "_dag",
+        "_remaining",
+        "_settled",
+        "_assigned",
+        "_dispatched",
+        "_executed",
+        "_committed",
+        "_ready",
+        "_waiting_count",
+    )
+
+    def __init__(self, graph: DependencyGraph, assigned_indices: Iterable[int]) -> None:
+        dag = graph.dag
+        n = dag.n
+        self._graph = graph
+        self._dag = dag
+        #: Unsettled-predecessor countdown per node (drives readiness).
+        self._remaining = dag.in_degrees()
+        #: Node flags, one byte each: settled = entered ``X_e ∪ C_e``.
+        self._settled = bytearray(n)
+        self._assigned = bytearray(n)
+        self._dispatched = bytearray(n)
+        self._executed = bytearray(n)
+        self._committed = bytearray(n)
+        for v in assigned_indices:
+            self._assigned[self._check_index(v)] = 1
+        self._waiting_count = sum(self._assigned)
+        remaining = self._remaining
+        assigned = self._assigned
+        #: FIFO of assigned indices whose countdown reached zero (block order
+        #: initially; settle order afterwards — drained sorted per poll).
+        self._ready: Deque[int] = deque(
+            v for v in range(n) if assigned[v] and remaining[v] == 0
+        )
+
+    # ------------------------------------------------------------------ state
+    @property
+    def graph(self) -> DependencyGraph:
+        """The dependency graph being scheduled."""
+        return self._graph
+
+    def is_assigned(self, index: int) -> bool:
+        """True if ``index`` is in ``W_e`` (this executor must execute it)."""
+        return bool(self._assigned[self._check_index(index)])
+
+    def is_executed(self, index: int) -> bool:
+        """True if ``index`` is in ``X_e``."""
+        return bool(self._executed[self._check_index(index)])
+
+    def is_committed(self, index: int) -> bool:
+        """True if ``index`` is in ``C_e``."""
+        return bool(self._committed[self._check_index(index)])
+
+    def waiting_count(self) -> int:
+        """How many assigned transactions have not been executed yet."""
+        return self._waiting_count
+
+    def is_done(self) -> bool:
+        """True once every assigned transaction has been executed."""
+        return self._waiting_count == 0
+
+    def waiting_indices(self) -> List[int]:
+        """Assigned, not-yet-executed indices in block order (error paths)."""
+        assigned, executed = self._assigned, self._executed
+        return [v for v in range(self._dag.n) if assigned[v] and not executed[v]]
+
+    # -------------------------------------------------------------- Algorithm 1
+    def ready_indices(self) -> List[int]:
+        """Newly-ready assigned indices, in block order, each returned once."""
+        ready = self._ready
+        if not ready:
+            return []
+        dispatched, executed = self._dispatched, self._executed
+        out: List[int] = []
+        while ready:
+            v = ready.popleft()
+            if dispatched[v] or executed[v]:
+                continue
+            dispatched[v] = 1
+            out.append(v)
+        if len(out) > 1:
+            out.sort()
+        return out
+
+    def _settle(self, v: int) -> None:
+        """First entry of ``v`` into ``X_e ∪ C_e``: count down its successors."""
+        if self._settled[v]:
+            return
+        self._settled[v] = 1
+        remaining = self._remaining
+        assigned, dispatched, executed = self._assigned, self._dispatched, self._executed
+        ready = self._ready
+        for w in self._dag.successors(v):
+            remaining[w] -= 1
+            if remaining[w] == 0 and assigned[w] and not dispatched[w] and not executed[w]:
+                ready.append(w)
+
+    def _check_index(self, index: int) -> int:
+        # bytearrays wrap negative indices to the end of the block, which
+        # would silently mark the wrong transaction; fail fast instead.
+        if not 0 <= index < self._dag.n:
+            raise IndexError(f"index {index} out of range for {self._dag.n} transactions")
+        return index
+
+    def mark_executed(self, index: int) -> None:
+        """Record that this executor finished executing ``index``."""
+        self._check_index(index)
+        if not self._executed[index]:
+            self._executed[index] = 1
+            self._dispatched[index] = 1
+            if self._assigned[index]:
+                self._waiting_count -= 1
+        self._settle(index)
+
+    def mark_committed(self, index: int) -> None:
+        """Record that ``index`` is committed (its results are in the state)."""
+        self._committed[self._check_index(index)] = 1
+        self._settle(index)
+
+    def blocked_on_indices(self, index: int) -> List[int]:
+        """Predecessors of ``index`` that are not yet executed or committed."""
+        settled = self._settled
+        return [u for u in self._dag.predecessors(self._check_index(index)) if not settled[u]]
+
+
 class GraphScheduler:
-    """Algorithm 1 — decide which waiting transactions are ready to execute."""
+    """Algorithm 1 — string-keyed facade over :class:`CountdownScheduler`.
+
+    Kept as the drop-in surface the executor nodes and the thread-pool
+    executor program against; every call translates transaction ids to block
+    positions once and delegates, so the facade inherits the countdown
+    scheduler's O(V+E) total cost.  ``executed``/``committed`` are exposed as
+    read-only dict-key views (set-like, always current) rather than per-access
+    set copies.
+    """
 
     def __init__(
         self,
@@ -41,37 +208,52 @@ class GraphScheduler:
         assigned: Iterable[str],
     ) -> None:
         self._graph = graph
-        assigned_set = set(assigned)
-        unknown = assigned_set - set(graph.transaction_ids)
+        indices: List[int] = []
+        unknown: List[str] = []
+        for tx_id in assigned:
+            try:
+                indices.append(graph.index_of(tx_id))
+            except DependencyGraphError:
+                unknown.append(tx_id)
         if unknown:
-            raise DependencyGraphError(f"assigned transactions not in graph: {sorted(unknown)}")
-        #: ``W_e`` — transactions this executor must execute, in block order.
-        self._waiting: List[str] = [t for t in graph.transaction_ids if t in assigned_set]
-        #: ``X_e`` — transactions this executor has executed.
-        self._executed: Set[str] = set()
-        #: ``C_e`` — transactions known to be committed (locally or via COMMITs).
-        self._committed: Set[str] = set()
-        self._dispatched: Set[str] = set()
+            raise DependencyGraphError(
+                f"assigned transactions not in graph: {sorted(set(unknown))}"
+            )
+        self._core = CountdownScheduler(graph, indices)
+        #: ``X_e`` / ``C_e`` as insertion-ordered dicts; ``.keys()`` gives the
+        #: callers a live, read-only, set-like view without copying.
+        self._executed: Dict[str, None] = {}
+        self._committed: Dict[str, None] = {}
 
     # ------------------------------------------------------------------ state
     @property
-    def waiting(self) -> List[str]:
-        """``W_e`` — transactions still to be executed by this executor."""
-        return list(self._waiting)
+    def core(self) -> CountdownScheduler:
+        """The underlying index-based scheduler."""
+        return self._core
 
     @property
-    def executed(self) -> Set[str]:
-        """``X_e`` — transactions executed locally."""
-        return set(self._executed)
+    def waiting(self) -> Tuple[str, ...]:
+        """``W_e`` — transactions still to be executed, in block order.
+
+        Materialised on demand (an O(V) scan); only error reporting and tests
+        read it, so the hot loop never pays for list maintenance.
+        """
+        graph = self._graph
+        return tuple(graph.id_at(v) for v in self._core.waiting_indices())
 
     @property
-    def committed(self) -> Set[str]:
-        """``C_e`` — transactions committed (here or remotely)."""
-        return set(self._committed)
+    def executed(self) -> KeysView[str]:
+        """``X_e`` — transactions executed locally (read-only live view)."""
+        return self._executed.keys()
+
+    @property
+    def committed(self) -> KeysView[str]:
+        """``C_e`` — transactions committed here or remotely (read-only live view)."""
+        return self._committed.keys()
 
     def is_done(self) -> bool:
         """True once every assigned transaction has been executed."""
-        return not self._waiting
+        return self._core.is_done()
 
     # -------------------------------------------------------------- Algorithm 1
     def ready_transactions(self) -> List[Transaction]:
@@ -80,24 +262,13 @@ class GraphScheduler:
         Already-dispatched transactions are not returned twice, so callers can
         poll this after every state change without double-executing.
         """
-        done = self._executed | self._committed
-        ready: List[Transaction] = []
-        for tx_id in self._waiting:
-            if tx_id in self._dispatched:
-                continue
-            if self._graph.predecessors(tx_id) <= done:
-                ready.append(self._graph.transaction(tx_id))
-        for tx in ready:
-            self._dispatched.add(tx.tx_id)
-        return ready
+        graph = self._graph
+        return [graph.transaction_at(v) for v in self._core.ready_indices()]
 
     def mark_executed(self, tx_id: str) -> None:
         """Record that this executor finished executing ``tx_id``."""
-        if tx_id not in self._graph:
-            raise DependencyGraphError(f"unknown transaction {tx_id!r}")
-        self._executed.add(tx_id)
-        if tx_id in self._waiting:
-            self._waiting.remove(tx_id)
+        self._core.mark_executed(self._graph.index_of(tx_id))
+        self._executed[tx_id] = None
 
     def mark_committed(self, tx_id: str) -> None:
         """Record that ``tx_id`` is committed (its results are in the state)."""
@@ -105,11 +276,14 @@ class GraphScheduler:
             # Commit messages may mention transactions from other blocks; the
             # scheduler only tracks its own block.
             return
-        self._committed.add(tx_id)
+        self._core.mark_committed(self._graph.index_of(tx_id))
+        self._committed[tx_id] = None
 
     def blocked_on(self, tx_id: str) -> Set[str]:
         """Predecessors of ``tx_id`` that are not yet executed or committed."""
-        return self._graph.predecessors(tx_id) - (self._executed | self._committed)
+        graph = self._graph
+        blocked = self._core.blocked_on_indices(graph.index_of(tx_id))
+        return {graph.id_at(u) for u in blocked}
 
 
 @dataclass(frozen=True)
@@ -134,6 +308,9 @@ class CommitBatcher:
 
     def __init__(self, graph: DependencyGraph, executor: str, block_sequence: int) -> None:
         self._graph = graph
+        # One pass over the edges per block instead of loading successor
+        # Transaction objects per executed result.
+        self._cut_flags = graph.cross_application_successor_flags()
         self._executor = executor
         self._block_sequence = block_sequence
         self._batch: List[TransactionResult] = []
@@ -152,12 +329,7 @@ class CommitBatcher:
         this result to make progress, so the accumulated batch is multicast.
         """
         self._batch.append(result)
-        tx = self._graph.transaction(result.tx_id)
-        needs_flush = any(
-            self._graph.transaction(successor).application != tx.application
-            for successor in self._graph.successors(result.tx_id)
-        )
-        if needs_flush:
+        if self._cut_flags[self._graph.index_of(result.tx_id)]:
             return self.flush()
         return None
 
@@ -175,32 +347,79 @@ class CommitBatcher:
         return message
 
 
-@dataclass
 class _ResultVotes:
-    """Bookkeeping for one transaction's received results (``R_e(x)``)."""
+    """Bookkeeping for one transaction's received results (``R_e(x)``).
 
-    votes: List[Tuple[TransactionResult, str]] = field(default_factory=list)
-    committed: bool = False
+    Votes are tallied in a single pass, keyed by each result's
+    ``match_key()`` (outcome + updates frozen with ``==``-preserving
+    semantics), so receiving a vote is O(1) instead of the O(votes²)
+    pairwise ``matches()`` comparisons the naive tally pays.  Results whose
+    updates cannot be frozen faithfully (``match_key()`` raises
+    ``TypeError``) drop to a pairwise-``matches()`` bucket list — the seed
+    semantics, exact by construction, and only ever paid for exotic update
+    values.  The running best is only replaced by a strictly higher count,
+    which commits the first result variant to reach ``τ(A)`` — the same
+    result Algorithm 3 committed under pairwise matching (a variant that had
+    reached the threshold earlier would already have committed).
+    """
+
+    __slots__ = ("committed", "_senders", "_tally", "_unkeyed", "_best")
+
+    def __init__(self) -> None:
+        self.committed = False
+        self._senders: Set[str] = set()
+        #: match key -> [first result with that key, matching-vote count]
+        self._tally: Dict[object, list] = {}
+        #: entries for results without a usable match key (pairwise-compared)
+        self._unkeyed: List[list] = []
+        self._best: Optional[list] = None
+
+    def _entry_for(self, result: TransactionResult) -> Optional[list]:
+        """The bucket ``result`` belongs to, or None.
+
+        A bucket lives in ``_tally`` or ``_unkeyed`` depending on its *first*
+        result's freezability, but Python allows ``==`` across the divide
+        (``bytes == bytearray``), so the rare miss on one side falls through
+        to a pairwise scan of the other — membership is always decided by
+        ``matches()``, exactly like the seed's pairwise tally.
+        """
+        try:
+            key = result.match_key()
+        except TypeError:
+            key = None
+        if key is not None:
+            entry = self._tally.get(key)
+            if entry is not None:
+                return entry
+            candidates: Iterable[list] = self._unkeyed
+        else:
+            candidates = (*self._unkeyed, *self._tally.values())
+        for entry in candidates:
+            if entry[0].matches(result):
+                return entry
+        return None
 
     def add(self, result: TransactionResult, executor: str) -> None:
-        if any(sender == executor for _, sender in self.votes):
+        if executor in self._senders:
             return  # an executor only gets one vote per transaction
-        self.votes.append((result, executor))
-
-    def matching_count(self, result: TransactionResult) -> int:
-        return sum(1 for candidate, _ in self.votes if candidate.matches(result))
+        self._senders.add(executor)
+        entry = self._entry_for(result)
+        if entry is None:
+            entry = [result, 1]
+            try:
+                self._tally[result.match_key()] = entry
+            except TypeError:
+                self._unkeyed.append(entry)
+        else:
+            entry[1] += 1
+        if self._best is None or entry[1] > self._best[1]:
+            self._best = entry
 
     def best(self) -> Optional[Tuple[TransactionResult, int]]:
         """The result with the most matching votes and its count."""
-        best_result: Optional[TransactionResult] = None
-        best_count = 0
-        for candidate, _ in self.votes:
-            count = self.matching_count(candidate)
-            if count > best_count:
-                best_result, best_count = candidate, count
-        if best_result is None:
+        if self._best is None:
             return None
-        return best_result, best_count
+        return self._best[0], self._best[1]
 
 
 class StateUpdater:
@@ -211,17 +430,25 @@ class StateUpdater:
         block_transactions: Sequence[Transaction],
         tau: Callable[[str], int],
         is_agent: Callable[[str, str], bool],
-        apply_update: Callable[[TransactionResult], None],
+        apply_update: Optional[Callable[[TransactionResult], None]] = None,
+        *,
+        apply_batch: Optional[Callable[[Sequence[TransactionResult]], None]] = None,
     ) -> None:
         """``tau(app)`` gives the required matching-vote count for ``app``;
         ``is_agent(executor, app)`` says whether ``executor`` is an agent of
-        ``app`` (votes from non-agents are discarded); ``apply_update`` is
-        called exactly once per committed transaction with the winning result.
+        ``app`` (votes from non-agents are discarded).  Exactly one of the
+        apply callbacks is used per committed transaction: ``apply_update`` is
+        called once per winning result; ``apply_batch``, when provided, is
+        instead called once per COMMIT message with every non-abort winner it
+        committed (the batched path the world state applies in one pass).
         """
+        if apply_update is None and apply_batch is None:
+            raise ValueError("StateUpdater needs apply_update or apply_batch")
         self._transactions: Dict[str, Transaction] = {tx.tx_id: tx for tx in block_transactions}
         self._tau = tau
         self._is_agent = is_agent
         self._apply_update = apply_update
+        self._apply_batch = apply_batch
         self._votes: Dict[str, _ResultVotes] = {tx_id: _ResultVotes() for tx_id in self._transactions}
         self._committed: Dict[str, TransactionResult] = {}
 
@@ -247,6 +474,7 @@ class StateUpdater:
     def receive(self, message: CommitMessage) -> List[str]:
         """Process a COMMIT message; return transactions committed by it."""
         newly_committed: List[str] = []
+        winners: List[TransactionResult] = []
         for result in message.results:
             tx = self._transactions.get(result.tx_id)
             if tx is None:
@@ -265,8 +493,13 @@ class StateUpdater:
                 votes.committed = True
                 self._committed[result.tx_id] = winning
                 if not winning.is_abort:
-                    self._apply_update(winning)
+                    if self._apply_batch is not None:
+                        winners.append(winning)
+                    else:
+                        self._apply_update(winning)
                 newly_committed.append(result.tx_id)
+        if winners:
+            self._apply_batch(winners)
         return newly_committed
 
 
@@ -310,22 +543,38 @@ class ExecutionEngine:
         predecessors have committed runs (conceptually in parallel), then their
         updates are applied, then the next wave runs.  The final state is
         guaranteed to equal the sequential execution of the block because the
-        graph orders every conflicting pair.
+        graph orders every conflicting pair that must observe each other.
+
+        A whole wave's updates are applied in one batch.  That is safe
+        because ``ready_indices()`` returns each wave in block order and
+        ``dict.update`` is last-writer-wins: under ``single_version``
+        semantics two writers of one record never share a wave (their WW
+        edge separates them), and under ``multi_version`` semantics — where
+        WW pairs carry no edge and *can* share a wave — the block-order
+        merge commits exactly the later writer's value, the same record the
+        seed's per-result application in wave order left behind.
         """
-        scheduler = GraphScheduler(graph, assigned=graph.transaction_ids)
-        results: Dict[str, TransactionResult] = {}
+        n = len(graph)
+        scheduler = CountdownScheduler(graph, range(n))
+        results: List[Optional[TransactionResult]] = [None] * n
+        runner = self._contract_runner
+        state = self._state
         while not scheduler.is_done():
-            wave = scheduler.ready_transactions()
+            wave = scheduler.ready_indices()
             if not wave:
-                blocked = {tx_id: scheduler.blocked_on(tx_id) for tx_id in scheduler.waiting}
+                blocked = {
+                    graph.id_at(v): {graph.id_at(u) for u in scheduler.blocked_on_indices(v)}
+                    for v in scheduler.waiting_indices()
+                }
                 raise TransactionError(f"execution deadlock; blocked on {blocked}")
-            wave_results: List[TransactionResult] = []
-            for tx in wave:
-                wave_results.append(self._contract_runner(tx, self._state))
-            for result in wave_results:
+            wave_updates: Dict[str, object] = {}
+            for v in wave:
+                result = runner(graph.transaction_at(v), state)
                 if not result.is_abort:
-                    self._state.update(result.updates)
-                results[result.tx_id] = result
-                scheduler.mark_executed(result.tx_id)
-                scheduler.mark_committed(result.tx_id)
-        return [results[tx_id] for tx_id in graph.transaction_ids]
+                    wave_updates.update(result.updates)
+                results[v] = result
+                scheduler.mark_executed(v)
+                scheduler.mark_committed(v)
+            if wave_updates:
+                state.update(wave_updates)
+        return list(results)

@@ -142,6 +142,10 @@ class AdjacencyDAG:
         """Number of incoming edges of ``v``."""
         return self._in_degree[v]
 
+    def in_degrees(self) -> List[int]:
+        """A fresh copy of the in-degree array (countdown schedulers own it)."""
+        return list(self._in_degree)
+
     def out_degree(self, u: int) -> int:
         """Number of outgoing edges of ``u``."""
         return self._out_degree[u]

@@ -23,6 +23,56 @@ from repro.core.transaction import Transaction, TransactionResult
 ContractRunner = Callable[[Transaction, Mapping[str, object]], TransactionResult]
 
 
+class _SharedStateView(Mapping):
+    """Lock-guarded read view of the shared state dict.
+
+    Replaces the seed's full-dict copy per transaction: contracts see the
+    live dict through per-operation locking instead, so a transaction pays
+    for the keys it reads, not for the whole state.  Per-key reads are
+    consistent for everything a transaction *declared* — the dependency
+    graph orders every conflicting pair, so declared keys cannot change
+    while the transaction runs.  Iteration/len snapshot the keys under the
+    lock, so contracts that scan their view never race the commit loop's
+    inserts (no "dict changed size during iteration").
+
+    Reads *outside* the declared read set come with a deliberate relaxation:
+    each read is individually atomic, but two undeclared reads may straddle
+    another transaction's commit and observe it half-applied — the seed's
+    per-transaction snapshot copy was transactionally consistent even for
+    undeclared reads (though *which* commits it contained was still
+    timing-dependent, so undeclared access voided sequential equivalence
+    there too).  The paper's model requires rw-sets to be declared
+    (Section III-A); the graph, and therefore this executor, is only sound
+    when they are.
+    """
+
+    __slots__ = ("_data", "_lock")
+
+    def __init__(self, data: Dict[str, object], lock: threading.Lock) -> None:
+        self._data = data
+        self._lock = lock
+
+    def get(self, key: str, default: object = None) -> object:
+        with self._lock:
+            return self._data.get(key, default)
+
+    def __getitem__(self, key: str) -> object:
+        with self._lock:
+            return self._data[key]
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def __iter__(self):
+        with self._lock:
+            return iter(list(self._data))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+
 class ParallelGraphExecutor:
     """Execute one block's dependency graph on a pool of worker threads."""
 
@@ -49,12 +99,11 @@ class ParallelGraphExecutor:
         assigned_ids = list(assigned) if assigned is not None else list(graph.transaction_ids)
         scheduler = GraphScheduler(graph, assigned=assigned_ids)
         state_lock = threading.Lock()
+        shared_view = _SharedStateView(state, state_lock)
         results: Dict[str, TransactionResult] = {}
 
         def run_one(tx: Transaction) -> TransactionResult:
-            with state_lock:
-                snapshot = dict(state)
-            return self._contract_runner(tx, snapshot)
+            return self._contract_runner(tx, shared_view)
 
         with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
             in_flight: Dict[Future, str] = {}

@@ -14,8 +14,10 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
 
+import hashlib
+
 from repro.common.errors import TransactionError
-from repro.crypto.hashing import content_hash
+from repro.crypto.hashing import content_hash, encode_object_tuple
 
 
 class OperationType(str, Enum):
@@ -147,13 +149,49 @@ class Transaction:
             self.client_timestamp,
         )
 
+    def canonical_bytes(self) -> bytes:
+        """Canonical encoding of the transaction, computed once.
+
+        The same bytes back the Merkle leaf, the block hash, signatures and
+        COMMIT matching; memoising them here (transactions are immutable)
+        means the canonical serialisation is paid once per transaction
+        instead of once per consumer.
+        """
+        cached = self.__dict__.get("_canonical_bytes")
+        if cached is None:
+            cached = encode_object_tuple(self.canonical_tuple())
+            object.__setattr__(self, "_canonical_bytes", cached)
+        return cached
+
     def digest(self) -> str:
         """Content hash of the transaction (cached — transactions are immutable)."""
         cached = self.__dict__.get("_digest")
         if cached is None:
-            cached = content_hash(self)
+            cached = hashlib.sha256(self.canonical_bytes()).hexdigest()
             object.__setattr__(self, "_digest", cached)
         return cached
+
+
+def _freeze_value(value: Any) -> Any:
+    """A hashable stand-in for ``value`` that preserves ``==`` semantics.
+
+    Containers are tagged by the equivalence class Python's ``==`` puts them
+    in: lists never equal tuples, but sets equal frozensets and dicts compare
+    by content, and numeric types compare across int/float/bool — so scalars
+    pass through unchanged (their hashes already agree wherever ``==`` does).
+    Raises ``TypeError`` for values that are neither plain data nor hashable;
+    :meth:`TransactionResult.match_key` falls back to content hashing then.
+    """
+    if isinstance(value, dict):
+        return ("dict", tuple(sorted((k, _freeze_value(v)) for k, v in value.items())))
+    if isinstance(value, list):
+        return ("list", tuple(_freeze_value(v) for v in value))
+    if isinstance(value, tuple):
+        return ("tuple", tuple(_freeze_value(v) for v in value))
+    if isinstance(value, (set, frozenset)):
+        return ("set", frozenset(_freeze_value(v) for v in value))
+    hash(value)  # propagate TypeError for unhashable leaves
+    return value
 
 
 ABORTED = "abort"
@@ -204,6 +242,16 @@ class TransactionResult:
             self.status,
         )
 
+    def canonical_bytes(self) -> bytes:
+        """Canonical encoding of the result, computed once (results are
+        immutable); COMMIT messages embed many results, so signing and
+        digesting them reuses this."""
+        cached = self.__dict__.get("_canonical_bytes")
+        if cached is None:
+            cached = encode_object_tuple(self.canonical_tuple())
+            object.__setattr__(self, "_canonical_bytes", cached)
+        return cached
+
     def matches(self, other: "TransactionResult") -> bool:
         """Two results match if they agree on outcome and state updates.
 
@@ -215,6 +263,27 @@ class TransactionResult:
             and self.status == other.status
             and dict(self.updates) == dict(other.updates)
         )
+
+    def match_key(self) -> tuple:
+        """A hashable key equal between results iff :meth:`matches` is True.
+
+        Lets Algorithm 3 tally votes in a single pass (dict keyed by this)
+        instead of pairwise ``matches()`` comparisons.  Values are frozen by
+        :func:`_freeze_value`, which preserves Python ``==`` semantics (so
+        ``{"x": 5}`` and ``{"x": 5.0}`` still land in the same tally bucket,
+        exactly as pairwise ``matches()`` counted them).
+
+        Raises ``TypeError`` for updates whose values cannot be frozen
+        ``==``-faithfully (unhashable leaves, dicts with incomparable mixed
+        keys); the vote tally falls back to pairwise :meth:`matches` for
+        those, so no approximate key can ever split or merge vote buckets
+        differently than the seed's pairwise comparison did.
+        """
+        cached = self.__dict__.get("_match_key")
+        if cached is None:
+            cached = (self.tx_id, self.status, _freeze_value(dict(self.updates)))
+            object.__setattr__(self, "_match_key", cached)
+        return cached
 
 
 def validate_block_timestamps(transactions: Iterable[Transaction]) -> None:

@@ -21,7 +21,11 @@ def _canonical_bytes(value: Any) -> bytes:
     Supported values: ``None``, bools, ints, floats, strings, bytes, and
     (arbitrarily nested) lists/tuples, sets/frozensets and dicts of supported
     values.  Objects exposing a ``canonical_tuple()`` method (transactions,
-    blocks) are serialised through it.
+    blocks) are serialised through it; immutable objects that additionally
+    expose ``canonical_bytes()`` (returning their complete canonical
+    encoding, typically memoised) short-circuit the recursion — that is how
+    a transaction's encoding is computed once and reused by the Merkle leaf,
+    the block hash, signatures and COMMIT matching.
     """
     if value is None:
         return b"N"
@@ -36,6 +40,9 @@ def _canonical_bytes(value: Any) -> bytes:
         return b"s" + str(len(encoded)).encode() + b":" + encoded
     if isinstance(value, bytes):
         return b"b" + str(len(value)).encode() + b":" + value
+    cached = getattr(value, "canonical_bytes", None)
+    if cached is not None:
+        return cached()
     if hasattr(value, "canonical_tuple"):
         return b"o" + _canonical_bytes(value.canonical_tuple())
     if isinstance(value, (list, tuple)):
@@ -49,6 +56,26 @@ def _canonical_bytes(value: Any) -> bytes:
         parts = b"".join(_canonical_bytes(k) + _canonical_bytes(v) for k, v in items)
         return b"d" + str(len(items)).encode() + b":" + parts
     raise TypeError(f"cannot canonically hash value of type {type(value).__name__}")
+
+
+def canonical_bytes(value: Any) -> bytes:
+    """The canonical encoding of ``value`` (what :func:`content_hash` hashes).
+
+    Objects can memoise this (see ``Transaction.canonical_bytes``) so the
+    encoding of an immutable object is computed once, no matter how many
+    hashes, signatures or Merkle leaves reference it.
+    """
+    return _canonical_bytes(value)
+
+
+def encode_object_tuple(value: tuple) -> bytes:
+    """Encode an object's ``canonical_tuple()`` with the object tag.
+
+    Helper for classes implementing the ``canonical_bytes()`` memoisation
+    protocol: the result is byte-identical to what :func:`canonical_bytes`
+    would derive from the object via ``canonical_tuple()``.
+    """
+    return b"o" + _canonical_bytes(value)
 
 
 def content_hash(value: Any) -> str:

@@ -19,6 +19,20 @@ class MerkleTree:
         self._leaf_hashes: List[str] = [content_hash(leaf) for leaf in leaves]
         self._levels: List[List[str]] = self._build_levels(self._leaf_hashes)
 
+    @classmethod
+    def from_leaf_hashes(cls, leaf_hashes: Sequence[str]) -> "MerkleTree":
+        """Build a tree over already-computed leaf digests.
+
+        Blocks store each transaction's content hash (``tx.digest()``, which
+        is memoised on the transaction), so re-hashing the digest string per
+        leaf — what ``MerkleTree(leaves)`` does — would pay the canonical
+        encoding again for every block build and every verification.
+        """
+        tree = cls.__new__(cls)
+        tree._leaf_hashes = list(leaf_hashes)
+        tree._levels = cls._build_levels(tree._leaf_hashes)
+        return tree
+
     @staticmethod
     def _build_levels(leaf_hashes: Sequence[str]) -> List[List[str]]:
         if not leaf_hashes:
@@ -65,7 +79,12 @@ class MerkleTree:
     @staticmethod
     def verify_proof(leaf: Any, proof: Sequence[Tuple[str, str]], root: str) -> bool:
         """Check that ``leaf`` is included under ``root`` via ``proof``."""
-        running = content_hash(leaf)
+        return MerkleTree.verify_proof_hash(content_hash(leaf), proof, root)
+
+    @staticmethod
+    def verify_proof_hash(leaf_hash: str, proof: Sequence[Tuple[str, str]], root: str) -> bool:
+        """Check a proof for an already-hashed leaf (``from_leaf_hashes`` trees)."""
+        running = leaf_hash
         for side, sibling in proof:
             if side == "right":
                 running = hash_pair(running, sibling)

@@ -1,10 +1,17 @@
-"""The blockchain world state: a versioned key-value datastore."""
+"""The blockchain world state: a versioned key-value datastore.
+
+Snapshots are copy-on-write: :meth:`WorldState.snapshot` hands the *live*
+entry dict to the :class:`StateSnapshot` in O(1) and marks it frozen; the
+first write after that re-materialises a private copy for the world state,
+so the snapshot keeps reading the frozen base while the state accumulates
+its delta.  XOV endorsers take one snapshot per endorsement, so this turns a
+per-endorsement O(state) copy into (at most) one copy per committed block.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Tuple
-
+from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -24,8 +31,13 @@ class WorldState:
     Hyperledger Fabric's MVCC read-conflict check).
     """
 
+    __slots__ = ("_data", "_shared")
+
     def __init__(self, initial: Optional[Mapping[str, Any]] = None) -> None:
         self._data: Dict[str, VersionedValue] = {}
+        #: True while ``_data`` is also referenced by a snapshot or a copy;
+        #: the next mutation re-materialises a private dict (copy-on-write).
+        self._shared = False
         if initial:
             for key, value in initial.items():
                 self._data[key] = VersionedValue(value=value, version=0)
@@ -58,34 +70,75 @@ class WorldState:
         return entry.value, entry.version
 
     def snapshot(self) -> "StateSnapshot":
-        """An immutable snapshot of the current state (used by endorsers)."""
-        return StateSnapshot(dict(self._data))
+        """An immutable snapshot of the current state (used by endorsers).
+
+        O(1): the snapshot shares the entry dict; the world state copies it
+        lazily on its next write, never the snapshot.
+        """
+        self._shared = True
+        return StateSnapshot(self._data, _copy=False)
 
     def as_dict(self) -> Dict[str, Any]:
         """Plain ``key -> value`` view of the state."""
         return {key: entry.value for key, entry in self._data.items()}
 
     def keys(self) -> Iterable[str]:
-        """All keys currently present."""
-        return self._data.keys()
+        """All keys present right now (a stable list, not a live view).
+
+        A live dict view would silently detach when copy-on-write rebinds
+        the entry dict after a snapshot, so a point-in-time copy is the only
+        honest surface here.
+        """
+        return list(self._data)
 
     # ---------------------------------------------------------------- updates
+    def _own(self) -> Dict[str, VersionedValue]:
+        """The entry dict, privately owned (copied here if snapshots share it)."""
+        if self._shared:
+            self._data = dict(self._data)
+            self._shared = False
+        return self._data
+
     def put(self, key: str, value: Any) -> int:
         """Write ``value`` to ``key``; return the new version number."""
-        current = self._data.get(key)
+        data = self._own()
+        current = data.get(key)
         new_version = (current.version + 1) if current is not None else 0
-        self._data[key] = VersionedValue(value=value, version=new_version)
+        data[key] = VersionedValue(value=value, version=new_version)
         return new_version
 
     def apply_updates(self, updates: Mapping[str, Any]) -> None:
-        """Apply a transaction's write set atomically."""
+        """Apply a transaction's write set atomically (single pass, no per-key
+        method dispatch)."""
+        if not updates:
+            return
+        data = self._own()
+        get = data.get
         for key, value in updates.items():
-            self.put(key, value)
+            current = get(key)
+            data[key] = VersionedValue(
+                value=value, version=(current.version + 1) if current is not None else 0
+            )
+
+    def apply_results(self, results: Sequence[Any]) -> None:
+        """Apply many committed results' updates in one batched pass.
+
+        ``results`` is any sequence of objects exposing ``updates`` (the
+        :class:`~repro.core.transaction.TransactionResult` surface); this is
+        the ``apply_batch`` hook of Algorithm 3's state updater.  The
+        batching win is one callback per COMMIT message; the per-key write
+        loop lives in :meth:`apply_updates` alone (``_own`` is O(1) after
+        the first call, so delegating per result costs only the call).
+        """
+        for result in results:
+            self.apply_updates(result.updates)
 
     def copy(self) -> "WorldState":
-        """A deep-enough copy for simulating independent replicas."""
+        """An independent replica of the state (copy-on-write, like snapshots)."""
         clone = WorldState()
-        clone._data = dict(self._data)
+        clone._data = self._data
+        clone._shared = True
+        self._shared = True
         return clone
 
 
@@ -97,8 +150,13 @@ class StateSnapshot(Mapping[str, Any]):
     versions with the committed state.
     """
 
-    def __init__(self, data: Mapping[str, VersionedValue]) -> None:
-        self._data = dict(data)
+    __slots__ = ("_data",)
+
+    def __init__(self, data: Mapping[str, VersionedValue], *, _copy: bool = True) -> None:
+        # Public constructions copy (the caller's mapping may mutate later);
+        # WorldState.snapshot() passes its own dict with _copy=False and
+        # guarantees copy-on-write semantics instead.
+        self._data = dict(data) if _copy else data
 
     def __getitem__(self, key: str) -> Any:
         return self._data[key].value
@@ -121,4 +179,9 @@ class StateSnapshot(Mapping[str, Any]):
 
     def read_versions(self, keys: Iterable[str]) -> Dict[str, int]:
         """Versions of every key in ``keys`` (used to build XOV read sets)."""
-        return {key: self.version(key) for key in keys}
+        data = self._data
+        out: Dict[str, int] = {}
+        for key in keys:
+            entry = data.get(key)
+            out[key] = entry.version if entry is not None else -1
+        return out

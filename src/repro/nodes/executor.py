@@ -179,7 +179,9 @@ class ExecutorNode(BaseNode):
             block_transactions=block.transactions,
             tau=self.config.tau_for,
             is_agent=self.contracts.is_agent,
-            apply_update=self._apply_result,
+            # Batched path: all winners of one COMMIT message hit the world
+            # state in a single pass instead of one apply_updates call each.
+            apply_batch=self.state.apply_results,
         )
         queue = self._active_queue
         assert queue is not None
@@ -259,10 +261,6 @@ class ExecutorNode(BaseNode):
                 speculative.apply(result.updates)
             if self.collector is not None:
                 self.collector.record_commit(self.node_id, tx_id, self.env.now, aborted=aborted)
-
-    def _apply_result(self, result: TransactionResult) -> None:
-        """Apply a committed transaction's updates to the world state."""
-        self.state.apply_updates(result.updates)
 
     def _finish_block(self, block: Block) -> None:
         self.ledger.append(block)

@@ -179,9 +179,11 @@ class EndorserNode(XOVPeerNode):
             yield self.env.timeout(
                 self.cost_model.tx_execution + self.cost_model.endorsement_overhead
             )
+            # O(1) copy-on-write snapshot: the endorsement hot loop no longer
+            # copies the whole world state per proposal.
             snapshot = self.state.snapshot()
             result = self.contracts.execute(tx, snapshot, executed_by=self.node_id)
-            read_versions = {key: snapshot.version(key) for key in sorted(tx.rw_set.keys)}
+            read_versions = snapshot.read_versions(sorted(tx.rw_set.keys))
             self.endorsements_served += 1
             self.send_signed(
                 envelope.sender,

@@ -157,3 +157,55 @@ class TestMerkleTree:
         tree = MerkleTree(leaves)
         for index, leaf in enumerate(leaves):
             assert MerkleTree.verify_proof(leaf, tree.proof(index), tree.root)
+
+    def test_from_leaf_hashes_matches_hashing_the_leaves(self):
+        leaves = [f"tx-{i}" for i in range(7)]
+        hashed = MerkleTree(leaves)
+        precomputed = MerkleTree.from_leaf_hashes([content_hash(leaf) for leaf in leaves])
+        assert precomputed.root == hashed.root
+        for index, leaf in enumerate(leaves):
+            assert precomputed.proof(index) == hashed.proof(index)
+            assert MerkleTree.verify_proof_hash(
+                content_hash(leaf), precomputed.proof(index), precomputed.root
+            )
+
+    def test_from_leaf_hashes_empty_is_genesis(self):
+        assert MerkleTree.from_leaf_hashes([]).root == GENESIS_HASH
+
+    def test_verify_proof_hash_rejects_wrong_hash(self):
+        tree = MerkleTree.from_leaf_hashes([content_hash(x) for x in "abcd"])
+        assert not MerkleTree.verify_proof_hash(content_hash("z"), tree.proof(1), tree.root)
+
+
+class TestCanonicalBytesMemoisation:
+    def test_transaction_bytes_are_cached_and_consistent(self):
+        from repro.core.transaction import ReadWriteSet, Transaction
+        from repro.crypto.hashing import canonical_bytes
+
+        tx = Transaction(
+            tx_id="t1",
+            application="app-0",
+            rw_set=ReadWriteSet.build(reads=["a"], writes=["b"]),
+            timestamp=1,
+            payload={"amount": 5},
+        )
+        first = tx.canonical_bytes()
+        assert tx.canonical_bytes() is first  # memoised
+        # The protocol short-circuit must produce the same encoding the
+        # canonical_tuple() path would, so digests agree with content_hash.
+        assert canonical_bytes(tx) == first
+        assert tx.digest() == content_hash(tx)
+
+    def test_equal_transactions_share_encoding_content(self):
+        from repro.core.transaction import ReadWriteSet, Transaction
+
+        def make():
+            return Transaction(
+                tx_id="t1",
+                application="app-0",
+                rw_set=ReadWriteSet.build(reads=["a"]),
+                timestamp=3,
+            )
+
+        assert make().canonical_bytes() == make().canonical_bytes()
+        assert make().digest() == make().digest()

@@ -195,6 +195,138 @@ class TestStateUpdater:
         updater.receive(CommitMessage(executor="e0", block_sequence=1, results=(foreign,)))
         assert updater.committed_ids == set()
 
+    def test_batched_apply_path(self):
+        """apply_batch receives every non-abort winner of a message at once."""
+        txs = cross_app_block()
+        batches = []
+        updater = StateUpdater(
+            block_transactions=txs,
+            tau=lambda app: 1,
+            is_agent=lambda executor, app: True,
+            apply_batch=batches.append,
+        )
+        abort = TransactionResult.abort(txs[2], executed_by="e0")
+        message = CommitMessage(
+            executor="e0",
+            block_sequence=1,
+            results=(result_for(txs[0], {"x": 1}), result_for(txs[1], {"y": 2}), abort),
+        )
+        assert updater.receive(message) == ["T1", "T2", "T3"]
+        assert len(batches) == 1
+        assert [r.tx_id for r in batches[0]] == ["T1", "T2"]  # aborts excluded
+        assert updater.committed_ids == {"T1", "T2", "T3"}
+
+    def test_updater_requires_an_apply_callback(self):
+        with pytest.raises(ValueError):
+            StateUpdater(
+                block_transactions=cross_app_block(),
+                tau=lambda app: 1,
+                is_agent=lambda executor, app: True,
+            )
+
+    def test_vote_tally_commits_first_variant_to_reach_tau(self):
+        """The single-pass tally commits the variant that reaches τ first."""
+        txs = cross_app_block()
+        updater, applied = self._updater(txs, tau=2, agents={"app-0": ["e0", "e1", "e4", "e5"]})
+        t1 = txs[0]
+        variant_a = {"x": 1}
+        variant_b = {"x": 2}
+        for executor, updates in (("e0", variant_a), ("e1", variant_b), ("e4", variant_b)):
+            updater.receive(
+                CommitMessage(
+                    executor=executor,
+                    block_sequence=1,
+                    results=(result_for(t1, dict(updates), executor),),
+                )
+            )
+        assert updater.committed_result("T1").updates == variant_b
+        assert applied == variant_b
+
+    def test_match_key_agrees_with_matches(self):
+        txs = cross_app_block()
+        base = result_for(txs[0], {"x": 1})
+        same = result_for(txs[0], {"x": 1}, executor="e9")
+        different_value = result_for(txs[0], {"x": 2})
+        different_status = result_for(txs[0], {}, status="abort")
+        unhashable = result_for(txs[0], {"x": [1, 2]})
+        unhashable_same = result_for(txs[0], {"x": [1, 2]}, executor="e9")
+        assert base.match_key() == same.match_key()
+        assert base.matches(same)
+        assert base.match_key() != different_value.match_key()
+        assert base.match_key() != different_status.match_key()
+        assert unhashable.match_key() == unhashable_same.match_key()
+        assert unhashable.match_key() != base.match_key()
+        hash(unhashable.match_key())  # usable as a dict key
+
+    def test_match_key_preserves_python_equality_for_nested_values(self):
+        """5 == 5.0 and list-carrying records must tally together, like matches()."""
+        txs = cross_app_block()
+        int_record = result_for(txs[0], {"acct": {"balance": 5, "log": [1, 2]}})
+        float_record = result_for(txs[0], {"acct": {"balance": 5.0, "log": [1, 2]}}, executor="e9")
+        assert int_record.matches(float_record)
+        assert int_record.match_key() == float_record.match_key()
+        tuple_log = result_for(txs[0], {"acct": {"balance": 5, "log": (1, 2)}})
+        assert not int_record.matches(tuple_log)  # [1, 2] != (1, 2)
+        assert int_record.match_key() != tuple_log.match_key()
+        set_value = result_for(txs[0], {"tags": {1, 2}})
+        frozenset_value = result_for(txs[0], {"tags": frozenset({1, 2})}, executor="e9")
+        assert set_value.matches(frozenset_value)
+        assert set_value.match_key() == frozenset_value.match_key()
+
+    def test_mixed_type_votes_still_reach_tau(self):
+        """Executors disagreeing only on int-vs-float must still commit."""
+        txs = cross_app_block()
+        updater, applied = self._updater(txs, tau=2)
+        t1 = txs[0]
+        updater.receive(
+            CommitMessage(executor="e0", block_sequence=1,
+                          results=(result_for(t1, {"acct": {"balance": 5}}, "e0"),))
+        )
+        committed = updater.receive(
+            CommitMessage(executor="e1", block_sequence=1,
+                          results=(result_for(t1, {"acct": {"balance": 5.0}}, "e1"),))
+        )
+        assert committed == ["T1"]
+
+    @pytest.mark.parametrize(
+        "first_updates, second_updates",
+        [
+            # Unhashable leaf: no faithful freeze exists -> pairwise bucket.
+            ({"k": bytearray(b"v")}, {"k": bytearray(b"v")}),
+            # Incomparable mixed dict keys: sorting raises -> pairwise bucket,
+            # which still groups the ==-equal int/float variants together.
+            ({1: "v", "b": 5}, {1: "v", "b": 5.0}),
+        ],
+    )
+    def test_unfreezable_updates_fall_back_to_pairwise_matching(
+        self, first_updates, second_updates
+    ):
+        txs = cross_app_block()
+        updater, _ = self._updater(txs, tau=2)
+        t1 = txs[0]
+        first = result_for(t1, dict(first_updates), "e0")
+        second = result_for(t1, dict(second_updates), "e1")
+        assert first.matches(second)
+        updater.receive(CommitMessage(executor="e0", block_sequence=1, results=(first,)))
+        committed = updater.receive(
+            CommitMessage(executor="e1", block_sequence=1, results=(second,))
+        )
+        assert committed == ["T1"]
+
+    def test_unfreezable_mismatches_stay_apart(self):
+        txs = cross_app_block()
+        updater, _ = self._updater(txs, tau=2)
+        t1 = txs[0]
+        updater.receive(
+            CommitMessage(executor="e0", block_sequence=1,
+                          results=(result_for(t1, {"k": bytearray(b"a")}, "e0"),))
+        )
+        committed = updater.receive(
+            CommitMessage(executor="e1", block_sequence=1,
+                          results=(result_for(t1, {"k": bytearray(b"b")}, "e1"),))
+        )
+        assert committed == []
+
     def test_completion_tracking(self):
         txs = cross_app_block()
         updater, _ = self._updater(txs, tau=1)

@@ -105,6 +105,44 @@ class TestWorldState:
         clone.put("a", 2)
         assert state.get("a") == 1
 
+    def test_copy_is_independent_in_both_directions(self):
+        state = WorldState({"a": 1})
+        clone = state.copy()
+        state.put("a", 99)
+        assert clone.get("a") == 1
+        assert state.get("a") == 99
+
+    def test_successive_snapshots_freeze_distinct_states(self):
+        """Copy-on-write: each snapshot keeps the state it was taken from."""
+        state = WorldState({"a": 0})
+        snapshots = []
+        for value in (1, 2, 3):
+            snapshots.append(state.snapshot())
+            state.put("a", value)
+        assert [s.get_value("a") for s in snapshots] == [0, 1, 2]
+        assert [s.version("a") for s in snapshots] == [0, 1, 2]
+        assert state.get("a") == 3
+
+    def test_snapshot_after_batched_results(self):
+        class _Result:
+            def __init__(self, updates):
+                self.updates = updates
+
+        state = WorldState({"a": 1})
+        before = state.snapshot()
+        state.apply_results([_Result({"a": 2}), _Result({"b": 5}), _Result({})])
+        assert before.get_value("a") == 1 and before.get_value("b") is None
+        assert state.get("a") == 2 and state.version("a") == 1
+        assert state.get("b") == 5 and state.version("b") == 0
+
+    def test_public_snapshot_constructor_still_copies(self):
+        from repro.ledger.state import StateSnapshot, VersionedValue
+
+        data = {"a": VersionedValue(value=1, version=0)}
+        snapshot = StateSnapshot(data)
+        data["a"] = VersionedValue(value=9, version=1)
+        assert snapshot["a"] == 1
+
     def test_mapping_protocol(self):
         state = WorldState({"a": 1, "b": 2})
         assert "a" in state

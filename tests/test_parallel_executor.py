@@ -92,6 +92,33 @@ class TestParallelGraphExecutor:
         with pytest.raises(ValueError):
             ParallelGraphExecutor(counter_runner, max_workers=0)
 
+    def test_contracts_may_scan_their_state_view(self):
+        """Iterating the shared view must never race the commit loop's inserts.
+
+        The view replaces the seed's full-dict copy per transaction; scans
+        take the state lock and snapshot the keys, so a contract doing a
+        whole-state aggregate cannot hit "dict changed size during
+        iteration" while other transactions commit first-writes.
+        """
+
+        def scanning_runner(tx, state):
+            total = sum(state.get(key, 0) for key in list(state))
+            assert len(state) >= 0  # len() must also be safe mid-block
+            return TransactionResult(
+                tx_id=tx.tx_id, application=tx.application, updates={tx.tx_id: total + 1}
+            )
+
+        # Every transaction writes a fresh key (first-writes resize the dict)
+        # and no pair conflicts, so all of them scan concurrently.
+        txs = [make_tx(f"t{i}", writes=[f"t{i}"], timestamp=i + 1) for i in range(64)]
+        state = {}
+        results = ParallelGraphExecutor(scanning_runner, max_workers=8).execute(
+            build_dependency_graph(txs), state
+        )
+        assert len(results) == 64
+        assert not any(r.is_abort for r in results)
+        assert set(state) == {f"t{i}" for i in range(64)}
+
     def test_raising_contract_becomes_abort_result(self):
         """A contract that raises must not abandon the rest of the block."""
 
