@@ -207,6 +207,50 @@ class BlockCutPolicy:
 
 
 @dataclass(frozen=True)
+class RecoveryConfig:
+    """Retransmission / catch-up behaviour for runs with injected faults.
+
+    Disabled by default: the paper's performance experiments model the fault-
+    free normal case and must not pay for (or be perturbed by) periodic
+    retransmission traffic.  The fault-scenario harness (:mod:`repro.testing`)
+    enables it so that crashed/partitioned nodes can catch up once faults heal
+    — the liveness property the oracles check.
+
+    * ``consensus_retry_interval`` — the proposer re-multicasts an undecided
+      proposal after this long (covers proposals sent while crashed or
+      partitioned).
+    * ``tip_announce_interval`` — block-multicasting orderers periodically
+      announce their highest sealed sequence; peers that detect a gap fetch
+      the missing blocks.
+    * ``retransmit_interval`` — OXII executors re-multicast their own
+      execution results for recent blocks so peers that missed COMMIT
+      messages can finish state updates.
+    * ``result_retention_blocks`` — how many recent blocks' own results an
+      executor keeps retransmitting (bounds both memory and catch-up reach).
+    * ``sealed_retention_blocks`` — how many sealed blocks an orderer keeps
+      for BLOCK_FETCH (bounds memory; a peer that fell further behind than
+      this can no longer catch up).
+    * ``fetch_window`` — maximal number of blocks requested per fetch.
+    """
+
+    enabled: bool = False
+    consensus_retry_interval: float = 0.5
+    tip_announce_interval: float = 0.5
+    retransmit_interval: float = 0.25
+    result_retention_blocks: int = 16
+    sealed_retention_blocks: int = 256
+    fetch_window: int = 16
+
+    def __post_init__(self) -> None:
+        check_positive("consensus_retry_interval", self.consensus_retry_interval)
+        check_positive("tip_announce_interval", self.tip_announce_interval)
+        check_positive("retransmit_interval", self.retransmit_interval)
+        check_positive_int("result_retention_blocks", self.result_retention_blocks)
+        check_positive_int("sealed_retention_blocks", self.sealed_retention_blocks)
+        check_positive_int("fetch_window", self.fetch_window)
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """Deployment-level configuration for a paradigm run.
 
@@ -235,6 +279,9 @@ class SystemConfig:
     contract: str = "accounting"
     #: Maximum number of simultaneous faulty orderers tolerated.
     max_faulty_orderers: int = 0
+    #: Retransmission / catch-up behaviour under injected faults (off by
+    #: default; the fault harness turns it on).
+    recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
     #: Which node groups live in the far data center (Figure 7).
     far_groups: Sequence[str] = ()
     #: Seed for all pseudo-random decisions (workload, jitter).

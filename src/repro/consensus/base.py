@@ -54,6 +54,7 @@ class OrderingService(abc.ABC):
         registry: KeyRegistry,
         cost_model: Optional[CostModel] = None,
         on_decide: Optional[DecisionCallback] = None,
+        retry_interval: Optional[float] = None,
     ) -> None:
         if node_id not in peers:
             raise ConfigurationError(f"node {node_id!r} must be part of the orderer set {peers}")
@@ -64,6 +65,11 @@ class OrderingService(abc.ABC):
         self.registry = registry
         self.cost_model = cost_model or CostModel()
         self.on_decide = on_decide
+        #: When set, an undecided proposal is re-multicast every this many
+        #: seconds (crash/partition recovery); ``None`` keeps the fault-free
+        #: fire-once behaviour of the performance experiments.
+        self.retry_interval = retry_interval
+        self.proposal_retries = 0
         self._next_sequence = 1
         self._decided: Dict[int, ConsensusDecision] = {}
         self._next_to_deliver = 1
@@ -142,6 +148,29 @@ class OrderingService(abc.ABC):
             self._decision_events[sequence] = event
         return event
 
+    def await_decision(self, sequence: int, resend: Optional[Callable[[], None]] = None):
+        """Process generator: wait for ``sequence`` to be decided.
+
+        With :attr:`retry_interval` set and a ``resend`` callback, the
+        proposal is re-multicast whenever the decision has not arrived after
+        an interval — the crash/partition recovery path: a proposal multicast
+        while the proposer was crashed (sends dropped) or partitioned is
+        retried until the cluster can decide it.  Followers must treat the
+        re-sent proposal idempotently (all three protocols do: their
+        bookkeeping is keyed by sequence and deduplicated by sender).
+        """
+        if self.retry_interval is None or resend is None:
+            decision = yield self.decision_event(sequence)
+            return decision
+        while not self.is_decided(sequence):
+            yield self.env.any_of(
+                [self.decision_event(sequence), self.env.timeout(self.retry_interval)]
+            )
+            if not self.is_decided(sequence):
+                self.proposal_retries += 1
+                resend()
+        return self._decided[sequence]
+
     def decided_count(self) -> int:
         """Number of values decided so far."""
         return len(self._decided)
@@ -185,6 +214,7 @@ def make_ordering_service(
     cost_model: Optional[CostModel] = None,
     on_decide: Optional[DecisionCallback] = None,
     max_faulty: int = 0,
+    retry_interval: Optional[float] = None,
 ) -> OrderingService:
     """Instantiate the ordering protocol named by ``protocol``."""
     from repro.consensus.kafka import KafkaOrdering
@@ -205,4 +235,5 @@ def make_ordering_service(
         cost_model=cost_model,
         on_decide=on_decide,
         max_faulty=max_faulty,
+        retry_interval=retry_interval,
     )

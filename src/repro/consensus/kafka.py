@@ -59,8 +59,11 @@ class KafkaOrdering(OrderingService):
         on_decide: Optional[DecisionCallback] = None,
         max_faulty: int = 0,
         broker_delay: float = DEFAULT_BROKER_DELAY,
+        retry_interval: Optional[float] = None,
     ) -> None:
-        super().__init__(env, node_id, peers, interface, registry, cost_model, on_decide)
+        super().__init__(
+            env, node_id, peers, interface, registry, cost_model, on_decide, retry_interval
+        )
         self.max_faulty = max_faulty
         required = 2 * max_faulty + 1
         if len(peers) < required:
@@ -70,6 +73,9 @@ class KafkaOrdering(OrderingService):
         self.broker_delay = broker_delay
         self._offsets: Dict[int, _OffsetState] = {}
         self._replicated: Dict[int, Any] = {}
+        #: DELIVER notices that overtook their PRODUCE (reordering faults):
+        #: buffered until the payload arrives instead of deciding on None.
+        self._pending_deliver: Set[int] = set()
 
     @property
     def leader(self) -> str:
@@ -95,7 +101,10 @@ class KafkaOrdering(OrderingService):
         self.sign_and_multicast(PRODUCE, {"seq": sequence, "payload": payload})
         if self.required_acks == 1:
             self._commit(sequence)
-        decision = yield self.decision_event(sequence)
+        decision = yield from self.await_decision(
+            sequence,
+            resend=lambda: self.sign_and_multicast(PRODUCE, {"seq": sequence, "payload": payload}),
+        )
         return decision
 
     def handle_message(self, envelope: Envelope):
@@ -113,6 +122,9 @@ class KafkaOrdering(OrderingService):
             self._replicated[sequence] = body.get("payload")
             self._note_sequence(sequence)
             self.sign_and_send(self.leader, PRODUCE_ACK, {"seq": sequence})
+            if sequence in self._pending_deliver:
+                self._pending_deliver.discard(sequence)
+                self.record_decision(sequence, self._replicated[sequence], proposer=self.leader)
         elif kind == PRODUCE_ACK:
             if not self.is_leader:
                 return None
@@ -124,6 +136,11 @@ class KafkaOrdering(OrderingService):
                 self._commit(sequence)
         elif kind == DELIVER:
             if envelope.sender != self.leader:
+                return None
+            if sequence not in self._replicated and "payload" not in body:
+                # The DELIVER overtook its PRODUCE (reordering fault): wait
+                # for the payload rather than deciding a None value.
+                self._pending_deliver.add(sequence)
                 return None
             payload = self._replicated.get(sequence, body.get("payload"))
             self.record_decision(sequence, payload, proposer=self.leader)

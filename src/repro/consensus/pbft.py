@@ -59,8 +59,11 @@ class PBFTOrdering(OrderingService):
         on_decide: Optional[DecisionCallback] = None,
         max_faulty: int = 0,
         view: int = 0,
+        retry_interval: Optional[float] = None,
     ) -> None:
-        super().__init__(env, node_id, peers, interface, registry, cost_model, on_decide)
+        super().__init__(
+            env, node_id, peers, interface, registry, cost_model, on_decide, retry_interval
+        )
         self.max_faulty = max_faulty
         required = 3 * max_faulty + 1
         if len(peers) < required:
@@ -102,14 +105,14 @@ class PBFTOrdering(OrderingService):
         instance.pre_prepared = True
         # Signing the pre-prepare plus hashing the batch.
         yield self.env.timeout(self.cost_model.signature + self.cost_model.block_hash)
-        self.sign_and_multicast(
-            PRE_PREPARE,
-            {"view": self.view, "seq": sequence, "digest": digest, "payload": payload},
-        )
+        body = {"view": self.view, "seq": sequence, "digest": digest, "payload": payload}
+        self.sign_and_multicast(PRE_PREPARE, body)
         # The primary's own prepare/commit are implicit in its bookkeeping.
         self._record_prepare(sequence, self.node_id, digest)
         self._maybe_prepare_done(sequence)
-        decision = yield self.decision_event(sequence)
+        decision = yield from self.await_decision(
+            sequence, resend=lambda: self.sign_and_multicast(PRE_PREPARE, body)
+        )
         return decision
 
     def handle_message(self, envelope: Envelope):

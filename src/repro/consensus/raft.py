@@ -50,8 +50,11 @@ class RaftOrdering(OrderingService):
         on_decide: Optional[DecisionCallback] = None,
         max_faulty: int = 0,
         term: int = 1,
+        retry_interval: Optional[float] = None,
     ) -> None:
-        super().__init__(env, node_id, peers, interface, registry, cost_model, on_decide)
+        super().__init__(
+            env, node_id, peers, interface, registry, cost_model, on_decide, retry_interval
+        )
         self.max_faulty = max_faulty
         required = 2 * max_faulty + 1
         if len(peers) < required:
@@ -62,6 +65,8 @@ class RaftOrdering(OrderingService):
         self._log: Dict[int, _LogEntry] = {}
         #: Follower-side store of replicated-but-uncommitted payloads.
         self._replicated: Dict[int, Any] = {}
+        #: COMMIT notices that overtook their APPEND (reordering faults).
+        self._pending_commit: Set[int] = set()
 
     @property
     def leader(self) -> str:
@@ -86,7 +91,12 @@ class RaftOrdering(OrderingService):
         self.sign_and_multicast(APPEND, {"term": self.term, "seq": sequence, "payload": payload})
         if self.majority == 1:
             self._commit_as_leader(sequence)
-        decision = yield self.decision_event(sequence)
+        decision = yield from self.await_decision(
+            sequence,
+            resend=lambda: self.sign_and_multicast(
+                APPEND, {"term": self.term, "seq": sequence, "payload": payload}
+            ),
+        )
         return decision
 
     def handle_message(self, envelope: Envelope):
@@ -104,6 +114,9 @@ class RaftOrdering(OrderingService):
             self._replicated[sequence] = body.get("payload")
             self._note_sequence(sequence)
             self.sign_and_send(self.leader, APPEND_ACK, {"term": self.term, "seq": sequence})
+            if sequence in self._pending_commit:
+                self._pending_commit.discard(sequence)
+                self.record_decision(sequence, self._replicated[sequence], proposer=self.leader)
         elif kind == APPEND_ACK:
             if not self.is_leader:
                 return None
@@ -115,6 +128,11 @@ class RaftOrdering(OrderingService):
                 self._commit_as_leader(sequence)
         elif kind == COMMIT_NOTICE:
             if envelope.sender != self.leader:
+                return None
+            if sequence not in self._replicated and "payload" not in body:
+                # The notice overtook its APPEND (reordering fault): wait for
+                # the payload rather than deciding a None value.
+                self._pending_commit.add(sequence)
                 return None
             payload = self._replicated.get(sequence, body.get("payload"))
             self.record_decision(sequence, payload, proposer=self.leader)

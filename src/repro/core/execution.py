@@ -30,8 +30,9 @@ executor nodes, the thread-pool executor and the unit tests:
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import (
+    Any,
     Callable,
     Deque,
     Dict,
@@ -451,6 +452,14 @@ class StateUpdater:
         self._apply_batch = apply_batch
         self._votes: Dict[str, _ResultVotes] = {tx_id: _ResultVotes() for tx_id in self._transactions}
         self._committed: Dict[str, TransactionResult] = {}
+        #: Block position per transaction and, per record, the position of the
+        #: latest writer whose update has been applied — the dependency-graph
+        #: order gate (see :meth:`_effective_updates`).
+        self._positions: Dict[str, int] = {
+            tx.tx_id: index for index, tx in enumerate(block_transactions)
+        }
+        self._last_writer: Dict[str, int] = {}
+        self._effective: Dict[str, Mapping[str, Any]] = {}
 
     # ------------------------------------------------------------------ state
     @property
@@ -461,6 +470,34 @@ class StateUpdater:
     def committed_result(self, tx_id: str) -> Optional[TransactionResult]:
         """The winning result for a committed transaction, if any."""
         return self._committed.get(tx_id)
+
+    def effective_updates(self, tx_id: str) -> Mapping[str, Any]:
+        """The updates of ``tx_id`` that survived the block-order write gate.
+
+        Empty until the transaction commits (and for committed aborts).
+        """
+        return self._effective.get(tx_id, {})
+
+    def _gate_updates(self, tx_id: str, winning: TransactionResult) -> Mapping[str, Any]:
+        """Filter a winner's updates to those not superseded in block order.
+
+        COMMIT messages from different agents travel on independent links, so
+        the votes of two transactions writing the same record can arrive out
+        of dependency-graph order.  Applying them in arrival order would let
+        the *earlier* writer overwrite the *later* one — a committed state no
+        serial execution can produce (the bug the serializability oracle
+        catches).  Each record therefore remembers the block position of the
+        latest applied writer and drops updates from before it.
+        """
+        position = self._positions[tx_id]
+        last = self._last_writer
+        filtered: Dict[str, Any] = {}
+        for key, value in winning.updates.items():
+            if last.get(key, -1) < position:
+                filtered[key] = value
+                last[key] = position
+        self._effective[tx_id] = filtered
+        return filtered
 
     def is_complete(self) -> bool:
         """True once every transaction of the block has been committed."""
@@ -493,10 +530,19 @@ class StateUpdater:
                 votes.committed = True
                 self._committed[result.tx_id] = winning
                 if not winning.is_abort:
+                    effective = self._gate_updates(result.tx_id, winning)
+                    # The common (in-order) case applies the result untouched;
+                    # a gated result is re-wrapped so both apply paths see
+                    # only the surviving updates.
+                    applied = (
+                        winning
+                        if len(effective) == len(winning.updates)
+                        else replace(winning, updates=effective)
+                    )
                     if self._apply_batch is not None:
-                        winners.append(winning)
+                        winners.append(applied)
                     else:
-                        self._apply_update(winning)
+                        self._apply_update(applied)
                 newly_committed.append(result.tx_id)
         if winners:
             self._apply_batch(winners)

@@ -47,6 +47,7 @@ def execute_point(point: ExperimentPoint) -> RunMetrics:
         warmup_fraction=point.warmup_fraction,
         drain=point.drain,
         generator=point.generator,
+        faults=dict(point.faults) or None,
     )
 
 

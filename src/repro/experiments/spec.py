@@ -114,6 +114,11 @@ class ScenarioSpec:
     loads: Tuple[float, ...] = ()
     system: Mapping[str, Any] = field(default_factory=dict)
     workload: Mapping[str, Any] = field(default_factory=dict)
+    #: Fault schedule for adversarial scenarios: ``{"events": [...]}`` for an
+    #: explicit :class:`repro.testing.FaultSchedule` dict, or ``{"random":
+    #: {"events": N, ...}}`` for one generated deterministically from each
+    #: point's seed.  Empty — fault-free (the performance default).
+    faults: Mapping[str, Any] = field(default_factory=dict)
     tags: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
@@ -133,11 +138,19 @@ class ScenarioSpec:
             ) from None
         object.__setattr__(self, "loads", _coerce_loads(self.loads, f"scenario {self.name!r}"))
         object.__setattr__(self, "tags", tuple(self.tags))
-        for section, mapping in (("system", self.system), ("workload", self.workload)):
+        for section, mapping in (
+            ("system", self.system),
+            ("workload", self.workload),
+            ("faults", self.faults),
+        ):
             if not isinstance(mapping, Mapping):
                 raise ConfigurationError(
                     f"scenario {self.name!r}: {section} must be a mapping of overrides"
                 )
+        if self.faults and not ({"events", "random"} & set(self.faults)):
+            raise ConfigurationError(
+                f"scenario {self.name!r}: faults must carry 'events' or 'random'"
+            )
         reserved = [k for k in _RESERVED_WORKLOAD_KEYS if k in self.workload]
         if reserved:
             raise ConfigurationError(
@@ -156,6 +169,7 @@ class ScenarioSpec:
             "loads": list(self.loads),
             "system": _jsonify(dict(self.system)),
             "workload": _jsonify(dict(self.workload)),
+            "faults": _jsonify(dict(self.faults)),
             "tags": list(self.tags),
         }
 
@@ -336,6 +350,7 @@ class ExperimentSpec:
                                 warmup_fraction=self.warmup_fraction,
                                 system=dict(scenario.system),
                                 workload=workload,
+                                faults=dict(scenario.faults),
                                 tags=self.tags + scenario.tags,
                             )
                         )
@@ -361,6 +376,7 @@ class ExperimentPoint:
     warmup_fraction: float
     system: Mapping[str, Any]
     workload: Mapping[str, Any]
+    faults: Mapping[str, Any] = field(default_factory=dict)
     tags: Tuple[str, ...] = ()
 
     def as_dict(self) -> Dict[str, Any]:
@@ -380,6 +396,7 @@ class ExperimentPoint:
             "warmup_fraction": self.warmup_fraction,
             "system": _jsonify(dict(self.system)),
             "workload": _jsonify(dict(self.workload)),
+            "faults": _jsonify(dict(self.faults)),
             "tags": list(self.tags),
         }
 

@@ -15,16 +15,29 @@ from typing import Dict, FrozenSet, Optional, Set, Tuple
 
 @dataclass
 class LinkFault:
-    """Degradation applied to a single directed link."""
+    """Degradation applied to a single directed link.
+
+    ``duplicate_probability`` models at-least-once delivery: a message that is
+    not dropped may be delivered a second time.  ``reorder_window`` lifts the
+    transport's per-link FIFO guarantee on the link and adds a uniform random
+    extra delay in ``[0, reorder_window]`` to each message, so a later message
+    can overtake an earlier one.
+    """
 
     drop_probability: float = 0.0
     extra_delay: float = 0.0
+    duplicate_probability: float = 0.0
+    reorder_window: float = 0.0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.drop_probability <= 1.0:
             raise ValueError("drop_probability must be in [0, 1]")
         if self.extra_delay < 0:
             raise ValueError("extra_delay must be >= 0")
+        if not 0.0 <= self.duplicate_probability <= 1.0:
+            raise ValueError("duplicate_probability must be in [0, 1]")
+        if self.reorder_window < 0:
+            raise ValueError("reorder_window must be >= 0")
 
 
 @dataclass
@@ -55,10 +68,18 @@ class FaultPlan:
 
     # ------------------------------------------------------------------ links
     def degrade_link(
-        self, sender: str, recipient: str, drop_probability: float = 0.0, extra_delay: float = 0.0
+        self,
+        sender: str,
+        recipient: str,
+        drop_probability: float = 0.0,
+        extra_delay: float = 0.0,
+        duplicate_probability: float = 0.0,
+        reorder_window: float = 0.0,
     ) -> None:
-        """Apply drop probability / extra delay on the directed link."""
-        self.link_faults[(sender, recipient)] = LinkFault(drop_probability, extra_delay)
+        """Apply drop/delay/duplication/reordering on the directed link."""
+        self.link_faults[(sender, recipient)] = LinkFault(
+            drop_probability, extra_delay, duplicate_probability, reorder_window
+        )
 
     def heal_link(self, sender: str, recipient: str) -> None:
         """Remove any degradation from the directed link."""
@@ -88,6 +109,28 @@ class FaultPlan:
         return False
 
     def extra_delay(self, sender: str, recipient: str) -> float:
-        """Additional delay injected on this link."""
+        """Additional (fixed) delay injected on this link."""
         fault = self.link_faults.get((sender, recipient))
         return fault.extra_delay if fault else 0.0
+
+    def should_duplicate(self, sender: str, recipient: str) -> bool:
+        """Decide whether a delivered message on this link is delivered twice."""
+        fault = self.link_faults.get((sender, recipient))
+        if fault and fault.duplicate_probability > 0:
+            return self._rng.random() < fault.duplicate_probability
+        return False
+
+    def reorder_delay(self, sender: str, recipient: str) -> Optional[float]:
+        """Random extra delay for a reordering link, or ``None`` when FIFO.
+
+        A non-``None`` return both adds the drawn delay and tells the
+        transport to skip its per-link FIFO clamp for this message.
+        """
+        fault = self.link_faults.get((sender, recipient))
+        if fault and fault.reorder_window > 0:
+            return self._rng.uniform(0.0, fault.reorder_window)
+        return None
+
+    def any_active(self) -> bool:
+        """True while any crash, link fault or partition is in effect."""
+        return bool(self.crashed or self.link_faults or self.partitions is not None)

@@ -64,6 +64,7 @@ class Network:
         self._last_delivery: Dict[tuple, float] = {}
         self.messages_sent = 0
         self.messages_delivered = 0
+        self.messages_duplicated = 0
         self.bytes_sent = 0
 
     # ----------------------------------------------------------- registration
@@ -106,15 +107,30 @@ class Network:
         self.bytes_sent += size
         if self.faults.should_drop(sender, recipient):
             return
+        self._schedule_delivery(sender, recipient, message, size)
+        # At-least-once faults: the same message may be delivered a second
+        # time with an independently drawn delay (the duplicate is injected by
+        # the network, so it does not count as another send).
+        if self.faults.should_duplicate(sender, recipient):
+            self.messages_duplicated += 1
+            self._schedule_delivery(sender, recipient, message, size)
+
+    def _schedule_delivery(self, sender: str, recipient: str, message: Message, size: int) -> None:
         delay = self.topology.message_delay(sender, recipient, size)
         delay += self.faults.extra_delay(sender, recipient)
+        reorder = self.faults.reorder_delay(sender, recipient)
         deliver_at = self.env.now + delay
-        # FIFO per directed link: never deliver earlier than the previously
-        # scheduled delivery on the same link.
         link = (sender, recipient)
-        previous = self._last_delivery.get(link, 0.0)
-        deliver_at = max(deliver_at, previous)
-        self._last_delivery[link] = deliver_at
+        if reorder is None:
+            # FIFO per directed link: never deliver earlier than the previously
+            # scheduled delivery on the same link.
+            previous = self._last_delivery.get(link, 0.0)
+            deliver_at = max(deliver_at, previous)
+            self._last_delivery[link] = deliver_at
+        else:
+            # A reordering fault lifts the FIFO guarantee: this message takes
+            # its drawn penalty and may be overtaken (or overtake others).
+            deliver_at += reorder
         envelope = Envelope(
             sender=sender,
             recipient=recipient,

@@ -8,6 +8,7 @@ from repro.common.config import CostModel, LatencyConfig
 from repro.crypto.signatures import KeyRegistry, SignedMessage
 from repro.network.message import Envelope, Message
 from repro.network.transport import Network, NetworkInterface
+from repro.nodes import messages
 from repro.simulation import CpuPool, Environment
 
 
@@ -41,6 +42,8 @@ class BaseNode:
         self.cpu = CpuPool(env, cores)
         registry.register(node_id)
         self._started = False
+        self.crash_count = 0
+        self.restart_count = 0
 
     # ------------------------------------------------------------- lifecycle
     def start(self) -> None:
@@ -49,6 +52,39 @@ class BaseNode:
             return
         self._started = True
         self.env.process(self._main_loop(), name=f"{self.node_id}-main")
+
+    def crash(self) -> None:
+        """Crash-stop the node: it neither sends nor receives from now on.
+
+        The crash is enforced at the transport (the network's fault plan), so
+        in-flight messages to this node are lost and everything it tries to
+        send is dropped.  Internal state survives — :meth:`restart` models a
+        crash-recovery node resuming from stable storage.
+        """
+        self.network.faults.crash(self.node_id)
+        self.crash_count += 1
+
+    def restart(self) -> None:
+        """Bring a crashed node back; it resumes with its pre-crash state."""
+        self.network.faults.recover(self.node_id)
+        self.restart_count += 1
+
+    @property
+    def is_crashed(self) -> bool:
+        """True while the node is crash-stopped."""
+        return self.network.faults.is_crashed(self.node_id)
+
+    # -------------------------------------------------------------- catch-up
+    def request_missing_blocks(self, orderer: str, first: int, last: int, window: int) -> None:
+        """Ask ``orderer`` to re-send sealed blocks ``first..last`` (capped).
+
+        The recovery-mode catch-up path: peers call this when a NEWBLOCK or
+        TIP_ANNOUNCE reveals a gap before the next block they expect.
+        """
+        if last < first:
+            return
+        sequences = list(range(first, min(last, first + window - 1) + 1))
+        self.send_signed(orderer, messages.BLOCK_FETCH, {"sequences": sequences})
 
     def _main_loop(self):
         while True:
@@ -101,3 +137,36 @@ class BaseNode:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.node_id}>"
+
+
+class BlockCatchupMixin:
+    """Gap detection + BLOCK_FETCH for peers that consume NEWBLOCKs in order.
+
+    Shared by the OXII executor and the OX/XOV committing peers, which all
+    keep ``_next_sequence`` (next block to process) and ``_valid_blocks``
+    (validated blocks waiting on a predecessor) plus a ``config`` with a
+    :class:`~repro.common.config.RecoveryConfig`; the host class must also be
+    a :class:`BaseNode` (for the network/cost-model surface).
+    """
+
+    def _handle_tip_announce(self, envelope: Envelope):
+        """Fetch the gap between the next expected block and the orderer's tip."""
+        yield self.env.timeout(self.cost_model.signature)
+        recovery = self.config.recovery
+        if not recovery.enabled or not self.verify_envelope(envelope):
+            return
+        tip = int(envelope.message.body.get("sequence", 0))
+        first = self._next_sequence
+        while first in self._valid_blocks:
+            first += 1
+        if tip >= first:
+            self.request_missing_blocks(envelope.sender, first, tip, recovery.fetch_window)
+
+    def _fetch_gap_before(self, orderer: str, sequence: int) -> None:
+        """A validated block from the future reveals a gap (blocks missed
+        while crashed/partitioned): fetch the missing range right away."""
+        recovery = self.config.recovery
+        if recovery.enabled and sequence > self._next_sequence:
+            self.request_missing_blocks(
+                orderer, self._next_sequence, sequence - 1, recovery.fetch_window
+            )

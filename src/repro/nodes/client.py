@@ -128,6 +128,9 @@ class ClientGateway(BaseNode):
         if tx_id not in self._awaiting:
             return
         responses = self._pending_endorsements.setdefault(tx_id, [])
+        endorser = str(body.get("endorser", ""))
+        if any(str(r.get("endorser", "")) == endorser for r in responses):
+            return  # duplicated delivery: one endorsement per endorser counts
         responses.append(body)
         if len(responses) < self.endorsement_policy:
             return

@@ -30,7 +30,7 @@ from repro.metrics.collector import MetricsCollector
 from repro.network.message import Envelope
 from repro.network.transport import Network
 from repro.nodes import messages
-from repro.nodes.base import BaseNode
+from repro.nodes.base import BaseNode, BlockCatchupMixin
 from repro.simulation import Environment, Store
 
 
@@ -57,7 +57,7 @@ class _SpeculativeView:
         self._overlay.update(updates)
 
 
-class ExecutorNode(BaseNode):
+class ExecutorNode(BaseNode, BlockCatchupMixin):
     """An OXII executor (agent) peer; passive non-executor when no contracts."""
 
     def __init__(
@@ -101,9 +101,51 @@ class ExecutorNode(BaseNode):
         #: The event queue of the block currently being processed.
         self._active_queue: Optional[Store] = None
         self._active_sequence: Optional[int] = None
+        #: Own execution results per recent block, re-multicast by the
+        #: recovery retransmit loop so lagging peers can finish state updates.
+        self._own_results: Dict[int, List[TransactionResult]] = {}
         self.transactions_executed = 0
         self.transactions_committed = 0
         self.blocks_committed = 0
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        """Start the dispatcher plus (in recovery runs) the retransmit loop."""
+        if self._started:
+            return
+        super().start()
+        if self.config.recovery.enabled:
+            self.env.process(self._retransmit_loop(), name=f"{self.node_id}-retransmit")
+
+    def _retransmit_loop(self):
+        """Periodically re-multicast own results for recent blocks.
+
+        COMMIT messages multicast while this executor was crashed (or while a
+        peer was unreachable) are lost; because each application may have a
+        single agent, a peer missing them can never finish Algorithm 3 for
+        that block.  Re-multicasting this node's own votes is legitimate (it
+        *is* the agent) and idempotent (receivers tally one vote per sender).
+        """
+        interval = self.config.recovery.retransmit_interval
+        while True:
+            yield self.env.timeout(interval)
+            for sequence, results in sorted(self._own_results.items()):
+                if results:
+                    self._multicast_commit(
+                        CommitMessage(
+                            executor=self.node_id,
+                            block_sequence=sequence,
+                            results=tuple(results),
+                        )
+                    )
+
+    def _record_own_result(self, sequence: int, result: TransactionResult) -> None:
+        if not self.config.recovery.enabled:
+            return
+        self._own_results.setdefault(sequence, []).append(result)
+        retention = self.config.recovery.result_retention_blocks
+        while len(self._own_results) > retention:
+            self._own_results.pop(min(self._own_results))
 
     # ------------------------------------------------------------------ roles
     def applications(self) -> List[str]:
@@ -121,6 +163,8 @@ class ExecutorNode(BaseNode):
             yield from self._handle_new_block(envelope)
         elif kind == messages.COMMIT:
             yield from self._handle_commit(envelope)
+        elif kind == messages.TIP_ANNOUNCE:
+            yield from self._handle_tip_announce(envelope)
 
     def _handle_new_block(self, envelope: Envelope):
         """Collect NEWBLOCK votes; start processing once the quorum is reached."""
@@ -139,6 +183,7 @@ class ExecutorNode(BaseNode):
         if matching < self.newblock_quorum or sequence in self._valid_blocks:
             return
         self._valid_blocks[sequence] = block
+        self._fetch_gap_before(envelope.sender, sequence)
         self._try_start_next_block()
 
     def _handle_commit(self, envelope: Envelope):
@@ -197,6 +242,7 @@ class ExecutorNode(BaseNode):
                 if not result.is_abort:
                     speculative.apply(result.updates)
                 self.transactions_executed += 1
+                self._record_own_result(block.sequence, result)
                 outgoing = []
                 flushed = batcher.add_result(result)
                 if flushed is not None:
@@ -257,8 +303,10 @@ class ExecutorNode(BaseNode):
             if result is not None and not aborted:
                 # Keep the speculative view causally up to date: committed
                 # writes from other agents must be visible to later local
-                # executions of the same block.
-                speculative.apply(result.updates)
+                # executions of the same block.  Only the updates that
+                # survived the updater's block-order gate are applied — a
+                # reordered COMMIT must not regress the overlay either.
+                speculative.apply(updater.effective_updates(tx_id))
             if self.collector is not None:
                 self.collector.record_commit(self.node_id, tx_id, self.env.now, aborted=aborted)
 

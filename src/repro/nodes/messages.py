@@ -15,3 +15,8 @@ COMMIT = "COMMIT"
 ENDORSE_REQUEST = "ENDORSE_REQUEST"
 #: XOV endorser reply with the speculative results and read versions.
 ENDORSE_RESPONSE = "ENDORSE_RESPONSE"
+#: Orderer heartbeat announcing its highest sealed block sequence (only sent
+#: when :class:`~repro.common.config.RecoveryConfig` is enabled).
+TIP_ANNOUNCE = "TIP_ANNOUNCE"
+#: Peer request asking an orderer to re-send sealed blocks it missed.
+BLOCK_FETCH = "BLOCK_FETCH"

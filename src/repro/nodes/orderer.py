@@ -16,10 +16,11 @@ messages), with the crash-fault-tolerant protocols only the leader does.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Set
+from typing import Dict, Optional, Sequence, Set
 
 from repro.common.config import SystemConfig
 from repro.consensus.base import ConsensusDecision, OrderingService, make_ordering_service
+from repro.core.block import Block
 from repro.core.block_builder import BlockBuilder, PendingBlock
 from repro.core.dependency_graph import GraphMode
 from repro.core.transaction import Transaction
@@ -78,11 +79,21 @@ class OrdererNode(BaseNode):
             cost_model=config.cost_model,
             on_decide=self._on_decide,
             max_faulty=config.max_faulty_orderers,
+            retry_interval=(
+                config.recovery.consensus_retry_interval if config.recovery.enabled else None
+            ),
         )
         self._proposal_queue: Store = Store(env)
         self._seal_queue: Store = Store(env)
+        #: Transaction ids already admitted to a block: duplicate-suppression
+        #: under at-least-once delivery (a duplicated REQUEST must not order
+        #: the same transaction twice).
+        self._seen_tx_ids: Set[str] = set()
+        #: Sealed blocks kept for BLOCK_FETCH catch-up (recovery runs only).
+        self._sealed: Dict[int, Block] = {}
         self.requests_received = 0
         self.requests_rejected = 0
+        self.requests_deduplicated = 0
         self.blocks_ordered = 0
 
     # ----------------------------------------------------------------- roles
@@ -120,12 +131,16 @@ class OrdererNode(BaseNode):
         if self.is_entry:
             self.env.process(self._proposer_loop(), name=f"{self.node_id}-proposer")
             self.env.process(self._cut_ticker(), name=f"{self.node_id}-ticker")
+        if self.config.recovery.enabled:
+            self.env.process(self._tip_announcer(), name=f"{self.node_id}-tip")
 
     # ----------------------------------------------------------- message path
     def handle_envelope(self, envelope: Envelope):
         kind = envelope.message.kind
         if kind == messages.REQUEST:
             yield from self._handle_request(envelope)
+        elif kind == messages.BLOCK_FETCH:
+            yield from self._handle_block_fetch(envelope)
         elif kind in self.consensus.message_kinds:
             # Consensus steps are handled concurrently; their (small) CPU cost
             # is charged inside the protocol handler itself.
@@ -147,6 +162,12 @@ class OrdererNode(BaseNode):
         if not self._client_allowed(transaction):
             self.requests_rejected += 1
             return
+        if transaction.tx_id in self._seen_tx_ids:
+            # At-least-once delivery (duplication faults, client retries) must
+            # not order the same transaction twice — the no-double-apply
+            # safety invariant the fault oracles check.
+            self.requests_deduplicated += 1
+            return
         if not self.is_entry:
             # Non-primary orderers forward client requests to the primary.
             self.send_signed(
@@ -156,9 +177,23 @@ class OrdererNode(BaseNode):
                 payload_bytes=self.latency.per_tx_bytes,
             )
             return
+        self._seen_tx_ids.add(transaction.tx_id)
         pending = self.builder.add(transaction, now=self.env.now)
         if pending is not None:
             self._proposal_queue.put(pending)
+
+    def _handle_block_fetch(self, envelope: Envelope):
+        """Re-send sealed blocks a lagging peer asks for (recovery catch-up)."""
+        yield self.env.timeout(self.cost_model.signature)
+        if not self.verify_envelope(envelope):
+            return
+        sequences = envelope.message.body.get("sequences", ())
+        window = self.config.recovery.fetch_window
+        for sequence in tuple(sequences)[:window]:
+            block = self._sealed.get(sequence)
+            if block is not None:
+                yield self.env.timeout(self.cost_model.signature)
+                self._send_new_block(envelope.sender, block)
 
     def _client_allowed(self, transaction: Transaction) -> bool:
         """Access control: discard requests from unauthorised clients."""
@@ -200,6 +235,26 @@ class OrdererNode(BaseNode):
             pending = yield self._seal_queue.get()
             yield from self._seal_and_multicast(pending)
 
+    def _tip_announcer(self):
+        """Periodically announce the highest sealed sequence (recovery runs).
+
+        Peers compare the announced tip with the next block they expect and
+        fetch any gap with BLOCK_FETCH, which is what lets a crashed or
+        partitioned peer catch up once the fault heals.
+        """
+        interval = self.config.recovery.tip_announce_interval
+        while True:
+            yield self.env.timeout(interval)
+            if not self._sealed:
+                continue
+            tip = max(self._sealed)
+            self.multicast_signed(
+                self.block_targets,
+                messages.TIP_ANNOUNCE,
+                {"sequence": tip},
+                payload_bytes=self.latency.per_message_bytes,
+            )
+
     def _seal_and_multicast(self, pending: PendingBlock):
         """Charge the sealing costs, build the block and multicast NEWBLOCK.
 
@@ -218,15 +273,28 @@ class OrdererNode(BaseNode):
             cost += self.cost_model.dependency_graph_cost(size)
         yield self.env.timeout(cost)
         block = self.builder.seal(pending, now=self.env.now)
+        if self.config.recovery.enabled:
+            self._sealed[block.sequence] = block
+            while len(self._sealed) > self.config.recovery.sealed_retention_blocks:
+                self._sealed.pop(min(self._sealed))
         payload_bytes = self.latency.per_message_bytes + self.latency.per_tx_bytes * size
         self.multicast_signed(
             self.block_targets,
             messages.NEW_BLOCK,
-            {
-                "sequence": block.sequence,
-                "block": block,
-                "applications": tuple(sorted(block.applications())),
-                "previous_hash": block.previous_hash,
-            },
+            self._new_block_body(block),
             payload_bytes=payload_bytes,
+        )
+
+    def _new_block_body(self, block: Block) -> dict:
+        return {
+            "sequence": block.sequence,
+            "block": block,
+            "applications": tuple(sorted(block.applications())),
+            "previous_hash": block.previous_hash,
+        }
+
+    def _send_new_block(self, recipient: str, block: Block) -> None:
+        payload_bytes = self.latency.per_message_bytes + self.latency.per_tx_bytes * len(block)
+        self.send_signed(
+            recipient, messages.NEW_BLOCK, self._new_block_body(block), payload_bytes=payload_bytes
         )

@@ -21,11 +21,11 @@ from repro.metrics.collector import MetricsCollector
 from repro.network.message import Envelope
 from repro.network.transport import Network
 from repro.nodes import messages
-from repro.nodes.base import BaseNode
+from repro.nodes.base import BaseNode, BlockCatchupMixin
 from repro.simulation import Environment, Store
 
 
-class OXPeerNode(BaseNode):
+class OXPeerNode(BaseNode, BlockCatchupMixin):
     """A peer that executes every transaction of every block sequentially."""
 
     def __init__(
@@ -75,9 +75,13 @@ class OXPeerNode(BaseNode):
 
     # ----------------------------------------------------------- message path
     def handle_envelope(self, envelope: Envelope):
-        if envelope.message.kind != messages.NEW_BLOCK:
-            return
-            yield  # pragma: no cover
+        kind = envelope.message.kind
+        if kind == messages.NEW_BLOCK:
+            yield from self._handle_new_block(envelope)
+        elif kind == messages.TIP_ANNOUNCE:
+            yield from self._handle_tip_announce(envelope)
+
+    def _handle_new_block(self, envelope: Envelope):
         yield self.env.timeout(self.cost_model.signature + self.cost_model.block_hash)
         if not self.verify_envelope(envelope):
             return
@@ -92,6 +96,7 @@ class OXPeerNode(BaseNode):
         if block.sequence < self._next_sequence:
             return
         self._valid_blocks[block.sequence] = block
+        self._fetch_gap_before(envelope.sender, block.sequence)
         self._release_ready_blocks()
 
     def _release_ready_blocks(self) -> None:

@@ -27,11 +27,11 @@ from repro.metrics.collector import MetricsCollector
 from repro.network.message import Envelope
 from repro.network.transport import Network
 from repro.nodes import messages
-from repro.nodes.base import BaseNode
+from repro.nodes.base import BaseNode, BlockCatchupMixin
 from repro.simulation import Environment, Store
 
 
-class XOVPeerNode(BaseNode):
+class XOVPeerNode(BaseNode, BlockCatchupMixin):
     """A committing peer: validates ordered blocks and applies surviving writes."""
 
     def __init__(
@@ -84,6 +84,8 @@ class XOVPeerNode(BaseNode):
         kind = envelope.message.kind
         if kind == messages.NEW_BLOCK:
             yield from self._handle_new_block(envelope)
+        elif kind == messages.TIP_ANNOUNCE:
+            yield from self._handle_tip_announce(envelope)
 
     def _handle_new_block(self, envelope: Envelope):
         yield self.env.timeout(self.cost_model.signature + self.cost_model.block_hash)
@@ -100,6 +102,7 @@ class XOVPeerNode(BaseNode):
         if block.sequence < self._next_sequence:
             return
         self._valid_blocks[block.sequence] = block
+        self._fetch_gap_before(envelope.sender, block.sequence)
         while self._next_sequence in self._valid_blocks:
             ready = self._valid_blocks.pop(self._next_sequence)
             self._next_sequence += 1

@@ -4,16 +4,18 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.common.config import SystemConfig
 from repro.common.identifiers import executor_id, orderer_id
 from repro.common.registry import contract_registry
+from repro.common.rng import child_seed
 from repro.contracts.accounting import AccountingContract  # noqa: F401 - registers "accounting"
 from repro.contracts.base import ContractRegistry
 from repro.core.transaction import Transaction
 from repro.crypto.signatures import KeyRegistry
 from repro.metrics.collector import MetricsCollector, RunMetrics
+from repro.network.faults import FaultPlan
 from repro.network.topology import FAR_DC, NEAR_DC, Topology
 from repro.network.transport import Network
 from repro.nodes.base import BaseNode
@@ -106,7 +108,11 @@ class Deployment(abc.ABC):
         """Create the environment, network, registry and metrics collector."""
         env = Environment()
         topology = Topology(latency=self.config.latency, seed=self.config.seed)
-        network = Network(env, topology=topology)
+        # The fault plan's verdict stream (probabilistic drops/duplicates)
+        # derives from the scenario seed so fault timings are reproducible
+        # from (spec, seed) and decorrelated from the jitter stream.
+        faults = FaultPlan(seed=child_seed(self.config.seed, "fault-verdicts"))
+        network = Network(env, topology=topology, faults=faults)
         registry = KeyRegistry(seed=str(self.config.seed))
         collector = MetricsCollector(measurement_peers=measurement_peers)
         contracts = self.build_contracts()
@@ -174,6 +180,8 @@ class Deployment(abc.ABC):
         warmup_fraction: float = 0.2,
         drain: float = 10.0,
         poll_interval: float = 0.05,
+        fault_schedule: Optional[object] = None,
+        poll_hook: Optional[Callable[[DeploymentHandles], None]] = None,
     ) -> RunMetrics:
         """Build a fresh cluster, replay the workload and summarise the run.
 
@@ -183,6 +191,13 @@ class Deployment(abc.ABC):
         computed over the steady-state window ``[warmup_fraction * duration,
         duration]`` — completions during the drain tail are excluded, matching
         the paper's "average measured during the steady state" methodology.
+
+        ``fault_schedule`` is any object exposing ``install(handles,
+        deployment)`` — the hook the fault harness uses to register seeded
+        crash/partition/link events against the simulated clock
+        (:class:`repro.testing.FaultInjector`).  ``poll_hook`` is invoked with
+        the live handles on every monitor poll — the in-flight oracle hook
+        point, letting invariant probes observe the deployment mid-run.
         """
         handles = self.build(initial_state=initial_state)
         env = handles.env
@@ -190,6 +205,8 @@ class Deployment(abc.ABC):
             orderer.start()
         for peer in handles.peers:
             peer.start()
+        if fault_schedule is not None:
+            fault_schedule.install(handles, self)
         handles.gateway.submit_schedule(transactions, schedule)
 
         expected = len(transactions)
@@ -197,6 +214,8 @@ class Deployment(abc.ABC):
 
         def monitor():
             while env.now < horizon:
+                if poll_hook is not None:
+                    poll_hook(handles)
                 if handles.collector.all_complete(expected):
                     return "complete"
                 yield env.timeout(poll_interval)

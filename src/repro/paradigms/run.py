@@ -17,6 +17,7 @@ from typing import Optional
 from repro.common.config import SystemConfig
 from repro.common.errors import ConfigurationError
 from repro.common.registry import paradigm_registry, workload_registry
+from repro.common.rng import child_seed
 from repro.metrics.collector import RunMetrics
 from repro.workload.arrivals import poisson_rate
 from repro.workload.generator import WorkloadConfig
@@ -25,6 +26,45 @@ from repro.workload.generator import WorkloadConfig
 #: :data:`repro.common.registry.paradigm_registry` so paradigms registered
 #: with ``@register_paradigm`` appear here automatically.
 PARADIGMS = paradigm_registry.as_mapping()
+
+
+def prepare_workload(
+    generator: str,
+    system_config: SystemConfig,
+    workload_config: "WorkloadConfig",
+    offered_load: float,
+    duration: float,
+):
+    """Resolve one run's workload: transactions, arrivals and initial state.
+
+    The single place where a run's inputs are derived — shared by
+    :func:`execute_run` and the fault harness
+    (:func:`repro.testing.run_scenario`), so adversarial scenarios replay
+    exactly the workload a production run would submit.  Returns
+    ``(system_config, transactions, schedule, initial_state)``; the returned
+    system config has the generator's declared contract installed.
+
+    The arrival stream derives a labelled child seed: seeding it with the
+    workload seed itself would draw from the identical Mersenne stream the
+    generator consumes (correlated randomness — found by the determinism
+    audit).
+    """
+    generator_factory = workload_registry.get(generator)
+    # A workload generator may declare the registered contract its
+    # transactions are written for (WorkloadBase.contract); align the
+    # deployment so e.g. generator="kvstore" installs the KV contract without
+    # every spec having to repeat system.contract.
+    required_contract = getattr(generator_factory, "contract", None)
+    if required_contract and system_config.contract != required_contract:
+        system_config = system_config.with_overrides(contract=required_contract)
+    workload = generator_factory(workload_config)
+    count = max(1, int(round(offered_load * duration)))
+    transactions = workload.generate(count)
+    schedule = poisson_rate(
+        count, offered_load, seed=child_seed(workload_config.seed, "arrivals")
+    )
+    initial_state = workload.initial_state(transactions)
+    return system_config, transactions, schedule, initial_state
 
 
 def execute_run(
@@ -37,6 +77,7 @@ def execute_run(
     drain: float = 20.0,
     seed: Optional[int] = None,
     generator: str = "accounting",
+    faults: Optional[object] = None,
 ) -> RunMetrics:
     """Run one paradigm against one workload at one offered load.
 
@@ -46,33 +87,40 @@ def execute_run(
     submitted transaction has completed at every measurement peer.
     ``generator`` names a workload-generator factory in the global workload
     registry.
+
+    ``faults`` makes the run adversarial: a
+    :class:`repro.testing.FaultSchedule`, a :class:`repro.testing.FaultInjector`,
+    or the dict form a :class:`~repro.experiments.spec.ScenarioSpec` carries in
+    its ``faults`` section (either ``{"events": [...]}`` or ``{"random":
+    {...}}``, resolved deterministically from the workload seed).
     """
     deployment_cls = paradigm_registry.get(paradigm)
-    generator_factory = workload_registry.get(generator)
     if offered_load <= 0:
         raise ConfigurationError("offered_load must be positive")
     if duration <= 0:
         raise ConfigurationError("duration must be positive")
 
     system_config = system_config or SystemConfig()
-    # A workload generator may declare the registered contract its
-    # transactions are written for (WorkloadBase.contract); align the
-    # deployment so e.g. generator="kvstore" installs the KV contract without
-    # every spec having to repeat system.contract.
-    required_contract = getattr(generator_factory, "contract", None)
-    if required_contract and system_config.contract != required_contract:
-        system_config = system_config.with_overrides(contract=required_contract)
     workload_config = workload_config or WorkloadConfig(
         num_applications=system_config.num_applications
     )
     if seed is not None:
         workload_config = replace(workload_config, seed=seed)
 
-    workload = generator_factory(workload_config)
-    count = max(1, int(round(offered_load * duration)))
-    transactions = workload.generate(count)
-    schedule = poisson_rate(count, offered_load, seed=workload_config.seed)
-    initial_state = workload.initial_state(transactions)
+    system_config, transactions, schedule, initial_state = prepare_workload(
+        generator, system_config, workload_config, offered_load, duration
+    )
+
+    fault_schedule = None
+    if faults is not None:
+        from repro.testing import resolve_fault_injector
+
+        fault_schedule = resolve_fault_injector(
+            faults,
+            seed=workload_config.seed,
+            system_config=system_config,
+            default_horizon=duration,
+        )
 
     deployment = deployment_cls(system_config)
     return deployment.run(
@@ -82,6 +130,7 @@ def execute_run(
         offered_load=offered_load,
         warmup_fraction=warmup_fraction,
         drain=drain,
+        fault_schedule=fault_schedule,
     )
 
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Generator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Generator, List, Optional, Sequence, Tuple
 
 from repro.common.errors import SimulationError
 from repro.simulation.events import AllOf, AnyOf, Event, Timeout
@@ -55,6 +55,19 @@ class Environment:
     def any_of(self, events: Sequence[Event]) -> AnyOf:
         """Event that fires when any of ``events`` has fired."""
         return AnyOf(self, events)
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> Event:
+        """Invoke ``callback()`` at absolute simulated time ``when``.
+
+        The schedule-driven clock hook used by the fault injector: external
+        controllers register actions against the simulated clock without
+        writing a process generator.  ``when`` in the past (or now) runs at
+        the current time, preserving event-queue FIFO determinism.
+        """
+        delay = max(0.0, when - self._now)
+        event = self.timeout(delay)
+        event.add_callback(lambda _event: callback())
+        return event
 
     # -------------------------------------------------------------- scheduling
     def schedule(self, event: Event, delay: float = 0.0) -> None:

@@ -1,0 +1,50 @@
+"""Deterministic fault-scenario testing for the three paradigms.
+
+The adversarial counterpart of :mod:`repro.experiments`: where the experiment
+layer measures the happy path, this package *attacks* a deployment with
+seeded crash/partition/link-fault schedules and checks the paper's
+correctness claims with safety and liveness oracles.  Everything reproduces
+from a single ``(scenario config, seed)`` pair, failing schedules shrink to
+minimal JSON repro artifacts, and the CI fault battery runs a seeded random
+sweep per paradigm.  See ``docs/testing.md`` for the guided tour.
+"""
+
+from repro.testing.harness import PeerView, ScenarioConfig, ScenarioOutcome, run_scenario
+from repro.testing.oracles import (
+    OracleViolation,
+    check_ledger_prefix_agreement,
+    check_liveness,
+    check_no_loss_no_duplication,
+    check_serializability,
+    run_all_oracles,
+)
+from repro.testing.schedule import (
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    random_fault_schedule,
+    resolve_fault_injector,
+    scenario_roles,
+)
+from repro.testing.shrinker import dump_repro_artifact, shrink_schedule
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "OracleViolation",
+    "PeerView",
+    "ScenarioConfig",
+    "ScenarioOutcome",
+    "check_ledger_prefix_agreement",
+    "check_liveness",
+    "check_no_loss_no_duplication",
+    "check_serializability",
+    "dump_repro_artifact",
+    "random_fault_schedule",
+    "resolve_fault_injector",
+    "run_all_oracles",
+    "run_scenario",
+    "scenario_roles",
+    "shrink_schedule",
+]

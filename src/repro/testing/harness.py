@@ -1,0 +1,280 @@
+"""The deterministic scenario harness: one (spec, seed) pair → one outcome.
+
+:func:`run_scenario` drives a full paradigm deployment under a seeded fault
+schedule and returns a :class:`ScenarioOutcome` snapshot the safety/liveness
+oracles inspect: every peer's ledger and world state, the entry orderer's
+counters, quiescence flags and the workload that was submitted.
+
+Unlike the performance path (:meth:`repro.paradigms.base.Deployment.run`),
+the harness does not stop at a fixed horizon: after the workload and drain it
+keeps running *settle windows* until the deployment makes no further progress
+(ledger heights, commit counts and ordered-block counts all stable).  With
+recovery enabled that is the point where every catch-up mechanism has done
+its work — the state the liveness oracle is entitled to judge.
+
+Everything derives from ``ScenarioConfig.seed`` via labelled child seeds
+(:mod:`repro.common.rng`): the workload stream, the arrival process, the
+network jitter, fault verdicts and (for generated schedules) the fault
+timings, so two runs of the same ``(config, schedule)`` are bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.common.config import SystemConfig
+from repro.common.registry import paradigm_registry
+from repro.common.rng import child_rng
+from repro.core.transaction import Transaction
+from repro.ledger.ledger import Ledger
+from repro.ledger.state import WorldState
+from repro.paradigms.run import prepare_workload
+from repro.testing.schedule import FaultInjector, FaultSchedule, random_fault_schedule
+from repro.workload.generator import WorkloadConfig
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Everything one fault scenario needs besides its fault schedule."""
+
+    paradigm: str = "OXII"
+    seed: int = 7
+    generator: str = "accounting"
+    offered_load: float = 300.0
+    duration: float = 1.0
+    drain: float = 1.0
+    contention: float = 0.3
+    conflict_scope: str = "within_application"
+    consensus: str = "kafka"
+    num_orderers: int = 3
+    max_faulty_orderers: int = 0
+    #: Extra overrides on top of the harness defaults (nested dicts allowed).
+    system: Mapping[str, Any] = field(default_factory=dict)
+    workload: Mapping[str, Any] = field(default_factory=dict)
+    settle_window: float = 1.5
+    max_settle_windows: int = 20
+
+    @property
+    def horizon(self) -> float:
+        """Earliest time the settle phase may begin."""
+        return self.duration + self.drain
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form recorded in repro artifacts."""
+        return {
+            "paradigm": self.paradigm,
+            "seed": self.seed,
+            "generator": self.generator,
+            "offered_load": self.offered_load,
+            "duration": self.duration,
+            "drain": self.drain,
+            "contention": self.contention,
+            "conflict_scope": self.conflict_scope,
+            "consensus": self.consensus,
+            "num_orderers": self.num_orderers,
+            "max_faulty_orderers": self.max_faulty_orderers,
+            "system": dict(self.system),
+            "workload": dict(self.workload),
+            # Settle parameters matter for replay: a liveness failure seen
+            # with a tight settle budget must not vanish under the defaults.
+            "settle_window": self.settle_window,
+            "max_settle_windows": self.max_settle_windows,
+        }
+
+    def system_config(self) -> SystemConfig:
+        """The deployment configuration the harness runs with.
+
+        Recovery is enabled (the point of the harness is that faults heal)
+        and blocks are cut small so short scenarios cross many block
+        boundaries — where the interesting interleavings live.
+        """
+        base = SystemConfig(
+            seed=self.seed,
+            consensus_protocol=self.consensus,
+            num_orderers=self.num_orderers,
+            max_faulty_orderers=self.max_faulty_orderers,
+        ).with_overrides(
+            recovery={"enabled": True},
+            block_cut={"max_transactions": 25, "max_delay": 0.1},
+        )
+        return base.with_overrides(**dict(self.system))
+
+    def random_schedule(self, events: int = 4, **kwargs: Any) -> FaultSchedule:
+        """A seeded random schedule sized to this scenario's horizon."""
+        return random_fault_schedule(
+            child_rng(self.seed, "fault-schedule"),
+            self.system_config(),
+            horizon=self.horizon,
+            events=events,
+            **kwargs,
+        )
+
+
+@dataclass
+class PeerView:
+    """One peer's end-of-scenario snapshot."""
+
+    node_id: str
+    ledger: Ledger
+    state: WorldState
+    quiescent: bool
+    committed: int
+    aborted: int
+
+    @property
+    def height(self) -> int:
+        return self.ledger.height
+
+    def chain_digests(self) -> List[str]:
+        """Block digests, genesis first — the ledger-prefix fingerprint."""
+        return [block.digest() for block in self.ledger]
+
+
+@dataclass
+class ScenarioOutcome:
+    """Everything the oracles (and the determinism tests) inspect."""
+
+    config: ScenarioConfig
+    schedule: FaultSchedule
+    injector: FaultInjector
+    handles: Any
+    deployment: Any
+    transactions: Sequence[Transaction]
+    initial_state: Mapping[str, Any]
+    submitted_ids: Tuple[str, ...]
+    peers: List[PeerView]
+    blocks_ordered: int
+    requests_deduplicated: int
+    stable: bool
+    settle_windows: int
+    end_time: float
+
+    def peer(self, node_id: str) -> PeerView:
+        for view in self.peers:
+            if view.node_id == node_id:
+                return view
+        raise KeyError(node_id)
+
+    def fingerprint(self) -> Tuple:
+        """A hashable digest of the run for bit-identical determinism checks.
+
+        Covers committed data (chains and states), progress counters and the
+        exact times the injector applied each fault.
+        """
+        return (
+            tuple(
+                (p.node_id, tuple(p.chain_digests()), tuple(sorted(p.state.as_dict().items())))
+                for p in self.peers
+            ),
+            self.blocks_ordered,
+            self.requests_deduplicated,
+            tuple(self.injector.applied),
+            self.end_time,
+        )
+
+
+def _is_quiescent(peer: Any) -> bool:
+    """True when a peer has no block mid-processing and no queued work."""
+    if peer.interface.pending():
+        return False
+    active = getattr(peer, "_active_sequence", None)
+    if active is not None:
+        return False
+    for queue_name in ("_execution_queue", "_validation_queue"):
+        queue = getattr(peer, queue_name, None)
+        if queue is not None and len(queue):
+            return False
+    return True
+
+
+def _progress_fingerprint(handles) -> Tuple:
+    peers = handles.peers
+    return (
+        tuple(p.ledger.height for p in peers),
+        tuple(getattr(p, "transactions_committed", 0) for p in peers),
+        tuple(getattr(p, "transactions_aborted", 0) for p in peers),
+        tuple(o.blocks_ordered for o in handles.orderers),
+        handles.collector.completed_count,
+    )
+
+
+def run_scenario(
+    config: ScenarioConfig,
+    schedule: Optional[FaultSchedule] = None,
+) -> ScenarioOutcome:
+    """Run one deployment under ``schedule`` and snapshot the outcome.
+
+    Fully deterministic: the same ``(config, schedule)`` pair produces an
+    identical :meth:`ScenarioOutcome.fingerprint` on every run.
+    """
+    schedule = schedule if schedule is not None else FaultSchedule()
+    system_config = config.system_config()
+    workload_config = WorkloadConfig(
+        num_applications=system_config.num_applications,
+        contention=config.contention,
+        conflict_scope=config.conflict_scope,
+        seed=config.seed,
+    ).with_overrides(**dict(config.workload))
+    # The shared run-path derivation (repro.paradigms.run): adversarial
+    # scenarios replay exactly the workload a production run would submit.
+    system_config, transactions, arrivals, initial_state = prepare_workload(
+        config.generator, system_config, workload_config,
+        config.offered_load, config.duration,
+    )
+
+    deployment = paradigm_registry.get(config.paradigm)(system_config)
+    handles = deployment.build(initial_state=initial_state)
+    injector = FaultInjector(schedule)
+    injector.install(handles, deployment)
+    for orderer in handles.orderers:
+        orderer.start()
+    for peer in handles.peers:
+        peer.start()
+    handles.gateway.submit_schedule(transactions, arrivals)
+
+    env = handles.env
+    env.run(until=config.horizon)
+    # Settle: keep granting time until no replica makes further progress, so
+    # every recovery mechanism (retries, tip announcements, retransmits) has
+    # finished its catch-up before the oracles judge the outcome.
+    stable = False
+    windows = 0
+    previous = _progress_fingerprint(handles)
+    while windows < config.max_settle_windows:
+        env.run(until=env.now + config.settle_window)
+        windows += 1
+        current = _progress_fingerprint(handles)
+        if current == previous:
+            stable = True
+            break
+        previous = current
+
+    entry = handles.orderers[0]
+    peers = [
+        PeerView(
+            node_id=peer.node_id,
+            ledger=peer.ledger,
+            state=peer.state,
+            quiescent=_is_quiescent(peer),
+            committed=getattr(peer, "transactions_committed", 0),
+            aborted=getattr(peer, "transactions_aborted", 0),
+        )
+        for peer in handles.peers
+    ]
+    return ScenarioOutcome(
+        config=config,
+        schedule=schedule,
+        injector=injector,
+        handles=handles,
+        deployment=deployment,
+        transactions=transactions,
+        initial_state=initial_state,
+        submitted_ids=tuple(tx.tx_id for tx in transactions),
+        peers=peers,
+        blocks_ordered=entry.blocks_ordered,
+        requests_deduplicated=sum(o.requests_deduplicated for o in handles.orderers),
+        stable=stable,
+        settle_windows=windows,
+        end_time=env.now,
+    )

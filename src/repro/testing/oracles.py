@@ -1,0 +1,241 @@
+"""Safety and liveness oracles over a :class:`~repro.testing.harness.ScenarioOutcome`.
+
+Four invariants — the paper's correctness claims, phrased as checks that run
+after (and, via the deployment's poll hook, optionally during) any scenario:
+
+* **ledger prefix agreement** — all replicas agree on the committed chain
+  prefix: no two ledgers diverge at any height they share.
+* **no loss / no double-apply** — no transaction is ordered twice into the
+  chain, and nothing appears in a ledger that a client never submitted.
+* **serializability** — every quiescent replica's world state equals a
+  sequential re-execution of its own ledger in block order.  For OXII this is
+  exactly the dependency-graph claim: parallel, graph-driven execution across
+  distrusting applications commits the state a serial execution would have.
+  XOV replicas are replayed under MVCC validation semantics instead (stale
+  read-versions abort), matching that paradigm's commit rule.
+* **liveness** — once every fault has healed and the run has settled, every
+  replica holds every ordered block (heights equal the ordered count, nothing
+  stays stuck mid-block).
+
+Each violated invariant yields an :class:`OracleViolation`; an empty list
+means the scenario upholds all checked properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.testing.harness import PeerView, ScenarioOutcome
+
+
+@dataclass(frozen=True)
+class OracleViolation:
+    """One invariant breach, attributed to the oracle and (usually) a node."""
+
+    oracle: str
+    message: str
+    node_id: str = ""
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"oracle": self.oracle, "message": self.message, "node_id": self.node_id}
+
+
+# ----------------------------------------------------------- prefix agreement
+def check_ledger_prefix_agreement(outcome: ScenarioOutcome) -> List[OracleViolation]:
+    """No two replicas disagree on any chain prefix they both hold."""
+    violations: List[OracleViolation] = []
+    if not outcome.peers:
+        return violations
+    reference = max(outcome.peers, key=lambda p: p.height)
+    reference_digests = reference.chain_digests()
+    for peer in outcome.peers:
+        digests = peer.chain_digests()
+        for height, digest in enumerate(digests):
+            if digest != reference_digests[height]:
+                violations.append(
+                    OracleViolation(
+                        oracle="prefix_agreement",
+                        node_id=peer.node_id,
+                        message=(
+                            f"chain diverges from {reference.node_id} at height {height}"
+                        ),
+                    )
+                )
+                break
+    return violations
+
+
+# ------------------------------------------------------- loss and duplication
+def check_no_loss_no_duplication(outcome: ScenarioOutcome) -> List[OracleViolation]:
+    """No transaction ordered twice; nothing committed that was not submitted."""
+    violations: List[OracleViolation] = []
+    submitted = set(outcome.submitted_ids)
+    for peer in outcome.peers:
+        seen: Dict[str, int] = {}
+        for block in peer.ledger:
+            for tx in block:
+                if tx.tx_id in seen:
+                    violations.append(
+                        OracleViolation(
+                            oracle="no_duplication",
+                            node_id=peer.node_id,
+                            message=(
+                                f"{tx.tx_id} ordered twice (blocks {seen[tx.tx_id]} "
+                                f"and {block.sequence})"
+                            ),
+                        )
+                    )
+                else:
+                    seen[tx.tx_id] = block.sequence
+                if tx.tx_id not in submitted:
+                    violations.append(
+                        OracleViolation(
+                            oracle="no_loss",
+                            node_id=peer.node_id,
+                            message=f"{tx.tx_id} committed but never submitted",
+                        )
+                    )
+    return violations
+
+
+# ------------------------------------------------------------ serializability
+class _VersionedReplay:
+    """Replay state with per-key versions (mirrors :class:`WorldState`)."""
+
+    def __init__(self, initial: Mapping[str, Any]) -> None:
+        self.values: Dict[str, Any] = dict(initial)
+        self.versions: Dict[str, int] = {key: 0 for key in initial}
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.values.get(key, default)
+
+    def version(self, key: str) -> int:
+        return self.versions.get(key, -1)
+
+    def write(self, key: str, value: Any) -> None:
+        self.values[key] = value
+        self.versions[key] = self.versions.get(key, -1) + 1
+
+
+def _replay_sequential(outcome: ScenarioOutcome, peer: PeerView) -> _VersionedReplay:
+    """Re-execute the peer's ledger serially with the deployment's contracts."""
+    replay = _VersionedReplay(outcome.initial_state)
+    contracts = outcome.handles.contracts
+    for block in peer.ledger:
+        for tx in block:
+            result = contracts.execute(tx, replay, executed_by="oracle")
+            if not result.is_abort:
+                for key, value in result.updates.items():
+                    replay.write(key, value)
+    return replay
+
+
+def _replay_xov(outcome: ScenarioOutcome, peer: PeerView) -> _VersionedReplay:
+    """Replay the peer's ledger under MVCC validation (the XOV commit rule)."""
+    replay = _VersionedReplay(outcome.initial_state)
+    for block in peer.ledger:
+        for tx in block:
+            endorsement = tx.payload.get("endorsement")
+            if not isinstance(endorsement, Mapping) or endorsement.get("status") == "abort":
+                continue
+            read_versions: Mapping[str, int] = endorsement.get("read_versions", {})
+            if any(replay.version(k) != v for k, v in read_versions.items()):
+                continue  # stale read: validation aborts the transaction
+            for key, value in endorsement.get("updates", {}).items():
+                replay.write(key, value)
+    return replay
+
+
+def check_serializability(outcome: ScenarioOutcome) -> List[OracleViolation]:
+    """Every quiescent replica's state equals its ledger's serial re-execution.
+
+    Replicas still mid-block (e.g. a permanently partitioned peer in an
+    unhealed schedule) are skipped — their state legitimately includes a
+    partially committed block; the liveness oracle is the one that flags
+    them when the schedule healed.
+    """
+    violations: List[OracleViolation] = []
+    replay_fn = _replay_xov if outcome.config.paradigm == "XOV" else _replay_sequential
+    for peer in outcome.peers:
+        if not peer.quiescent:
+            continue
+        replay = replay_fn(outcome, peer)
+        actual = peer.state.as_dict()
+        if actual != replay.values:
+            changed = sorted(
+                k
+                for k in set(actual) | set(replay.values)
+                if actual.get(k, _MISSING) != replay.values.get(k, _MISSING)
+            )
+            violations.append(
+                OracleViolation(
+                    oracle="serializability",
+                    node_id=peer.node_id,
+                    message=(
+                        f"committed state diverges from serial re-execution of its own "
+                        f"ledger on {len(changed)} key(s), e.g. {changed[:3]}"
+                    ),
+                )
+            )
+    return violations
+
+
+_MISSING = object()
+
+
+# ------------------------------------------------------------------- liveness
+def check_liveness(outcome: ScenarioOutcome) -> List[OracleViolation]:
+    """After heal + settle: every ordered block committed on every replica.
+
+    Only meaningful when the schedule fully heals and the run settled; the
+    caller (:func:`run_all_oracles`) gates on that.
+    """
+    violations: List[OracleViolation] = []
+    if not outcome.stable:
+        violations.append(
+            OracleViolation(
+                oracle="liveness",
+                message=(
+                    f"run did not settle within {outcome.config.max_settle_windows} windows"
+                ),
+            )
+        )
+        return violations
+    ordered = outcome.blocks_ordered
+    for peer in outcome.peers:
+        if peer.height != ordered:
+            violations.append(
+                OracleViolation(
+                    oracle="liveness",
+                    node_id=peer.node_id,
+                    message=f"holds {peer.height}/{ordered} ordered blocks after heal",
+                )
+            )
+        if not peer.quiescent:
+            violations.append(
+                OracleViolation(
+                    oracle="liveness",
+                    node_id=peer.node_id,
+                    message="still mid-block after faults healed and the run settled",
+                )
+            )
+    return violations
+
+
+# ------------------------------------------------------------------ composite
+def run_all_oracles(
+    outcome: ScenarioOutcome,
+    include_liveness: Optional[bool] = None,
+) -> List[OracleViolation]:
+    """Run the safety oracles, plus liveness when the schedule fully heals."""
+    if include_liveness is None:
+        include_liveness = outcome.schedule.heal_time() != float("inf")
+    violations = [
+        *check_ledger_prefix_agreement(outcome),
+        *check_no_loss_no_duplication(outcome),
+        *check_serializability(outcome),
+    ]
+    if include_liveness:
+        violations.extend(check_liveness(outcome))
+    return violations

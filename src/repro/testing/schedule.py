@@ -1,0 +1,416 @@
+"""Seeded fault schedules: declarative crash/partition/link events over time.
+
+A :class:`FaultSchedule` is the adversary of one scenario run: a sorted list
+of :class:`FaultEvent` entries, each applying (or healing) one fault at an
+absolute simulated time.  Schedules are plain data — they serialise to/from
+JSON dicts, which is what makes a failing schedule a *repro artifact* the
+shrinker can minimise and a test can replay.
+
+Targets are **roles**, not node ids, so one schedule drives any paradigm:
+
+* ``orderer:<i>`` — the i-th ordering-service node
+* ``leader`` — the entry orderer (primary / partition lead)
+* ``peer:<i>`` / ``executor:<i>`` — the i-th executor/committing peer
+* ``gateway`` — the client gateway
+* ``orderers`` / ``peers`` — whole groups, ``all`` — every node
+
+:class:`FaultInjector` resolves roles against a built deployment and registers
+each event with the simulated clock (:meth:`Environment.call_at`), so fault
+timing is exact and deterministic.  :func:`random_fault_schedule` generates a
+schedule from a seeded RNG — every fault it injects heals by ``heal_by``, the
+precondition for the liveness oracle.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from repro.common.config import SystemConfig
+from repro.common.errors import ConfigurationError
+from repro.common.rng import child_rng
+
+#: Actions a fault event may carry; ``heal_*`` actions undo their counterpart.
+ACTIONS = ("crash", "restart", "partition", "heal_partition", "degrade_link", "heal_link")
+
+#: Fields of a link degradation, with their neutral defaults.
+_LINK_FIELDS = ("drop_probability", "extra_delay", "duplicate_probability", "reorder_window")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault action at an absolute simulated time.
+
+    ``target`` names the node role for ``crash``/``restart``; ``sender`` and
+    ``recipient`` name the (directed) link endpoints for the link actions;
+    ``groups`` lists the partition's explicit groups — nodes in none of them
+    form an implicit remainder group, so a single listed group means "isolate
+    these from everyone else".
+    """
+
+    at: float
+    action: str
+    target: str = ""
+    sender: str = ""
+    recipient: str = ""
+    groups: Tuple[Tuple[str, ...], ...] = ()
+    drop_probability: float = 0.0
+    extra_delay: float = 0.0
+    duplicate_probability: float = 0.0
+    reorder_window: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ConfigurationError(f"fault event time must be >= 0, got {self.at}")
+        if self.action not in ACTIONS:
+            raise ConfigurationError(
+                f"unknown fault action {self.action!r}; expected one of {list(ACTIONS)}"
+            )
+        if self.action in ("crash", "restart") and not self.target:
+            raise ConfigurationError(f"{self.action} event needs a target role")
+        if self.action == "partition" and not self.groups:
+            raise ConfigurationError("partition event needs at least one group")
+        if self.action in ("degrade_link", "heal_link") and not (self.sender and self.recipient):
+            raise ConfigurationError(f"{self.action} event needs sender and recipient roles")
+        object.__setattr__(self, "groups", tuple(tuple(g) for g in self.groups))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Compact dict form: only non-neutral fields are emitted."""
+        out: Dict[str, Any] = {"at": self.at, "action": self.action}
+        if self.target:
+            out["target"] = self.target
+        if self.sender:
+            out["sender"] = self.sender
+        if self.recipient:
+            out["recipient"] = self.recipient
+        if self.groups:
+            out["groups"] = [list(g) for g in self.groups]
+        for name in _LINK_FIELDS:
+            value = getattr(self, name)
+            if value:
+                out[name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultEvent":
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(f"fault event must be a mapping, got {type(data).__name__}")
+        valid = {
+            "at", "action", "target", "sender", "recipient", "groups", *_LINK_FIELDS,
+        }
+        unknown = set(data) - valid
+        if unknown:
+            raise ConfigurationError(f"unknown fault event field(s) {sorted(unknown)}")
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable, time-sorted sequence of fault events."""
+
+    events: Tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        events = tuple(
+            e if isinstance(e, FaultEvent) else FaultEvent.from_dict(e) for e in self.events
+        )
+        object.__setattr__(self, "events", tuple(sorted(events, key=lambda e: e.at)))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def heal_time(self) -> float:
+        """Time after which no injected fault is active (``inf`` if never).
+
+        The liveness oracle only applies to schedules that fully heal: a
+        crash without a later restart, a partition without a heal, or a link
+        degradation without a heal keeps the fault active forever.
+        """
+        healed = 0.0
+        crashed: Dict[str, float] = {}
+        partition_since: Optional[float] = None
+        links: Dict[Tuple[str, str], float] = {}
+        for event in self.events:
+            if event.action == "crash":
+                crashed[event.target] = event.at
+            elif event.action == "restart":
+                crashed.pop(event.target, None)
+                healed = max(healed, event.at)
+            elif event.action == "partition":
+                partition_since = event.at
+            elif event.action == "heal_partition":
+                partition_since = None
+                healed = max(healed, event.at)
+            elif event.action == "degrade_link":
+                links[(event.sender, event.recipient)] = event.at
+            elif event.action == "heal_link":
+                links.pop((event.sender, event.recipient), None)
+                healed = max(healed, event.at)
+        if crashed or partition_since is not None or links:
+            return float("inf")
+        return healed
+
+    # -------------------------------------------------------------- serialise
+    def to_dict(self) -> Dict[str, Any]:
+        return {"events": [e.to_dict() for e in self.events]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSchedule":
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"fault schedule must be a mapping, got {type(data).__name__}"
+            )
+        unknown = set(data) - {"events"}
+        if unknown:
+            raise ConfigurationError(f"unknown fault schedule field(s) {sorted(unknown)}")
+        return cls(events=tuple(FaultEvent.from_dict(e) for e in data.get("events", ())))
+
+    def to_json(self, path: Optional[Union[str, Path]] = None) -> str:
+        payload = json.dumps(self.to_dict(), indent=2, sort_keys=True)
+        if path is not None:
+            Path(path).write_text(payload + "\n", encoding="utf-8")
+        return payload
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "FaultSchedule":
+        return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+    def without(self, index: int) -> "FaultSchedule":
+        """A copy with the ``index``-th event removed (shrinker primitive)."""
+        events = self.events
+        return FaultSchedule(events=events[:index] + events[index + 1 :])
+
+
+# --------------------------------------------------------------- role language
+def resolve_role(
+    role: str,
+    orderer_names: Sequence[str],
+    peer_names: Sequence[str],
+    gateway: str,
+) -> List[str]:
+    """Expand one role string into the node ids it names."""
+    if role == "all":
+        return [*orderer_names, *peer_names, gateway]
+    if role == "orderers":
+        return list(orderer_names)
+    if role in ("peers", "executors"):
+        return list(peer_names)
+    if role == "gateway":
+        return [gateway]
+    if role == "leader":
+        return [orderer_names[0]]
+    for prefix, names in (("orderer", orderer_names), ("peer", peer_names), ("executor", peer_names)):
+        if role.startswith(prefix + ":"):
+            index = int(role.split(":", 1)[1])
+            if not 0 <= index < len(names):
+                raise ConfigurationError(
+                    f"role {role!r} out of range: deployment has {len(names)} {prefix}s"
+                )
+            return [names[index]]
+    # Literal node id as an escape hatch.
+    if role in orderer_names or role in peer_names or role == gateway:
+        return [role]
+    raise ConfigurationError(f"unknown fault target role {role!r}")
+
+
+class FaultInjector:
+    """Installs a :class:`FaultSchedule` into a built deployment.
+
+    ``install(handles, deployment)`` resolves every role against the actual
+    node names, then registers each event with the environment's clock via
+    :meth:`~repro.simulation.Environment.call_at`.  The injector records what
+    it applied (``applied``) and which nodes any fault ever touched
+    (``affected_nodes``) for the oracles' diagnostics.
+    """
+
+    def __init__(self, schedule: FaultSchedule) -> None:
+        self.schedule = schedule
+        self.applied: List[Tuple[float, str]] = []
+        self.affected_nodes: Set[str] = set()
+        self._handles = None
+        self._nodes: Dict[str, Any] = {}
+        self._orderer_names: List[str] = []
+        self._peer_names: List[str] = []
+        self._gateway = ""
+
+    # ------------------------------------------------------------ installation
+    def install(self, handles, deployment) -> None:
+        """Resolve roles and register every event against the simulated clock."""
+        self._handles = handles
+        self._orderer_names = [o.node_id for o in handles.orderers]
+        self._peer_names = [p.node_id for p in handles.peers]
+        self._gateway = handles.gateway.node_id
+        self._nodes = {n.node_id: n for n in (*handles.orderers, *handles.peers, handles.gateway)}
+        env = handles.env
+        for event in self.schedule.events:
+            env.call_at(event.at, lambda event=event: self._apply(event))
+
+    def _resolve(self, role: str) -> List[str]:
+        return resolve_role(role, self._orderer_names, self._peer_names, self._gateway)
+
+    # ------------------------------------------------------------- application
+    def _apply(self, event: FaultEvent) -> None:
+        faults = self._handles.network.faults
+        if event.action == "crash":
+            for node_id in self._resolve(event.target):
+                self._nodes[node_id].crash()
+                self.affected_nodes.add(node_id)
+        elif event.action == "restart":
+            for node_id in self._resolve(event.target):
+                self._nodes[node_id].restart()
+        elif event.action == "partition":
+            groups: List[Set[str]] = []
+            members: Set[str] = set()
+            for group in event.groups:
+                resolved = {node_id for role in group for node_id in self._resolve(role)}
+                groups.append(resolved)
+                members |= resolved
+            # Nodes in no listed group keep talking to each other: they form
+            # the implicit remainder group.
+            remainder = set(self._nodes) - members
+            if remainder:
+                groups.append(remainder)
+            # Every group that does not contain the entry orderer is cut off
+            # from ordering — those nodes may miss blocks until the heal.
+            entry = self._orderer_names[0]
+            for group in groups:
+                if entry not in group:
+                    self.affected_nodes |= group
+            faults.partition(*groups)
+        elif event.action == "heal_partition":
+            faults.heal_partition()
+        elif event.action == "degrade_link":
+            for sender in self._resolve(event.sender):
+                for recipient in self._resolve(event.recipient):
+                    if sender == recipient:
+                        continue
+                    faults.degrade_link(
+                        sender,
+                        recipient,
+                        drop_probability=event.drop_probability,
+                        extra_delay=event.extra_delay,
+                        duplicate_probability=event.duplicate_probability,
+                        reorder_window=event.reorder_window,
+                    )
+                    if event.drop_probability > 0:
+                        self.affected_nodes.add(recipient)
+        elif event.action == "heal_link":
+            for sender in self._resolve(event.sender):
+                for recipient in self._resolve(event.recipient):
+                    if sender != recipient:
+                        faults.heal_link(sender, recipient)
+        self.applied.append((self._handles.env.now, event.action))
+
+
+# ---------------------------------------------------------- random generation
+def scenario_roles(config: SystemConfig) -> Dict[str, List[str]]:
+    """The role vocabulary a deployment of ``config`` offers the generator."""
+    orderers = [f"orderer:{i}" for i in range(config.num_orderers)]
+    peers = [f"peer:{i}" for i in range(config.num_executors + config.num_non_executors)]
+    return {"orderers": orderers, "peers": peers}
+
+
+def random_fault_schedule(
+    rng: random.Random,
+    config: SystemConfig,
+    horizon: float,
+    events: int = 4,
+    heal_by: Optional[float] = None,
+    kinds: Sequence[str] = ("crash", "partition", "link"),
+    min_duration: float = 0.1,
+) -> FaultSchedule:
+    """Generate a seeded schedule of ``events`` fault arcs that all heal.
+
+    Each arc is a (fault, heal) pair: crash→restart, partition→heal,
+    degrade→heal.  Every heal lands by ``heal_by`` (default ``0.7 *
+    horizon``), so a run that settles after the horizon satisfies the
+    liveness oracle's precondition.  All randomness comes from ``rng``.
+    """
+    if horizon <= 0:
+        raise ConfigurationError(f"horizon must be positive, got {horizon}")
+    heal_by = 0.7 * horizon if heal_by is None else heal_by
+    if not 0 < heal_by <= horizon:
+        raise ConfigurationError(f"heal_by must lie in (0, horizon], got {heal_by}")
+    roles = scenario_roles(config)
+    crashable = roles["orderers"] + roles["peers"]
+    link_endpoints = ["gateway", *crashable]
+    out: List[FaultEvent] = []
+    for _ in range(events):
+        latest_start = max(min_duration, heal_by - min_duration)
+        start = rng.uniform(min(min_duration, latest_start), latest_start)
+        end = rng.uniform(min(start + min_duration, heal_by), heal_by)
+        kind = rng.choice(list(kinds))
+        if kind == "crash":
+            target = rng.choice(crashable)
+            out.append(FaultEvent(at=start, action="crash", target=target))
+            out.append(FaultEvent(at=end, action="restart", target=target))
+        elif kind == "partition":
+            size = rng.randint(1, max(1, len(crashable) // 2))
+            group = tuple(rng.sample(crashable, size))
+            out.append(FaultEvent(at=start, action="partition", groups=(group,)))
+            out.append(FaultEvent(at=end, action="heal_partition"))
+        else:  # link degradation
+            sender, recipient = rng.sample(link_endpoints, 2)
+            out.append(
+                FaultEvent(
+                    at=start,
+                    action="degrade_link",
+                    sender=sender,
+                    recipient=recipient,
+                    drop_probability=rng.choice([0.0, rng.uniform(0.2, 1.0)]),
+                    extra_delay=rng.choice([0.0, rng.uniform(0.0, 0.02)]),
+                    duplicate_probability=rng.choice([0.0, rng.uniform(0.2, 0.8)]),
+                    reorder_window=rng.choice([0.0, rng.uniform(0.0, 0.02)]),
+                )
+            )
+            out.append(
+                FaultEvent(at=end, action="heal_link", sender=sender, recipient=recipient)
+            )
+    return FaultSchedule(events=tuple(out))
+
+
+def resolve_fault_injector(
+    faults: object,
+    seed: int,
+    system_config: Optional[SystemConfig] = None,
+    default_horizon: float = 2.0,
+) -> FaultInjector:
+    """Coerce any accepted ``faults`` value into an installable injector.
+
+    Accepts a ready :class:`FaultInjector`, a :class:`FaultSchedule`, or the
+    dict form an experiment spec carries: ``{"events": [...]}`` for explicit
+    schedules, ``{"random": {"events": N, "horizon": H, ...}}`` for seeded
+    random ones (derived from the scenario seed, label ``fault-schedule``).
+    """
+    if isinstance(faults, FaultInjector):
+        return faults
+    if isinstance(faults, FaultSchedule):
+        return FaultInjector(faults)
+    if isinstance(faults, Mapping):
+        if "random" in faults:
+            params = dict(faults["random"])
+            unknown = set(faults) - {"random"}
+            if unknown:
+                raise ConfigurationError(f"unknown faults field(s) {sorted(unknown)}")
+            valid = {"horizon", "events", "heal_by", "kinds", "min_duration"}
+            unknown = set(params) - valid
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown faults.random field(s) {sorted(unknown)}; "
+                    f"expected a subset of {sorted(valid)}"
+                )
+            horizon = float(params.pop("horizon", default_horizon))
+            schedule = random_fault_schedule(
+                child_rng(seed, "fault-schedule"),
+                system_config or SystemConfig(),
+                horizon,
+                **params,
+            )
+            return FaultInjector(schedule)
+        return FaultInjector(FaultSchedule.from_dict(faults))
+    raise ConfigurationError(
+        f"faults must be a FaultInjector, FaultSchedule or mapping, got {type(faults).__name__}"
+    )

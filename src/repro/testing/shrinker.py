@@ -1,0 +1,82 @@
+"""Greedy schedule shrinking and JSON repro artifacts.
+
+When a fault battery run violates an oracle, the full random schedule is
+rarely the smallest demonstration.  :func:`shrink_schedule` minimises it with
+a greedy delta-debugging pass: repeatedly drop events (latest first, so the
+failing *prefix* shrinks first) while the caller's predicate still reports
+the failure.  The result — typically a handful of events — is dumped with
+:func:`dump_repro_artifact` as a JSON file a human (or CI) can replay via
+``FaultSchedule.from_file`` and :func:`~repro.testing.harness.run_scenario`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable, Mapping, Optional, Sequence, Union
+
+from repro.testing.harness import ScenarioConfig
+from repro.testing.schedule import FaultSchedule
+
+#: Schema stamp written into repro artifacts so replay tooling can evolve.
+ARTIFACT_SCHEMA_VERSION = 1
+
+
+def shrink_schedule(
+    schedule: FaultSchedule,
+    still_fails: Callable[[FaultSchedule], bool],
+    max_attempts: int = 200,
+) -> FaultSchedule:
+    """Minimise ``schedule`` while ``still_fails`` keeps returning True.
+
+    Greedy one-event-at-a-time removal, scanning from the last event to the
+    first (suffix truncation happens first, so the surviving schedule is the
+    smallest failing prefix), repeated until a full pass removes nothing.
+    ``still_fails`` must be deterministic — it re-runs the scenario — and is
+    invoked at most ``max_attempts`` times, which bounds shrinking cost for
+    pathologically long schedules.
+    """
+    if not still_fails(schedule):
+        raise ValueError("shrink_schedule needs a schedule that currently fails")
+    attempts = 0
+    current = schedule
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for index in reversed(range(len(current))):
+            if attempts >= max_attempts:
+                break
+            candidate = current.without(index)
+            attempts += 1
+            if still_fails(candidate):
+                current = candidate
+                improved = True
+    return current
+
+
+def dump_repro_artifact(
+    path: Union[str, Path],
+    config: ScenarioConfig,
+    schedule: FaultSchedule,
+    violations: Sequence[Any],
+    extra: Optional[Mapping[str, Any]] = None,
+) -> Path:
+    """Write a self-contained JSON repro of a failing scenario.
+
+    The artifact carries everything needed to replay the failure: the
+    scenario parameters, the (shrunken) fault schedule and the violations it
+    produced.  CI uploads these on fault-battery failures.
+    """
+    payload = {
+        "artifact_schema_version": ARTIFACT_SCHEMA_VERSION,
+        "scenario": config.to_dict(),
+        "schedule": schedule.to_dict(),
+        "violations": [
+            v.to_dict() if hasattr(v, "to_dict") else str(v) for v in violations
+        ],
+        **dict(extra or {}),
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path

@@ -188,6 +188,31 @@ class TestStateUpdater:
         assert updater.committed_ids == {"T1"}
         assert applied == {}
 
+    def test_out_of_order_commits_respect_block_order_per_key(self):
+        """Votes for two writers of one record arriving in reverse block order
+        must still commit the *later* writer's value (the dependency-graph
+        order), not the last arrival's — the divergence the fault battery's
+        serializability oracle caught on reordered links."""
+        t_early = make_tx("W1", writes=["hot"], application="app-0", timestamp=1)
+        t_late = make_tx("W2", writes=["hot", "other"], application="app-1", timestamp=2)
+        updater, applied = self._updater([t_early, t_late], tau=1)
+        # The later writer's COMMIT arrives first (independent links).
+        updater.receive(
+            CommitMessage(executor="e2", block_sequence=1,
+                          results=(result_for(t_late, {"hot": "late", "other": 1}, "e2"),))
+        )
+        updater.receive(
+            CommitMessage(executor="e0", block_sequence=1,
+                          results=(result_for(t_early, {"hot": "early"}, "e0"),))
+        )
+        assert applied == {"hot": "late", "other": 1}
+        assert updater.effective_updates("W2") == {"hot": "late", "other": 1}
+        # The stale write was gated out entirely.
+        assert updater.effective_updates("W1") == {}
+        # Both transactions still committed with their original winning results.
+        assert updater.committed_ids == {"W1", "W2"}
+        assert updater.committed_result("W1").updates == {"hot": "early"}
+
     def test_results_for_unknown_transactions_are_ignored(self):
         txs = cross_app_block()
         updater, applied = self._updater(txs, tau=1)

@@ -68,6 +68,26 @@ class TestScenarioSpec:
         with pytest.raises(ConfigurationError, match="unknown scenario field"):
             ScenarioSpec.from_dict({"name": "s", "block_size": 100})
 
+    def test_faults_section_validated_and_round_tripped(self):
+        scenario = ScenarioSpec(name="s", faults={"random": {"events": 3, "horizon": 1.0}})
+        assert ScenarioSpec.from_dict(scenario.to_dict()) == scenario
+        with pytest.raises(ConfigurationError, match="'events' or 'random'"):
+            ScenarioSpec(name="s", faults={"chaos": True})
+        with pytest.raises(ConfigurationError, match="must be a mapping"):
+            ScenarioSpec(name="s", faults=["crash"])
+
+    def test_faults_reach_the_expanded_points(self):
+        spec = tiny_spec(
+            scenarios=[
+                {"name": "adversarial", "paradigm": "OX",
+                 "system": {"recovery": {"enabled": True}},
+                 "faults": {"random": {"events": 2, "horizon": 1.0}}},
+            ]
+        )
+        point = spec.expand()[0]
+        assert point.faults == {"random": {"events": 2, "horizon": 1.0}}
+        assert point.as_dict()["faults"] == point.faults
+
 
 class TestExperimentSpecRoundTrip:
     def test_dict_round_trip(self):

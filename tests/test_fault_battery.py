@@ -1,0 +1,127 @@
+"""The seeded random fault battery, plus the broken-commit-rule canary.
+
+For every seed and paradigm the battery generates a random fault schedule
+(crashes, partitions, link drops/delays/duplication/reordering — all healing
+before the horizon), runs the full deployment under it and requires all four
+oracles to pass.  On a failure the schedule is shrunk to its minimal failing
+form and dumped as a JSON repro artifact (CI uploads it).
+
+``REPRO_FAULT_SEEDS`` widens the sweep (the CI fault-battery job runs 30
+seeds x 3 paradigms; the tier-1 default stays small for speed).
+``REPRO_FAULT_ARTIFACT_DIR`` picks where failing schedules land.
+
+The canary test mutates OXII's commit rule in-process (the speculative read
+view of Algorithm 1 stops applying predecessor results) and demands that the
+serializability oracle catches it — with a shrunken schedule of at most five
+fault events emitted as an artifact.  That closes the loop: the battery is
+only trustworthy if a real safety bug cannot slip past it.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.nodes import executor as executor_module
+from repro.testing import (
+    ScenarioConfig,
+    check_serializability,
+    dump_repro_artifact,
+    run_all_oracles,
+    run_scenario,
+    shrink_schedule,
+)
+
+#: Seeds per paradigm; CI sets REPRO_FAULT_SEEDS=30 for the full battery.
+BATTERY_SEEDS = int(os.environ.get("REPRO_FAULT_SEEDS", "3"))
+ARTIFACT_DIR = Path(os.environ.get("REPRO_FAULT_ARTIFACT_DIR", "."))
+
+PARADIGMS = ("OX", "XOV", "OXII")
+#: Rotate the ordering protocol with the seed so the battery covers all three.
+CONSENSUS_ROTATION = (("kafka", 0, 3), ("raft", 1, 3), ("pbft", 1, 4))
+
+
+def battery_config(paradigm: str, seed: int) -> ScenarioConfig:
+    # Decorrelated rotations: consensus advances every 3 seeds while
+    # contention cycles per seed, so 9 consecutive seeds cover the full
+    # consensus × contention cross product (a shared modulus would pin each
+    # protocol to a single contention level forever).
+    consensus, f, orderers = CONSENSUS_ROTATION[(seed // 3) % len(CONSENSUS_ROTATION)]
+    return ScenarioConfig(
+        paradigm=paradigm,
+        seed=seed,
+        offered_load=250,
+        duration=1.0,
+        contention=(0.0, 0.3, 0.8)[seed % 3],
+        conflict_scope=("within_application", "cross_application")[(seed // 2) % 2],
+        consensus=consensus,
+        max_faulty_orderers=f,
+        num_orderers=orderers,
+    )
+
+
+@pytest.mark.parametrize("paradigm", PARADIGMS)
+@pytest.mark.parametrize("seed", range(BATTERY_SEEDS))
+def test_random_fault_battery(paradigm: str, seed: int):
+    config = battery_config(paradigm, seed)
+    schedule = config.random_schedule(events=5)
+    outcome = run_scenario(config, schedule)
+    violations = run_all_oracles(outcome)
+    if violations:
+        def still_fails(candidate):
+            return bool(run_all_oracles(run_scenario(config, candidate)))
+
+        shrunk = shrink_schedule(schedule, still_fails, max_attempts=60)
+        final = run_all_oracles(run_scenario(config, shrunk))
+        artifact = dump_repro_artifact(
+            ARTIFACT_DIR / f"fault-repro-{paradigm}-{seed}.json",
+            config,
+            shrunk,
+            final or violations,
+        )
+        pytest.fail(
+            f"{paradigm} seed={seed} violated oracles "
+            f"({'; '.join(v.oracle for v in violations)}); "
+            f"shrunken repro with {len(shrunk)} events at {artifact}"
+        )
+
+
+class TestBrokenCommitRuleIsCaught:
+    def test_serializability_oracle_catches_a_mutated_commit_rule(self, monkeypatch, tmp_path):
+        """Disable the speculative read view (Algorithm 1's C_e ∪ X_e overlay):
+        executors commit results computed against stale state.  The oracle
+        must fire, and the shrinker must reduce the schedule to ≤ 5 events."""
+        config = ScenarioConfig(
+            paradigm="OXII", seed=5, offered_load=250, duration=1.0, contention=0.5,
+        )
+        schedule = config.random_schedule(events=8)
+
+        monkeypatch.setattr(
+            executor_module._SpeculativeView, "apply", lambda self, updates: None
+        )
+
+        def still_fails(candidate):
+            return bool(check_serializability(run_scenario(config, candidate)))
+
+        assert still_fails(schedule), "mutated commit rule must violate serializability"
+        shrunk = shrink_schedule(schedule, still_fails, max_attempts=60)
+        assert len(shrunk) <= 5, f"shrunken schedule still has {len(shrunk)} events"
+
+        outcome = run_scenario(config, shrunk)
+        violations = check_serializability(outcome)
+        assert violations and all(v.oracle == "serializability" for v in violations)
+        artifact = dump_repro_artifact(
+            tmp_path / "broken-commit-rule.json", config, shrunk, violations
+        )
+        assert artifact.exists()
+
+    def test_restored_commit_rule_passes_again(self):
+        """Guard against the canary leaking state: the same scenario is clean
+        with the real commit rule."""
+        config = ScenarioConfig(
+            paradigm="OXII", seed=5, offered_load=250, duration=1.0, contention=0.5,
+        )
+        outcome = run_scenario(config, config.random_schedule(events=8))
+        assert not run_all_oracles(outcome)

@@ -1,0 +1,221 @@
+"""Unit tests for the fault-scenario harness building blocks.
+
+Covers the schedule data model (validation, JSON round-trip, heal-time
+analysis), the role language, the injector's clock-driven application, the
+greedy shrinker and the repro-artifact format.  End-to-end scenario tests
+live in ``test_fault_scenarios.py`` / ``test_fault_battery.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.config import SystemConfig
+from repro.testing import (
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    ScenarioConfig,
+    dump_repro_artifact,
+    resolve_fault_injector,
+    run_scenario,
+    scenario_roles,
+    shrink_schedule,
+)
+from repro.testing.schedule import resolve_role
+
+
+class TestFaultEventValidation:
+    def test_rejects_unknown_action(self):
+        with pytest.raises(ConfigurationError, match="unknown fault action"):
+            FaultEvent(at=0.0, action="meteor")
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ConfigurationError, match="must be >= 0"):
+            FaultEvent(at=-1.0, action="crash", target="leader")
+
+    def test_crash_needs_target(self):
+        with pytest.raises(ConfigurationError, match="needs a target"):
+            FaultEvent(at=0.0, action="crash")
+
+    def test_partition_needs_groups(self):
+        with pytest.raises(ConfigurationError, match="needs at least one group"):
+            FaultEvent(at=0.0, action="partition")
+
+    def test_link_actions_need_endpoints(self):
+        with pytest.raises(ConfigurationError, match="sender and recipient"):
+            FaultEvent(at=0.0, action="degrade_link", sender="leader")
+
+    def test_dict_round_trip_is_compact_and_lossless(self):
+        event = FaultEvent(
+            at=0.5, action="degrade_link", sender="gateway", recipient="leader",
+            drop_probability=0.5, reorder_window=0.01,
+        )
+        data = event.to_dict()
+        assert "extra_delay" not in data  # neutral fields omitted
+        assert FaultEvent.from_dict(data) == event
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ConfigurationError, match="unknown fault event field"):
+            FaultEvent.from_dict({"at": 0.0, "action": "crash", "target": "x", "oops": 1})
+
+
+class TestFaultSchedule:
+    def test_events_sorted_by_time(self):
+        schedule = FaultSchedule(events=(
+            FaultEvent(at=1.0, action="heal_partition"),
+            FaultEvent(at=0.2, action="partition", groups=(("peer:0",),)),
+        ))
+        assert [e.at for e in schedule.events] == [0.2, 1.0]
+
+    def test_json_round_trip(self, tmp_path):
+        schedule = FaultSchedule(events=(
+            FaultEvent(at=0.1, action="crash", target="orderer:1"),
+            FaultEvent(at=0.9, action="restart", target="orderer:1"),
+        ))
+        path = tmp_path / "schedule.json"
+        schedule.to_json(path)
+        assert FaultSchedule.from_file(path) == schedule
+
+    def test_heal_time_of_fully_healed_schedule(self):
+        schedule = FaultSchedule(events=(
+            FaultEvent(at=0.1, action="crash", target="peer:0"),
+            FaultEvent(at=0.4, action="restart", target="peer:0"),
+            FaultEvent(at=0.2, action="partition", groups=(("peer:1",),)),
+            FaultEvent(at=0.7, action="heal_partition"),
+        ))
+        assert schedule.heal_time() == 0.7
+
+    def test_heal_time_infinite_when_a_fault_stays_active(self):
+        schedule = FaultSchedule(events=(FaultEvent(at=0.1, action="crash", target="peer:0"),))
+        assert schedule.heal_time() == float("inf")
+
+    def test_without_removes_one_event(self):
+        schedule = FaultSchedule(events=(
+            FaultEvent(at=0.1, action="crash", target="peer:0"),
+            FaultEvent(at=0.4, action="restart", target="peer:0"),
+        ))
+        assert len(schedule.without(0)) == 1
+        assert schedule.without(0).events[0].action == "restart"
+
+
+class TestRoleLanguage:
+    ORDERERS = ["orderer-0", "orderer-1"]
+    PEERS = ["exec-0", "exec-1", "exec-2"]
+
+    def resolve(self, role):
+        return resolve_role(role, self.ORDERERS, self.PEERS, "client-gateway")
+
+    def test_groups_and_indices(self):
+        assert self.resolve("orderers") == self.ORDERERS
+        assert self.resolve("peers") == self.PEERS
+        assert self.resolve("executor:2") == ["exec-2"]
+        assert self.resolve("orderer:1") == ["orderer-1"]
+        assert self.resolve("leader") == ["orderer-0"]
+        assert self.resolve("gateway") == ["client-gateway"]
+        assert set(self.resolve("all")) == set(self.ORDERERS + self.PEERS + ["client-gateway"])
+
+    def test_literal_node_id_escape_hatch(self):
+        assert self.resolve("exec-1") == ["exec-1"]
+
+    def test_out_of_range_and_unknown_roles_fail(self):
+        with pytest.raises(ConfigurationError, match="out of range"):
+            self.resolve("orderer:7")
+        with pytest.raises(ConfigurationError, match="unknown fault target"):
+            self.resolve("mystery")
+
+    def test_scenario_roles_follow_config(self):
+        roles = scenario_roles(SystemConfig(num_applications=2, num_non_executors=1))
+        assert roles["orderers"] == ["orderer:0", "orderer:1", "orderer:2"]
+        assert roles["peers"] == ["peer:0", "peer:1", "peer:2"]
+
+
+class TestRandomSchedules:
+    def test_every_generated_fault_heals_by_heal_by(self):
+        config = ScenarioConfig(seed=3)
+        schedule = config.random_schedule(events=6)
+        assert schedule.heal_time() <= 0.7 * config.horizon + 1e-9
+
+    def test_resolver_accepts_all_forms(self):
+        schedule = FaultSchedule(events=(FaultEvent(at=0.0, action="heal_partition"),))
+        assert resolve_fault_injector(schedule, seed=1).schedule == schedule
+        injector = FaultInjector(schedule)
+        assert resolve_fault_injector(injector, seed=1) is injector
+        from_dict = resolve_fault_injector(schedule.to_dict(), seed=1)
+        assert from_dict.schedule == schedule
+        generated = resolve_fault_injector(
+            {"random": {"events": 2, "horizon": 1.0}}, seed=1, system_config=SystemConfig()
+        )
+        assert len(generated.schedule) == 4  # two arcs, fault + heal each
+
+    def test_resolver_rejects_junk(self):
+        with pytest.raises(ConfigurationError):
+            resolve_fault_injector(42, seed=1)
+
+
+class TestInjectorApplication:
+    def test_events_fire_at_their_scheduled_times(self):
+        config = ScenarioConfig(paradigm="OX", seed=2, offered_load=150, duration=0.6)
+        schedule = FaultSchedule(events=(
+            FaultEvent(at=0.2, action="crash", target="peer:0"),
+            FaultEvent(at=0.5, action="restart", target="peer:0"),
+        ))
+        outcome = run_scenario(config, schedule)
+        assert outcome.injector.applied[0] == (0.2, "crash")
+        assert outcome.injector.applied[1] == (0.5, "restart")
+        assert outcome.injector.affected_nodes == {outcome.peers[0].node_id}
+        crashed_peer = outcome.handles.peers[0]
+        assert crashed_peer.crash_count == 1 and crashed_peer.restart_count == 1
+
+
+class TestShrinker:
+    @staticmethod
+    def _schedule(n):
+        events = []
+        for i in range(n):
+            events.append(FaultEvent(at=0.1 * (i + 1), action="crash", target=f"peer:{i}"))
+            events.append(FaultEvent(at=0.1 * (i + 1) + 0.05, action="restart", target=f"peer:{i}"))
+        return FaultSchedule(events=tuple(events))
+
+    def test_shrinks_to_the_minimal_failing_core(self):
+        # "Fails" iff the schedule still crashes peer:1 — the shrinker must
+        # strip everything else and keep exactly that one event.
+        def fails(schedule):
+            return any(e.action == "crash" and e.target == "peer:1" for e in schedule.events)
+
+        small = shrink_schedule(self._schedule(3), fails)
+        assert len(small) == 1
+        assert small.events[0].target == "peer:1"
+
+    def test_requires_an_initially_failing_schedule(self):
+        with pytest.raises(ValueError, match="currently fails"):
+            shrink_schedule(self._schedule(1), lambda s: False)
+
+    def test_respects_the_attempt_budget(self):
+        calls = []
+
+        def fails(schedule):
+            calls.append(1)
+            return True
+
+        shrink_schedule(self._schedule(4), fails, max_attempts=3)
+        # 1 initial check + at most 3 shrink attempts.
+        assert len(calls) <= 4
+
+
+class TestReproArtifacts:
+    def test_artifact_is_replayable_json(self, tmp_path):
+        config = ScenarioConfig(paradigm="OXII", seed=7)
+        schedule = FaultSchedule(events=(FaultEvent(at=0.3, action="crash", target="leader"),))
+        path = dump_repro_artifact(
+            tmp_path / "repro.json", config, schedule,
+            violations=[], extra={"note": "unit test"},
+        )
+        payload = json.loads(path.read_text())
+        assert payload["artifact_schema_version"] == 1
+        assert payload["scenario"]["paradigm"] == "OXII"
+        assert FaultSchedule.from_dict(payload["schedule"]) == schedule
+        assert payload["note"] == "unit test"

@@ -163,7 +163,11 @@ def main(argv: List[str] | None = None) -> int:
     runnable = (
         [Path(p) for p in args.run]
         if args.run is not None
-        else [REPO_ROOT / "docs" / "experiments.md", REPO_ROOT / "docs" / "workloads.md"]
+        else [
+            REPO_ROOT / "docs" / "experiments.md",
+            REPO_ROOT / "docs" / "workloads.md",
+            REPO_ROOT / "docs" / "testing.md",
+        ]
     )
 
     errors: List[str] = []
