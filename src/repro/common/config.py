@@ -286,6 +286,11 @@ class SystemConfig:
     far_groups: Sequence[str] = ()
     #: Seed for all pseudo-random decisions (workload, jitter).
     seed: int = 7
+    #: Dependency-graph edge materialisation: "sparse" (frontier chains —
+    #: same waves/closure as all-pairs with O(accesses) edges, the default)
+    #: or "all_pairs" (one edge per conflicting pair, Section III-A
+    #: verbatim).  See :class:`repro.core.dependency_graph.GraphConstruction`.
+    graph_construction: str = "sparse"
 
     def __post_init__(self) -> None:
         if self.num_orderers <= 0:
@@ -304,6 +309,11 @@ class SystemConfig:
             )
         if not self.contract or not isinstance(self.contract, str):
             raise ConfigurationError("contract must be a non-empty registered contract name")
+        if self.graph_construction not in ("sparse", "all_pairs"):
+            raise ConfigurationError(
+                f"unknown graph construction {self.graph_construction!r} "
+                "(expected 'sparse' or 'all_pairs')"
+            )
         unknown = set(self.far_groups) - set(NODE_GROUPS)
         if unknown:
             raise ConfigurationError(f"unknown node groups: {sorted(unknown)}")

@@ -1,0 +1,33 @@
+"""Optional numpy acceleration for the graph/execution hot path.
+
+The runtime is deliberately dependency-free (``pyproject.toml`` declares no
+runtime dependencies), so numpy is an *accelerator*, never a requirement:
+every consumer keeps a pure-Python fallback and only switches to the
+vectorised path when numpy imports.  Set ``REPRO_NO_NUMPY=1`` to force the
+fallback paths even when numpy is installed (CI exercises both).
+
+Where numpy pays — and where it does not — was decided by profiling, not
+taste (see ``docs/performance.md``):
+
+* whole-block, per-node passes (wave partition of a block, the
+  cross-application successor bitmap) vectorise well and are used every
+  block;
+* the countdown scheduler's per-event bookkeeping (decrement a handful of
+  successor counters per settle) does *not* pay: the adjacency lists are
+  short and the per-call numpy overhead exceeds the list-walk it replaces,
+  so the scheduler stays on plain lists/bytearrays.
+"""
+
+from __future__ import annotations
+
+import os
+
+try:  # pragma: no cover - exercised via REPRO_NO_NUMPY in tests
+    if os.environ.get("REPRO_NO_NUMPY", "") not in ("", "0", "false"):
+        raise ImportError("numpy disabled via REPRO_NO_NUMPY")
+    import numpy as np
+except ImportError:  # pragma: no cover - depends on environment
+    np = None  # type: ignore[assignment]
+
+#: True when the vectorised paths are active.
+HAVE_NUMPY = np is not None

@@ -38,6 +38,7 @@ from enum import Enum
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.common.errors import DependencyGraphError
+from repro.core._accel import np as _np
 from repro.core.graph_core import AdjacencyDAG, depth_histogram
 from repro.core.transaction import Operation, OperationType, Transaction
 
@@ -55,6 +56,28 @@ class GraphMode(str, Enum):
 
     SINGLE_VERSION = "single_version"
     MULTI_VERSION = "multi_version"
+
+
+class GraphConstruction(str, Enum):
+    """How many of a block's conflict edges are materialised.
+
+    * ``all_pairs`` — one edge per conflicting ordered pair, the literal
+      Section III-A definition.  Hot keys make this quadratic: ``k``
+      transactions touching one record contribute up to ``k·(k-1)/2`` edges,
+      nearly all of them transitively redundant.
+    * ``sparse`` — per-key frontier chains: each arriving transaction links
+      only to the key's current *frontier* (the last writer, or the readers
+      seen since it), which yields O(accesses) edges while preserving the
+      all-pairs graph's transitive closure exactly — hence identical waves,
+      dispatch order and committed state (see ``StreamingGraphBuilder``).
+      Under ``multi_version`` semantics no sound sparsification exists (the
+      only edges are writer→reader and writers are mutually unordered, so no
+      chain can stand in for a dropped edge); sparse graphs therefore keep
+      the all-pairs rule there.
+    """
+
+    ALL_PAIRS = "all_pairs"
+    SPARSE = "sparse"
 
 
 # Conflict kinds as bit flags for the hot construction path; tuples of
@@ -139,9 +162,10 @@ class DependencyGraph:
         transactions: Sequence[Transaction],
         edges: Iterable[DependencyEdge],
         mode: GraphMode = GraphMode.SINGLE_VERSION,
+        construction: GraphConstruction = GraphConstruction.ALL_PAIRS,
     ) -> None:
         ordered = sorted(transactions, key=lambda t: t.timestamp)
-        self._init_nodes(ordered, mode)
+        self._init_nodes(ordered, mode, construction=construction)
         self._dag = AdjacencyDAG(len(self._ids))
         for edge in edges:
             self._add_edge(edge)
@@ -152,8 +176,10 @@ class DependencyGraph:
         ordered: Sequence[Transaction],
         mode: GraphMode,
         index: Optional[Dict[str, int]] = None,
+        construction: GraphConstruction = GraphConstruction.ALL_PAIRS,
     ) -> None:
         self._mode = mode
+        self._construction = construction
         self._txs = list(ordered)
         self._ids: List[str] = [tx.tx_id for tx in self._txs]
         if index is None:
@@ -184,11 +210,12 @@ class DependencyGraph:
         mode: GraphMode,
         explicit_masks: Optional[Dict[Tuple[int, int], int]] = None,
         index: Optional[Dict[str, int]] = None,
+        construction: GraphConstruction = GraphConstruction.ALL_PAIRS,
     ) -> "DependencyGraph":
         """Fast path for :class:`StreamingGraphBuilder`: transactions already in
         block order, ``incoming[v]`` the already-validated predecessor indices."""
         graph = cls.__new__(cls)
-        graph._init_nodes(ordered, mode, index=index)
+        graph._init_nodes(ordered, mode, index=index, construction=construction)
         graph._dag = AdjacencyDAG.from_incoming(incoming)
         if explicit_masks:
             graph._explicit_masks = dict(explicit_masks)
@@ -235,6 +262,17 @@ class DependencyGraph:
     def mode(self) -> GraphMode:
         """Datastore semantics the graph was generated for."""
         return self._mode
+
+    @property
+    def construction(self) -> GraphConstruction:
+        """Which edge-materialisation strategy built this graph.
+
+        Metadata only: graphs with different constructions over the same
+        block share their transitive closure, waves and committed state, but
+        their edge sets differ, so consumers that compare graphs structurally
+        (block sealing, tests) need to know which family they hold.
+        """
+        return self._construction
 
     def __len__(self) -> int:
         return len(self._ids)
@@ -305,14 +343,26 @@ class DependencyGraph:
         if self._cross_app_succ is None:
             txs = self._txs
             dag = self._dag
-            flags = [False] * len(txs)
-            for u in range(dag.n):
-                app = txs[u].application
-                for v in dag.successors(u):
-                    if txs[v].application != app:
-                        flags[u] = True
-                        break
-            self._cross_app_succ = tuple(flags)
+            arrays = dag.edge_index_arrays() if dag.edge_count else None
+            if arrays is not None:
+                # Vectorised: compare application codes across both endpoint
+                # arrays at once instead of walking adjacency lists per node.
+                codes: Dict[str, int] = {}
+                node_codes = [codes.setdefault(tx.application, len(codes)) for tx in txs]
+                code_arr = _np.asarray(node_codes, dtype=_np.int64)
+                sources, targets = arrays
+                flags_arr = _np.zeros(len(txs), dtype=bool)
+                flags_arr[sources[code_arr[sources] != code_arr[targets]]] = True
+                self._cross_app_succ = tuple(flags_arr.tolist())
+            else:
+                flags = [False] * len(txs)
+                for u in range(dag.n):
+                    app = txs[u].application
+                    for v in dag.successors(u):
+                        if txs[v].application != app:
+                            flags[u] = True
+                            break
+                self._cross_app_succ = tuple(flags)
         return self._cross_app_succ
 
     def edges(self) -> List[DependencyEdge]:
@@ -470,7 +520,11 @@ class DependencyGraph:
             if u in remap and v in remap
         }
         return DependencyGraph._from_indexed(
-            [self._txs[v] for v in keep], incoming, self._mode, explicit_masks=explicit
+            [self._txs[v] for v in keep],
+            incoming,
+            self._mode,
+            explicit_masks=explicit,
+            construction=self._construction,
         )
 
     def canonical_tuple(self) -> tuple:
@@ -515,14 +569,39 @@ class StreamingGraphBuilder:
     timestamps).  :meth:`graph` snapshots the current graph without
     invalidating the builder, so an orderer can inspect the partial graph
     (e.g. for contention-aware block cutting) and keep appending.
+
+    With ``construction=GraphConstruction.SPARSE`` the builder keeps, per
+    key, only the *frontier*: the position of the last writer and the readers
+    seen since it.  An arriving reader links to the last writer; an arriving
+    writer links to the frontier readers (or, if none, to the last writer)
+    and resets the frontier.  Every sparse edge is a genuine pairwise
+    conflict, and every dropped conflict pair stays reachable through the
+    chain — writer→writer through the per-key writer chain, writer→reader
+    through the chain plus the last-writer edge, reader→writer through the
+    first subsequent writer — so the transitive closure (and with it the
+    longest-path depth of every node, i.e. the execution waves) is exactly
+    the all-pairs graph's.  A key in both the read and write set of one
+    transaction is handled by the write rule alone (linking it as a reader
+    too would self-loop).  Edge count becomes O(accesses) instead of
+    O(hot-key popularity²).  ``multi_version`` graphs are unaffected: their
+    writer→reader edges admit no chaining (see :class:`GraphConstruction`).
     """
 
-    def __init__(self, mode: GraphMode = GraphMode.SINGLE_VERSION) -> None:
+    def __init__(
+        self,
+        mode: GraphMode = GraphMode.SINGLE_VERSION,
+        construction: GraphConstruction = GraphConstruction.ALL_PAIRS,
+    ) -> None:
         self._mode = mode
+        self._construction = construction
         self._txs: List[Transaction] = []
         self._index: Dict[str, int] = {}
         self._writers: Dict[str, List[int]] = {}
         self._readers: Dict[str, List[int]] = {}
+        #: Sparse-construction frontier: last writer position per key, and the
+        #: reader positions seen since that write.
+        self._last_writer: Dict[str, int] = {}
+        self._frontier_readers: Dict[str, List[int]] = {}
         #: ``_incoming[v]`` — predecessor indices of transaction ``v`` (a set,
         #: or the shared empty tuple for conflict-free transactions).
         self._incoming: List[object] = []
@@ -536,6 +615,11 @@ class StreamingGraphBuilder:
     def mode(self) -> GraphMode:
         """Datastore semantics the graph is generated for."""
         return self._mode
+
+    @property
+    def construction(self) -> GraphConstruction:
+        """Edge-materialisation strategy of the graphs this builder produces."""
+        return self._construction
 
     @property
     def edge_count(self) -> int:
@@ -562,11 +646,33 @@ class StreamingGraphBuilder:
                 "timestamps must be strictly increasing: "
                 f"{self._txs[-1].tx_id} and {tx.tx_id}"
             )
-        writers = self._writers
-        readers = self._readers
         rw_set = tx.rw_set
         read_set = rw_set.reads
         write_set = rw_set.writes
+        if (
+            self._construction is GraphConstruction.SPARSE
+            and self._mode is not GraphMode.MULTI_VERSION
+        ):
+            preds = self._sparse_predecessors(idx, read_set, write_set)
+        else:
+            preds = self._all_pairs_predecessors(idx, read_set, write_set)
+        if preds is None:
+            self._incoming.append(())
+            added = 0
+        else:
+            self._incoming.append(preds)
+            added = len(preds)
+            self._edge_count += added
+        self._txs.append(tx)
+        self._last_timestamp = timestamp
+        return added
+
+    def _all_pairs_predecessors(
+        self, idx: int, read_set: FrozenSet[str], write_set: FrozenSet[str]
+    ) -> Optional[Set[int]]:
+        """One edge per conflicting earlier accessor (Section III-A verbatim)."""
+        writers = self._writers
+        readers = self._readers
         # ``preds`` is only allocated once a conflict is found; the bulk
         # ``set.update`` over the per-record index lists is the entire
         # per-edge cost of construction.
@@ -606,16 +712,54 @@ class StreamingGraphBuilder:
                 writers[key] = [idx]
             else:
                 earlier_writers.append(idx)
-        if preds is None:
-            self._incoming.append(())
-            added = 0
-        else:
-            self._incoming.append(preds)
-            added = len(preds)
-            self._edge_count += added
-        self._txs.append(tx)
-        self._last_timestamp = timestamp
-        return added
+        return preds
+
+    def _sparse_predecessors(
+        self, idx: int, read_set: FrozenSet[str], write_set: FrozenSet[str]
+    ) -> Optional[Set[int]]:
+        """Frontier-chain edges: link only to each key's current frontier.
+
+        A reader depends on the key's last writer (and joins the frontier);
+        a writer depends on the frontier readers — every one of them must
+        precede it, and each already reaches the last writer — or directly on
+        the last writer when no reads intervened, then becomes the new
+        frontier.  All transitively implied conflict pairs stay reachable
+        through these chains, so the closure equals the all-pairs graph's.
+        """
+        last_writer = self._last_writer
+        frontier_readers = self._frontier_readers
+        preds: Optional[Set[int]] = None
+        for key in read_set:
+            if key in write_set:
+                continue  # the write rule below orders it (and avoids a self-loop)
+            writer = last_writer.get(key)
+            if writer is not None:
+                if preds is None:
+                    preds = {writer}
+                else:
+                    preds.add(writer)
+            readers = frontier_readers.get(key)
+            if readers is None:
+                frontier_readers[key] = [idx]
+            else:
+                readers.append(idx)
+        for key in write_set:
+            readers = frontier_readers.get(key)
+            if readers:
+                if preds is None:
+                    preds = set(readers)
+                else:
+                    preds.update(readers)
+                readers.clear()
+            else:
+                writer = last_writer.get(key)
+                if writer is not None:
+                    if preds is None:
+                        preds = {writer}
+                    else:
+                        preds.add(writer)
+            last_writer[key] = idx
+        return preds
 
     def extend(self, transactions: Iterable[Transaction]) -> None:
         """Add several transactions in order."""
@@ -637,6 +781,7 @@ class StreamingGraphBuilder:
             [set(preds) if preds else () for preds in self._incoming],
             self._mode,
             index=dict(self._index),
+            construction=self._construction,
         )
 
     def take_graph(self) -> DependencyGraph:
@@ -647,7 +792,11 @@ class StreamingGraphBuilder:
         block empty.
         """
         graph = DependencyGraph._from_indexed(
-            self._txs, self._incoming, self._mode, index=self._index
+            self._txs,
+            self._incoming,
+            self._mode,
+            index=self._index,
+            construction=self._construction,
         )
         self.reset()
         return graph
@@ -658,6 +807,8 @@ class StreamingGraphBuilder:
         self._index = {}
         self._writers = {}
         self._readers = {}
+        self._last_writer = {}
+        self._frontier_readers = {}
         self._incoming = []
         self._edge_count = 0
         self._last_timestamp = None
@@ -666,20 +817,25 @@ class StreamingGraphBuilder:
 def build_dependency_graph(
     transactions: Sequence[Transaction],
     mode: GraphMode = GraphMode.SINGLE_VERSION,
+    construction: GraphConstruction = GraphConstruction.ALL_PAIRS,
 ) -> DependencyGraph:
     """Construct the dependency graph of a block of transactions.
 
     Transactions must already carry strictly increasing timestamps in block
-    order (the orderers stamp them).  The construction is equivalent to
-    checking every ordered pair (the definition in Section III-A) but is
+    order (the orderers stamp them).  The default construction is equivalent
+    to checking every ordered pair (the definition in Section III-A) but is
     implemented per record via :class:`StreamingGraphBuilder`: only
     transactions that touch a common record can conflict, so the work is
     proportional to the contention actually present rather than always
-    quadratic.  (The *simulated* cost charged to orderers stays quadratic —
-    see :meth:`repro.common.config.CostModel.dependency_graph_cost` — because
+    quadratic in block size.  Pass
+    ``construction=GraphConstruction.SPARSE`` for the frontier-chain
+    construction, which additionally drops transitively redundant edges —
+    same closure, waves and committed state, O(accesses) edges.  (The
+    *simulated* cost charged to orderers stays quadratic — see
+    :meth:`repro.common.config.CostModel.dependency_graph_cost` — because
     that is the cost the paper's implementation pays.)
     """
-    builder = StreamingGraphBuilder(mode=mode)
+    builder = StreamingGraphBuilder(mode=mode, construction=construction)
     for tx in sorted(transactions, key=lambda t: t.timestamp):
         builder.add(tx)
     return builder.take_graph()

@@ -46,7 +46,7 @@ from typing import (
     Tuple,
 )
 
-from repro.common.errors import DependencyGraphError, TransactionError
+from repro.common.errors import DependencyGraphError
 from repro.core.dependency_graph import DependencyGraph
 from repro.core.transaction import Transaction, TransactionResult
 
@@ -592,35 +592,34 @@ class ExecutionEngine:
         graph orders every conflicting pair that must observe each other.
 
         A whole wave's updates are applied in one batch.  That is safe
-        because ``ready_indices()`` returns each wave in block order and
-        ``dict.update`` is last-writer-wins: under ``single_version``
-        semantics two writers of one record never share a wave (their WW
-        edge separates them), and under ``multi_version`` semantics — where
-        WW pairs carry no edge and *can* share a wave — the block-order
-        merge commits exactly the later writer's value, the same record the
-        seed's per-result application in wave order left behind.
+        because waves come out in block order and ``dict.update`` is
+        last-writer-wins: under ``single_version`` semantics two writers of
+        one record never share a wave (their WW edge separates them), and
+        under ``multi_version`` semantics — where WW pairs carry no edge and
+        *can* share a wave — the block-order merge commits exactly the later
+        writer's value, the same record the seed's per-result application in
+        wave order left behind.
+
+        When every transaction executes locally the waves need no event-driven
+        bookkeeping at all: they are exactly the dependency-depth levels of
+        the DAG (``test_countdown_waves_are_a_topological_stratification``
+        pins that the countdown scheduler dispatches the same waves in the
+        same in-wave block order), so the engine stratifies the block once
+        with :meth:`AdjacencyDAG.wave_partition` instead of paying the
+        per-edge countdown the distributed executors need for remote COMMIT
+        interleaving.
         """
         n = len(graph)
-        scheduler = CountdownScheduler(graph, range(n))
         results: List[Optional[TransactionResult]] = [None] * n
         runner = self._contract_runner
         state = self._state
-        while not scheduler.is_done():
-            wave = scheduler.ready_indices()
-            if not wave:
-                blocked = {
-                    graph.id_at(v): {graph.id_at(u) for u in scheduler.blocked_on_indices(v)}
-                    for v in scheduler.waiting_indices()
-                }
-                raise TransactionError(f"execution deadlock; blocked on {blocked}")
+        for wave in graph.dag.wave_partition():
             wave_updates: Dict[str, object] = {}
             for v in wave:
                 result = runner(graph.transaction_at(v), state)
                 if not result.is_abort:
                     wave_updates.update(result.updates)
                 results[v] = result
-                scheduler.mark_executed(v)
-                scheduler.mark_committed(v)
             if wave_updates:
                 state.update(wave_updates)
         return list(results)

@@ -21,6 +21,8 @@ from __future__ import annotations
 import heapq
 from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.core._accel import HAVE_NUMPY, np
+
 
 class UnionFind:
     """Disjoint sets over ``0 .. n-1`` with path halving and union by size."""
@@ -68,7 +70,15 @@ class AdjacencyDAG:
     cycle check and makes ``range(n)`` a valid topological order.
     """
 
-    __slots__ = ("_n", "_succ", "_pred", "_in_degree", "_out_degree", "_edge_count")
+    __slots__ = (
+        "_n",
+        "_succ",
+        "_pred",
+        "_in_degree",
+        "_out_degree",
+        "_edge_count",
+        "_edge_arrays",
+    )
 
     def __init__(self, n: int) -> None:
         if n < 0:
@@ -79,6 +89,7 @@ class AdjacencyDAG:
         self._in_degree = [0] * n
         self._out_degree = [0] * n
         self._edge_count = 0
+        self._edge_arrays: Optional[Tuple[object, object]] = None
 
     # ------------------------------------------------------------------ build
     @classmethod
@@ -118,6 +129,7 @@ class AdjacencyDAG:
         self._in_degree[v] += 1
         self._out_degree[u] += 1
         self._edge_count += 1
+        self._edge_arrays = None
 
     # ------------------------------------------------------------------ shape
     @property
@@ -213,6 +225,65 @@ class AdjacencyDAG:
             return 0
         return max(self.longest_path_depths()) + 1
 
+    def wave_partition(self, depths: Optional[Sequence[int]] = None) -> List[List[int]]:
+        """Nodes grouped by dependency depth, block order inside each wave.
+
+        Wave ``k`` is exactly the set of nodes whose longest incoming chain
+        has ``k`` edges — the same stratification the countdown scheduler
+        produces when every node settles as soon as it executes (proven by
+        ``test_countdown_waves_are_a_topological_stratification``), so a
+        whole-block executor can dispatch wave by wave without paying the
+        per-edge settle bookkeeping.  Pass precomputed ``depths`` to avoid
+        recomputing the longest-path DP.
+
+        The bucketing is vectorised with numpy when available: a stable
+        argsort on the depth array yields every wave already in block order.
+        """
+        if depths is None:
+            depths = self.longest_path_depths()
+        n = self._n
+        if n == 0:
+            return []
+        if HAVE_NUMPY:
+            arr = np.asarray(depths, dtype=np.int64)
+            counts = np.bincount(arr)
+            order = np.argsort(arr, kind="stable")
+            waves: List[List[int]] = []
+            start = 0
+            for count in counts.tolist():
+                waves.append(order[start : start + count].tolist())
+                start += count
+            return waves
+        waves = [[] for _ in range(max(depths) + 1)]
+        for v, d in enumerate(depths):
+            waves[d].append(v)
+        return waves
+
+    def edge_index_arrays(self) -> Optional[Tuple[object, object]]:
+        """The edges as parallel ``(sources, targets)`` numpy arrays, cached.
+
+        Returns ``None`` when numpy is unavailable — callers fall back to the
+        per-edge Python loop.  Built once per graph (graphs are immutable
+        after construction on the hot path) so every vectorised whole-block
+        pass over the edges shares the arrays.
+        """
+        if not HAVE_NUMPY:
+            return None
+        if self._edge_arrays is None:
+            m = self._edge_count
+            sources = np.empty(m, dtype=np.int64)
+            targets = np.empty(m, dtype=np.int64)
+            offset = 0
+            for u, succ in enumerate(self._succ):
+                if not succ:
+                    continue
+                end = offset + len(succ)
+                sources[offset:end] = u
+                targets[offset:end] = succ
+                offset = end
+            self._edge_arrays = (sources, targets)
+        return self._edge_arrays
+
     def components(self) -> List[List[int]]:
         """Weakly connected components via union-find, smallest member first."""
         uf = UnionFind(self._n)
@@ -226,6 +297,8 @@ def depth_histogram(depths: Sequence[int]) -> List[int]:
     """Entry ``i`` is how many nodes sit at dependency depth ``i``."""
     if not depths:
         return []
+    if HAVE_NUMPY:
+        return np.bincount(np.asarray(depths, dtype=np.int64)).tolist()
     histogram = [0] * (max(depths) + 1)
     for d in depths:
         histogram[d] += 1

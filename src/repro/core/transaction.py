@@ -286,6 +286,29 @@ class TransactionResult:
         return cached
 
 
+def transaction_digests(transactions: Iterable[Transaction]) -> "list[str]":
+    """Content hashes of a whole batch of transactions, one tight loop.
+
+    Block assembly and Merkle verification hash every transaction of a block;
+    calling :meth:`Transaction.digest` per leaf pays a ``__dict__`` probe,
+    an attribute lookup and a method call each time.  This helper hoists the
+    hash constructor and memo probe out of the call chain while writing back
+    the same ``_digest`` memo, so individual ``digest()`` calls afterwards
+    stay free.
+    """
+    sha256 = hashlib.sha256
+    digests: list = []
+    append = digests.append
+    for tx in transactions:
+        d = tx.__dict__
+        cached = d.get("_digest")
+        if cached is None:
+            cached = sha256(tx.canonical_bytes()).hexdigest()
+            object.__setattr__(tx, "_digest", cached)
+        append(cached)
+    return digests
+
+
 def validate_block_timestamps(transactions: Iterable[Transaction]) -> None:
     """Check that transaction timestamps are strictly increasing.
 

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Any, List, Sequence, Tuple
 
+import hashlib
+
 from repro.crypto.hashing import GENESIS_HASH, content_hash, hash_pair
 
 
@@ -37,14 +39,22 @@ class MerkleTree:
     def _build_levels(leaf_hashes: Sequence[str]) -> List[List[str]]:
         if not leaf_hashes:
             return [[GENESIS_HASH]]
+        # Whole levels are hashed in one comprehension with the sha256
+        # constructor hoisted out — a block build pays ~n pair hashes, so the
+        # per-call overhead of hash_pair() is measurable at 4096 leaves.  An
+        # odd level duplicates its last element (same padding rule as the
+        # per-pair loop this replaces); the *stored* level stays unpadded so
+        # proof() sees identical sibling indices.
+        sha256 = hashlib.sha256
         levels: List[List[str]] = [list(leaf_hashes)]
         while len(levels[-1]) > 1:
             current = levels[-1]
-            parents: List[str] = []
-            for i in range(0, len(current), 2):
-                left = current[i]
-                right = current[i + 1] if i + 1 < len(current) else current[i]
-                parents.append(hash_pair(left, right))
+            if len(current) % 2:
+                current = current + current[-1:]
+            parents = [
+                sha256((current[i] + current[i + 1]).encode("ascii")).hexdigest()
+                for i in range(0, len(current), 2)
+            ]
             levels.append(parents)
         return levels
 

@@ -10,6 +10,7 @@ from repro.core.dependency_graph import (
     ConflictType,
     DependencyEdge,
     DependencyGraph,
+    GraphConstruction,
     GraphMode,
     StreamingGraphBuilder,
     build_dependency_graph,
@@ -272,6 +273,115 @@ class TestStreamingGraphBuilder:
         assert len(builder) == 0 and builder.edge_count == 0
         # The next block starts clean.
         assert builder.add(make_tx("c", reads=["x"], timestamp=1)) == 0
+
+
+class TestSparseConstruction:
+    """Frontier-chain construction: transitively redundant edges never exist.
+
+    Per key the sparse builder keeps the last writer and the readers since
+    that write; a new writer depends on the reader frontier (or the last
+    writer when no reads intervened), a new reader depends on the last
+    writer.  Waves, reachability and committed state are identical to the
+    all-pairs graph — pinned generatively in ``test_graph_properties.py``;
+    these tests pin the exact edge sets on hand-built shapes.
+    """
+
+    def _sparse(self, txs, mode=GraphMode.SINGLE_VERSION):
+        return build_dependency_graph(txs, mode=mode, construction=GraphConstruction.SPARSE)
+
+    def test_writer_chain_keeps_only_adjacent_edges(self):
+        txs = [make_tx(f"w{i}", writes=["x"], timestamp=i + 1) for i in range(4)]
+        sparse = self._sparse(txs)
+        assert set(sparse.dag.edges()) == {(0, 1), (1, 2), (2, 3)}
+        all_pairs = build_dependency_graph(txs)
+        assert all_pairs.edge_count == 6  # every ordered pair
+        assert sparse.critical_path_length() == all_pairs.critical_path_length() == 4
+
+    def test_reader_diamond(self):
+        txs = [
+            make_tx("w0", writes=["x"], timestamp=1),
+            make_tx("r1", reads=["x"], timestamp=2),
+            make_tx("r2", reads=["x"], timestamp=3),
+            make_tx("w3", writes=["x"], timestamp=4),
+        ]
+        sparse = self._sparse(txs)
+        # w3 depends on the reader frontier {r1, r2}, not on w0 directly —
+        # w0 ~> w3 is transitively implied through either reader.
+        assert set(sparse.dag.edges()) == {(0, 1), (0, 2), (1, 3), (2, 3)}
+        assert build_dependency_graph(txs).edge_count == 5
+        assert sparse.dag.longest_path_depths() == [0, 1, 1, 2]
+
+    def test_write_after_frontier_clears_readers(self):
+        txs = [
+            make_tx("r0", reads=["x"], timestamp=1),
+            make_tx("w1", writes=["x"], timestamp=2),
+            make_tx("r2", reads=["x"], timestamp=3),
+        ]
+        sparse = self._sparse(txs)
+        # r2 reads the version w1 wrote; its only edge is from w1 (the r0
+        # frontier was consumed by w1's write).
+        assert set(sparse.dag.edges()) == {(0, 1), (1, 2)}
+
+    def test_read_and_write_of_same_key_takes_write_rule_once(self):
+        txs = [
+            make_tx("w0", writes=["x"], timestamp=1),
+            make_tx("rw1", reads=["x"], writes=["x"], timestamp=2),
+        ]
+        sparse = self._sparse(txs)
+        # One edge, no self-loop, no duplicate from the read rule.
+        assert set(sparse.dag.edges()) == {(0, 1)}
+        assert sparse.edge_count == 1
+
+    def test_multi_version_mode_is_never_sparsified(self):
+        txs = [
+            make_tx("w0", writes=["x"], timestamp=1),
+            make_tx("w1", writes=["x"], timestamp=2),
+            make_tx("r2", reads=["x"], timestamp=3),
+        ]
+        sparse = self._sparse(txs, mode=GraphMode.MULTI_VERSION)
+        dense = build_dependency_graph(txs, mode=GraphMode.MULTI_VERSION)
+        # Only w->r edges exist under MVCC; writers are mutually unreachable,
+        # so no edge is transitively redundant and sparse == all-pairs.
+        assert set(sparse.dag.edges()) == set(dense.dag.edges()) == {(0, 2), (1, 2)}
+
+    def test_streaming_sparse_reset_clears_frontiers(self):
+        builder = StreamingGraphBuilder(construction=GraphConstruction.SPARSE)
+        builder.add(make_tx("w", writes=["x"], timestamp=1))
+        builder.add(make_tx("r", reads=["x"], timestamp=2))
+        builder.reset()
+        # Neither the last writer nor the reader frontier may leak into the
+        # next block.
+        assert builder.add(make_tx("r2", reads=["x"], timestamp=1)) == 0
+        assert builder.add(make_tx("w2", writes=["x"], timestamp=2)) == 1  # from r2 only
+
+    def test_construction_is_carried_by_graph_and_subgraphs(self):
+        txs = paper_example_block()
+        sparse = self._sparse(txs)
+        assert sparse.construction is GraphConstruction.SPARSE
+        sub = sparse.subgraph_for_application("app-2")
+        assert sub.construction is GraphConstruction.SPARSE
+        assert build_dependency_graph(txs).construction is GraphConstruction.ALL_PAIRS
+
+    def test_execution_on_sparse_graph_matches_all_pairs(self):
+        from repro.core.execution import ExecutionEngine
+        from repro.core.transaction import TransactionResult
+
+        txs = [
+            make_tx(f"t{i}", reads=[f"k{i % 3}"], writes=[f"k{(i + 1) % 3}"], timestamp=i + 1)
+            for i in range(12)
+        ]
+
+        def runner(tx, state):
+            updates = {k: str(state.get(k, 0)) + tx.tx_id for k in tx.write_set}
+            return TransactionResult(tx_id=tx.tx_id, application=tx.application, updates=updates)
+
+        sparse_state, dense_state = {}, {}
+        sparse_results = ExecutionEngine(runner, sparse_state).execute_with_graph(self._sparse(txs))
+        dense_results = ExecutionEngine(runner, dense_state).execute_with_graph(
+            build_dependency_graph(txs)
+        )
+        assert sparse_state == dense_state
+        assert sparse_results == dense_results
 
 
 class TestNetworkxEquivalence:

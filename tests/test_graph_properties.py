@@ -25,7 +25,9 @@ from typing import List
 from hypothesis import given, settings, strategies as st
 
 from repro.core.dependency_graph import (
+    GraphConstruction,
     GraphMode,
+    StreamingGraphBuilder,
     build_dependency_graph,
     has_ordering_dependency,
 )
@@ -87,6 +89,78 @@ def test_every_pairwise_conflict_induces_exactly_its_edge(params, mode):
                 f"pair ({txs[i].tx_id}, {txs[j].tx_id}) conflict={expected} "
                 f"but edge={'present' if (i, j) in edges else 'absent'}"
             )
+
+
+def _ancestor_bitmasks(dag) -> List[int]:
+    """reach[v] = bitmask of every node with a path to v (transitive closure).
+
+    Valid because all edges point forward in index order, so the identity is a
+    topological order and predecessors are fully resolved when v is visited.
+    """
+    reach = [0] * dag.n
+    for v in range(dag.n):
+        mask = 0
+        for u in dag.predecessors(v):
+            mask |= reach[u] | (1 << u)
+        reach[v] = mask
+    return reach
+
+
+@given(block_strategy, st.sampled_from([GraphMode.SINGLE_VERSION, GraphMode.MULTI_VERSION]))
+@SETTINGS
+def test_sparse_construction_preserves_closure_and_waves(params, mode):
+    """Frontier-chain sparse graphs: same transitive closure, same waves.
+
+    The sparse construction may only drop transitively *redundant* edges —
+    every pair ordered by the all-pairs graph must stay ordered (identical
+    ancestor sets), every surviving edge must be a genuine pairwise conflict,
+    and the wave stratification the execution engine runs (longest-path
+    depths) must be unchanged.  Under MULTI_VERSION only w→r edges exist and
+    writers are mutually unreachable, so no edge is ever redundant: sparse
+    must equal all-pairs edge-for-edge there.
+    """
+    seed, size = params
+    txs = random_block(seed, size)
+    dense = build_dependency_graph(txs, mode=mode)
+    sparse = build_dependency_graph(txs, mode=mode, construction=GraphConstruction.SPARSE)
+    dense_edges = set(dense.dag.edges())
+    sparse_edges = set(sparse.dag.edges())
+    assert sparse_edges <= dense_edges, "sparse construction invented a non-conflict edge"
+    for u, v in sparse_edges:
+        assert has_ordering_dependency(txs[u], txs[v], mode=mode)
+    assert _ancestor_bitmasks(sparse.dag) == _ancestor_bitmasks(dense.dag)
+    assert sparse.dag.longest_path_depths() == dense.dag.longest_path_depths()
+    assert sparse.parallelism_profile() == dense.parallelism_profile()
+    assert sparse.components() == dense.components()
+    if mode is GraphMode.MULTI_VERSION:
+        assert sparse_edges == dense_edges
+
+
+@given(block_strategy, st.sampled_from([GraphConstruction.ALL_PAIRS, GraphConstruction.SPARSE]))
+@SETTINGS
+def test_streaming_builder_equals_batch_build(params, construction):
+    """Incremental (orderer-side) construction == batch build, per construction."""
+    seed, size = params
+    txs = random_block(seed, size)
+    builder = StreamingGraphBuilder(construction=construction)
+    for tx in txs:
+        builder.add(tx)
+    batch = build_dependency_graph(txs, construction=construction)
+    assert builder.graph().canonical_tuple() == batch.canonical_tuple()
+
+
+@given(block_strategy, st.sampled_from([GraphConstruction.ALL_PAIRS, GraphConstruction.SPARSE]))
+@SETTINGS
+def test_wave_partition_is_the_depth_stratification(params, construction):
+    """dag.wave_partition() buckets nodes exactly by longest-path depth."""
+    seed, size = params
+    graph = build_dependency_graph(random_block(seed, size), construction=construction)
+    depths = graph.dag.longest_path_depths()
+    waves = graph.dag.wave_partition()
+    assert sorted(v for wave in waves for v in wave) == list(range(len(graph)))
+    for k, wave in enumerate(waves):
+        assert wave == sorted(wave), "waves must preserve block order"
+        assert all(depths[v] == k for v in wave)
 
 
 @given(block_strategy)

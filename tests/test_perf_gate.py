@@ -1,0 +1,165 @@
+"""Unit tests for the perf-regression gate (``tools/perf_gate.py``).
+
+The gate itself runs in the ``perf-regression`` CI job against fresh bench
+rows; these tests pin its comparison semantics — tolerance math, the
+``missing`` verdict for absent rows/metrics (the ``seed_skipped`` rows from
+the execution benchmark must never KeyError it), trend-history merging and
+the REPRO_BENCH_NO_GATE escape hatch — on synthetic data so the logic is
+covered without timing anything.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+_spec = importlib.util.spec_from_file_location(
+    "perf_gate", REPO_ROOT / "tools" / "perf_gate.py"
+)
+perf_gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(perf_gate)
+
+
+def _baselines(**overrides):
+    base = {
+        "tolerance": 0.2,
+        "entries": [
+            {
+                "benchmark": "execution_scaling",
+                "match": {"block_size": 4096, "contention": "high"},
+                "metric": "countdown_blocks_per_s",
+                "baseline": 20.0,
+            }
+        ],
+    }
+    base.update(overrides)
+    return base
+
+
+def _row(bps=48.5, **extra):
+    row = {
+        "benchmark": "execution_scaling",
+        "block_size": 4096,
+        "contention": "high",
+        "countdown_blocks_per_s": bps,
+    }
+    row.update(extra)
+    return row
+
+
+class TestEvaluate:
+    def test_value_above_floor_is_ok(self):
+        findings = perf_gate.evaluate([_row(48.5)], _baselines())
+        assert [f["status"] for f in findings] == [perf_gate.OK]
+        assert findings[0]["floor"] == pytest.approx(16.0)
+
+    def test_value_within_tolerance_band_is_ok(self):
+        # 20% below a 20.0 baseline is exactly the floor — still passing.
+        findings = perf_gate.evaluate([_row(16.0)], _baselines())
+        assert findings[0]["status"] == perf_gate.OK
+
+    def test_value_below_floor_is_regression(self):
+        findings = perf_gate.evaluate([_row(15.9)], _baselines())
+        assert findings[0]["status"] == perf_gate.REGRESSION
+
+    def test_absent_row_is_missing_not_crash(self):
+        findings = perf_gate.evaluate([], _baselines())
+        assert findings[0]["status"] == perf_gate.MISSING
+        assert findings[0]["value"] is None
+
+    def test_absent_metric_is_missing_not_keyerror(self):
+        # A row like the 4096/high seed_skipped row, but without the gated
+        # metric at all: the gate reports it, it must never KeyError.
+        row = {"benchmark": "execution_scaling", "block_size": 4096,
+               "contention": "high", "seed_skipped": True}
+        findings = perf_gate.evaluate([row], _baselines())
+        assert findings[0]["status"] == perf_gate.MISSING
+
+    def test_match_requires_every_key(self):
+        row = _row()
+        row["contention"] = "medium"
+        findings = perf_gate.evaluate([row], _baselines())
+        assert findings[0]["status"] == perf_gate.MISSING
+
+    def test_committed_baselines_match_bench_row_schema(self):
+        """Every committed entry matches a row the bench suite actually emits."""
+        baselines = json.loads((REPO_ROOT / "benchmarks" / "baselines.json").read_text())
+        sizes_and_profiles = {(s, p) for s in (256, 1024, 4096) for p in ("low", "medium", "high")}
+        rows = [
+            {"benchmark": "execution_scaling", "block_size": s, "contention": p,
+             "countdown_blocks_per_s": 10**9}
+            for s, p in sizes_and_profiles
+        ]
+        rows.append({"benchmark": "endorsement_snapshots", "cow_endorsements_per_s": 10**9})
+        findings = perf_gate.evaluate(rows, baselines)
+        assert all(f["status"] == perf_gate.OK for f in findings)
+        assert len(findings) == 10
+
+
+class TestTrend:
+    def test_merge_appends_runs(self, tmp_path):
+        trend = tmp_path / "trend.json"
+        perf_gate.merge_trend(trend, [_row()], [])
+        history = perf_gate.merge_trend(trend, [_row(50.0)], [])
+        assert len(history["runs"]) == 2
+        assert history["runs"][1]["rows"][0]["countdown_blocks_per_s"] == 50.0
+        on_disk = json.loads(trend.read_text())
+        assert len(on_disk["runs"]) == 2
+
+    def test_corrupt_trend_restarts_history(self, tmp_path):
+        trend = tmp_path / "trend.json"
+        trend.write_text("{not json")
+        history = perf_gate.merge_trend(trend, [_row()], [])
+        assert len(history["runs"]) == 1
+
+    def test_run_records_regression_count(self, tmp_path):
+        trend = tmp_path / "trend.json"
+        findings = perf_gate.evaluate([_row(1.0)], _baselines())
+        history = perf_gate.merge_trend(trend, [_row(1.0)], findings)
+        assert history["runs"][-1]["regressions"] == 1
+
+
+class TestMain:
+    def _write(self, tmp_path, rows, baselines):
+        results = tmp_path / "results.json"
+        results.write_text(json.dumps(rows))
+        base = tmp_path / "baselines.json"
+        base.write_text(json.dumps(baselines))
+        return results, base
+
+    def _argv(self, results, base, tmp_path):
+        return [
+            "--results", str(results),
+            "--baselines", str(base),
+            "--trend", str(tmp_path / "trend.json"),
+        ]
+
+    def test_pass_exits_zero_and_writes_trend(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_NO_GATE", raising=False)
+        results, base = self._write(tmp_path, [_row()], _baselines())
+        assert perf_gate.main(self._argv(results, base, tmp_path)) == 0
+        assert (tmp_path / "trend.json").exists()
+
+    def test_regression_exits_nonzero(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_NO_GATE", raising=False)
+        results, base = self._write(tmp_path, [_row(1.0)], _baselines())
+        assert perf_gate.main(self._argv(results, base, tmp_path)) == 1
+
+    def test_no_gate_env_reports_only(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_NO_GATE", "1")
+        results, base = self._write(tmp_path, [_row(1.0)], _baselines())
+        assert perf_gate.main(self._argv(results, base, tmp_path)) == 0
+
+    def test_missing_results_file(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_NO_GATE", raising=False)
+        base = tmp_path / "baselines.json"
+        base.write_text(json.dumps(_baselines()))
+        argv = self._argv(tmp_path / "nope.json", base, tmp_path)
+        assert perf_gate.main(argv) == 1
+        monkeypatch.setenv("REPRO_BENCH_NO_GATE", "1")
+        assert perf_gate.main(argv) == 0

@@ -1,0 +1,186 @@
+#!/usr/bin/env python
+"""Perf-regression gate: diff fresh benchmark rows against committed floors.
+
+The ``perf-regression`` CI job runs the benchmark suite (which writes
+``BENCH_results.json`` via ``benchmarks/conftest.py``), then invokes this
+script to compare the fresh rows against ``benchmarks/baselines.json``.  A
+metric that lands more than ``tolerance`` (default 20%) below its committed
+baseline fails the job; so does a baseline entry with no matching row, since
+a silently missing row would otherwise read as "no regression" forever.
+
+Baselines are deliberately conservative (~40% of the throughput measured on
+the development machine) so shared-runner noise does not flap the gate; the
+additional ``tolerance`` headroom sits below *that*.  Raise the baselines when
+the hot path gets faster — they are a ratchet, never a tripwire tuned to one
+machine.
+
+The script also maintains a trend history: every run appends its rows to
+``--trend`` (default ``BENCH_trend.json``), which CI restores from cache and
+uploads as an artifact, giving a per-commit throughput trajectory.
+
+Usage::
+
+    PYTHONPATH=src python tools/perf_gate.py \
+        [--results BENCH_results.json] [--baselines benchmarks/baselines.json] \
+        [--trend BENCH_trend.json]
+
+``REPRO_BENCH_NO_GATE=1`` reports comparisons without failing (exit 0), the
+same escape hatch the in-benchmark gates honour.
+
+Baselines schema (``benchmarks/baselines.json``)::
+
+    {
+      "tolerance": 0.20,
+      "entries": [
+        {"benchmark": "execution_scaling",
+         "match": {"block_size": 4096, "contention": "high"},
+         "metric": "countdown_blocks_per_s",
+         "baseline": 19.4},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+OK = "ok"
+REGRESSION = "regression"
+MISSING = "missing"
+
+
+def no_gate() -> bool:
+    """True when REPRO_BENCH_NO_GATE requests report-only mode."""
+    return os.environ.get("REPRO_BENCH_NO_GATE", "") not in ("", "0", "false")
+
+
+def load_json(path: Path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def match_row(rows: List[dict], entry: dict) -> Optional[dict]:
+    """Find the first row whose benchmark + ``match`` keys equal the entry's."""
+    wanted = entry.get("match", {})
+    for row in rows:
+        if row.get("benchmark") != entry["benchmark"]:
+            continue
+        if all(row.get(key) == value for key, value in wanted.items()):
+            return row
+    return None
+
+
+def evaluate(rows: List[dict], baselines: dict) -> List[dict]:
+    """Compare every baseline entry against the fresh rows.
+
+    Returns one finding per entry: ``{"entry", "status", "value", "floor"}``
+    where status is ``ok``, ``regression`` (value below baseline*(1-tolerance))
+    or ``missing`` (no matching row, or the row lacks the metric).
+    """
+    tolerance = float(baselines.get("tolerance", 0.20))
+    findings = []
+    for entry in baselines["entries"]:
+        floor = entry["baseline"] * (1.0 - tolerance)
+        row = match_row(rows, entry)
+        value = row.get(entry["metric"]) if row is not None else None
+        if value is None:
+            status = MISSING
+        elif value < floor:
+            status = REGRESSION
+        else:
+            status = OK
+        findings.append({"entry": entry, "status": status, "value": value, "floor": floor})
+    return findings
+
+
+def describe(finding: dict) -> str:
+    entry = finding["entry"]
+    where = ",".join(f"{k}={v}" for k, v in entry.get("match", {}).items()) or "-"
+    value = finding["value"]
+    shown = f"{value:.1f}" if isinstance(value, (int, float)) else "absent"
+    return (
+        f"[{finding['status']:>10}] {entry['benchmark']}({where}) {entry['metric']}: "
+        f"{shown} vs floor {finding['floor']:.1f} (baseline {entry['baseline']})"
+    )
+
+
+def git_sha() -> str:
+    sha = os.environ.get("GITHUB_SHA", "")
+    if sha:
+        return sha
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=REPO_ROOT, capture_output=True, text=True, check=True
+        )
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def merge_trend(trend_path: Path, rows: List[dict], findings: List[dict]) -> Dict:
+    """Append this run's rows + gate verdicts to the trend history file."""
+    history: Dict = {"runs": []}
+    if trend_path.exists():
+        try:
+            loaded = load_json(trend_path)
+            if isinstance(loaded, dict) and isinstance(loaded.get("runs"), list):
+                history = loaded
+        except (json.JSONDecodeError, OSError):
+            pass  # a corrupt cache entry must not fail the gate; restart history
+    history["runs"].append(
+        {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "sha": git_sha(),
+            "regressions": sum(1 for f in findings if f["status"] != OK),
+            "rows": rows,
+        }
+    )
+    with open(trend_path, "w", encoding="utf-8") as handle:
+        json.dump(history, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return history
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--results", type=Path, default=Path("BENCH_results.json"))
+    parser.add_argument(
+        "--baselines", type=Path, default=REPO_ROOT / "benchmarks" / "baselines.json"
+    )
+    parser.add_argument("--trend", type=Path, default=Path("BENCH_trend.json"))
+    args = parser.parse_args(argv)
+
+    if not args.results.exists():
+        print(f"perf_gate: results file {args.results} not found (did the bench run?)")
+        return 0 if no_gate() else 1
+    rows = load_json(args.results)
+    baselines = load_json(args.baselines)
+
+    findings = evaluate(rows, baselines)
+    for finding in findings:
+        print(describe(finding))
+    merge_trend(args.trend, rows, findings)
+
+    bad = [f for f in findings if f["status"] != OK]
+    if bad:
+        print(f"perf_gate: {len(bad)}/{len(findings)} entries regressed or missing")
+        if no_gate():
+            print("perf_gate: REPRO_BENCH_NO_GATE set — reporting only")
+            return 0
+        return 1
+    print(f"perf_gate: all {len(findings)} entries within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
