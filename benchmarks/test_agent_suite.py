@@ -1,0 +1,91 @@
+"""Agent-population benchmark: the hot-key abort storm (retry amplification).
+
+Runs the ``examples/specs/agent_storm.json`` spec — a million modeled users in
+two cohorts, one grinding a single hot key — and gates the qualitative story
+the closed-loop engine exists to tell:
+
+* Under XOV, naive instant retries amplify the hot-key MVCC abort storm into
+  endorser saturation and collapse goodput; exponential-backoff agents defer
+  the retry load past the congestion window and recover it.
+* OXII orders-then-executes, so the same grinder population produces no MVCC
+  aborts at all and goodput stays at the offered rate.
+
+All numbers are *simulated* (deterministic for a fixed spec + seed), so the
+gates compare exact machine-independent values; ``REPRO_BENCH_NO_GATE=1``
+records without enforcing.  The recorded ``goodput_tps`` row feeds the
+perf-regression gate (``benchmarks/baselines.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import SweepEngine
+from repro.experiments.spec import ExperimentSpec
+
+from benchmarks.conftest import record_rows
+
+NO_GATE = os.environ.get("REPRO_BENCH_NO_GATE", "") not in ("", "0", "false")
+SPEC_PATH = Path(__file__).resolve().parents[1] / "examples" / "specs" / "agent_storm.json"
+
+
+@pytest.fixture(scope="module")
+def storm_rows():
+    """Run the storm spec once; map scenario name -> flat result row."""
+    spec = ExperimentSpec.from_dict(json.loads(SPEC_PATH.read_text()))
+    start = time.perf_counter()
+    result = SweepEngine(parallel=False).run(spec)
+    wall = time.perf_counter() - start
+    rows = {row.point.scenario: row.as_dict() for row in result.rows}
+    record_rows(
+        {
+            "benchmark": "agent_suite",
+            "scenario": name,
+            "goodput_tps": round(row["throughput"], 1),
+            "aborted": row["aborted"],
+            "retries": row["population_retries"],
+            "population_users": row["population_users"],
+            "wall_s": round(wall, 2),
+        }
+        for name, row in rows.items()
+    )
+    return rows
+
+
+def test_storm_commits_everywhere(storm_rows):
+    """Every scenario of the storm commits transactions (smoke floor)."""
+    for name, row in storm_rows.items():
+        assert row["committed"] > 0, f"{name} committed nothing"
+        assert row["population_users"] == 1_000_000.0, name
+
+
+def test_naive_retry_storms_the_hot_key(storm_rows):
+    """The grinder cohort actually produces an MVCC abort storm plus retries."""
+    naive = storm_rows["xov-naive"]
+    assert naive["abort_reasons"].get("mvcc_conflict", 0) > 0
+    assert naive["population_retries"] > 0
+    grinders = naive["population"]["grinders"]
+    assert grinders["aborted"] > grinders["committed"], grinders
+
+
+def test_backoff_recovers_goodput(storm_rows):
+    """Exponential backoff beats naive instant retry under the same storm."""
+    if NO_GATE:
+        pytest.skip("REPRO_BENCH_NO_GATE=1")
+    naive = storm_rows["xov-naive"]["throughput"]
+    backoff = storm_rows["xov-backoff"]["throughput"]
+    assert backoff >= naive * 1.15, (naive, backoff)
+
+
+def test_oxii_immune_to_retry_amplification(storm_rows):
+    """OXII (order-execute-in-order) sees no MVCC aborts from the same storm."""
+    if NO_GATE:
+        pytest.skip("REPRO_BENCH_NO_GATE=1")
+    oxii = storm_rows["oxii-naive"]
+    assert oxii["aborted"] == 0
+    assert oxii["throughput"] >= storm_rows["xov-naive"]["throughput"] * 2.0

@@ -1,0 +1,54 @@
+"""Agent-based workload engine: million-user populations at O(cohorts) memory.
+
+The layer that turns the static, open-loop workload generators into a living
+population: stateful :class:`Agent` sessions grouped into exact-statistics
+:class:`CohortAgent` aggregates, driven against a deployment by the
+clock-integrated :class:`PopulationEngine`, with a :class:`FeedbackChannel`
+closing the loop — every commit/abort (+ stable abort reason and latency)
+reaches the submitting agent's behaviour policy, enabling retry backoff,
+session bursts, latency-reactive throttling, churn, diurnal curves, flash
+crowds and adversarial behaviours (hot-key grinding, duplicate submission).
+
+Select it from specs as the ``agents`` workload type; configure it through
+``workload.agents`` (see :class:`AgentPopulationConfig` and docs/workloads.md).
+"""
+
+from repro.agents.engine import (
+    CohortRollup,
+    FeedbackChannel,
+    PopulationEngine,
+    TxOutcome,
+    build_population_engine,
+)
+from repro.agents.policy import AgentPolicy, agent_policy_registry, register_agent_policy
+from repro.agents.population import (
+    Agent,
+    AgentPopulationConfig,
+    ChurnConfig,
+    CohortAgent,
+    CohortSpec,
+    DiurnalConfig,
+    FlashEvent,
+    Population,
+)
+from repro.agents.workload import AgentWorkload
+
+__all__ = [
+    "Agent",
+    "AgentPolicy",
+    "AgentPopulationConfig",
+    "AgentWorkload",
+    "ChurnConfig",
+    "CohortAgent",
+    "CohortRollup",
+    "CohortSpec",
+    "DiurnalConfig",
+    "FeedbackChannel",
+    "FlashEvent",
+    "Population",
+    "PopulationEngine",
+    "TxOutcome",
+    "agent_policy_registry",
+    "build_population_engine",
+    "register_agent_policy",
+]

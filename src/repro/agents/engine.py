@@ -1,0 +1,384 @@
+"""The population engine: closed-loop, clock-integrated workload driving.
+
+:class:`PopulationEngine` is a *driver* in the sense of
+:meth:`repro.paradigms.base.Deployment.run`: instead of replaying a
+pre-generated transaction list (the open-loop :class:`ScheduleDriver`), it
+runs one simulated process per cohort that samples the cohort's aggregate
+arrival stream by thinning — draw candidate arrivals at the cohort's upper
+rate bound, accept each with probability ``rate_at(t) / bound`` — which yields
+the exact non-homogeneous Poisson process of the modeled population under
+diurnal curves, churn and flash crowds.
+
+Each accepted arrival is attributed to one live session
+(:class:`~repro.agents.population.Agent`), whose behaviour policy chooses the
+destination and think time; the resulting transfer is submitted through
+:meth:`ClientGateway.submit_now`.  The :class:`FeedbackChannel` subscribes to
+the metrics collector's completion events and routes every commit/abort —
+with its stable abort reason and end-to-end latency — back to the submitting
+agent's policy, which may schedule retries (fresh tx_id), session bursts,
+duplicates (same tx_id, exercising orderer dedup) or cohort-level throttling.
+
+All scheduling flows through the simulated clock and labelled child RNG
+streams, so a run is bit-identical from (spec, seed): the per-agent event log
+digests identically across serial and multiprocessing sweep backends.
+
+New submissions (arrivals, retries, bursts, duplicates) stop at ``duration``;
+actions that would fire later are counted as ``dropped`` per cohort.  That
+bounds the run: the engine is complete once the clock passed ``duration``,
+no scheduled actions remain, and every unique submitted transaction completed
+at every measurement peer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.agents.policy import AgentPolicy, agent_policy_registry
+from repro.agents.population import Agent, CohortAgent, Population
+from repro.contracts.accounting import AccountingContract, Transfer
+from repro.core.transaction import Transaction
+from repro.metrics.collector import CompletionEvent
+
+
+@dataclass(frozen=True)
+class TxOutcome:
+    """What the feedback channel tells a policy about one finished transaction."""
+
+    tx_id: str
+    committed: bool
+    abort_reason: str
+    latency: float
+    attempt: int
+    destination: str
+    submitted_at: float
+    completed_at: float
+
+
+class FeedbackChannel:
+    """Routes collector completion events back to the submitting agent's policy."""
+
+    def __init__(self, engine: "PopulationEngine") -> None:
+        self._engine = engine
+
+    def __call__(self, event: CompletionEvent) -> None:
+        self._engine._on_completion(event)
+
+
+class _Pending:
+    """Book-keeping for one in-flight transaction."""
+
+    __slots__ = ("agent", "destination", "attempt", "submitted_at")
+
+    def __init__(self, agent: Agent, destination: str, attempt: int, submitted_at: float) -> None:
+        self.agent = agent
+        self.destination = destination
+        self.attempt = attempt
+        self.submitted_at = submitted_at
+
+
+@dataclass
+class CohortRollup:
+    """Per-cohort commit/abort/retry/latency aggregates surfaced in RunMetrics."""
+
+    submitted: int = 0
+    committed: int = 0
+    aborted: int = 0
+    retries: int = 0
+    duplicates: int = 0
+    bursts: int = 0
+    giveups: int = 0
+    dropped: int = 0
+    latency_sum: float = 0.0
+    latency_max: float = 0.0
+    abort_reasons: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "submitted": self.submitted,
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "retries": self.retries,
+            "duplicates": self.duplicates,
+            "bursts": self.bursts,
+            "giveups": self.giveups,
+            "dropped": self.dropped,
+            "latency_avg": self.latency_sum / self.committed if self.committed else 0.0,
+            "latency_max": self.latency_max,
+            "abort_reasons": dict(sorted(self.abort_reasons.items())),
+        }
+
+
+class PopulationEngine:
+    """Drives a :class:`Population` against a live deployment (driver protocol)."""
+
+    def __init__(
+        self,
+        population: Population,
+        duration: float,
+        transfer_amount: float = 1.0,
+    ) -> None:
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        self.population = population
+        self.duration = duration
+        self.transfer_amount = transfer_amount
+        #: One policy instance per cohort (sessions share it; unknown names
+        #: fail here with the registry's standard error message).
+        self.policies: Dict[str, AgentPolicy] = {}
+        for cohort in population.cohorts:
+            policy_cls = agent_policy_registry.get(cohort.spec.policy)
+            self.policies[cohort.name] = policy_cls(
+                dict(cohort.spec.policy_params), cohort.policy_rng
+            )
+        self._by_name: Dict[str, CohortAgent] = {c.name: c for c in population.cohorts}
+        self.rollups: Dict[str, CohortRollup] = {c.name: CohortRollup() for c in population.cohorts}
+        self._inflight: Dict[str, _Pending] = {}
+        self._submitted: List[Transaction] = []
+        self._unique_submitted = 0
+        self._pending_actions = 0
+        self._events: List[Tuple[float, str, int, str, str]] = []
+        self.env = None
+        self.gateway = None
+
+    # -------------------------------------------------------- driver protocol
+    @property
+    def offered_rate(self) -> float:
+        """Aggregate base rate the population offers (tx/s)."""
+        return self.population.total_rate
+
+    def start(self, handles, deployment) -> None:
+        """Install the feedback channel and start per-cohort clock processes."""
+        self.env = handles.env
+        self.gateway = handles.gateway
+        handles.collector.subscribe(FeedbackChannel(self))
+        self.gateway.start()
+        for cohort in self.population.cohorts:
+            self.env.process(self._arrival_loop(cohort), name=f"agents-{cohort.name}")
+            if cohort.churn.enabled:
+                self.env.process(self._churn_loop(cohort), name=f"agents-{cohort.name}-churn")
+
+    def is_complete(self, handles) -> bool:
+        """Done: past ``duration``, no scheduled actions, everything completed."""
+        if self.env is None or self.env.now < self.duration:
+            return False
+        if self._pending_actions > 0:
+            return False
+        return handles.collector.all_complete(self._unique_submitted)
+
+    def submitted_transactions(self) -> Tuple[Transaction, ...]:
+        """Every unique transaction submitted, in submission order."""
+        return tuple(self._submitted)
+
+    def extra_metrics(self, handles) -> Dict[str, Any]:
+        """Per-cohort rollups + determinism digests, merged into RunMetrics.extra."""
+        population = {
+            cohort.name: {
+                "users": cohort.spec.users,
+                "sessions": len(cohort.agents),
+                "policy": cohort.spec.policy,
+                "base_rate": cohort.base_rate,
+                "throttle": cohort.throttle,
+                "churn_factor": cohort.churn_factor,
+                **self.rollups[cohort.name].as_dict(),
+            }
+            for cohort in self.population.cohorts
+        }
+        ledger_tip = ""
+        if handles.peers:
+            ledger_tip = handles.peers[0].ledger.tip.digest()
+        return {
+            "population": population,
+            "population_users": float(self.population.total_users),
+            "population_agents": float(self.population.agent_count()),
+            "population_submitted": float(self._unique_submitted),
+            "population_retries": float(sum(r.retries for r in self.rollups.values())),
+            "population_duplicates": float(sum(r.duplicates for r in self.rollups.values())),
+            "population_events_digest": self.events_digest(),
+            "ledger_tip": ledger_tip,
+        }
+
+    # ------------------------------------------------------------ clock loops
+    def _arrival_loop(self, cohort: CohortAgent):
+        """Thinned Poisson sampling of the cohort's aggregate arrival process."""
+        rng = cohort.arrival_rng
+        bound = cohort.max_rate()
+        if bound <= 0.0:
+            return
+        while True:
+            delay = rng.expovariate(bound)
+            if self.env.now + delay > self.duration:
+                return
+            yield self.env.timeout(delay)
+            if rng.random() * bound > cohort.rate_at(self.env.now):
+                continue  # thinning rejection: exact non-homogeneous sampling
+            agent = cohort.pick_agent()
+            self._dispatch(agent, kind="arrival")
+
+    def _churn_loop(self, cohort: CohortAgent):
+        """Step the cohort's churn random walk on the simulated clock."""
+        interval = cohort.churn.interval
+        while self.env.now + interval <= self.duration:
+            yield self.env.timeout(interval)
+            factor = cohort.churn_step()
+            self._log("churn", cohort.name, -1, f"{factor:.6f}")
+
+    # ------------------------------------------------------------ submissions
+    def _dispatch(self, agent: Agent, kind: str) -> None:
+        """Let the agent's policy pick destination + think time, then submit."""
+        policy = self.policies[agent.cohort]
+        destination = policy.choose_destination(agent, self)
+        think = policy.think_time(agent)
+        if think > 0.0:
+            self._defer(agent, destination, attempt=1, kind=kind, delay=think)
+        else:
+            self._submit(agent, destination, attempt=1, kind=kind)
+
+    def _submit(self, agent: Agent, destination: str, attempt: int, kind: str) -> None:
+        if self.env.now > self.duration:
+            self.rollups[agent.cohort].dropped += 1
+            self._log("dropped", agent.cohort, agent.slot, kind)
+            return
+        agent.seq += 1
+        tx_id = f"ag-{agent.cohort}-{agent.slot}-{agent.seq}"
+        tx = AccountingContract.make_transfer_transaction(
+            tx_id=tx_id,
+            application=agent.application,
+            client=agent.client,
+            transfers=[
+                Transfer(source=agent.account, destination=destination, amount=self.transfer_amount)
+            ],
+            client_timestamp=self.env.now,
+        )
+        self._inflight[tx_id] = _Pending(agent, destination, attempt, self.env.now)
+        self._submitted.append(tx)
+        self._unique_submitted += 1
+        self.rollups[agent.cohort].submitted += 1
+        self._log(kind, agent.cohort, agent.slot, tx_id)
+        self.gateway.submit_now(tx)
+        self.policies[agent.cohort].after_submit(agent, tx, self)
+
+    def _defer(self, agent: Agent, destination: str, attempt: int, kind: str, delay: float) -> None:
+        """Schedule a future submission, tracked so completion waits for it."""
+        self._pending_actions += 1
+
+        def fire() -> None:
+            self._pending_actions -= 1
+            self._submit(agent, destination, attempt, kind)
+
+        self.env.call_at(self.env.now + max(delay, 0.0), fire)
+
+    # ----------------------------------------------------------- feedback path
+    def _on_completion(self, event: CompletionEvent) -> None:
+        pending = self._inflight.pop(event.tx_id, None)
+        if pending is None:
+            return  # not ours (or a duplicate completion)
+        agent = pending.agent
+        rollup = self.rollups[agent.cohort]
+        latency = event.completed_at - pending.submitted_at
+        if event.aborted:
+            rollup.aborted += 1
+            reason = event.reason or "abort"
+            rollup.abort_reasons[reason] = rollup.abort_reasons.get(reason, 0) + 1
+            self._log(f"abort:{reason}", agent.cohort, agent.slot, event.tx_id)
+        else:
+            rollup.committed += 1
+            rollup.latency_sum += latency
+            if latency > rollup.latency_max:
+                rollup.latency_max = latency
+            self._log("commit", agent.cohort, agent.slot, event.tx_id)
+        outcome = TxOutcome(
+            tx_id=event.tx_id,
+            committed=not event.aborted,
+            abort_reason=event.reason,
+            latency=latency,
+            attempt=pending.attempt,
+            destination=pending.destination,
+            submitted_at=pending.submitted_at,
+            completed_at=event.completed_at,
+        )
+        self.policies[agent.cohort].on_outcome(agent, outcome, self)
+
+    # ------------------------------------------------------------- policy API
+    def hot_key(self, rng) -> str:
+        """A shared contended account (adversarial / contended traffic)."""
+        keys = self.population.hot_keys
+        return keys[rng.randrange(len(keys))] if len(keys) > 1 else keys[0]
+
+    def sink(self, rng) -> str:
+        """An uncontended destination account."""
+        sinks = self.population.sinks
+        return sinks[rng.randrange(len(sinks))] if len(sinks) > 1 else sinks[0]
+
+    def schedule_retry(self, agent: Agent, outcome: TxOutcome, delay: float) -> None:
+        """Resubmit the failed intent (same destination, fresh tx_id) after ``delay``."""
+        self.rollups[agent.cohort].retries += 1
+        self._defer(agent, outcome.destination, outcome.attempt + 1, "retry", delay)
+
+    def schedule_followup(self, agent: Agent, delay: float, kind: str = "burst") -> None:
+        """Submit a fresh transaction from ``agent`` after ``delay`` (session bursts)."""
+        policy = self.policies[agent.cohort]
+        self.rollups[agent.cohort].bursts += 1
+        destination = policy.choose_destination(agent, self)
+        self._defer(agent, destination, attempt=1, kind=kind, delay=delay)
+
+    def schedule_duplicate(self, agent: Agent, tx: Transaction, delay: float) -> None:
+        """Resubmit ``tx`` verbatim (same tx_id) — at-least-once adversarial delivery."""
+        self._pending_actions += 1
+
+        def fire() -> None:
+            self._pending_actions -= 1
+            if self.env.now > self.duration:
+                self.rollups[agent.cohort].dropped += 1
+                return
+            self.rollups[agent.cohort].duplicates += 1
+            self._log("duplicate", agent.cohort, agent.slot, tx.tx_id)
+            self.gateway.submit_now(tx)
+
+        self.env.call_at(self.env.now + max(delay, 0.0), fire)
+
+    def adjust_throttle(self, cohort_name: str, factor: float, floor: float = 0.1) -> None:
+        """Multiply the cohort's throttle by ``factor``, clamped to [floor, 1]."""
+        cohort = self._by_name[cohort_name]
+        cohort.throttle = min(1.0, max(floor, cohort.throttle * factor))
+
+    def record_giveup(self, agent: Agent) -> None:
+        """A policy exhausted its retry budget for one intent."""
+        self.rollups[agent.cohort].giveups += 1
+
+    # -------------------------------------------------------------- event log
+    def _log(self, kind: str, cohort: str, slot: int, detail: str) -> None:
+        self._events.append((self.env.now, cohort, slot, kind, detail))
+
+    @property
+    def events(self) -> Tuple[Tuple[float, str, int, str, str], ...]:
+        """The per-agent event log (time, cohort, session, kind, detail)."""
+        return tuple(self._events)
+
+    def events_digest(self) -> str:
+        """sha256 over the event log — the bit-identical-rerun fingerprint."""
+        digest = hashlib.sha256()
+        for event in self._events:
+            digest.update(repr(event).encode("utf-8"))
+        return digest.hexdigest()
+
+
+def build_population_engine(
+    config,
+    applications,
+    seed: int,
+    offered_load: Optional[float],
+    duration: float,
+    initial_balance: float = 1.0e9,
+    transfer_amount: float = 1.0,
+) -> PopulationEngine:
+    """Convenience constructor: config → population → engine."""
+    population = Population(
+        config,
+        applications=applications,
+        seed=seed,
+        offered_load=offered_load,
+        initial_balance=initial_balance,
+    )
+    return PopulationEngine(population, duration=duration, transfer_amount=transfer_amount)

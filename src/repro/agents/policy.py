@@ -1,0 +1,201 @@
+"""Behaviour policies: what an agent submits next, and how it reacts to outcomes.
+
+A policy is a per-cohort strategy object (sessions share the instance; their
+individual state lives on the :class:`~repro.agents.population.Agent`).  The
+engine calls three hooks:
+
+* :meth:`AgentPolicy.choose_destination` — pick the destination account of the
+  next transfer (hot key vs. uncontended sink, controlled by
+  ``hot_probability``).
+* :meth:`AgentPolicy.after_submit` — fired right after a submission (the
+  duplicate-submitter's hook).
+* :meth:`AgentPolicy.on_outcome` — the feedback hook: fired when the
+  submitting agent's transaction completes (committed or aborted) with its
+  abort reason and end-to-end latency.  Retry, burst and throttling behaviour
+  lives here.
+
+Policies are registered by name in :data:`agent_policy_registry` (the same
+:class:`~repro.common.registry.Registry` machinery as paradigms/contracts/
+workloads), so an unknown policy name in a spec fails with the standard
+"expected one of [...]" configuration error, and third-party policies plug in
+with ``@register_agent_policy``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.common.config import reject_unknown_fields
+from repro.common.registry import Registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.agents.engine import PopulationEngine, TxOutcome
+    from repro.agents.population import Agent
+
+#: Global catalogue of agent behaviour policies.
+agent_policy_registry: Registry = Registry("agent policy")
+
+
+def register_agent_policy(name: str, policy=None, *, replace: bool = False):
+    """Register an :class:`AgentPolicy` subclass under ``name`` (decorator-friendly)."""
+    return agent_policy_registry.register(name, policy, replace=replace)
+
+
+class AgentPolicy:
+    """Base behaviour: submit transfers to uncontended sinks, never react."""
+
+    #: Registered name (set for the built-ins; used in metrics/rollups).
+    name: str = "abstract"
+    #: Recognised parameters and their defaults; unknown keys are rejected so
+    #: a typo in ``policy_params`` fails loudly at population build time.
+    defaults: Mapping[str, Any] = {"hot_probability": 0.0}
+
+    def __init__(self, params: Mapping[str, Any], rng: random.Random) -> None:
+        reject_unknown_fields(f"agent policy {self.name!r}", params, set(self.defaults))
+        merged = dict(self.defaults)
+        merged.update(params)
+        self.params = merged
+        self.rng = rng
+        self.hot_probability = float(merged["hot_probability"])
+
+    # ---------------------------------------------------------------- intents
+    def think_time(self, agent: "Agent") -> float:
+        """Delay between deciding to transact and submitting (seconds)."""
+        return 0.0
+
+    def choose_destination(self, agent: "Agent", engine: "PopulationEngine") -> str:
+        """Destination account of the next transfer."""
+        if self.hot_probability > 0.0 and self.rng.random() < self.hot_probability:
+            return engine.hot_key(self.rng)
+        return engine.sink(self.rng)
+
+    # --------------------------------------------------------------- feedback
+    def after_submit(self, agent: "Agent", tx, engine: "PopulationEngine") -> None:
+        """Hook fired right after ``tx`` was handed to the gateway."""
+
+    def on_outcome(self, agent: "Agent", outcome: "TxOutcome", engine: "PopulationEngine") -> None:
+        """Hook fired when one of the agent's transactions completes."""
+
+
+@register_agent_policy("steady")
+class SteadyPolicy(AgentPolicy):
+    """Open-loop honest traffic: fire and forget, mostly uncontended."""
+
+    name = "steady"
+    defaults = {"hot_probability": 0.0}
+
+
+@register_agent_policy("naive-retry")
+class NaiveRetryPolicy(AgentPolicy):
+    """Retry every abort immediately — the retry-amplification anti-pattern.
+
+    Under contention each abort triggers an instant resubmission of the same
+    conflicting intent, which keeps the hot key saturated and collapses
+    goodput (the abort-storm scenario the agent bench gates on).
+    """
+
+    name = "naive-retry"
+    defaults = {"hot_probability": 0.0, "retry_limit": 4}
+
+    def on_outcome(self, agent, outcome, engine) -> None:
+        if outcome.committed:
+            return
+        if outcome.attempt >= int(self.params["retry_limit"]):
+            engine.record_giveup(agent)
+            return
+        engine.schedule_retry(agent, outcome, delay=0.0)
+
+
+@register_agent_policy("backoff-retry")
+class BackoffRetryPolicy(AgentPolicy):
+    """Retry with exponential backoff + seeded jitter — the well-behaved client."""
+
+    name = "backoff-retry"
+    defaults = {
+        "hot_probability": 0.0,
+        "retry_limit": 6,
+        "base_delay": 0.05,
+        "factor": 2.0,
+        "max_delay": 1.0,
+        "jitter": 0.5,
+    }
+
+    def on_outcome(self, agent, outcome, engine) -> None:
+        if outcome.committed:
+            return
+        if outcome.attempt >= int(self.params["retry_limit"]):
+            engine.record_giveup(agent)
+            return
+        delay = min(
+            float(self.params["max_delay"]),
+            float(self.params["base_delay"]) * float(self.params["factor"]) ** (outcome.attempt - 1),
+        )
+        delay *= 1.0 + float(self.params["jitter"]) * self.rng.random()
+        engine.schedule_retry(agent, outcome, delay=delay)
+
+
+@register_agent_policy("session-burst")
+class SessionBurstPolicy(AgentPolicy):
+    """A commit can open a burst: several follow-up transactions in quick succession."""
+
+    name = "session-burst"
+    defaults = {
+        "hot_probability": 0.0,
+        "burst_probability": 0.4,
+        "burst_length": 3,
+        "think": 0.02,
+    }
+
+    def on_outcome(self, agent, outcome, engine) -> None:
+        if not outcome.committed:
+            agent.bursting = 0
+            return
+        think = float(self.params["think"])
+        if agent.bursting > 0:
+            agent.bursting -= 1
+            engine.schedule_followup(agent, delay=think, kind="burst")
+        elif self.rng.random() < float(self.params["burst_probability"]):
+            agent.bursting = int(self.params["burst_length"]) - 1
+            engine.schedule_followup(agent, delay=think, kind="burst")
+
+
+@register_agent_policy("latency-throttle")
+class LatencyThrottlePolicy(AgentPolicy):
+    """Latency-reactive load shedding: slow the whole cohort when commits lag."""
+
+    name = "latency-throttle"
+    defaults = {
+        "hot_probability": 0.0,
+        "latency_threshold": 0.4,
+        "backoff": 0.7,
+        "recovery": 1.05,
+        "floor": 0.1,
+    }
+
+    def on_outcome(self, agent, outcome, engine) -> None:
+        slow = (not outcome.committed) or outcome.latency > float(self.params["latency_threshold"])
+        if slow:
+            engine.adjust_throttle(agent.cohort, float(self.params["backoff"]), floor=float(self.params["floor"]))
+        else:
+            engine.adjust_throttle(agent.cohort, float(self.params["recovery"]), floor=float(self.params["floor"]))
+
+
+@register_agent_policy("hot-key-grinder")
+class HotKeyGrinderPolicy(AgentPolicy):
+    """Adversarial: every transaction writes a shared hot key (contention grinder)."""
+
+    name = "hot-key-grinder"
+    defaults = {"hot_probability": 1.0}
+
+
+@register_agent_policy("duplicate-submitter")
+class DuplicateSubmitterPolicy(AgentPolicy):
+    """Adversarial: resubmit the same tx_id, exercising orderer dedup (at-least-once)."""
+
+    name = "duplicate-submitter"
+    defaults = {"hot_probability": 0.0, "duplicate_probability": 0.5, "delay": 0.02}
+
+    def after_submit(self, agent, tx, engine) -> None:
+        if self.rng.random() < float(self.params["duplicate_probability"]):
+            engine.schedule_duplicate(agent, tx, delay=float(self.params["delay"]))

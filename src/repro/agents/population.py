@@ -1,0 +1,434 @@
+"""Agent populations: per-session state at O(cohorts) memory for 1M+ users.
+
+The scaling trick mirrors monerosim-style agent frameworks: instead of one
+object per modeled user, a :class:`CohortAgent` represents ``users`` modeled
+users with a handful of live :class:`Agent` *sessions*.  Arrivals are drawn
+from the cohort's aggregate non-homogeneous Poisson process (superposition of
+the users' individual processes — the aggregate rate ``users * tx_rate`` is
+exact, not an approximation), and each arrival is attributed to one session by
+weighted selection.  Session weights come from the cohort's rate model
+(constant, lognormal, or an empirical histogram), so per-session heterogeneity
+is preserved while memory stays proportional to ``sum(sessions)`` — a few
+dozen objects for a million modeled users.
+
+Load shaping is multiplicative on the cohort base rate:
+
+``rate(t) = base * diurnal(t) * churn(t) * flash(t) * throttle(t)``
+
+* ``diurnal(t)`` — a deterministic sinusoid (amplitude/period/phase).
+* ``churn(t)`` — a seeded multiplicative random walk, stepped every
+  ``interval`` seconds and clamped to ``[min_factor, max_factor]`` (population
+  joining/leaving).
+* ``flash(t)`` — configured flash-crowd events, each multiplying the rate of
+  one cohort (or all) during ``[at, at + duration]``.
+* ``throttle(t)`` — in ``(0, 1]``, adjusted by latency-reactive policies
+  through the feedback loop.
+
+Everything random derives from labelled :func:`repro.common.rng.child_seed`
+streams, so two runs of the same (spec, seed) reproduce churn steps, session
+picks and arrival times bit-identically.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.common.config import (
+    apply_overrides,
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+)
+from repro.common.errors import ConfigurationError
+from repro.common.rng import child_rng
+
+RATE_MODELS = ("constant", "lognormal", "empirical")
+
+
+@dataclass(frozen=True)
+class CohortSpec:
+    """One homogeneous slice of the population (same policy, same rate model)."""
+
+    name: str = "cohort"
+    #: Modeled users this cohort stands for (memory cost stays O(sessions)).
+    users: int = 1000
+    #: Per-user transaction rate (tx/s); the cohort's aggregate base rate is
+    #: ``users * tx_rate`` exactly (Poisson superposition).
+    tx_rate: float = 0.5
+    #: Live :class:`Agent` sessions carrying the cohort's per-agent state.
+    sessions: int = 8
+    #: Behaviour policy name (see :mod:`repro.agents.policy`).
+    policy: str = "steady"
+    policy_params: Mapping[str, Any] = field(default_factory=dict)
+    #: How per-session rates spread around the mean: ``constant`` (uniform),
+    #: ``lognormal`` (sigma = ``rate_sigma``) or ``empirical``
+    #: (``rate_weights`` cycled over the sessions).
+    rate_model: str = "constant"
+    rate_sigma: float = 0.5
+    rate_weights: Tuple[float, ...] = ()
+    #: Home application ("" — assigned round-robin over the deployment's apps).
+    application: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("cohort name must be non-empty")
+        check_positive_int("users", self.users)
+        check_positive("tx_rate", self.tx_rate)
+        check_positive_int("sessions", self.sessions)
+        check_non_negative("rate_sigma", self.rate_sigma)
+        if self.rate_model not in RATE_MODELS:
+            raise ConfigurationError(
+                f"rate_model must be one of {list(RATE_MODELS)}, got {self.rate_model!r}"
+            )
+        if isinstance(self.rate_weights, list):
+            object.__setattr__(self, "rate_weights", tuple(self.rate_weights))
+        if self.rate_model == "empirical":
+            if not self.rate_weights:
+                raise ConfigurationError("rate_model 'empirical' needs non-empty rate_weights")
+            if any(w <= 0 for w in self.rate_weights):
+                raise ConfigurationError("rate_weights must all be positive")
+        if not isinstance(self.policy_params, Mapping):
+            raise ConfigurationError(
+                f"policy_params must be a mapping, got {self.policy_params!r}"
+            )
+
+
+@dataclass(frozen=True)
+class DiurnalConfig:
+    """Deterministic sinusoidal load curve: ``1 + amplitude*sin(2π(t+phase)/period)``."""
+
+    amplitude: float = 0.0
+    period: float = 1.0
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_fraction("amplitude", self.amplitude)
+        check_positive("period", self.period)
+
+    def factor(self, t: float) -> float:
+        if self.amplitude == 0.0:
+            return 1.0
+        return 1.0 + self.amplitude * math.sin(2.0 * math.pi * (t + self.phase) / self.period)
+
+    @property
+    def max_factor(self) -> float:
+        return 1.0 + self.amplitude
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Seeded multiplicative random walk on the cohort's active population."""
+
+    #: Lognormal step scale per interval (0 — churn disabled).
+    sigma: float = 0.0
+    interval: float = 0.25
+    min_factor: float = 0.5
+    max_factor: float = 1.5
+
+    def __post_init__(self) -> None:
+        check_non_negative("sigma", self.sigma)
+        check_positive("interval", self.interval)
+        check_positive("min_factor", self.min_factor)
+        check_positive("max_factor", self.max_factor)
+        if self.min_factor > 1.0 or self.max_factor < 1.0:
+            raise ConfigurationError(
+                "churn clamp must bracket 1.0 (min_factor <= 1 <= max_factor), "
+                f"got [{self.min_factor}, {self.max_factor}]"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return self.sigma > 0.0
+
+
+@dataclass(frozen=True)
+class FlashEvent:
+    """A flash crowd: multiply one cohort's (or every cohort's) rate for a while."""
+
+    at: float = 0.0
+    duration: float = 0.5
+    multiplier: float = 2.0
+    cohort: str = ""
+
+    def __post_init__(self) -> None:
+        check_non_negative("at", self.at)
+        check_positive("duration", self.duration)
+        check_positive("multiplier", self.multiplier)
+
+    def applies(self, cohort: str, t: float) -> bool:
+        if self.cohort and self.cohort != cohort:
+            return False
+        return self.at <= t < self.at + self.duration
+
+
+@dataclass(frozen=True)
+class AgentPopulationConfig:
+    """The ``workload.agents`` section of a spec: cohorts plus load shaping."""
+
+    cohorts: Tuple[CohortSpec, ...] = (CohortSpec(),)
+    diurnal: DiurnalConfig = field(default_factory=DiurnalConfig)
+    churn: ChurnConfig = field(default_factory=ChurnConfig)
+    events: Tuple[FlashEvent, ...] = ()
+    #: Shared contended accounts adversarial policies grind on.
+    hot_keys: int = 1
+    #: Uncontended destination pool for well-behaved traffic.
+    sinks: int = 32
+    #: Scale cohort base rates so their sum equals the experiment point's
+    #: offered load (keeps load sweeps meaningful); False uses them as-is.
+    scale_to_offered: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "cohorts", _coerce_tuple(self.cohorts, CohortSpec, "cohorts"))
+        if not self.cohorts:
+            raise ConfigurationError("agents config needs at least one cohort")
+        names = [c.name for c in self.cohorts]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"cohort names must be unique, got {names}")
+        if isinstance(self.diurnal, Mapping):
+            object.__setattr__(self, "diurnal", apply_overrides(DiurnalConfig(), self.diurnal))
+        if isinstance(self.churn, Mapping):
+            object.__setattr__(self, "churn", apply_overrides(ChurnConfig(), self.churn))
+        object.__setattr__(self, "events", _coerce_tuple(self.events, FlashEvent, "events"))
+        check_positive_int("hot_keys", self.hot_keys)
+        check_positive_int("sinks", self.sinks)
+
+    @property
+    def total_users(self) -> int:
+        return sum(c.users for c in self.cohorts)
+
+    @property
+    def total_sessions(self) -> int:
+        return sum(c.sessions for c in self.cohorts)
+
+    def max_flash_multiplier(self, cohort: str) -> float:
+        """Upper bound on the flash factor ever applied to ``cohort``."""
+        relevant = [e.multiplier for e in self.events if not e.cohort or e.cohort == cohort]
+        return max(relevant, default=1.0)
+
+
+def _coerce_tuple(value: Any, cls: type, what: str) -> tuple:
+    """Coerce a list/tuple of mappings (spec JSON) into frozen dataclasses."""
+    if not isinstance(value, (list, tuple)):
+        raise ConfigurationError(f"{what} must be a list, got {value!r}")
+    out = []
+    for item in value:
+        if isinstance(item, cls):
+            out.append(item)
+        elif isinstance(item, Mapping):
+            out.append(apply_overrides(cls(), item))
+        else:
+            raise ConfigurationError(f"{what} entries must be {cls.__name__} or mappings, got {item!r}")
+    return tuple(out)
+
+
+class Agent:
+    """One live session: owned account, issuing client, per-agent policy state.
+
+    A session stands for ``weight`` of its cohort's traffic; its mutable
+    fields (sequence number, retry bookkeeping, burst budget) are the
+    "session state" behaviour policies read and write through the feedback
+    loop.
+    """
+
+    __slots__ = (
+        "cohort",
+        "slot",
+        "application",
+        "account",
+        "client",
+        "weight",
+        "seq",
+        "bursting",
+        "state",
+    )
+
+    def __init__(
+        self, cohort: str, slot: int, application: str, weight: float
+    ) -> None:
+        self.cohort = cohort
+        self.slot = slot
+        self.application = application
+        self.account = f"agent-{cohort}-{slot}"
+        self.client = f"agent-{cohort}-{slot}"
+        self.weight = weight
+        self.seq = 0
+        self.bursting = 0
+        #: Free-form per-agent policy scratch space.
+        self.state: Dict[str, Any] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Agent({self.cohort}/{self.slot}, w={self.weight:.3f})"
+
+
+class CohortAgent:
+    """Exact-statistics aggregate of one cohort's modeled users.
+
+    Owns the cohort's arrival/churn RNG streams, its live sessions and the
+    multiplicative load modifiers.  ``rate_at`` is the instantaneous aggregate
+    rate; ``max_rate`` bounds it so the engine can thin a homogeneous Poisson
+    stream into the exact non-homogeneous one.
+    """
+
+    def __init__(
+        self,
+        spec: CohortSpec,
+        application: str,
+        base_rate: float,
+        seed: int,
+        diurnal: DiurnalConfig,
+        churn: ChurnConfig,
+        events: Tuple[FlashEvent, ...],
+        max_flash: float,
+    ) -> None:
+        self.spec = spec
+        self.name = spec.name
+        self.application = application
+        self.base_rate = base_rate
+        self.diurnal = diurnal
+        self.churn = churn
+        self.events = tuple(e for e in events if not e.cohort or e.cohort == spec.name)
+        self._max_flash = max_flash
+        self.churn_factor = 1.0
+        self.throttle = 1.0
+        self.arrival_rng = child_rng(seed, f"agents/{spec.name}/arrivals")
+        self._churn_rng = child_rng(seed, f"agents/{spec.name}/churn")
+        self.policy_rng = child_rng(seed, f"agents/{spec.name}/policy")
+        weights = self._session_weights(seed)
+        self.agents: List[Agent] = [
+            Agent(spec.name, slot, application, weight)
+            for slot, weight in enumerate(weights)
+        ]
+        self._cumulative: List[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w
+            self._cumulative.append(acc)
+        self._total_weight = acc
+
+    # ------------------------------------------------------------- statistics
+    def _session_weights(self, seed: int) -> List[float]:
+        spec = self.spec
+        if spec.rate_model == "constant":
+            return [1.0 / spec.sessions] * spec.sessions
+        if spec.rate_model == "empirical":
+            raw = [spec.rate_weights[i % len(spec.rate_weights)] for i in range(spec.sessions)]
+        else:  # lognormal
+            rng = child_rng(seed, f"agents/{spec.name}/weights")
+            raw = [math.exp(rng.gauss(0.0, spec.rate_sigma)) for _ in range(spec.sessions)]
+        total = sum(raw)
+        return [w / total for w in raw]
+
+    def flash_factor(self, t: float) -> float:
+        factor = 1.0
+        for event in self.events:
+            if event.applies(self.name, t):
+                factor *= event.multiplier
+        return factor
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous aggregate arrival rate of the cohort at time ``t``."""
+        return (
+            self.base_rate
+            * self.diurnal.factor(t)
+            * self.churn_factor
+            * self.flash_factor(t)
+            * self.throttle
+        )
+
+    def max_rate(self) -> float:
+        """An upper bound on ``rate_at`` over the whole run (thinning envelope)."""
+        bound = self.base_rate * self.diurnal.max_factor * self._max_flash
+        if self.churn.enabled:
+            bound *= self.churn.max_factor
+        return bound
+
+    # --------------------------------------------------------------- sampling
+    def pick_agent(self) -> Agent:
+        """Attribute one aggregate arrival to a session (weighted, seeded)."""
+        point = self.arrival_rng.random() * self._total_weight
+        index = min(bisect.bisect_left(self._cumulative, point), len(self.agents) - 1)
+        return self.agents[index]
+
+    def churn_step(self) -> float:
+        """Advance the churn random walk by one interval; returns the factor."""
+        step = math.exp(self._churn_rng.gauss(0.0, self.churn.sigma))
+        self.churn_factor = min(
+            self.churn.max_factor, max(self.churn.min_factor, self.churn_factor * step)
+        )
+        return self.churn_factor
+
+
+class Population:
+    """Every cohort of a run plus the shared account universe they transact on."""
+
+    def __init__(
+        self,
+        config: AgentPopulationConfig,
+        applications: Sequence[str],
+        seed: int,
+        offered_load: Optional[float] = None,
+        initial_balance: float = 1.0e9,
+    ) -> None:
+        self.config = config
+        self.seed = seed
+        self.initial_balance = initial_balance
+        natural_total = sum(c.users * c.tx_rate for c in config.cohorts)
+        scale = 1.0
+        if config.scale_to_offered and offered_load is not None and offered_load > 0:
+            scale = offered_load / natural_total
+        self.cohorts: List[CohortAgent] = []
+        for index, spec in enumerate(config.cohorts):
+            application = spec.application or applications[index % len(applications)]
+            self.cohorts.append(
+                CohortAgent(
+                    spec=spec,
+                    application=application,
+                    base_rate=spec.users * spec.tx_rate * scale,
+                    seed=seed,
+                    diurnal=config.diurnal,
+                    churn=config.churn,
+                    events=config.events,
+                    max_flash=config.max_flash_multiplier(spec.name),
+                )
+            )
+        self.hot_keys = [f"hot-agent-{i}" for i in range(config.hot_keys)]
+        self.sinks = [f"sink-agent-{i}" for i in range(config.sinks)]
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def total_rate(self) -> float:
+        """Aggregate base offered rate (tx/s) across every cohort."""
+        return sum(c.base_rate for c in self.cohorts)
+
+    @property
+    def total_users(self) -> int:
+        return self.config.total_users
+
+    def agent_count(self) -> int:
+        """Live Agent objects — O(cohorts), never O(users)."""
+        return sum(len(c.agents) for c in self.cohorts)
+
+    def cohort(self, name: str) -> CohortAgent:
+        for cohort in self.cohorts:
+            if cohort.name == name:
+                return cohort
+        raise ConfigurationError(f"unknown cohort {name!r}")
+
+    def initial_state(self) -> Dict[str, Dict[str, object]]:
+        """World state for every account any agent transaction can touch."""
+        from repro.contracts.accounting import account_key
+
+        state: Dict[str, Dict[str, object]] = {}
+        for cohort in self.cohorts:
+            for agent in cohort.agents:
+                state[account_key(agent.account)] = {
+                    "balance": self.initial_balance,
+                    "owner": agent.client,
+                }
+        for name in self.hot_keys + self.sinks:
+            state[account_key(name)] = {"balance": 0.0, "owner": "treasury"}
+        return state

@@ -1,0 +1,117 @@
+"""The ``agents`` workload type: population-driven, closed-loop load.
+
+Registered in the global workload registry like any generator, but marked
+``population_driven``: the run layer (:func:`repro.paradigms.run.prepare_driver`)
+builds a :class:`~repro.agents.engine.PopulationEngine` driver from it instead
+of pre-generating an open-loop transaction list.  The classic
+``generate()`` / ``initial_state()`` interface still works — it samples the
+population open-loop without feedback — so tools that only know the
+:class:`~repro.workload.base.WorkloadBase` contract keep functioning.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
+
+from repro.agents.engine import PopulationEngine
+from repro.agents.policy import agent_policy_registry
+from repro.agents.population import AgentPopulationConfig, Population
+from repro.common.registry import register_workload
+from repro.contracts.accounting import AccountingContract, Transfer
+from repro.core.transaction import Transaction
+from repro.workload.base import WorkloadBase
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.workload.generator import WorkloadConfig
+
+
+@register_workload("agents")
+class AgentWorkload(WorkloadBase):
+    """Stateful agent population driving the deployment through feedback."""
+
+    contract = "accounting"
+    #: The run layer builds a PopulationEngine driver instead of replaying a list.
+    population_driven = True
+    config_hint = (
+        "workload.agents = {cohorts: [{name, users, tx_rate, sessions, policy, "
+        "policy_params, rate_model, rate_sigma, rate_weights, application}], "
+        "diurnal: {amplitude, period, phase}, churn: {sigma, interval, min_factor, "
+        "max_factor}, events: [{at, duration, multiplier, cohort}], hot_keys, "
+        "sinks, scale_to_offered}"
+    )
+
+    def __init__(self, config: "WorkloadConfig") -> None:
+        super().__init__(config)
+        self.agents_config: AgentPopulationConfig = config.agents or AgentPopulationConfig()
+        # Fail fast on unknown policy names — before any cluster is built —
+        # with the registry's standard "expected one of [...]" error.
+        for cohort in self.agents_config.cohorts:
+            agent_policy_registry.get(cohort.policy)
+        self._sample: Optional[Population] = None
+
+    # ------------------------------------------------------------ driver path
+    def build_driver(self, offered_load: Optional[float], duration: float) -> PopulationEngine:
+        """The closed-loop driver for one run at one offered load."""
+        population = Population(
+            self.agents_config,
+            applications=self._applications,
+            seed=self.config.seed,
+            offered_load=offered_load,
+            initial_balance=self.config.initial_balance,
+        )
+        return PopulationEngine(
+            population, duration=duration, transfer_amount=self.config.transfer_amount
+        )
+
+    # -------------------------------------------- open-loop fallback sampling
+    def _sample_population(self) -> Population:
+        if self._sample is None:
+            self._sample = Population(
+                self.agents_config,
+                applications=self._applications,
+                seed=self.config.seed,
+                offered_load=None,
+                initial_balance=self.config.initial_balance,
+            )
+        return self._sample
+
+    def _build_transaction(self, index: int) -> Transaction:
+        """Open-loop sample: round-robin cohorts/sessions, policy-shaped targets."""
+        population = self._sample_population()
+        cohorts = population.cohorts
+        cohort = cohorts[index % len(cohorts)]
+        agent = cohort.agents[(index // len(cohorts)) % len(cohort.agents)]
+        agent.seq += 1
+        hot_probability = float(
+            cohort.spec.policy_params.get(
+                "hot_probability", 1.0 if cohort.spec.policy == "hot-key-grinder" else 0.0
+            )
+        )
+        if self._rng.random() < hot_probability:
+            destination = population.hot_keys[index % len(population.hot_keys)]
+        else:
+            destination = population.sinks[index % len(population.sinks)]
+        return AccountingContract.make_transfer_transaction(
+            tx_id=f"ag-{agent.cohort}-{agent.slot}-{agent.seq}",
+            application=agent.application,
+            client=agent.client,
+            transfers=[
+                Transfer(
+                    source=agent.account,
+                    destination=destination,
+                    amount=self.config.transfer_amount,
+                )
+            ],
+        )
+
+    def initial_state(self, transactions: Sequence[Transaction]) -> Dict[str, object]:
+        """The population's account universe covers every sampled transaction."""
+        return self._sample_population().initial_state()
+
+    # -------------------------------------------------------------- analytics
+    def describe(self) -> Dict[str, object]:
+        summary = super().describe()
+        summary["cohorts"] = len(self.agents_config.cohorts)
+        summary["modeled_users"] = self.agents_config.total_users
+        summary["live_sessions"] = self.agents_config.total_sessions
+        return summary

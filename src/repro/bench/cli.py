@@ -191,13 +191,21 @@ def _cmd_matrix(args: argparse.Namespace, settings: BenchmarkSettings) -> int:
 
 def _cmd_list(args: argparse.Namespace) -> int:
     ensure_builtins()
-    workloads = []
-    for name in workload_registry.names():
-        contract = getattr(workload_registry.get(name), "contract", None)
-        workloads.append(f"{name} (-> {contract})" if contract else name)
     print("paradigms: ", ", ".join(paradigm_registry.names()))
     print("contracts: ", ", ".join(contract_registry.names()))
-    print("workloads: ", ", ".join(workloads))
+    print("workloads:")
+    for name in workload_registry.names():
+        factory = workload_registry.get(name)
+        contract = getattr(factory, "contract", None)
+        closed_loop = getattr(factory, "population_driven", False)
+        tags = f" (contract: {contract}{', closed-loop' if closed_loop else ''})" if contract else ""
+        print(f"  {name}{tags}")
+        hint = getattr(factory, "config_hint", "")
+        for line in str(hint).strip().splitlines():
+            print(f"      {line.strip()}")
+    from repro.agents import agent_policy_registry
+
+    print("agent policies:", ", ".join(agent_policy_registry.names()))
     print("built-in specs:", ", ".join(sorted(BUILTIN_SPECS)))
     return 0
 

@@ -150,6 +150,7 @@ def register_workload(name: str, factory=None, *, replace: bool = False):
 
 def ensure_builtins() -> None:
     """Import the built-in paradigms, contracts and workloads so they register."""
+    import repro.agents  # noqa: F401
     import repro.contracts  # noqa: F401
     import repro.paradigms  # noqa: F401
     import repro.workload  # noqa: F401

@@ -92,10 +92,16 @@ class AccountingContract(SmartContract):
     def execute(
         self, transaction: Transaction, state_view: Mapping[str, object]
     ) -> TransactionResult:
-        """Apply every transfer leg; abort on unknown account, bad owner or overdraft."""
+        """Apply every transfer leg; abort on unknown account, bad owner or overdraft.
+
+        Abort reasons are stable strings ("empty_transfers", "missing_account",
+        "not_owner", "insufficient_funds") — retry policies and the abort-storm
+        bench key on them, and every executor produces the same string for the
+        same transaction, so reason votes never split.
+        """
         transfers = transaction.payload.get("transfers", ())
         if not transfers:
-            return TransactionResult.abort(transaction)
+            return TransactionResult.abort(transaction, reason="empty_transfers")
         balances: Dict[str, float] = {}
         owners: Dict[str, str] = {}
         for leg in transfers:
@@ -105,16 +111,16 @@ class AccountingContract(SmartContract):
                     continue
                 record = state_view.get(key)
                 if record is None:
-                    return TransactionResult.abort(transaction)
+                    return TransactionResult.abort(transaction, reason="missing_account")
                 balance, owner = self._unpack(record)
                 balances[key] = balance
                 owners[key] = owner
         for leg in transfers:
             source_key = account_key(leg["source"])
             if self.enforce_ownership and transaction.client and owners[source_key] != transaction.client:
-                return TransactionResult.abort(transaction)
+                return TransactionResult.abort(transaction, reason="not_owner")
             if balances[source_key] < leg["amount"]:
-                return TransactionResult.abort(transaction)
+                return TransactionResult.abort(transaction, reason="insufficient_funds")
             balances[source_key] -= leg["amount"]
             balances[account_key(leg["destination"])] += leg["amount"]
         updates = {

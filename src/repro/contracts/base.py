@@ -106,5 +106,6 @@ class ContractRegistry:
                 status=result.status,
                 executed_by=executed_by,
                 read_versions=result.read_versions,
+                abort_reason=result.abort_reason,
             )
         return result

@@ -75,13 +75,13 @@ class SupplyChainContract(SmartContract):
         action = transaction.payload.get("action")
         asset_id = transaction.payload.get("asset")
         if not asset_id or action not in ("register", "ship", "inspect"):
-            return TransactionResult.abort(transaction)
+            return TransactionResult.abort(transaction, reason="unknown_action")
         key = asset_key(str(asset_id))
         record = state_view.get(key)
 
         if action == "register":
             if record is not None:
-                return TransactionResult.abort(transaction)
+                return TransactionResult.abort(transaction, reason="already_registered")
             new_record = {
                 "owner": transaction.payload.get("owner", transaction.client),
                 "history": ("registered",),
@@ -90,11 +90,11 @@ class SupplyChainContract(SmartContract):
             return self._ok(transaction, key, new_record)
 
         if record is None or not isinstance(record, Mapping):
-            return TransactionResult.abort(transaction)
+            return TransactionResult.abort(transaction, reason="missing_asset")
 
         if action == "ship":
             if transaction.client and record.get("owner") != transaction.client:
-                return TransactionResult.abort(transaction)
+                return TransactionResult.abort(transaction, reason="bad_custody")
             new_record = {
                 "owner": transaction.payload["to"],
                 "history": tuple(record.get("history", ())) + (f"shipped_to:{transaction.payload['to']}",),

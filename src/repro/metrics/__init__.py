@@ -8,11 +8,12 @@ latency percentiles, and the saturation module sweeps the offered load to find
 the knee of the latency/throughput curve.
 """
 
-from repro.metrics.collector import MetricsCollector, RunMetrics
+from repro.metrics.collector import CompletionEvent, MetricsCollector, RunMetrics
 from repro.metrics.latency import LatencyStats, percentile
 from repro.metrics.saturation import LoadSweepResult, find_peak, sweep_offered_load
 
 __all__ = [
+    "CompletionEvent",
     "LatencyStats",
     "LoadSweepResult",
     "MetricsCollector",

@@ -3,9 +3,27 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set
 
 from repro.metrics.latency import LatencyStats
+
+
+@dataclass(frozen=True)
+class CompletionEvent:
+    """One transaction finishing at every measurement peer (commit or abort).
+
+    Published to subscribers (:meth:`MetricsCollector.subscribe`) the moment
+    the last measurement peer reports — the feedback channel closed-loop
+    workload drivers use to route outcomes back to the submitting agent.
+    """
+
+    tx_id: str
+    completed_at: float
+    aborted: bool
+    #: Stable abort reason (majority vote across peers, ties broken
+    #: lexicographically); "" for committed transactions.
+    reason: str
+    submitted_at: Optional[float]
 
 
 @dataclass(frozen=True)
@@ -23,7 +41,11 @@ class RunMetrics:
     latency: LatencyStats
     blocks_committed: int = 0
     messages_sent: int = 0
-    extra: Mapping[str, float] = field(default_factory=dict)
+    extra: Mapping[str, object] = field(default_factory=dict)
+    #: Windowed abort counts keyed by stable reason string ("mvcc_conflict",
+    #: "insufficient_funds", ...), plus whole-run "dedup_drop" counts merged
+    #: in by the run loop.
+    abort_reasons: Mapping[str, int] = field(default_factory=dict)
 
     @property
     def latency_avg(self) -> float:
@@ -51,6 +73,7 @@ class RunMetrics:
             "blocks_committed": self.blocks_committed,
             "messages_sent": self.messages_sent,
             "abort_rate": self.abort_rate,
+            "abort_reasons": dict(self.abort_reasons),
             **dict(self.extra),
         }
 
@@ -71,8 +94,11 @@ class MetricsCollector:
         self._submissions: Dict[str, float] = {}
         self._reports: Dict[str, Dict[str, float]] = {}
         self._aborted_votes: Dict[str, Set[str]] = {}
+        self._reason_votes: Dict[str, List[str]] = {}
         self._completion_time: Dict[str, float] = {}
         self._completed_aborted: Set[str] = set()
+        self._abort_reason_of: Dict[str, str] = {}
+        self._subscribers: List[Callable[[CompletionEvent], None]] = []
         self.blocks_committed = 0
 
     # -------------------------------------------------------------- recording
@@ -80,7 +106,13 @@ class MetricsCollector:
         """Record the client submission time of ``tx_id``."""
         self._submissions.setdefault(tx_id, time)
 
-    def record_commit(self, node_id: str, tx_id: str, time: float, aborted: bool = False) -> None:
+    def subscribe(self, callback: Callable[[CompletionEvent], None]) -> None:
+        """Call ``callback`` with a :class:`CompletionEvent` per completed tx."""
+        self._subscribers.append(callback)
+
+    def record_commit(
+        self, node_id: str, tx_id: str, time: float, aborted: bool = False, reason: str = ""
+    ) -> None:
         """Record that ``node_id`` committed (or aborted) ``tx_id`` at ``time``."""
         if node_id not in self._measurement_peers:
             return
@@ -90,11 +122,34 @@ class MetricsCollector:
         reports[node_id] = time
         if aborted:
             self._aborted_votes.setdefault(tx_id, set()).add(node_id)
+            self._reason_votes.setdefault(tx_id, []).append(reason or "abort")
         if len(reports) == len(self._measurement_peers) and tx_id not in self._completion_time:
-            self._completion_time[tx_id] = max(reports.values())
+            completed_at = max(reports.values())
+            self._completion_time[tx_id] = completed_at
             aborts = self._aborted_votes.get(tx_id, set())
-            if len(aborts) >= len(self._measurement_peers):
+            fully_aborted = len(aborts) >= len(self._measurement_peers)
+            stable_reason = ""
+            if fully_aborted:
                 self._completed_aborted.add(tx_id)
+                stable_reason = self._stable_reason(tx_id)
+                self._abort_reason_of[tx_id] = stable_reason
+            if self._subscribers:
+                event = CompletionEvent(
+                    tx_id=tx_id,
+                    completed_at=completed_at,
+                    aborted=fully_aborted,
+                    reason=stable_reason,
+                    submitted_at=self._submissions.get(tx_id),
+                )
+                for subscriber in self._subscribers:
+                    subscriber(event)
+
+    def _stable_reason(self, tx_id: str) -> str:
+        """Majority abort reason across peers; ties broken lexicographically."""
+        votes = self._reason_votes.get(tx_id, [])
+        if not votes:
+            return "abort"
+        return min(sorted(set(votes)), key=lambda r: (-votes.count(r), r))
 
     def record_block_commit(self) -> None:
         """Count one block reaching the ledger (reference peer only)."""
@@ -129,6 +184,10 @@ class MetricsCollector:
         """Completion time per completed transaction."""
         return dict(self._completion_time)
 
+    def abort_reason_of(self, tx_id: str) -> str:
+        """Stable abort reason of a fully aborted transaction ("" otherwise)."""
+        return self._abort_reason_of.get(tx_id, "")
+
     # ------------------------------------------------------------- summarising
     def summarise(
         self,
@@ -137,18 +196,26 @@ class MetricsCollector:
         warmup: float,
         horizon: float,
         messages_sent: int = 0,
-        extra: Optional[Mapping[str, float]] = None,
+        extra: Optional[Mapping[str, object]] = None,
+        extra_abort_reasons: Optional[Mapping[str, int]] = None,
     ) -> RunMetrics:
-        """Compute throughput/latency over the steady-state window [warmup, horizon]."""
+        """Compute throughput/latency over the steady-state window [warmup, horizon].
+
+        ``extra_abort_reasons`` merges whole-run reason counts the collector
+        cannot see itself (e.g. orderer dedup drops) into ``abort_reasons``.
+        """
         window = max(horizon - warmup, 1e-9)
         committed_in_window = 0
         aborted_in_window = 0
+        abort_reasons: Dict[str, int] = {}
         latencies: List[float] = []
         for tx_id, completed_at in self._completion_time.items():
             if completed_at < warmup or completed_at > horizon:
                 continue
             if tx_id in self._completed_aborted:
                 aborted_in_window += 1
+                reason = self._abort_reason_of.get(tx_id, "abort")
+                abort_reasons[reason] = abort_reasons.get(reason, 0) + 1
                 continue
             committed_in_window += 1
             submitted_at = self._submissions.get(tx_id)
@@ -167,4 +234,7 @@ class MetricsCollector:
             blocks_committed=self.blocks_committed,
             messages_sent=messages_sent,
             extra=dict(extra or {}),
+            abort_reasons=dict(
+                sorted({**abort_reasons, **dict(extra_abort_reasons or {})}.items())
+            ),
         )

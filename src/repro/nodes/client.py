@@ -78,6 +78,17 @@ class ClientGateway(BaseNode):
         pairs = sorted(zip(schedule, transactions), key=lambda item: item[0])
         self.env.process(self._submission_loop(pairs), name=f"{self.node_id}-submit")
 
+    def submit_now(self, tx: Transaction) -> None:
+        """Submit one transaction immediately (closed-loop population drivers).
+
+        The open-loop path replays a pre-computed schedule; agent-based
+        drivers instead decide each submission on the simulated clock and
+        push it through here — including duplicate submissions of an already
+        sent tx_id (at-least-once delivery the orderers deduplicate).
+        """
+        self.start()
+        self._submit_one(tx)
+
     def _submission_loop(self, pairs: Sequence[Tuple[float, Transaction]]):
         for submit_at, tx in pairs:
             delay = submit_at - self.env.now
@@ -152,6 +163,7 @@ class ClientGateway(BaseNode):
             "updates": dict(primary.get("updates", {})),
             "read_versions": dict(primary.get("read_versions", {})),
             "endorsers": tuple(str(r.get("endorser", "")) for r in responses),
+            "abort_reason": str(primary.get("abort_reason", "")),
         }
         payload = dict(tx.payload)
         payload["endorsement"] = endorsement

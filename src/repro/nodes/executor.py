@@ -308,7 +308,12 @@ class ExecutorNode(BaseNode, BlockCatchupMixin):
                 # reordered COMMIT must not regress the overlay either.
                 speculative.apply(updater.effective_updates(tx_id))
             if self.collector is not None:
-                self.collector.record_commit(self.node_id, tx_id, self.env.now, aborted=aborted)
+                reason = ""
+                if aborted:
+                    reason = (result.abort_reason or "contract_abort") if result else "contract_abort"
+                self.collector.record_commit(
+                    self.node_id, tx_id, self.env.now, aborted=aborted, reason=reason
+                )
 
     def _finish_block(self, block: Block) -> None:
         self.ledger.append(block)

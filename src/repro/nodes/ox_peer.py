@@ -120,7 +120,13 @@ class OXPeerNode(BaseNode, BlockCatchupMixin):
                 else:
                     self.transactions_aborted += 1
                 if self.collector is not None:
-                    self.collector.record_commit(self.node_id, tx.tx_id, self.env.now, aborted=aborted)
+                    self.collector.record_commit(
+                        self.node_id,
+                        tx.tx_id,
+                        self.env.now,
+                        aborted=aborted,
+                        reason=(result.abort_reason or "contract_abort") if aborted else "",
+                    )
             self.ledger.append(block)
             self._block_votes.pop(block.sequence, None)
             if self.is_reference and self.collector is not None:

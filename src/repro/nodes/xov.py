@@ -115,32 +115,44 @@ class XOVPeerNode(BaseNode, BlockCatchupMixin):
             block: Block = yield self._validation_queue.get()
             for tx in block.transactions:
                 yield self.env.timeout(self.cost_model.tx_validation)
-                aborted = not self._validate_and_commit(tx)
+                reason = self._validate_and_commit(tx)
                 if self.collector is not None:
-                    self.collector.record_commit(self.node_id, tx.tx_id, self.env.now, aborted=aborted)
+                    self.collector.record_commit(
+                        self.node_id,
+                        tx.tx_id,
+                        self.env.now,
+                        aborted=reason is not None,
+                        reason=reason or "",
+                    )
             self.ledger.append(block)
             self._block_votes.pop(block.sequence, None)
             if self.is_reference and self.collector is not None:
                 self.collector.record_block_commit()
 
-    def _validate_and_commit(self, tx: Transaction) -> bool:
-        """MVCC-style validation: commit iff every observed version is still current."""
+    def _validate_and_commit(self, tx: Transaction) -> Optional[str]:
+        """MVCC-style validation: commit iff every observed version is still current.
+
+        Returns ``None`` on commit, otherwise a stable abort-reason string:
+        ``endorsement_missing`` (no endorsement in the payload), the endorsed
+        contract's own reason (endorsement carried status "abort"), or
+        ``mvcc_conflict`` (a stale read version — the paper's Figure 6 abort).
+        """
         endorsement = tx.payload.get("endorsement")
         if not isinstance(endorsement, Mapping):
             self.transactions_aborted += 1
-            return False
+            return "endorsement_missing"
         if endorsement.get("status") == "abort":
             self.transactions_aborted += 1
-            return False
+            return str(endorsement.get("abort_reason") or "endorsed_abort")
         read_versions: Mapping[str, int] = endorsement.get("read_versions", {})
         for key, version in read_versions.items():
             if self.state.version(key) != version:
                 self.transactions_aborted += 1
-                return False
+                return "mvcc_conflict"
         updates: Mapping[str, object] = endorsement.get("updates", {})
         self.state.apply_updates(updates)
         self.transactions_committed += 1
-        return True
+        return None
 
 
 class EndorserNode(XOVPeerNode):
@@ -197,6 +209,7 @@ class EndorserNode(XOVPeerNode):
                     "status": result.status,
                     "updates": dict(result.updates),
                     "read_versions": read_versions,
+                    "abort_reason": result.abort_reason,
                 },
                 payload_bytes=self.latency.per_tx_bytes,
             )

@@ -27,6 +27,51 @@ from repro.workload.arrivals import ArrivalSchedule
 CLIENT_GATEWAY = "client-gateway"
 
 
+class ScheduleDriver:
+    """The open-loop workload driver: replay a fixed list at scheduled times.
+
+    A *driver* is anything that feeds a built deployment with transactions
+    and knows when the run is finished: ``start(handles, deployment)`` begins
+    submission, ``duration``/``offered_rate`` shape the measurement window,
+    ``is_complete(handles)`` ends the run early and ``extra_metrics(handles)``
+    merges driver-specific aggregates into :class:`RunMetrics.extra`.  This
+    class wraps the classic (transactions, schedule) replay;
+    :class:`repro.agents.PopulationEngine` is the closed-loop counterpart.
+    """
+
+    def __init__(self, transactions: Sequence[Transaction], schedule: ArrivalSchedule) -> None:
+        if len(transactions) != len(schedule):
+            raise ValueError("schedule length must match the number of transactions")
+        self.transactions = list(transactions)
+        self.schedule = schedule
+
+    @property
+    def duration(self) -> float:
+        """Length of the submission phase (last scheduled arrival)."""
+        return self.schedule.duration
+
+    @property
+    def offered_rate(self) -> float:
+        """Average offered load (tx/s) the driver generates."""
+        return self.schedule.offered_rate
+
+    def start(self, handles: "DeploymentHandles", deployment: "Deployment") -> None:
+        """Begin open-loop submission through the client gateway."""
+        handles.gateway.submit_schedule(self.transactions, self.schedule)
+
+    def is_complete(self, handles: "DeploymentHandles") -> bool:
+        """True once every submitted transaction completed everywhere."""
+        return handles.collector.all_complete(len(self.transactions))
+
+    def submitted_transactions(self) -> Sequence[Transaction]:
+        """The transactions this driver submits (known up front here)."""
+        return tuple(self.transactions)
+
+    def extra_metrics(self, handles: "DeploymentHandles") -> Dict[str, object]:
+        """Driver-specific aggregates merged into the run summary (none here)."""
+        return {}
+
+
 @dataclass
 class DeploymentHandles:
     """Everything a built deployment exposes for inspection and for the run loop."""
@@ -173,8 +218,8 @@ class Deployment(abc.ABC):
     # -------------------------------------------------------------------- run
     def run(
         self,
-        transactions: Sequence[Transaction],
-        schedule: ArrivalSchedule,
+        transactions: Optional[Sequence[Transaction]] = None,
+        schedule: Optional[ArrivalSchedule] = None,
         initial_state: Optional[Dict[str, object]] = None,
         offered_load: Optional[float] = None,
         warmup_fraction: float = 0.2,
@@ -182,15 +227,20 @@ class Deployment(abc.ABC):
         poll_interval: float = 0.05,
         fault_schedule: Optional[object] = None,
         poll_hook: Optional[Callable[[DeploymentHandles], None]] = None,
+        driver: Optional[object] = None,
     ) -> RunMetrics:
-        """Build a fresh cluster, replay the workload and summarise the run.
+        """Build a fresh cluster, drive the workload and summarise the run.
 
-        The simulation ends as soon as every transaction has completed at
-        every measurement peer, or after ``schedule.duration + drain``
-        simulated seconds, whichever comes first.  Throughput and latency are
-        computed over the steady-state window ``[warmup_fraction * duration,
-        duration]`` — completions during the drain tail are excluded, matching
-        the paper's "average measured during the steady state" methodology.
+        The workload comes either from ``(transactions, schedule)`` — wrapped
+        in an open-loop :class:`ScheduleDriver` — or from an explicit
+        ``driver`` implementing the driver protocol (e.g. the closed-loop
+        :class:`repro.agents.PopulationEngine`).  The simulation ends as soon
+        as ``driver.is_complete`` reports done, or after ``driver.duration +
+        drain`` simulated seconds, whichever comes first.  Throughput and
+        latency are computed over the steady-state window
+        ``[warmup_fraction * duration, duration]`` — completions during the
+        drain tail are excluded, matching the paper's "average measured
+        during the steady state" methodology.
 
         ``fault_schedule`` is any object exposing ``install(handles,
         deployment)`` — the hook the fault harness uses to register seeded
@@ -199,6 +249,10 @@ class Deployment(abc.ABC):
         the live handles on every monitor poll — the in-flight oracle hook
         point, letting invariant probes observe the deployment mid-run.
         """
+        if driver is None:
+            if transactions is None or schedule is None:
+                raise ValueError("run() needs either a driver or (transactions, schedule)")
+            driver = ScheduleDriver(transactions, schedule)
         handles = self.build(initial_state=initial_state)
         env = handles.env
         for orderer in handles.orderers:
@@ -207,29 +261,32 @@ class Deployment(abc.ABC):
             peer.start()
         if fault_schedule is not None:
             fault_schedule.install(handles, self)
-        handles.gateway.submit_schedule(transactions, schedule)
+        driver.start(handles, self)
 
-        expected = len(transactions)
-        horizon = schedule.duration + drain
+        duration = driver.duration
+        horizon = duration + drain
 
         def monitor():
             while env.now < horizon:
                 if poll_hook is not None:
                     poll_hook(handles)
-                if handles.collector.all_complete(expected):
+                if driver.is_complete(handles):
                     return "complete"
                 yield env.timeout(poll_interval)
             return "horizon"
 
         env.run(until=env.process(monitor(), name="run-monitor"))
-        warmup = schedule.duration * warmup_fraction
-        measurement_end = schedule.duration
-        load = offered_load if offered_load is not None else schedule.offered_rate
+        warmup = duration * warmup_fraction
+        measurement_end = duration
+        load = offered_load if offered_load is not None else driver.offered_rate
+        deduplicated = float(sum(o.requests_deduplicated for o in handles.orderers))
         extra = {
             "blocks_ordered": float(sum(o.blocks_ordered for o in handles.orderers)),
             "requests_rejected": float(sum(o.requests_rejected for o in handles.orderers)),
+            "requests_deduplicated": deduplicated,
             "simulated_time": float(env.now),
         }
+        extra.update(driver.extra_metrics(handles))
         return handles.collector.summarise(
             paradigm=self.name,
             offered_load=load,
@@ -237,4 +294,5 @@ class Deployment(abc.ABC):
             horizon=measurement_end,
             messages_sent=handles.network.messages_sent,
             extra=extra,
+            extra_abort_reasons={"dedup_drop": int(deduplicated)} if deduplicated else None,
         )

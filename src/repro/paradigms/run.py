@@ -67,6 +67,39 @@ def prepare_workload(
     return system_config, transactions, schedule, initial_state
 
 
+def prepare_driver(
+    generator: str,
+    system_config: SystemConfig,
+    workload_config: "WorkloadConfig",
+    offered_load: float,
+    duration: float,
+):
+    """Resolve one run's workload *driver*: open- or closed-loop.
+
+    Returns ``(system_config, driver, initial_state)``.  Generators that
+    declare ``population_driven = True`` (the agent-based workloads) build a
+    closed-loop :class:`repro.agents.PopulationEngine`; everything else goes
+    through :func:`prepare_workload` and is wrapped in the open-loop
+    :class:`repro.paradigms.base.ScheduleDriver`, so both kinds plug into
+    the same :meth:`Deployment.run` loop.
+    """
+    generator_factory = workload_registry.get(generator)
+    if getattr(generator_factory, "population_driven", False):
+        required_contract = getattr(generator_factory, "contract", None)
+        if required_contract and system_config.contract != required_contract:
+            system_config = system_config.with_overrides(contract=required_contract)
+        workload = generator_factory(workload_config)
+        driver = workload.build_driver(offered_load=offered_load, duration=duration)
+        initial_state = driver.population.initial_state()
+        return system_config, driver, initial_state
+    from repro.paradigms.base import ScheduleDriver
+
+    system_config, transactions, schedule, initial_state = prepare_workload(
+        generator, system_config, workload_config, offered_load, duration
+    )
+    return system_config, ScheduleDriver(transactions, schedule), initial_state
+
+
 def execute_run(
     paradigm: str,
     system_config: Optional[SystemConfig] = None,
@@ -107,7 +140,7 @@ def execute_run(
     if seed is not None:
         workload_config = replace(workload_config, seed=seed)
 
-    system_config, transactions, schedule, initial_state = prepare_workload(
+    system_config, driver, initial_state = prepare_driver(
         generator, system_config, workload_config, offered_load, duration
     )
 
@@ -124,8 +157,7 @@ def execute_run(
 
     deployment = deployment_cls(system_config)
     return deployment.run(
-        transactions=transactions,
-        schedule=schedule,
+        driver=driver,
         initial_state=initial_state,
         offered_load=offered_load,
         warmup_fraction=warmup_fraction,

@@ -29,7 +29,7 @@ from repro.common.rng import child_rng
 from repro.core.transaction import Transaction
 from repro.ledger.ledger import Ledger
 from repro.ledger.state import WorldState
-from repro.paradigms.run import prepare_workload
+from repro.paradigms.run import prepare_driver
 from repro.testing.schedule import FaultInjector, FaultSchedule, random_fault_schedule
 from repro.workload.generator import WorkloadConfig
 
@@ -217,8 +217,9 @@ def run_scenario(
         seed=config.seed,
     ).with_overrides(**dict(config.workload))
     # The shared run-path derivation (repro.paradigms.run): adversarial
-    # scenarios replay exactly the workload a production run would submit.
-    system_config, transactions, arrivals, initial_state = prepare_workload(
+    # scenarios drive exactly the workload a production run would submit —
+    # open-loop schedules and closed-loop agent populations alike.
+    system_config, driver, initial_state = prepare_driver(
         config.generator, system_config, workload_config,
         config.offered_load, config.duration,
     )
@@ -231,7 +232,7 @@ def run_scenario(
         orderer.start()
     for peer in handles.peers:
         peer.start()
-    handles.gateway.submit_schedule(transactions, arrivals)
+    driver.start(handles, deployment)
 
     env = handles.env
     env.run(until=config.horizon)
@@ -251,6 +252,8 @@ def run_scenario(
         previous = current
 
     entry = handles.orderers[0]
+    # Closed-loop drivers only know what they submitted after the run.
+    transactions = list(driver.submitted_transactions())
     peers = [
         PeerView(
             node_id=peer.node_id,

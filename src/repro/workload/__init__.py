@@ -17,6 +17,9 @@ selectable by name from experiment specs):
   carry near-conflict-free graphs.
 * ``supply_chain`` — asset lifecycles whose ship/inspect steps form natural
   multi-hop dependency chains hopping across applications.
+* ``agents`` — the closed-loop agent-population workload
+  (:mod:`repro.agents`): stateful agents with behaviour policies react to
+  per-transaction commit/abort feedback instead of replaying a fixed list.
 
 See docs/workloads.md for the knob-by-knob guide.
 """
@@ -45,3 +48,8 @@ __all__ = [
     "constant_rate",
     "poisson_rate",
 ]
+
+# Registered last: repro.agents imports this package (WorkloadBase), so the
+# plain module import — not a from-import — tolerates the half-initialised
+# module when repro.agents is what triggered our import in the first place.
+import repro.agents.workload  # noqa: E402,F401

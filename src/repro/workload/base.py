@@ -38,6 +38,12 @@ class WorkloadBase(abc.ABC):
     #: Registered contract name the generated transactions are written for
     #: (``None`` — no declaration; the deployment keeps its configured one).
     contract: Optional[str] = None
+    #: True for closed-loop generators that drive the run through a workload
+    #: driver (``build_driver``) instead of a pre-generated transaction list.
+    population_driven: bool = False
+    #: Short multi-line summary of the WorkloadConfig knobs this generator
+    #: reads, shown by ``bench list`` as a schema hint for spec authors.
+    config_hint: str = ""
 
     def __init__(self, config: "WorkloadConfig") -> None:
         self.config = config

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.common.config import (
     apply_overrides,
@@ -46,6 +46,9 @@ from repro.contracts.accounting import AccountingContract, Transfer, account_key
 from repro.core.transaction import Transaction
 from repro.workload.base import WorkloadBase
 from repro.workload.conflict import ConflictModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (agents imports workload)
+    from repro.agents.population import AgentPopulationConfig
 
 
 class ConflictScope(str, Enum):
@@ -71,6 +74,10 @@ class WorkloadConfig:
     hot_accounts: int = 1
     #: General conflict-model knobs (keyspace, Zipf skew, rw-set sizes, spill).
     conflict: ConflictModel = field(default_factory=ConflictModel)
+    #: Agent-population description for the closed-loop "agents" workload
+    #: (cohorts, diurnal/churn curves, flash events); ``None`` means the
+    #: generator falls back to its built-in single-cohort default.
+    agents: Optional["AgentPopulationConfig"] = None
 
     def __post_init__(self) -> None:
         check_positive_int("num_applications", self.num_applications)
@@ -89,6 +96,18 @@ class WorkloadConfig:
                 f"conflict must be a ConflictModel (or a mapping of its fields), "
                 f"got {self.conflict!r}"
             )
+        if self.agents is not None:
+            from repro.agents.population import AgentPopulationConfig
+
+            if isinstance(self.agents, Mapping):
+                object.__setattr__(
+                    self, "agents", apply_overrides(AgentPopulationConfig(), self.agents)
+                )
+            if not isinstance(self.agents, AgentPopulationConfig):
+                raise ConfigurationError(
+                    f"agents must be an AgentPopulationConfig (or a mapping of its "
+                    f"fields), got {self.agents!r}"
+                )
 
     def with_overrides(self, **overrides: Any) -> "WorkloadConfig":
         """Validated copy with ``overrides`` applied.
@@ -123,6 +142,11 @@ class WorkloadGenerator(WorkloadBase):
     """Generates transfer transactions plus the initial state they need."""
 
     contract = "accounting"
+    config_hint = (
+        "contention (0..1 hot-account fraction), conflict_scope "
+        "(within_application|cross_application), hot_accounts, transfer_amount, "
+        "initial_balance, conflict.{keyspace,selection,zipf_s,...}"
+    )
 
     def __init__(self, config: WorkloadConfig) -> None:
         super().__init__(config)

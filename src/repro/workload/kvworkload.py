@@ -36,6 +36,10 @@ class KeyValueWorkload(WorkloadBase):
     """Skewed reads with rare hot-set writes over ``KeyValueContract``."""
 
     contract = "kvstore"
+    config_hint = (
+        "contention (hot-set write probability), "
+        "conflict.{keyspace,selection,zipf_s,read_set_size,hot_fraction,spill}"
+    )
 
     def key_name(self, application: str, index: int) -> str:
         """Canonical name of the ``index``-th record of ``application``."""

@@ -39,6 +39,10 @@ class SmallBankWorkload(WorkloadBase):
     """Multi-op transfers over a shared, skew-accessed account population."""
 
     contract = "accounting"
+    config_hint = (
+        "contention (multi-leg hot-transfer fraction), transfer_amount, "
+        "initial_balance, conflict.{keyspace,selection,zipf_s,write_set_size}"
+    )
 
     def account_name(self, application: str, index: int) -> str:
         """Canonical name of the ``index``-th account of ``application``."""

@@ -39,6 +39,10 @@ class SupplyChainWorkload(WorkloadBase):
     """Register / ship / inspect lifecycles over a shared asset population."""
 
     contract = "supply_chain"
+    config_hint = (
+        "contention (tracked-asset lifecycle fraction), "
+        "conflict.{keyspace,selection,zipf_s,spill} (asset population + skew)"
+    )
 
     def __init__(self, config) -> None:
         super().__init__(config)

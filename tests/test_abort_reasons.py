@@ -1,0 +1,197 @@
+"""End-to-end abort-reason plumbing: contracts → peers → collector → metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.contracts.accounting import AccountingContract, Transfer
+from repro.contracts.base import ContractRegistry
+from repro.ledger.state import WorldState
+from repro.metrics.collector import CompletionEvent, MetricsCollector
+from repro.paradigms.run import execute_run
+from repro.workload.generator import WorkloadConfig
+
+
+def make_state(**accounts):
+    from repro.contracts.accounting import account_key
+
+    return WorldState({account_key(k): v for k, v in accounts.items()})
+
+
+def transfer_tx(tx_id, source, destination, amount=1.0, client="client-0"):
+    return AccountingContract.make_transfer_transaction(
+        tx_id=tx_id,
+        application="app-0",
+        client=client,
+        transfers=[Transfer(source=source, destination=destination, amount=amount)],
+    )
+
+
+# ------------------------------------------------------------ contract layer
+class TestContractReasons:
+    def setup_method(self):
+        self.contract = AccountingContract("app-0")
+
+    def test_missing_account(self):
+        result = self.contract.execute(transfer_tx("t", "ghost", "b"), make_state())
+        assert result.is_abort and result.abort_reason == "missing_account"
+
+    def test_not_owner(self):
+        state = make_state(
+            a={"balance": 10.0, "owner": "someone-else"}, b={"balance": 0.0, "owner": "x"}
+        )
+        result = self.contract.execute(transfer_tx("t", "a", "b"), state)
+        assert result.abort_reason == "not_owner"
+
+    def test_insufficient_funds(self):
+        state = make_state(
+            a={"balance": 0.5, "owner": "client-0"}, b={"balance": 0.0, "owner": "x"}
+        )
+        result = self.contract.execute(transfer_tx("t", "a", "b", amount=2.0), state)
+        assert result.abort_reason == "insufficient_funds"
+
+    def test_registry_execute_preserves_abort_reason(self):
+        """The executed_by re-stamp must not drop the reason (regression)."""
+        registry = ContractRegistry()
+        registry.install(self.contract, agents=["exec-0"])
+        result = registry.execute(transfer_tx("t", "ghost", "b"), make_state(), executed_by="exec-0")
+        assert result.executed_by == "exec-0"
+        assert result.abort_reason == "missing_account"
+
+    def test_supply_chain_reasons(self):
+        from repro.contracts.supply_chain import SupplyChainContract
+
+        contract = SupplyChainContract("app-0")
+        tx = SupplyChainContract.make_ship(
+            tx_id="t", application="app-0", asset_id="missing", sender="a", recipient="b"
+        )
+        result = contract.execute(tx, WorldState({}))
+        assert result.abort_reason == "missing_asset"
+
+
+# ------------------------------------------------------------ collector layer
+class TestCollectorReasons:
+    def test_stable_reason_majority_vote(self):
+        collector = MetricsCollector(measurement_peers=["p0", "p1", "p2"])
+        collector.record_commit("p0", "t", 1.0, aborted=True, reason="mvcc_conflict")
+        collector.record_commit("p1", "t", 1.1, aborted=True, reason="mvcc_conflict")
+        collector.record_commit("p2", "t", 1.2, aborted=True, reason="contract_abort")
+        assert collector.abort_reason_of("t") == "mvcc_conflict"
+
+    def test_stable_reason_tie_breaks_lexicographically(self):
+        collector = MetricsCollector(measurement_peers=["p0", "p1"])
+        collector.record_commit("p0", "t", 1.0, aborted=True, reason="zeta")
+        collector.record_commit("p1", "t", 1.1, aborted=True, reason="alpha")
+        assert collector.abort_reason_of("t") == "alpha"
+
+    def test_empty_reason_defaults_to_abort(self):
+        collector = MetricsCollector(measurement_peers=["p0"])
+        collector.record_commit("p0", "t", 1.0, aborted=True)
+        assert collector.abort_reason_of("t") == "abort"
+
+    def test_committed_tx_has_no_reason(self):
+        collector = MetricsCollector(measurement_peers=["p0"])
+        collector.record_commit("p0", "t", 1.0)
+        assert collector.abort_reason_of("t") == ""
+
+    def test_subscribers_get_completion_events(self):
+        collector = MetricsCollector(measurement_peers=["p0", "p1"])
+        events = []
+        collector.subscribe(events.append)
+        collector.record_submission("t", 0.5)
+        collector.record_commit("p0", "t", 1.0, aborted=True, reason="mvcc_conflict")
+        assert events == []  # not complete yet: one peer missing
+        collector.record_commit("p1", "t", 1.5, aborted=True, reason="mvcc_conflict")
+        assert len(events) == 1
+        event = events[0]
+        assert isinstance(event, CompletionEvent)
+        assert event.tx_id == "t"
+        assert event.completed_at == 1.5
+        assert event.aborted and event.reason == "mvcc_conflict"
+        assert event.submitted_at == 0.5
+
+    def test_partial_abort_is_not_a_completion_abort(self):
+        """A tx aborted on one peer but committed on another is not 'aborted'."""
+        collector = MetricsCollector(measurement_peers=["p0", "p1"])
+        events = []
+        collector.subscribe(events.append)
+        collector.record_commit("p0", "t", 1.0, aborted=True, reason="mvcc_conflict")
+        collector.record_commit("p1", "t", 1.1)
+        assert events[0].aborted is False
+        assert collector.abort_reason_of("t") == ""
+
+    def test_summarise_counts_reasons_and_merges_extras(self):
+        collector = MetricsCollector(measurement_peers=["p0"])
+        for i, reason in enumerate(["mvcc_conflict", "mvcc_conflict", "contract_abort"]):
+            collector.record_submission(f"t{i}", 0.1)
+            collector.record_commit("p0", f"t{i}", 0.5, aborted=True, reason=reason)
+        metrics = collector.summarise(
+            paradigm="X",
+            offered_load=10.0,
+            warmup=0.0,
+            horizon=1.0,
+            extra_abort_reasons={"dedup_drop": 4},
+        )
+        assert metrics.abort_reasons == {
+            "contract_abort": 1,
+            "dedup_drop": 4,
+            "mvcc_conflict": 2,
+        }
+        assert metrics.as_dict()["abort_reasons"] == metrics.abort_reasons
+
+
+# ------------------------------------------------------------------ run layer
+class TestRunLayerReasons:
+    def test_xov_contention_reports_mvcc_conflict(self):
+        row = execute_run(
+            "XOV",
+            generator="accounting",
+            workload_config=WorkloadConfig(contention=0.8),
+            offered_load=400.0,
+            duration=1.0,
+            drain=6.0,
+            seed=7,
+        ).as_dict()
+        assert row["aborted"] > 0
+        assert row["abort_reasons"].get("mvcc_conflict", 0) > 0
+        # Every windowed abort carries a stable reason string.
+        assert sum(row["abort_reasons"].values()) >= row["aborted"]
+
+    @pytest.mark.parametrize("paradigm", ["OX", "OXII"])
+    def test_order_execute_paradigms_report_contract_reasons(self, paradigm):
+        """Agents overdrawing tiny balances abort with insufficient_funds."""
+        row = execute_run(
+            paradigm,
+            generator="agents",
+            workload_config=WorkloadConfig(
+                initial_balance=2.0,
+                agents={"cohorts": [{"name": "poor", "sessions": 4}]},
+            ),
+            offered_load=300.0,
+            duration=1.0,
+            drain=6.0,
+            seed=7,
+        ).as_dict()
+        assert row["abort_reasons"].get("insufficient_funds", 0) > 0
+
+    def test_xov_endorsed_abort_carries_contract_reason(self):
+        """Under XOV a contract abort at endorsement time keeps its reason.
+
+        Endorsers simulate against committed state, so exhausting a balance
+        only surfaces as mvcc_conflict; a balance that can never cover one
+        transfer aborts at endorsement itself with the contract's reason.
+        """
+        row = execute_run(
+            "XOV",
+            generator="agents",
+            workload_config=WorkloadConfig(
+                initial_balance=0.5,
+                agents={"cohorts": [{"name": "poor", "sessions": 4}]},
+            ),
+            offered_load=300.0,
+            duration=1.0,
+            drain=6.0,
+            seed=7,
+        ).as_dict()
+        reasons = row["abort_reasons"]
+        assert reasons.get("insufficient_funds", 0) > 0, reasons

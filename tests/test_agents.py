@@ -1,0 +1,276 @@
+"""Unit tests for the agent-population subsystem (repro.agents)."""
+
+from __future__ import annotations
+
+import math
+import tracemalloc
+
+import pytest
+
+from repro.agents import (
+    AgentPopulationConfig,
+    ChurnConfig,
+    CohortSpec,
+    DiurnalConfig,
+    FlashEvent,
+    Population,
+    PopulationEngine,
+    agent_policy_registry,
+    build_population_engine,
+)
+from repro.common.errors import ConfigurationError
+from repro.workload.generator import WorkloadConfig
+
+APPS = ["app-0", "app-1", "app-2"]
+
+
+# ---------------------------------------------------------------- config layer
+class TestConfig:
+    def test_defaults_round_trip(self):
+        config = AgentPopulationConfig()
+        assert config.total_users == 1000
+        assert config.total_sessions == 8
+        assert config.cohorts[0].policy == "steady"
+
+    def test_cohorts_coerced_from_mappings(self):
+        config = AgentPopulationConfig(
+            cohorts=[{"name": "a", "users": 10}, {"name": "b", "tx_rate": 2.0}]
+        )
+        assert [c.name for c in config.cohorts] == ["a", "b"]
+        assert config.cohorts[0].users == 10
+        assert config.cohorts[1].tx_rate == 2.0
+
+    def test_duplicate_cohort_names_rejected(self):
+        with pytest.raises(ConfigurationError, match="unique"):
+            AgentPopulationConfig(cohorts=[{"name": "x"}, {"name": "x"}])
+
+    def test_unknown_cohort_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="tx_rte"):
+            AgentPopulationConfig(cohorts=[{"name": "a", "tx_rte": 1.0}])
+
+    def test_empirical_rate_model_needs_weights(self):
+        with pytest.raises(ConfigurationError, match="rate_weights"):
+            CohortSpec(rate_model="empirical")
+
+    def test_unknown_rate_model_rejected(self):
+        with pytest.raises(ConfigurationError, match="rate_model"):
+            CohortSpec(rate_model="gamma")
+
+    def test_churn_clamp_must_bracket_one(self):
+        with pytest.raises(ConfigurationError, match="bracket"):
+            ChurnConfig(sigma=0.1, min_factor=1.2)
+
+    def test_workload_config_coerces_agents_mapping(self):
+        config = WorkloadConfig(agents={"cohorts": [{"name": "only", "users": 5}]})
+        assert isinstance(config.agents, AgentPopulationConfig)
+        assert config.agents.cohorts[0].users == 5
+
+    def test_workload_config_rejects_non_mapping_agents(self):
+        with pytest.raises(ConfigurationError, match="agents"):
+            WorkloadConfig(agents=42)
+
+    def test_unknown_policy_name_fails_fast_with_registry_error(self):
+        from repro.agents.workload import AgentWorkload
+
+        config = WorkloadConfig(agents={"cohorts": [{"name": "a", "policy": "yolo-retry"}]})
+        with pytest.raises(ConfigurationError, match=r"unknown agent policy 'yolo-retry'"):
+            AgentWorkload(config)
+
+    def test_unknown_policy_error_lists_known_policies(self):
+        with pytest.raises(ConfigurationError, match="backoff-retry"):
+            agent_policy_registry.get("nope")
+
+    def test_unknown_policy_param_rejected(self):
+        policy_cls = agent_policy_registry.get("backoff-retry")
+        import random
+
+        with pytest.raises(ConfigurationError, match="base_dely"):
+            policy_cls({"base_dely": 0.2}, random.Random(1))
+
+
+# ------------------------------------------------------------- rate modifiers
+class TestRateShaping:
+    def test_diurnal_factor_sinusoid(self):
+        diurnal = DiurnalConfig(amplitude=0.5, period=2.0)
+        assert diurnal.factor(0.0) == pytest.approx(1.0)
+        assert diurnal.factor(0.5) == pytest.approx(1.5)
+        assert diurnal.factor(1.5) == pytest.approx(0.5)
+        assert diurnal.max_factor == pytest.approx(1.5)
+
+    def test_flash_event_window_and_cohort_filter(self):
+        event = FlashEvent(at=1.0, duration=0.5, multiplier=3.0, cohort="grinders")
+        assert event.applies("grinders", 1.2)
+        assert not event.applies("grinders", 1.6)
+        assert not event.applies("crowd", 1.2)
+
+    def test_rate_at_composes_all_modifiers(self):
+        config = AgentPopulationConfig(
+            cohorts=[{"name": "c", "users": 100, "tx_rate": 1.0}],
+            diurnal={"amplitude": 0.5, "period": 2.0},
+            events=[{"at": 0.0, "duration": 10.0, "multiplier": 2.0}],
+            scale_to_offered=False,
+        )
+        cohort = Population(config, APPS, seed=3).cohorts[0]
+        cohort.throttle = 0.5
+        # base 100 * diurnal(0.5)=1.5 * flash 2.0 * throttle 0.5
+        assert cohort.rate_at(0.5) == pytest.approx(150.0)
+        assert cohort.max_rate() >= cohort.rate_at(0.5)
+
+    def test_max_rate_envelopes_churn_only_when_enabled(self):
+        quiet = AgentPopulationConfig(cohorts=[{"name": "c"}], scale_to_offered=False)
+        churny = AgentPopulationConfig(
+            cohorts=[{"name": "c"}], churn={"sigma": 0.2}, scale_to_offered=False
+        )
+        base = Population(quiet, APPS, seed=3).cohorts[0].max_rate()
+        enveloped = Population(churny, APPS, seed=3).cohorts[0].max_rate()
+        assert enveloped == pytest.approx(base * ChurnConfig(sigma=0.2).max_factor)
+
+    def test_churn_step_is_clamped_and_seeded(self):
+        config = AgentPopulationConfig(
+            cohorts=[{"name": "c"}], churn={"sigma": 5.0}, scale_to_offered=False
+        )
+        cohort = Population(config, APPS, seed=3).cohorts[0]
+        factors = [cohort.churn_step() for _ in range(50)]
+        assert all(0.5 <= f <= 1.5 for f in factors)
+        cohort2 = Population(config, APPS, seed=3).cohorts[0]
+        assert factors == [cohort2.churn_step() for _ in range(50)]
+
+
+# ------------------------------------------------------------------ population
+class TestPopulation:
+    def test_scale_to_offered_preserves_cohort_shares(self):
+        config = AgentPopulationConfig(
+            cohorts=[
+                {"name": "a", "users": 100, "tx_rate": 1.0},
+                {"name": "b", "users": 300, "tx_rate": 1.0},
+            ]
+        )
+        population = Population(config, APPS, seed=3, offered_load=800.0)
+        assert population.total_rate == pytest.approx(800.0)
+        assert population.cohort("a").base_rate == pytest.approx(200.0)
+        assert population.cohort("b").base_rate == pytest.approx(600.0)
+
+    def test_agent_count_is_sessions_not_users(self):
+        config = AgentPopulationConfig(
+            cohorts=[{"name": "big", "users": 1_000_000, "sessions": 16}]
+        )
+        population = Population(config, APPS, seed=3)
+        assert population.total_users == 1_000_000
+        assert population.agent_count() == 16
+
+    def test_session_weights_sum_to_one_for_each_model(self):
+        for extra in (
+            {"rate_model": "constant"},
+            {"rate_model": "lognormal", "rate_sigma": 1.0},
+            {"rate_model": "empirical", "rate_weights": [1.0, 2.0, 4.0]},
+        ):
+            config = AgentPopulationConfig(cohorts=[dict({"name": "c", "sessions": 12}, **extra)])
+            cohort = Population(config, APPS, seed=3).cohorts[0]
+            assert sum(a.weight for a in cohort.agents) == pytest.approx(1.0)
+
+    def test_lognormal_weights_are_heterogeneous_and_seeded(self):
+        config = AgentPopulationConfig(
+            cohorts=[{"name": "c", "sessions": 12, "rate_model": "lognormal", "rate_sigma": 1.0}]
+        )
+        first = [a.weight for a in Population(config, APPS, seed=3).cohorts[0].agents]
+        again = [a.weight for a in Population(config, APPS, seed=3).cohorts[0].agents]
+        other = [a.weight for a in Population(config, APPS, seed=4).cohorts[0].agents]
+        assert first == again
+        assert first != other
+        assert len(set(first)) > 1
+
+    def test_pick_agent_follows_weights(self):
+        config = AgentPopulationConfig(
+            cohorts=[
+                {"name": "c", "sessions": 2, "rate_model": "empirical", "rate_weights": [9.0, 1.0]}
+            ]
+        )
+        cohort = Population(config, APPS, seed=3).cohorts[0]
+        picks = [cohort.pick_agent().slot for _ in range(2000)]
+        share = picks.count(0) / len(picks)
+        assert 0.85 < share < 0.95
+
+    def test_application_assignment_round_robin_and_pinned(self):
+        config = AgentPopulationConfig(
+            cohorts=[{"name": "a"}, {"name": "b"}, {"name": "pinned", "application": "app-2"}]
+        )
+        population = Population(config, APPS, seed=3)
+        assert population.cohort("a").application == "app-0"
+        assert population.cohort("b").application == "app-1"
+        assert population.cohort("pinned").application == "app-2"
+
+    def test_initial_state_funds_agents_and_seeds_shared_accounts(self):
+        from repro.contracts.accounting import account_key
+
+        config = AgentPopulationConfig(cohorts=[{"name": "c", "sessions": 2}], hot_keys=2, sinks=3)
+        population = Population(config, APPS, seed=3, initial_balance=500.0)
+        state = population.initial_state()
+        agent = population.cohorts[0].agents[0]
+        assert state[account_key(agent.account)] == {"balance": 500.0, "owner": agent.client}
+        assert state[account_key("hot-agent-1")]["owner"] == "treasury"
+        assert len(state) == 2 + 2 + 3
+
+    def test_cohort_memory_is_o_sessions_not_o_users(self):
+        """1M modeled users must not cost meaningfully more than 10k users."""
+
+        def peak(users: int) -> int:
+            config = AgentPopulationConfig(
+                cohorts=[
+                    {"name": f"c{i}", "users": users // 10, "sessions": 8} for i in range(10)
+                ]
+            )
+            tracemalloc.start()
+            population = Population(config, APPS, seed=3)
+            state = population.initial_state()
+            _, peak_bytes = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            assert population.total_users == users
+            assert len(state) == population.agent_count() + 1 + 32
+            return peak_bytes
+
+        small, large = peak(10_000), peak(1_000_000)
+        assert large < small * 2 + 64_000, (small, large)
+
+
+# ---------------------------------------------------------------- engine layer
+class TestEngine:
+    def make_engine(self, duration=1.0, **config_kwargs) -> PopulationEngine:
+        config = AgentPopulationConfig(**config_kwargs) if config_kwargs else AgentPopulationConfig()
+        return build_population_engine(
+            config, APPS, seed=3, offered_load=100.0, duration=duration
+        )
+
+    def test_driver_protocol_surface(self):
+        engine = self.make_engine()
+        assert engine.duration == 1.0
+        assert engine.offered_rate == pytest.approx(100.0)
+        assert engine.submitted_transactions() == ()
+
+    def test_unknown_policy_rejected_at_engine_build(self):
+        with pytest.raises(ConfigurationError, match="unknown agent policy"):
+            self.make_engine(cohorts=[{"name": "c", "policy": "wat"}])
+
+    def test_events_digest_stable_and_seed_sensitive(self):
+        from repro.paradigms.run import execute_run
+
+        kwargs = dict(generator="agents", offered_load=150.0, duration=0.6, drain=4.0)
+        one = execute_run("OXII", seed=5, **kwargs).as_dict()
+        two = execute_run("OXII", seed=5, **kwargs).as_dict()
+        other = execute_run("OXII", seed=6, **kwargs).as_dict()
+        assert one == two
+        assert one["population_events_digest"] != other["population_events_digest"]
+
+    def test_extra_metrics_shape(self):
+        from repro.paradigms.run import execute_run
+
+        row = execute_run(
+            "OXII", generator="agents", offered_load=150.0, duration=0.6, drain=4.0, seed=5
+        ).as_dict()
+        assert row["population_users"] == 1000.0
+        assert row["population_agents"] == 8.0
+        assert row["population_submitted"] > 0
+        assert row["ledger_tip"]
+        rollup = row["population"]["cohort"]
+        assert rollup["submitted"] == row["population_submitted"]
+        assert rollup["policy"] == "steady"
+        assert math.isclose(rollup["base_rate"], 150.0)

@@ -1,0 +1,280 @@
+"""Integration tests: the agent engine through the run layer, sweeps and faults."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import SweepEngine
+from repro.experiments.spec import ExperimentSpec
+from repro.paradigms.run import execute_run
+from repro.testing import FaultEvent, FaultSchedule, ScenarioConfig, run_all_oracles, run_scenario
+
+STORM_COHORTS = [
+    {
+        "name": "grinders",
+        "users": 4000,
+        "tx_rate": 0.05,
+        "sessions": 10,
+        "policy": "naive-retry",
+        "application": "app-0",
+        "policy_params": {"hot_probability": 1.0, "retry_limit": 4},
+    },
+    {"name": "crowd", "users": 6000, "tx_rate": 0.04, "sessions": 24, "policy": "steady"},
+]
+
+
+def agents_spec(**overrides) -> ExperimentSpec:
+    base = {
+        "schema_version": 1,
+        "name": "agents-it",
+        "loads": [250.0],
+        "duration": 1.0,
+        "drain": 6.0,
+        "seeds": [7],
+        "scenarios": [
+            {
+                "name": "oxii",
+                "paradigm": "OXII",
+                "generator": "agents",
+                "workload": {"agents": {"cohorts": STORM_COHORTS}},
+            },
+            {
+                "name": "xov",
+                "paradigm": "XOV",
+                "generator": "agents",
+                "workload": {"agents": {"cohorts": STORM_COHORTS}},
+            },
+        ],
+    }
+    base.update(overrides)
+    return ExperimentSpec.from_dict(base)
+
+
+# ----------------------------------------------------------------- run layer
+class TestExecuteRun:
+    @pytest.mark.parametrize("paradigm", ["OX", "XOV", "OXII"])
+    def test_agents_workload_commits_on_every_paradigm(self, paradigm):
+        row = execute_run(
+            paradigm, generator="agents", offered_load=200.0, duration=1.0, drain=6.0, seed=7
+        ).as_dict()
+        assert row["committed"] > 0
+        assert row["population_submitted"] == row["submitted"]
+
+    def test_closed_loop_feedback_differs_between_paradigms(self):
+        """The feedback channel makes the event stream paradigm-dependent."""
+        kwargs = dict(generator="agents", offered_load=200.0, duration=1.0, drain=6.0, seed=7)
+        ox = execute_run("OX", **kwargs).as_dict()
+        xov = execute_run("XOV", **kwargs).as_dict()
+        assert ox["population_events_digest"] != xov["population_events_digest"]
+
+    def test_diurnal_curve_shifts_submission_volume(self):
+        from repro.workload.generator import WorkloadConfig
+
+        def run_with(agents):
+            return execute_run(
+                "OXII",
+                generator="agents",
+                offered_load=300.0,
+                duration=1.0,
+                drain=5.0,
+                seed=7,
+                workload_config=WorkloadConfig(agents=agents),
+            ).as_dict()["population_submitted"]
+
+        # Peak phase (sin>0 over most of [0,1]) vs trough phase.
+        peak = run_with({"diurnal": {"amplitude": 0.9, "period": 2.0, "phase": 0.0}})
+        trough = run_with({"diurnal": {"amplitude": 0.9, "period": 2.0, "phase": 1.0}})
+        assert peak > trough * 1.3, (peak, trough)
+
+    def test_flash_crowd_adds_volume(self):
+        from repro.workload.generator import WorkloadConfig
+
+        def run_with(agents):
+            return execute_run(
+                "OXII",
+                generator="agents",
+                offered_load=250.0,
+                duration=1.0,
+                drain=5.0,
+                seed=7,
+                workload_config=WorkloadConfig(agents=agents),
+            ).as_dict()["population_submitted"]
+
+        calm = run_with({"scale_to_offered": True})
+        flash = run_with(
+            {
+                "scale_to_offered": True,
+                "events": [{"at": 0.2, "duration": 0.5, "multiplier": 3.0}],
+            }
+        )
+        assert flash > calm * 1.5, (calm, flash)
+
+    def test_churn_perturbs_the_event_stream_deterministically(self):
+        from repro.workload.generator import WorkloadConfig
+
+        def run_with(sigma):
+            return execute_run(
+                "OXII",
+                generator="agents",
+                offered_load=250.0,
+                duration=1.0,
+                drain=5.0,
+                seed=7,
+                workload_config=WorkloadConfig(agents={"churn": {"sigma": sigma, "interval": 0.1}}),
+            ).as_dict()
+
+        churned, again, quiet = run_with(0.8), run_with(0.8), run_with(0.0)
+        assert churned == again
+        assert churned["population_events_digest"] != quiet["population_events_digest"]
+        assert churned["population"]["cohort"]["churn_factor"] != 1.0
+
+    def test_session_burst_policy_generates_followups(self):
+        from repro.workload.generator import WorkloadConfig
+
+        row = execute_run(
+            "OXII",
+            generator="agents",
+            offered_load=250.0,
+            duration=1.0,
+            drain=5.0,
+            seed=7,
+            workload_config=WorkloadConfig(
+                agents={
+                    "cohorts": [
+                        {
+                            "name": "bursty",
+                            "policy": "session-burst",
+                            "policy_params": {"burst_probability": 0.9, "burst_length": 3},
+                        }
+                    ]
+                }
+            ),
+        ).as_dict()
+        assert row["population"]["bursty"]["bursts"] > 0
+
+    def test_latency_throttle_policy_reduces_rate_under_load(self):
+        from repro.workload.generator import WorkloadConfig
+
+        row = execute_run(
+            "XOV",
+            generator="agents",
+            offered_load=400.0,
+            duration=1.5,
+            drain=6.0,
+            seed=7,
+            workload_config=WorkloadConfig(
+                agents={
+                    "cohorts": [
+                        {
+                            "name": "cautious",
+                            "sessions": 12,
+                            "policy": "latency-throttle",
+                            "policy_params": {"latency_threshold": 0.05, "backoff": 0.5},
+                        }
+                    ]
+                }
+            ),
+        ).as_dict()
+        assert row["population"]["cautious"]["throttle"] < 1.0
+
+    def test_duplicate_submitter_exercises_orderer_dedup(self):
+        from repro.workload.generator import WorkloadConfig
+
+        row = execute_run(
+            "OXII",
+            generator="agents",
+            offered_load=250.0,
+            duration=1.0,
+            drain=5.0,
+            seed=7,
+            workload_config=WorkloadConfig(
+                agents={
+                    "cohorts": [
+                        {
+                            "name": "dupes",
+                            "policy": "duplicate-submitter",
+                            "policy_params": {"duplicate_probability": 1.0, "delay": 0.01},
+                        }
+                    ]
+                }
+            ),
+        ).as_dict()
+        assert row["population_duplicates"] > 0
+        assert row["requests_deduplicated"] == row["population_duplicates"]
+        assert row["abort_reasons"]["dedup_drop"] == int(row["population_duplicates"])
+        # Deduplicated copies must not inflate the submission count: the
+        # collector tracks unique tx_ids only (completions are windowed, so
+        # committed + aborted can undershoot but never exceed it).
+        assert row["submitted"] == row["population_submitted"]
+        assert row["committed"] + row["aborted"] <= row["submitted"]
+
+
+# -------------------------------------------------------------- sweep backends
+class TestSweepDeterminism:
+    def test_serial_and_parallel_sweeps_are_bit_identical(self):
+        spec = agents_spec()
+        serial = SweepEngine(parallel=False).run(spec)
+        parallel = SweepEngine(workers=2, parallel=True).run(spec)
+        serial_rows = [row.as_dict() for row in serial.rows]
+        parallel_rows = [row.as_dict() for row in parallel.rows]
+        assert serial_rows == parallel_rows
+        digests = {row["scenario"]: row["population_events_digest"] for row in serial_rows}
+        assert len(digests) == 2
+
+    def test_rerun_is_bit_identical(self):
+        spec = agents_spec()
+        one = [row.as_dict() for row in SweepEngine(parallel=False).run(spec).rows]
+        two = [row.as_dict() for row in SweepEngine(parallel=False).run(spec).rows]
+        assert one == two
+
+
+# ------------------------------------------------------------------- faults
+class TestFaultComposition:
+    def scenario_config(self, paradigm="OXII") -> ScenarioConfig:
+        return ScenarioConfig(
+            paradigm=paradigm,
+            generator="agents",
+            offered_load=200.0,
+            duration=1.0,
+            drain=4.0,
+            workload={
+                "agents": {
+                    "cohorts": [
+                        {
+                            "name": "retriers",
+                            "sessions": 12,
+                            "policy": "backoff-retry",
+                            "policy_params": {"hot_probability": 0.3},
+                        }
+                    ]
+                }
+            },
+        )
+
+    def test_agents_survive_orderer_crash_and_restart(self):
+        schedule = FaultSchedule(
+            events=(
+                FaultEvent(at=0.3, action="crash", target="orderer-1"),
+                FaultEvent(at=0.8, action="restart", target="orderer-1"),
+            )
+        )
+        outcome = run_scenario(self.scenario_config(), schedule)
+        assert outcome.stable
+        assert run_all_oracles(outcome) == []
+        assert any(peer.committed > 0 for peer in outcome.peers)
+
+    def test_agents_fault_run_is_deterministic(self):
+        schedule = FaultSchedule(
+            events=(
+                FaultEvent(at=0.3, action="crash", target="orderer-1"),
+                FaultEvent(at=0.8, action="restart", target="orderer-1"),
+            )
+        )
+        one = run_scenario(self.scenario_config(), schedule).fingerprint()
+        two = run_scenario(self.scenario_config(), schedule).fingerprint()
+        assert one == two
+
+    @pytest.mark.parametrize("paradigm", ["OX", "XOV", "OXII"])
+    def test_fault_free_agents_scenarios_satisfy_oracles(self, paradigm):
+        outcome = run_scenario(self.scenario_config(paradigm))
+        assert run_all_oracles(outcome) == []

@@ -96,9 +96,10 @@ class TestEvaluate:
             for s, p in sizes_and_profiles
         ]
         rows.append({"benchmark": "endorsement_snapshots", "cow_endorsements_per_s": 10**9})
+        rows.append({"benchmark": "agent_suite", "scenario": "xov-backoff", "goodput_tps": 10**9})
         findings = perf_gate.evaluate(rows, baselines)
         assert all(f["status"] == perf_gate.OK for f in findings)
-        assert len(findings) == 10
+        assert len(findings) == 11
 
 
 class TestTrend:
