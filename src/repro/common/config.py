@@ -250,6 +250,85 @@ class RecoveryConfig:
         check_positive_int("fetch_window", self.fetch_window)
 
 
+#: Consensus protocols a shard's ordering service may run.
+CONSENSUS_PROTOCOLS = ("kafka", "pbft", "raft")
+
+#: Upper bound on shard counts — a guard against typo'd configs, not a
+#: fundamental limit.
+MAX_SHARDS = 64
+
+
+@dataclass(frozen=True)
+class ShardingConfig:
+    """Sharded-deployment knobs (see :mod:`repro.sharding`).
+
+    ``num_shards == 1`` (the default) means the deployment is unsharded; a
+    single-shard :class:`~repro.sharding.ShardedDeployment` is
+    result-identical to the plain per-paradigm deployment.
+
+    ``consensus`` selects the ordering protocol per shard: ``""`` inherits
+    :attr:`SystemConfig.consensus_protocol` everywhere, a single name applies
+    to every shard, and a sequence gives one name per shard (length must equal
+    ``num_shards``).
+    """
+
+    num_shards: int = 1
+    consensus: Any = ""
+
+    def __post_init__(self) -> None:
+        if (
+            not isinstance(self.num_shards, int)
+            or isinstance(self.num_shards, bool)
+            or not 1 <= self.num_shards <= MAX_SHARDS
+        ):
+            raise ConfigurationError(
+                f"shards.num_shards must be an integer in [1, {MAX_SHARDS}], "
+                f"got {self.num_shards!r}"
+            )
+        consensus = self.consensus
+        if isinstance(consensus, list):
+            consensus = tuple(consensus)
+            object.__setattr__(self, "consensus", consensus)
+        if isinstance(consensus, str):
+            names = (consensus,)
+        elif isinstance(consensus, tuple):
+            names = consensus
+            if len(names) != self.num_shards:
+                raise ConfigurationError(
+                    f"shards.consensus lists {len(names)} protocol(s) but "
+                    f"shards.num_shards is {self.num_shards}; give one name per "
+                    "shard, a single name for all shards, or '' to inherit "
+                    "consensus_protocol"
+                )
+        else:
+            raise ConfigurationError(
+                "shards.consensus must be a protocol name or a sequence of "
+                f"names (one per shard), got {consensus!r}"
+            )
+        for name in names:
+            if name and name not in CONSENSUS_PROTOCOLS:
+                raise ConfigurationError(
+                    f"shards.consensus has unknown protocol {name!r}; valid "
+                    f"choices are {list(CONSENSUS_PROTOCOLS)} (or '' to "
+                    "inherit consensus_protocol)"
+                )
+
+    @property
+    def enabled(self) -> bool:
+        """True when the deployment is actually split into multiple shards."""
+        return self.num_shards > 1
+
+    def consensus_for(self, shard: int, default: str) -> str:
+        """The ordering protocol shard ``shard`` runs (``default`` if inherited)."""
+        if not 0 <= shard < self.num_shards:
+            raise ConfigurationError(
+                f"shard index {shard} out of range [0, {self.num_shards})"
+            )
+        if isinstance(self.consensus, tuple):
+            return self.consensus[shard] or default
+        return self.consensus or default
+
+
 @dataclass(frozen=True)
 class SystemConfig:
     """Deployment-level configuration for a paradigm run.
@@ -282,6 +361,9 @@ class SystemConfig:
     #: Retransmission / catch-up behaviour under injected faults (off by
     #: default; the fault harness turns it on).
     recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
+    #: Sharded-deployment section: number of independent ordering services
+    #: and their per-shard consensus protocols (see :mod:`repro.sharding`).
+    shards: ShardingConfig = field(default_factory=ShardingConfig)
     #: Which node groups live in the far data center (Figure 7).
     far_groups: Sequence[str] = ()
     #: Seed for all pseudo-random decisions (workload, jitter).
@@ -317,6 +399,20 @@ class SystemConfig:
         unknown = set(self.far_groups) - set(NODE_GROUPS)
         if unknown:
             raise ConfigurationError(f"unknown node groups: {sorted(unknown)}")
+        if isinstance(self.shards, Mapping):
+            object.__setattr__(self, "shards", apply_overrides(ShardingConfig(), self.shards))
+        if not isinstance(self.shards, ShardingConfig):
+            raise ConfigurationError(
+                f"shards must be a ShardingConfig or a mapping of its fields, "
+                f"got {self.shards!r}"
+            )
+        if self.shards.num_shards > self.num_applications:
+            raise ConfigurationError(
+                f"shards.num_shards ({self.shards.num_shards}) must not exceed "
+                f"num_applications ({self.num_applications}): each shard hosts "
+                "at least one application — lower shards.num_shards or raise "
+                "num_applications"
+            )
         if self.max_faulty_orderers < 0:
             raise ConfigurationError("max_faulty_orderers must be >= 0")
         quorum_need = (

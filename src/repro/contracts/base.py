@@ -8,6 +8,31 @@ from typing import Dict, Iterable, List, Mapping
 from repro.common.errors import ContractError
 from repro.core.transaction import Transaction, TransactionResult
 
+#: Synthetic application id of cross-shard 2PC records (see repro.sharding).
+#: Defined here (not in repro.sharding) so the registry's lock gate has no
+#: dependency on the sharding package.
+CROSS_SHARD_APP = "_xshard"
+
+#: World-state key prefix of cross-shard locks: ``_xlock:{key}`` holds
+#: ``(base_tx_id, stashed_value_of_key)`` while ``base_tx_id``'s two-phase
+#: commit is in flight, and ``""`` once released.
+CROSS_SHARD_LOCK_PREFIX = "_xlock:"
+
+#: Stable abort reason for transactions that try to write a locked key.
+CROSS_SHARD_LOCK_ABORT = "cross_shard_lock_conflict"
+
+
+def cross_shard_lock_key(key: str) -> str:
+    """The world-state key holding the cross-shard lock for ``key``."""
+    return CROSS_SHARD_LOCK_PREFIX + key
+
+
+def cross_shard_lock_holder(value: object) -> str:
+    """The base transaction id holding a lock, or ``""`` if free."""
+    if not value:
+        return ""
+    return str(value[0]) if isinstance(value, (tuple, list)) else str(value)
+
 
 class SmartContract(abc.ABC):
     """Deterministic application logic executed by agent nodes.
@@ -51,6 +76,20 @@ class ContractRegistry:
     def __init__(self) -> None:
         self._contracts: Dict[str, SmartContract] = {}
         self._agents: Dict[str, List[str]] = {}
+        self._cross_shard_locks = False
+
+    @property
+    def cross_shard_locks_enabled(self) -> bool:
+        """True once a sharded deployment turned on write-lock enforcement."""
+        return self._cross_shard_locks
+
+    def enable_cross_shard_locks(self) -> None:
+        """Make :meth:`execute` abort writes to cross-shard-locked keys.
+
+        Only multi-shard deployments call this; the unsharded execution path
+        never pays the per-transaction lock probe.
+        """
+        self._cross_shard_locks = True
 
     # ----------------------------------------------------------- registration
     def install(self, contract: SmartContract, agents: Iterable[str]) -> None:
@@ -95,7 +134,25 @@ class ContractRegistry:
     def execute(
         self, transaction: Transaction, state_view: Mapping[str, object], executed_by: str = ""
     ) -> TransactionResult:
-        """Run the right contract for ``transaction`` and stamp the executor id."""
+        """Run the right contract for ``transaction`` and stamp the executor id.
+
+        With cross-shard locks enabled, a transaction that writes a key whose
+        ``_xlock:`` entry is held by another transaction aborts here — before
+        the contract runs — so an in-flight two-phase commit's read snapshot
+        stays stable between PREPARE and COMMIT.  Readers of locked keys are
+        never blocked.
+        """
+        if self._cross_shard_locks and transaction.application != CROSS_SHARD_APP:
+            for key in transaction.rw_set.writes:
+                holder = cross_shard_lock_holder(
+                    state_view.get(CROSS_SHARD_LOCK_PREFIX + key)
+                )
+                if holder and holder != transaction.tx_id:
+                    return TransactionResult.abort(
+                        transaction,
+                        executed_by=executed_by,
+                        reason=CROSS_SHARD_LOCK_ABORT,
+                    )
         contract = self.contract(transaction.application)
         result = contract.execute(transaction, state_view)
         if executed_by and not result.executed_by:

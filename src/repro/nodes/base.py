@@ -23,6 +23,11 @@ class BaseNode:
     so it does not head-of-line block message handling.
     """
 
+    #: Set by sharded deployments on each shard's reference peer: an object
+    #: with ``on_record(node, transaction, result)`` that turns committed
+    #: cross-shard 2PC records into votes/acks to the coordinator.
+    xshard_voter = None
+
     def __init__(
         self,
         env: Environment,
@@ -86,9 +91,23 @@ class BaseNode:
         sequences = list(range(first, min(last, first + window - 1) + 1))
         self.send_signed(orderer, messages.BLOCK_FETCH, {"sequences": sequences})
 
+    def notify_xshard_commit(self, transaction, result) -> None:
+        """Tell the shard voter (if any) that a 2PC record just committed here."""
+        voter = self.xshard_voter
+        if voter is not None:
+            voter.on_record(self, transaction, result)
+
     def _main_loop(self):
         while True:
             envelope = yield self.interface.receive()
+            if (
+                envelope.message.kind == messages.XSHARD_FETCH
+                and self.xshard_voter is not None
+            ):
+                yield self.env.timeout(self.cost_model.signature)
+                if self.verify_envelope(envelope):
+                    self.xshard_voter.handle_fetch(self, envelope)
+                continue
             yield from self.handle_envelope(envelope)
 
     def handle_envelope(self, envelope: Envelope):

@@ -314,6 +314,10 @@ class ExecutorNode(BaseNode, BlockCatchupMixin):
                 self.collector.record_commit(
                     self.node_id, tx_id, self.env.now, aborted=aborted, reason=reason
                 )
+            if self.xshard_voter is not None:
+                tx = block.transaction(tx_id)
+                if tx is not None:
+                    self.notify_xshard_commit(tx, result)
 
     def _finish_block(self, block: Block) -> None:
         self.ledger.append(block)

@@ -20,3 +20,13 @@ ENDORSE_RESPONSE = "ENDORSE_RESPONSE"
 TIP_ANNOUNCE = "TIP_ANNOUNCE"
 #: Peer request asking an orderer to re-send sealed blocks it missed.
 BLOCK_FETCH = "BLOCK_FETCH"
+#: Gateway hand-off of a cross-shard transaction to the 2PC coordinator.
+XSHARD_SUBMIT = "XSHARD_SUBMIT"
+#: Shard reference peer's PREPARE vote (commit/abort + stashed reads) to the
+#: coordinator, sent once the shard's PREPARE record commits.
+XSHARD_VOTE = "XSHARD_VOTE"
+#: Shard reference peer's acknowledgement that a decision record committed.
+XSHARD_ACK = "XSHARD_ACK"
+#: Coordinator request asking a shard's reference peer to re-send a cached
+#: vote or ack (RecoveryConfig-gated retransmission).
+XSHARD_FETCH = "XSHARD_FETCH"

@@ -127,6 +127,7 @@ class OXPeerNode(BaseNode, BlockCatchupMixin):
                         aborted=aborted,
                         reason=(result.abort_reason or "contract_abort") if aborted else "",
                     )
+                self.notify_xshard_commit(tx, result)
             self.ledger.append(block)
             self._block_votes.pop(block.sequence, None)
             if self.is_reference and self.collector is not None:

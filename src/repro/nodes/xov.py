@@ -17,7 +17,13 @@ from __future__ import annotations
 from typing import Dict, Mapping, Optional
 
 from repro.common.config import SystemConfig
-from repro.contracts.base import ContractRegistry
+from repro.contracts.base import (
+    CROSS_SHARD_APP,
+    CROSS_SHARD_LOCK_ABORT,
+    ContractRegistry,
+    cross_shard_lock_holder,
+    cross_shard_lock_key,
+)
 from repro.core.block import Block
 from repro.core.transaction import Transaction
 from repro.crypto.signatures import KeyRegistry
@@ -137,6 +143,19 @@ class XOVPeerNode(BaseNode, BlockCatchupMixin):
         contract's own reason (endorsement carried status "abort"), or
         ``mvcc_conflict`` (a stale read version — the paper's Figure 6 abort).
         """
+        if tx.application == CROSS_SHARD_APP:
+            # Cross-shard 2PC records skip endorsement and MVCC: they execute
+            # deterministically at validation time against the committed state
+            # (the same code path the serializability oracle replays).
+            result = self.contracts.execute(tx, self.state, executed_by=self.node_id)
+            if result.is_abort:
+                self.transactions_aborted += 1
+                self.notify_xshard_commit(tx, result)
+                return result.abort_reason or "xshard_abort"
+            self.state.apply_updates(result.updates)
+            self.transactions_committed += 1
+            self.notify_xshard_commit(tx, result)
+            return None
         endorsement = tx.payload.get("endorsement")
         if not isinstance(endorsement, Mapping):
             self.transactions_aborted += 1
@@ -149,6 +168,17 @@ class XOVPeerNode(BaseNode, BlockCatchupMixin):
             if self.state.version(key) != version:
                 self.transactions_aborted += 1
                 return "mvcc_conflict"
+        if self.contracts.cross_shard_locks_enabled:
+            # Commit-time lock check: an endorsement computed before a PREPARE
+            # locked one of its write keys must not overwrite the 2PC's
+            # snapshot between PREPARE and COMMIT.
+            for key in tx.rw_set.writes:
+                holder = cross_shard_lock_holder(
+                    self.state.get(cross_shard_lock_key(key))
+                )
+                if holder and holder != tx.tx_id:
+                    self.transactions_aborted += 1
+                    return CROSS_SHARD_LOCK_ABORT
         updates: Mapping[str, object] = endorsement.get("updates", {})
         self.state.apply_updates(updates)
         self.transactions_committed += 1

@@ -85,6 +85,25 @@ class DeploymentHandles:
     orderers: List[OrdererNode] = field(default_factory=list)
     peers: List[BaseNode] = field(default_factory=list)
     measurement_peers: List[str] = field(default_factory=list)
+    #: Auxiliary protocol nodes that are neither orderers nor peers (today:
+    #: the cross-shard 2PC coordinator).  Started alongside the cluster.
+    extra_nodes: List[BaseNode] = field(default_factory=list)
+
+
+@dataclass
+class SharedInfra:
+    """Simulation infrastructure shared by the shards of one sharded cluster.
+
+    A :class:`~repro.sharding.ShardedDeployment` creates these once and hands
+    them to each per-shard sub-deployment so every shard's nodes live on the
+    same clock, network and key registry, and all contracts land in one global
+    registry (applications are disjoint across shards).
+    """
+
+    env: Environment
+    network: Network
+    registry: KeyRegistry
+    contracts: ContractRegistry
 
 
 class Deployment(abc.ABC):
@@ -96,23 +115,42 @@ class Deployment(abc.ABC):
     def __init__(self, config: Optional[SystemConfig] = None) -> None:
         self.config = config or SystemConfig()
         self.handles: Optional[DeploymentHandles] = None
+        #: Prefix applied to every node name — ``"s2-"`` for shard 2 of a
+        #: sharded cluster, ``""`` (no-op) for a standalone deployment.
+        self.node_prefix: str = ""
+        #: Global application names hosted by this deployment; ``None`` means
+        #: all of ``config.application_names()`` (the standalone case).
+        self.applications: Optional[Sequence[str]] = None
+        #: Shared simulation infrastructure (sharded clusters only).
+        self.shared: Optional[SharedInfra] = None
+        #: Whether build() creates a client gateway.  Sharded clusters use a
+        #: single routing gateway instead of per-shard ones.
+        self.include_gateway: bool = True
 
     # --------------------------------------------------------------- topology
     def datacenter_for(self, group: str) -> str:
         """Which data center a node group lives in (Figure 7 moves one group)."""
         return FAR_DC if group in self.config.far_groups else NEAR_DC
 
+    def application_names(self) -> List[str]:
+        """Application ids hosted by this deployment (a shard hosts a subset)."""
+        if self.applications is not None:
+            return list(self.applications)
+        return self.config.application_names()
+
     def orderer_names(self) -> List[str]:
         """Names of the ordering-service nodes."""
-        return [orderer_id(i) for i in range(self.config.num_orderers)]
+        return [self.node_prefix + orderer_id(i) for i in range(self.config.num_orderers)]
 
     def executor_names(self) -> List[str]:
         """Names of the executor/endorser nodes (one group per application)."""
-        return [executor_id(i) for i in range(self.config.num_executors)]
+        return [self.node_prefix + executor_id(i) for i in range(self.config.num_executors)]
 
     def non_executor_names(self) -> List[str]:
         """Names of the passive (non-executor) peers."""
-        return [f"nonexec-{i}" for i in range(self.config.num_non_executors)]
+        return [
+            f"{self.node_prefix}nonexec-{i}" for i in range(self.config.num_non_executors)
+        ]
 
     def agents_of_application(self, index: int) -> List[str]:
         """Executor names hosting application ``index``'s contract."""
@@ -128,8 +166,8 @@ class Deployment(abc.ABC):
         contracts registered with ``@register_contract`` plug in here.
         """
         contract_cls = contract_registry.get(self.config.contract)
-        contracts = ContractRegistry()
-        for index, application in enumerate(self.config.application_names()):
+        contracts = self.shared.contracts if self.shared is not None else ContractRegistry()
+        for index, application in enumerate(self.application_names()):
             contracts.install(
                 contract_cls(application), agents=self.agents_of_application(index)
             )
@@ -150,15 +188,25 @@ class Deployment(abc.ABC):
     def _build_common(
         self, measurement_peers: Sequence[str]
     ) -> DeploymentHandles:
-        """Create the environment, network, registry and metrics collector."""
-        env = Environment()
-        topology = Topology(latency=self.config.latency, seed=self.config.seed)
-        # The fault plan's verdict stream (probabilistic drops/duplicates)
-        # derives from the scenario seed so fault timings are reproducible
-        # from (spec, seed) and decorrelated from the jitter stream.
-        faults = FaultPlan(seed=child_seed(self.config.seed, "fault-verdicts"))
-        network = Network(env, topology=topology, faults=faults)
-        registry = KeyRegistry(seed=str(self.config.seed))
+        """Create the environment, network, registry and metrics collector.
+
+        With :attr:`shared` set (per-shard sub-deployments), the environment,
+        network and key registry come from the enclosing sharded cluster and
+        only the per-shard metrics collector is created fresh.
+        """
+        if self.shared is not None:
+            env = self.shared.env
+            network = self.shared.network
+            registry = self.shared.registry
+        else:
+            env = Environment()
+            topology = Topology(latency=self.config.latency, seed=self.config.seed)
+            # The fault plan's verdict stream (probabilistic drops/duplicates)
+            # derives from the scenario seed so fault timings are reproducible
+            # from (spec, seed) and decorrelated from the jitter stream.
+            faults = FaultPlan(seed=child_seed(self.config.seed, "fault-verdicts"))
+            network = Network(env, topology=topology, faults=faults)
+            registry = KeyRegistry(seed=str(self.config.seed))
         collector = MetricsCollector(measurement_peers=measurement_peers)
         contracts = self.build_contracts()
         handles = DeploymentHandles(
@@ -259,6 +307,8 @@ class Deployment(abc.ABC):
             orderer.start()
         for peer in handles.peers:
             peer.start()
+        for node in handles.extra_nodes:
+            node.start()
         if fault_schedule is not None:
             fault_schedule.install(handles, self)
         driver.start(handles, self)

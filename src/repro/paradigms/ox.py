@@ -25,14 +25,14 @@ class OXDeployment(Deployment):
     def peer_names(self) -> List[str]:
         """Names of the OX peers (as many as OXII has executors + passives)."""
         total = self.config.num_executors + self.config.num_non_executors
-        return [f"peer-{i}" for i in range(total)]
+        return [f"{self.node_prefix}peer-{i}" for i in range(total)]
 
     def build_contracts(self) -> ContractRegistry:
         """Every OX peer runs every smart contract (no confidentiality boundary)."""
         contract_cls = contract_registry.get(self.config.contract)
-        contracts = ContractRegistry()
+        contracts = self.shared.contracts if self.shared is not None else ContractRegistry()
         peer_names = self.peer_names()
-        for application in self.config.application_names():
+        for application in self.application_names():
             contracts.install(contract_cls(application), agents=peer_names)
         return contracts
 
@@ -58,6 +58,7 @@ class OXDeployment(Deployment):
             for index, name in enumerate(peer_names)
         ]
         handles.peers = peers
-        self._build_gateway(handles, mode="direct")
+        if self.include_gateway:
+            self._build_gateway(handles, mode="direct")
         self.handles = handles
         return handles

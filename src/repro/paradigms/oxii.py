@@ -69,6 +69,7 @@ class OXIIDeployment(Deployment):
                 )
             )
         handles.peers = peers
-        self._build_gateway(handles, mode="direct")
+        if self.include_gateway:
+            self._build_gateway(handles, mode="direct")
         self.handles = handles
         return handles

@@ -83,6 +83,13 @@ def prepare_driver(
     :class:`repro.paradigms.base.ScheduleDriver`, so both kinds plug into
     the same :meth:`Deployment.run` loop.
     """
+    num_shards = system_config.shards.num_shards
+    if num_shards > workload_config.conflict.keyspace:
+        raise ConfigurationError(
+            f"conflict.keyspace ({workload_config.conflict.keyspace}) is smaller than "
+            f"shards.num_shards ({num_shards}) — every shard needs at least one key; "
+            f"raise conflict.keyspace or lower shards.num_shards"
+        )
     generator_factory = workload_registry.get(generator)
     if getattr(generator_factory, "population_driven", False):
         required_contract = getattr(generator_factory, "contract", None)
@@ -98,6 +105,24 @@ def prepare_driver(
         generator, system_config, workload_config, offered_load, duration
     )
     return system_config, ScheduleDriver(transactions, schedule), initial_state
+
+
+def make_deployment(paradigm: str, system_config: SystemConfig):
+    """Instantiate ``paradigm``'s deployment, sharded if the config says so.
+
+    The single construction point shared by :func:`execute_run` and the fault
+    harness (:func:`repro.testing.run_scenario`): with ``shards.num_shards >
+    1`` the paradigm deployment is wrapped in a
+    :class:`repro.sharding.ShardedDeployment`; otherwise (including an
+    explicit 1-shard config) it is built directly, so unsharded behaviour is
+    untouched.
+    """
+    deployment_cls = paradigm_registry.get(paradigm)
+    if system_config.shards.num_shards > 1:
+        from repro.sharding import ShardedDeployment
+
+        return ShardedDeployment(deployment_cls, system_config)
+    return deployment_cls(system_config)
 
 
 def execute_run(
@@ -127,7 +152,7 @@ def execute_run(
     its ``faults`` section (either ``{"events": [...]}`` or ``{"random":
     {...}}``, resolved deterministically from the workload seed).
     """
-    deployment_cls = paradigm_registry.get(paradigm)
+    paradigm_registry.get(paradigm)  # fail fast on unknown names
     if offered_load <= 0:
         raise ConfigurationError("offered_load must be positive")
     if duration <= 0:
@@ -155,7 +180,7 @@ def execute_run(
             default_horizon=duration,
         )
 
-    deployment = deployment_cls(system_config)
+    deployment = make_deployment(paradigm, system_config)
     return deployment.run(
         driver=driver,
         initial_state=initial_state,

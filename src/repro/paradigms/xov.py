@@ -66,6 +66,7 @@ class XOVDeployment(Deployment):
                 )
             )
         handles.peers = peers
-        self._build_gateway(handles, mode="endorse")
+        if self.include_gateway:
+            self._build_gateway(handles, mode="endorse")
         self.handles = handles
         return handles

@@ -1,0 +1,46 @@
+"""Sharded deployments: per-shard ordering services + cross-shard 2PC.
+
+The sharding layer splits one logical blockchain into ``shards.num_shards``
+independent instances of a paradigm deployment (each with its own ordering
+service and peers, selectable consensus per shard), a deterministic
+key/application → shard router, and a coordinator-driven two-phase commit for
+transactions whose read/write sets span shards.  See ``docs/architecture.md``.
+"""
+
+from repro.sharding.coordinator import COORDINATOR_ID, CoordinatorNode, ShardVoter
+from repro.sharding.deployment import ShardedDeployment, ShardingInfo
+from repro.sharding.gateway import ShardRouterGateway
+from repro.sharding.metrics import ShardedMetricsCollector
+from repro.sharding.protocol import (
+    CrossShardContract,
+    base_tx_id,
+    is_decision_id,
+    is_prepare_id,
+    is_record_id,
+    make_decision_record,
+    make_prepare_record,
+    record_info,
+    stashed_reads,
+)
+from repro.sharding.router import ShardRouter, stable_key_hash
+
+__all__ = [
+    "COORDINATOR_ID",
+    "CoordinatorNode",
+    "CrossShardContract",
+    "ShardRouter",
+    "ShardRouterGateway",
+    "ShardVoter",
+    "ShardedDeployment",
+    "ShardedMetricsCollector",
+    "ShardingInfo",
+    "base_tx_id",
+    "is_decision_id",
+    "is_prepare_id",
+    "is_record_id",
+    "make_decision_record",
+    "make_prepare_record",
+    "record_info",
+    "stable_key_hash",
+    "stashed_reads",
+]

@@ -1,0 +1,304 @@
+"""The cross-shard 2PC coordinator and the per-shard voter hook.
+
+The coordinator is an ordinary simulated node: it receives cross-shard
+transactions from the routing gateway (XSHARD_SUBMIT), orders one PREPARE
+record into every participant shard, collects one vote per shard from that
+shard's reference peer, decides, and orders a decision record everywhere.
+With :class:`~repro.common.config.RecoveryConfig` enabled it retransmits
+records and vote requests until every shard acknowledged the decision, so a
+coordinator or participant crash between PREPARE and COMMIT neither loses nor
+double-applies a transaction:
+
+* records are idempotent at the ordering service (orderers deduplicate by
+  ``tx_id``), so retransmitting a PREPARE/COMMIT that was already ordered is
+  harmless — the "duplicate COMMIT to one shard" case;
+* the coordinator's state survives a crash (crash-stop is enforced at the
+  transport), so after a restart the retry loop resumes every in-flight
+  transaction from its pending table;
+* locks are acquired atomically per shard and conflicts abort immediately
+  (wound-free, no distributed deadlock) — a blocked transaction is aborted
+  globally and its locks released by the abort decision.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.common.config import SystemConfig
+from repro.contracts.base import ContractRegistry
+from repro.core.transaction import Transaction
+from repro.crypto.signatures import KeyRegistry
+from repro.network.message import Envelope
+from repro.network.transport import Network
+from repro.nodes import messages
+from repro.nodes.base import BaseNode
+from repro.sharding.protocol import (
+    make_decision_record,
+    make_prepare_record,
+    record_info,
+    stashed_reads,
+)
+from repro.sharding.router import ShardRouter
+from repro.simulation import Environment
+
+COORDINATOR_ID = "x-coordinator"
+
+
+class CoordinatorNode(BaseNode):
+    """Drives PREPARE/COMMIT for every cross-shard transaction."""
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        registry: KeyRegistry,
+        config: SystemConfig,
+        router: ShardRouter,
+        contracts: ContractRegistry,
+        shard_entries: Mapping[int, str],
+        voters: Mapping[int, str],
+        node_id: str = COORDINATOR_ID,
+        datacenter: Optional[str] = None,
+    ) -> None:
+        super().__init__(
+            env,
+            node_id,
+            network,
+            registry,
+            cost_model=config.cost_model,
+            cores=config.cores_per_node,
+            datacenter=datacenter,
+        )
+        self.config = config
+        self.router = router
+        self.contracts = contracts
+        self.shard_entries = dict(shard_entries)
+        self.voters = dict(voters)
+        #: base tx_id -> in-flight protocol state.
+        self.pending: Dict[str, Dict[str, Any]] = {}
+        #: base tx_id -> (aborted, reason); the authoritative global outcome,
+        #: consulted by the sharded metrics collector.
+        self.decisions: Dict[str, Tuple[bool, str]] = {}
+        self.cross_shard_started = 0
+        self.commits = 0
+        self.aborts = 0
+        self.retries_sent = 0
+
+    # -------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        super().start()
+        if self.config.recovery.enabled:
+            self.env.process(self._retry_loop(), name=f"{self.node_id}-retry")
+
+    # --------------------------------------------------------------- messages
+    def handle_envelope(self, envelope: Envelope):
+        kind = envelope.message.kind
+        if kind == messages.XSHARD_SUBMIT:
+            yield from self._handle_submit(envelope)
+        elif kind == messages.XSHARD_VOTE:
+            yield from self._handle_vote(envelope)
+        elif kind == messages.XSHARD_ACK:
+            yield from self._handle_ack(envelope)
+
+    def _handle_submit(self, envelope: Envelope):
+        yield self.env.timeout(self.cost_model.signature)
+        if not self.verify_envelope(envelope):
+            return
+        body = envelope.message.body
+        tx = body.get("transaction")
+        if not isinstance(tx, Transaction):
+            return
+        base = tx.tx_id
+        if base in self.pending or base in self.decisions:
+            return  # duplicate submission of an in-flight / decided tx
+        shards = tuple(int(s) for s in body.get("shards", ()))
+        if not shards:
+            shards = self.router.shards_of(tx)
+        local_keys = {
+            shard: sorted(k for k in tx.rw_set.keys if self.router.shard_of_key(k) == shard)
+            for shard in shards
+        }
+        yield self.env.timeout(self.cost_model.client_assembly * len(shards))
+        prepares = {
+            shard: make_prepare_record(
+                tx, shard, shards, local_keys[shard], self.node_id, self.env.now
+            )
+            for shard in shards
+        }
+        self.pending[base] = {
+            "tx": tx,
+            "shards": shards,
+            "local_keys": local_keys,
+            "prepares": prepares,
+            "votes": {},
+            "decision_records": None,
+            "acks": set(),
+        }
+        self.cross_shard_started += 1
+        for shard in shards:
+            self._submit_record(shard, prepares[shard])
+
+    def _handle_vote(self, envelope: Envelope):
+        yield self.env.timeout(self.cost_model.signature)
+        if not self.verify_envelope(envelope):
+            return
+        body = envelope.message.body
+        base = str(body.get("base", ""))
+        entry = self.pending.get(base)
+        if entry is None or entry["decision_records"] is not None:
+            return  # late, duplicate, or already decided
+        shard = int(body.get("shard", -1))
+        if shard not in entry["shards"] or shard in entry["votes"]:
+            return
+        entry["votes"][shard] = dict(body)
+        if len(entry["votes"]) == len(entry["shards"]):
+            yield from self._decide(base, entry)
+
+    def _decide(self, base: str, entry: Dict[str, Any]):
+        tx: Transaction = entry["tx"]
+        shards = entry["shards"]
+        votes = entry["votes"]
+        refusals = [shard for shard in shards if votes[shard].get("vote") != "commit"]
+        updates_by_shard: Dict[int, Dict[str, Any]] = {shard: {} for shard in shards}
+        if refusals:
+            aborted = True
+            reason = str(votes[min(refusals)].get("reason", "")) or "cross_shard_lock_conflict"
+        else:
+            merged: Dict[str, Any] = {}
+            for shard in shards:
+                merged.update(votes[shard].get("reads", {}))
+            yield self.env.timeout(self.cost_model.tx_execution)
+            result = self.contracts.execute(tx, merged, executed_by=self.node_id)
+            aborted = result.is_abort
+            reason = result.abort_reason
+            if not aborted:
+                for key, value in result.updates.items():
+                    shard = self.router.shard_of_key(key)
+                    if shard in updates_by_shard:
+                        updates_by_shard[shard][key] = value
+        self.decisions[base] = (aborted, reason)
+        if aborted:
+            self.aborts += 1
+        else:
+            self.commits += 1
+        decision = "abort" if aborted else "commit"
+        yield self.env.timeout(self.cost_model.client_assembly * len(shards))
+        records = {
+            shard: make_decision_record(
+                tx,
+                shard,
+                shards,
+                entry["local_keys"][shard],
+                decision,
+                reason,
+                updates_by_shard[shard],
+                self.node_id,
+                self.env.now,
+            )
+            for shard in shards
+        }
+        entry["decision_records"] = records
+        for shard in shards:
+            self._submit_record(shard, records[shard])
+
+    def _handle_ack(self, envelope: Envelope):
+        yield self.env.timeout(self.cost_model.signature)
+        if not self.verify_envelope(envelope):
+            return
+        body = envelope.message.body
+        base = str(body.get("base", ""))
+        entry = self.pending.get(base)
+        if entry is None or entry["decision_records"] is None:
+            return
+        entry["acks"].add(int(body.get("shard", -1)))
+        if entry["acks"] >= set(entry["shards"]):
+            del self.pending[base]
+
+    # ------------------------------------------------------------------ retry
+    def _submit_record(self, shard: int, record: Transaction) -> None:
+        self.send_signed(
+            self.shard_entries[shard],
+            messages.REQUEST,
+            {"transaction": record, "application": record.application, "client": record.client},
+            payload_bytes=self.latency.per_tx_bytes,
+        )
+
+    def _retry_loop(self):
+        interval = self.config.recovery.retransmit_interval
+        while True:
+            yield self.env.timeout(interval)
+            for base, entry in list(self.pending.items()):
+                if entry["decision_records"] is None:
+                    waiting = [s for s in entry["shards"] if s not in entry["votes"]]
+                    records, phase = entry["prepares"], "prepare"
+                else:
+                    waiting = [s for s in entry["shards"] if s not in entry["acks"]]
+                    records, phase = entry["decision_records"], "decision"
+                for shard in waiting:
+                    # Re-order the record (idempotent: orderers dedup by
+                    # tx_id) and ask the shard's voter for its cached reply
+                    # in case the record was already ordered and only the
+                    # vote/ack was lost.
+                    self._submit_record(shard, records[shard])
+                    self.send_signed(
+                        self.voters[shard],
+                        messages.XSHARD_FETCH,
+                        {"base": base, "phase": phase},
+                    )
+                    self.retries_sent += 1
+
+
+class ShardVoter:
+    """Turns a shard's committed 2PC records into votes/acks to the coordinator.
+
+    Installed on each shard's reference peer (``is_reference``), which calls
+    :meth:`on_record` from its commit path.  The vote is a pure function of
+    the record's deterministic execution result — commit/abort plus the read
+    values the PREPARE stashed into its lock entries — so every replica of
+    the shard would cast the identical vote.  Cast votes and acks are cached
+    and re-sent on XSHARD_FETCH so a lost message never wedges the protocol.
+    """
+
+    def __init__(self, shard: int, coordinator: str = COORDINATOR_ID) -> None:
+        self.shard = shard
+        self.coordinator = coordinator
+        self._votes: Dict[str, Dict[str, Any]] = {}
+        self._acks: Dict[str, Dict[str, Any]] = {}
+
+    def on_record(self, node: BaseNode, transaction: Transaction, result) -> None:
+        info = record_info(transaction)
+        base = str(info.get("base", ""))
+        if not base or int(info.get("shard", -1)) != self.shard:
+            return
+        if info.get("phase") == "prepare":
+            if base in self._votes:
+                return
+            aborted = result is None or result.is_abort
+            body = {
+                "base": base,
+                "shard": self.shard,
+                "vote": "abort" if aborted else "commit",
+                "reason": "" if result is None else str(result.abort_reason or ""),
+                "reads": {} if aborted else stashed_reads(transaction, result),
+            }
+            self._votes[base] = body
+            node.send_signed(self.coordinator, messages.XSHARD_VOTE, body)
+        elif info.get("phase") == "decision":
+            if base in self._acks:
+                return
+            body = {"base": base, "shard": self.shard}
+            self._acks[base] = body
+            node.send_signed(self.coordinator, messages.XSHARD_ACK, body)
+
+    def handle_fetch(self, node: BaseNode, envelope: Envelope) -> None:
+        """Re-send a cached vote or ack the coordinator says it is missing."""
+        body = envelope.message.body
+        base = str(body.get("base", ""))
+        if body.get("phase") == "prepare":
+            cached = self._votes.get(base)
+            if cached is not None:
+                node.send_signed(self.coordinator, messages.XSHARD_VOTE, cached)
+        else:
+            cached = self._acks.get(base)
+            if cached is not None:
+                node.send_signed(self.coordinator, messages.XSHARD_ACK, cached)

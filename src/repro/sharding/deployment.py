@@ -1,0 +1,232 @@
+"""Sharded cluster assembly: N per-shard ordering services + one coordinator.
+
+:class:`ShardedDeployment` wraps any registered paradigm deployment class and
+instantiates it once per shard on shared simulation infrastructure (one clock,
+one network, one key registry, one contract registry).  Each shard is a
+complete, independent instance of the wrapped paradigm — its own ordering
+service (kafka/raft/pbft, selectable per shard), its own peers, its own
+blockchain — hosting a disjoint subset of the applications.  On top of the
+shards sit exactly three cluster-wide singletons:
+
+* a routing :class:`~repro.sharding.gateway.ShardRouterGateway` that sends
+  single-shard transactions to their shard's entry orderer and hands
+  cross-shard ones to the coordinator,
+* the 2PC :class:`~repro.sharding.coordinator.CoordinatorNode`,
+* a :class:`~repro.sharding.metrics.ShardedMetricsCollector` aggregating the
+  per-shard collectors into cluster-level metrics.
+
+With ``shards.num_shards == 1`` the wrapper builds the inner deployment
+completely unchanged — same node names, same seeds, same gateway, no
+coordinator, no lock probes — so a 1-shard sharded run is bit-identical to an
+unsharded run of the same spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Type
+
+from repro.common.config import SystemConfig
+from repro.common.rng import child_seed
+from repro.contracts.base import ContractRegistry
+from repro.crypto.signatures import KeyRegistry
+from repro.network.faults import FaultPlan
+from repro.network.topology import Topology
+from repro.network.transport import Network
+from repro.paradigms.base import (
+    CLIENT_GATEWAY,
+    Deployment,
+    DeploymentHandles,
+    SharedInfra,
+)
+from repro.sharding.coordinator import CoordinatorNode, ShardVoter
+from repro.sharding.gateway import ShardRouterGateway
+from repro.sharding.metrics import ShardedMetricsCollector
+from repro.sharding.protocol import CrossShardContract
+from repro.sharding.router import ShardRouter
+from repro.simulation import Environment
+
+
+@dataclass
+class ShardingInfo:
+    """What the fault harness and oracles need to reason about a sharded run."""
+
+    num_shards: int
+    router: ShardRouter
+    coordinator: CoordinatorNode
+    #: shard -> every node id of the shard (orderers then peers).
+    shard_members: Dict[int, List[str]] = field(default_factory=dict)
+    #: peer node id -> its shard (orderers and peers).
+    node_shard: Dict[str, int] = field(default_factory=dict)
+    #: shard -> entry orderer node id (where records are submitted).
+    shard_entries: Dict[int, str] = field(default_factory=dict)
+    #: shard -> the measurement peer node ids of that shard.
+    shard_measurement_peers: Dict[int, List[str]] = field(default_factory=dict)
+    #: shard -> the initial world-state slice the shard started from.
+    shard_initial_state: Dict[int, Dict[str, object]] = field(default_factory=dict)
+    #: shard -> live orderer nodes (for blocks_ordered accounting).
+    shard_orderers: Dict[int, list] = field(default_factory=dict)
+
+    def shard_of_peer(self, node_id: str) -> int:
+        return self.node_shard[node_id]
+
+
+class ShardedDeployment(Deployment):
+    """N instances of one paradigm, stitched together by routing + 2PC."""
+
+    def __init__(self, inner_cls: Type[Deployment], config: Optional[SystemConfig] = None) -> None:
+        super().__init__(config)
+        self.inner_cls = inner_cls
+        self.name = inner_cls.name
+        self.num_shards = self.config.shards.num_shards
+        self.router = ShardRouter(self.num_shards, self.config.application_names())
+        self.shard_deployments: List[Deployment] = []
+        self.shard_members: Dict[int, List[str]] = {}
+        self.coordinator: Optional[CoordinatorNode] = None
+        self._info: Optional[ShardingInfo] = None
+
+    # ------------------------------------------------------------------ pieces
+    def _make_inner(self, shard: int) -> Deployment:
+        """One shard's sub-deployment: the wrapped paradigm on a sub-config."""
+        config = self.config
+        apps = self.router.shard_applications(shard, config.application_names())
+        sub_config = config.with_overrides(
+            num_applications=len(apps),
+            consensus_protocol=config.shards.consensus_for(shard, config.consensus_protocol),
+            # The sub-deployment is itself unsharded (also keeps the
+            # num_shards <= num_applications validation on the full config).
+            shards={"num_shards": 1, "consensus": ""},
+        )
+        inner = self.inner_cls(sub_config)
+        if self.num_shards > 1:
+            inner.node_prefix = f"s{shard}-"
+            inner.applications = apps
+            inner.include_gateway = False
+        return inner
+
+    def sharding_info(self) -> Optional[ShardingInfo]:
+        """Structured description of the built sharded cluster (None if N=1)."""
+        return self._info
+
+    # ------------------------------------------------------------------- build
+    def build(self, initial_state: Optional[Dict[str, object]] = None) -> DeploymentHandles:
+        if self.num_shards == 1:
+            # Degenerate case: build the wrapped paradigm untouched so the
+            # run is bit-identical to an unsharded deployment.
+            inner = self._make_inner(0)
+            self.shard_deployments = [inner]
+            handles = inner.build(initial_state=initial_state)
+            self.handles = handles
+            return handles
+
+        config = self.config
+        env = Environment()
+        topology = Topology(latency=config.latency, seed=config.seed)
+        faults = FaultPlan(seed=child_seed(config.seed, "fault-verdicts"))
+        network = Network(env, topology=topology, faults=faults)
+        registry = KeyRegistry(seed=str(config.seed))
+        contracts = ContractRegistry()
+        shared = SharedInfra(env=env, network=network, registry=registry, contracts=contracts)
+
+        aggregator = ShardedMetricsCollector()
+        state_slices = self.router.partition_state(initial_state)
+
+        self.shard_deployments = []
+        shard_entries: Dict[int, str] = {}
+        voters: Dict[int, str] = {}
+        reference_peers: Dict[int, object] = {}
+        self.shard_members = {}
+        node_shard: Dict[str, int] = {}
+        shard_measurement: Dict[int, List[str]] = {}
+        shard_orderers: Dict[int, list] = {}
+        orderers: List[object] = []
+        peers: List[object] = []
+        measurement_peers: List[str] = []
+        for shard in range(self.num_shards):
+            inner = self._make_inner(shard)
+            inner.shared = shared
+            shard_handles = inner.build(initial_state=state_slices[shard])
+            self.shard_deployments.append(inner)
+            aggregator.add_shard(shard, shard_handles.collector)
+            shard_entries[shard] = inner.orderer_names()[0]
+            reference = next(
+                p for p in shard_handles.peers if getattr(p, "is_reference", False)
+            )
+            reference_peers[shard] = reference
+            voters[shard] = reference.node_id
+            members = [o.node_id for o in shard_handles.orderers] + [
+                p.node_id for p in shard_handles.peers
+            ]
+            self.shard_members[shard] = members
+            for node_id in members:
+                node_shard[node_id] = shard
+            shard_measurement[shard] = list(shard_handles.measurement_peers)
+            shard_orderers[shard] = list(shard_handles.orderers)
+            orderers.extend(shard_handles.orderers)
+            peers.extend(shard_handles.peers)
+            measurement_peers.extend(shard_handles.measurement_peers)
+
+        # The 2PC record contract runs on every peer of every shard (and on
+        # the coordinator/oracles, which execute through the same registry).
+        contracts.install(CrossShardContract(), agents=[p.node_id for p in peers])
+        contracts.enable_cross_shard_locks()
+
+        coordinator = CoordinatorNode(
+            env=env,
+            network=network,
+            registry=registry,
+            config=config,
+            router=self.router,
+            contracts=contracts,
+            shard_entries=shard_entries,
+            voters=voters,
+            datacenter=self.datacenter_for("orderers"),
+        )
+        self.coordinator = coordinator
+        aggregator.set_decision_source(coordinator)
+        for shard, reference in reference_peers.items():
+            reference.xshard_voter = ShardVoter(shard, coordinator=coordinator.node_id)
+
+        gateway = ShardRouterGateway(
+            env,
+            CLIENT_GATEWAY,
+            network,
+            registry,
+            config,
+            shard_entries[0],
+            aggregator,
+            "endorse" if self.inner_cls.name == "XOV" else "direct",
+            contracts if self.inner_cls.name == "XOV" else None,
+            datacenter=self.datacenter_for("clients"),
+            router=self.router,
+            shard_entries=shard_entries,
+            coordinator=coordinator.node_id,
+        )
+
+        handles = DeploymentHandles(
+            env=env,
+            network=network,
+            registry=registry,
+            contracts=contracts,
+            collector=aggregator,
+            gateway=gateway,
+            orderers=orderers,
+            peers=peers,
+            measurement_peers=measurement_peers,
+            extra_nodes=[coordinator],
+        )
+        self._info = ShardingInfo(
+            num_shards=self.num_shards,
+            router=self.router,
+            coordinator=coordinator,
+            shard_members=dict(self.shard_members),
+            node_shard=node_shard,
+            shard_entries=shard_entries,
+            shard_measurement_peers=shard_measurement,
+            shard_initial_state={
+                shard: dict(state_slices[shard]) for shard in range(self.num_shards)
+            },
+            shard_orderers=shard_orderers,
+        )
+        self.handles = handles
+        return handles

@@ -1,0 +1,63 @@
+"""The sharded client gateway: route each transaction to its shard(s).
+
+One gateway fronts the whole sharded cluster (as in the unsharded case).
+Single-shard transactions go straight to their shard's entry orderer (after
+the usual endorsement round under XOV — the contract registry is global, so
+endorser discovery works unchanged); cross-shard transactions are handed to
+the 2PC coordinator and never enter the ordinary submission path.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.transaction import Transaction
+from repro.nodes import messages
+from repro.nodes.client import ClientGateway
+from repro.sharding.coordinator import COORDINATOR_ID
+from repro.sharding.router import ShardRouter
+
+
+class ShardRouterGateway(ClientGateway):
+    """A client gateway that routes submissions by shard."""
+
+    def __init__(
+        self,
+        *args,
+        router: ShardRouter,
+        shard_entries: Mapping[int, str],
+        coordinator: str = COORDINATOR_ID,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.router = router
+        self.shard_entries = dict(shard_entries)
+        self.coordinator = coordinator
+        self.cross_shard_submitted = 0
+
+    def _submit_one(self, tx: Transaction) -> None:
+        plan = self.router.shards_of(tx)
+        if self.router.is_cross_shard(tx):
+            register_plan = getattr(self.collector, "register_plan", None)
+            if register_plan is not None:
+                register_plan(tx.tx_id, plan)
+            self.submitted += 1
+            self.cross_shard_submitted += 1
+            if self.collector is not None:
+                self.collector.record_submission(tx.tx_id, self.env.now)
+            stamped = tx.with_submitted_at(self.env.now)
+            self.send_signed(
+                self.coordinator,
+                messages.XSHARD_SUBMIT,
+                {"transaction": stamped, "shards": list(plan)},
+                payload_bytes=self.latency.per_tx_bytes,
+            )
+            return
+        super()._submit_one(tx)
+
+    def _send_to_orderer(self, tx: Transaction) -> None:
+        # Route to the transaction's home shard instead of the fixed entry
+        # orderer.  Endorsed XOV transactions land here too — the rw_set is
+        # unchanged by endorsement, so the routing decision is stable.
+        self.orderer_entry = self.shard_entries[self.router.home_shard(tx)]
+        super()._send_to_orderer(tx)

@@ -1,0 +1,232 @@
+"""Cluster-wide metrics aggregation across per-shard collectors.
+
+Each shard has its own :class:`~repro.metrics.collector.MetricsCollector`
+(its measurement peers are the shard's peers).  The aggregator subscribes to
+every shard's completion events and derives cluster-level completion:
+
+* an ordinary (single-shard) transaction completes when its shard completes
+  it, with the shard's commit/abort outcome;
+* a cross-shard transaction completes when its decision record (``b#c``)
+  completed on *every* participant shard; its outcome is the coordinator's
+  decision (the decision record itself always commits — for an aborted
+  transaction it commits the lock releases);
+* PREPARE records (``b#p``) never surface as client transactions — they are
+  counted as protocol overhead.
+
+The aggregator implements the collector surface the run loop, drivers and
+harness consume (``record_submission``, ``subscribe``, ``all_complete``,
+``summarise``...), and adds per-shard and cross-shard throughput/latency/abort
+rows to :attr:`RunMetrics.extra`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.metrics.collector import CompletionEvent, MetricsCollector, RunMetrics
+from repro.metrics.latency import LatencyStats
+from repro.sharding.protocol import base_tx_id, is_decision_id, is_prepare_id
+
+
+class ShardedMetricsCollector:
+    """Aggregates per-shard collectors into cluster-wide run metrics."""
+
+    def __init__(self) -> None:
+        self._shards: Dict[int, MetricsCollector] = {}
+        self._submissions: Dict[str, float] = {}
+        #: tx_id -> participant shards (len 1 for single-shard transactions).
+        self._plans: Dict[str, Tuple[int, ...]] = {}
+        self._decided: Dict[str, Set[int]] = {}
+        self._completion_time: Dict[str, float] = {}
+        self._completed_aborted: Set[str] = set()
+        self._abort_reason_of: Dict[str, str] = {}
+        self._subscribers: List[Callable[[CompletionEvent], None]] = []
+        #: (shard, completed_at, aborted, cross_shard, latency) per completion.
+        self._events: List[Tuple[int, float, bool, bool, Optional[float]]] = []
+        self._prepares: Dict[int, int] = {}
+        self._decision_outcome: Callable[[str], Tuple[bool, str]] = lambda base: (False, "")
+
+    # ------------------------------------------------------------------ wiring
+    def add_shard(self, shard: int, collector: MetricsCollector) -> None:
+        """Attach one shard's collector and subscribe to its completions."""
+        self._shards[shard] = collector
+        collector.subscribe(lambda event, shard=shard: self._on_shard_event(shard, event))
+
+    def set_decision_source(self, coordinator) -> None:
+        """Resolve cross-shard outcomes from the coordinator's decision table."""
+        self._decision_outcome = lambda base: coordinator.decisions.get(base, (False, ""))
+
+    def shard_collector(self, shard: int) -> MetricsCollector:
+        return self._shards[shard]
+
+    # --------------------------------------------------------------- recording
+    def record_submission(self, tx_id: str, time: float) -> None:
+        self._submissions.setdefault(tx_id, time)
+
+    def register_plan(self, tx_id: str, shards: Sequence[int]) -> None:
+        """Remember which shards ``tx_id`` involves (called by the gateway)."""
+        self._plans.setdefault(tx_id, tuple(shards))
+
+    def subscribe(self, callback: Callable[[CompletionEvent], None]) -> None:
+        self._subscribers.append(callback)
+
+    def _on_shard_event(self, shard: int, event: CompletionEvent) -> None:
+        tx_id = event.tx_id
+        if is_prepare_id(tx_id):
+            self._prepares[shard] = self._prepares.get(shard, 0) + 1
+            return
+        if is_decision_id(tx_id):
+            base = base_tx_id(tx_id)
+            done = self._decided.setdefault(base, set())
+            done.add(shard)
+            plan = self._plans.get(base)
+            if plan is None or not done.issuperset(plan):
+                return
+            aborted, reason = self._decision_outcome(base)
+            self._complete(base, event.completed_at, aborted, reason, cross=True)
+            return
+        self._complete(tx_id, event.completed_at, event.aborted, event.reason, cross=False, shard=shard)
+
+    def _complete(
+        self,
+        tx_id: str,
+        completed_at: float,
+        aborted: bool,
+        reason: str,
+        cross: bool,
+        shard: int = -1,
+    ) -> None:
+        if tx_id in self._completion_time:
+            return
+        self._completion_time[tx_id] = completed_at
+        if aborted:
+            self._completed_aborted.add(tx_id)
+            self._abort_reason_of[tx_id] = reason or "abort"
+        submitted_at = self._submissions.get(tx_id)
+        latency = None
+        if not aborted and submitted_at is not None:
+            latency = completed_at - submitted_at
+        self._events.append((shard, completed_at, aborted, cross, latency))
+        if self._subscribers:
+            event = CompletionEvent(
+                tx_id=tx_id,
+                completed_at=completed_at,
+                aborted=aborted,
+                reason=reason if aborted else "",
+                submitted_at=submitted_at,
+            )
+            for subscriber in self._subscribers:
+                subscriber(event)
+
+    # ----------------------------------------------------------------- queries
+    @property
+    def blocks_committed(self) -> int:
+        return sum(c.blocks_committed for c in self._shards.values())
+
+    @property
+    def submitted_count(self) -> int:
+        return len(self._submissions)
+
+    @property
+    def completed_count(self) -> int:
+        return len(self._completion_time)
+
+    @property
+    def aborted_count(self) -> int:
+        return len(self._completed_aborted)
+
+    @property
+    def committed_count(self) -> int:
+        return len(self._completion_time) - len(self._completed_aborted)
+
+    def all_complete(self, expected: int) -> bool:
+        return self.completed_count >= expected
+
+    def completion_times(self) -> Dict[str, float]:
+        return dict(self._completion_time)
+
+    def abort_reason_of(self, tx_id: str) -> str:
+        return self._abort_reason_of.get(tx_id, "")
+
+    # ------------------------------------------------------------- summarising
+    def summarise(
+        self,
+        paradigm: str,
+        offered_load: float,
+        warmup: float,
+        horizon: float,
+        messages_sent: int = 0,
+        extra=None,
+        extra_abort_reasons=None,
+    ) -> RunMetrics:
+        """Cluster-wide steady-state summary plus per-shard/cross-shard rows."""
+        window = max(horizon - warmup, 1e-9)
+        committed = aborted = 0
+        abort_reasons: Dict[str, int] = {}
+        latencies: List[float] = []
+        per_shard: Dict[int, Dict[str, float]] = {
+            shard: {"committed": 0, "aborted": 0, "latency_sum": 0.0, "latency_n": 0}
+            for shard in self._shards
+        }
+        cross = {"committed": 0, "aborted": 0, "latency_sum": 0.0, "latency_n": 0}
+        for tx_id, completed_at in self._completion_time.items():
+            if completed_at < warmup or completed_at > horizon:
+                continue
+            if tx_id in self._completed_aborted:
+                aborted += 1
+                reason = self._abort_reason_of.get(tx_id, "abort")
+                abort_reasons[reason] = abort_reasons.get(reason, 0) + 1
+            else:
+                committed += 1
+                submitted_at = self._submissions.get(tx_id)
+                if submitted_at is not None:
+                    latencies.append(completed_at - submitted_at)
+        for shard, completed_at, was_aborted, was_cross, latency in self._events:
+            if completed_at < warmup or completed_at > horizon:
+                continue
+            bucket = cross if was_cross else per_shard.get(shard)
+            if bucket is None:
+                continue
+            bucket["aborted" if was_aborted else "committed"] += 1
+            if latency is not None:
+                bucket["latency_sum"] += latency
+                bucket["latency_n"] += 1
+
+        def _row(bucket: Dict[str, float]) -> Dict[str, float]:
+            n = bucket["latency_n"]
+            return {
+                "committed": int(bucket["committed"]),
+                "aborted": int(bucket["aborted"]),
+                "throughput": bucket["committed"] / window,
+                "latency_avg": (bucket["latency_sum"] / n) if n else 0.0,
+            }
+
+        merged_extra = dict(extra or {})
+        merged_extra.update(
+            {
+                "num_shards": len(self._shards),
+                "per_shard": {str(shard): _row(per_shard[shard]) for shard in sorted(per_shard)},
+                "cross_shard": {
+                    **_row(cross),
+                    "submitted": len(self._plans),
+                    "prepares": int(sum(self._prepares.values())),
+                },
+            }
+        )
+        return RunMetrics(
+            paradigm=paradigm,
+            offered_load=offered_load,
+            submitted=self.submitted_count,
+            committed=committed,
+            aborted=aborted,
+            duration=horizon,
+            measurement_window=window,
+            throughput=committed / window,
+            latency=LatencyStats.from_samples(latencies),
+            blocks_committed=self.blocks_committed,
+            messages_sent=messages_sent,
+            extra=merged_extra,
+            abort_reasons=dict(
+                sorted({**abort_reasons, **dict(extra_abort_reasons or {})}.items())
+            ),
+        )

@@ -1,0 +1,200 @@
+"""Cross-shard two-phase-commit records and the contract that executes them.
+
+A cross-shard transaction ``T`` (base id ``b``) is never ordered directly.
+Instead the coordinator orders one PREPARE record ``b#p`` and one decision
+record ``b#c`` into *each* participant shard's chain:
+
+* ``b#p`` (phase "prepare") acquires a write-blocking lock ``_xlock:{k}`` for
+  every local key ``k`` of ``T`` and stashes the key's current value inside
+  the lock entry — ``(b, value)``.  If any key is already locked by another
+  in-flight transaction the record aborts with ``cross_shard_lock_conflict``
+  and acquires nothing (all-or-nothing per shard).
+* ``b#c`` (phase "decision") releases the locks owned by ``b`` and, on a
+  commit decision, applies the coordinator-computed writes for this shard.
+  Decision records always execute successfully — an "abort" decision is a
+  commit of the lock releases.
+
+Both records execute through the ordinary contract path on every peer, so the
+serializability oracle replays them with the same code and ordinary
+transactions conflict with them through their declared read/write sets: a
+PREPARE reads the data keys and writes the lock keys, a decision writes the
+lock keys and the data keys.  Because the stashed read values are part of the
+PREPARE's execution result, the shard's vote is a deterministic function of
+the chain prefix — never of message-arrival timing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Sequence, Tuple
+
+from repro.contracts.base import (
+    CROSS_SHARD_APP,
+    CROSS_SHARD_LOCK_ABORT,
+    SmartContract,
+    cross_shard_lock_holder,
+    cross_shard_lock_key,
+)
+from repro.core.transaction import ReadWriteSet, Transaction, TransactionResult
+
+PREPARE_SUFFIX = "#p"
+DECISION_SUFFIX = "#c"
+
+
+def is_prepare_id(tx_id: str) -> bool:
+    return tx_id.endswith(PREPARE_SUFFIX)
+
+
+def is_decision_id(tx_id: str) -> bool:
+    return tx_id.endswith(DECISION_SUFFIX)
+
+
+def is_record_id(tx_id: str) -> bool:
+    return is_prepare_id(tx_id) or is_decision_id(tx_id)
+
+
+def base_tx_id(tx_id: str) -> str:
+    """The cross-shard transaction id a record belongs to."""
+    if is_record_id(tx_id):
+        return tx_id[: -len(PREPARE_SUFFIX)]
+    return tx_id
+
+
+def record_info(transaction: Transaction) -> Mapping[str, Any]:
+    """The ``xshard`` payload of a 2PC record (empty for ordinary txs)."""
+    info = transaction.payload.get("xshard")
+    return info if isinstance(info, Mapping) else {}
+
+
+def make_prepare_record(
+    transaction: Transaction,
+    shard: int,
+    participants: Sequence[int],
+    local_keys: Sequence[str],
+    coordinator: str,
+    now: float,
+) -> Transaction:
+    """Build shard ``shard``'s PREPARE record for ``transaction``."""
+    keys = tuple(sorted(local_keys))
+    # Stash every local key, not just the declared reads: contracts may read
+    # the current value of a key they only declare as a write (e.g. the
+    # accounting contract reads the destination balance it increments).
+    reads = keys
+    return Transaction(
+        tx_id=transaction.tx_id + PREPARE_SUFFIX,
+        application=CROSS_SHARD_APP,
+        rw_set=ReadWriteSet.build(
+            reads=keys, writes=(cross_shard_lock_key(k) for k in keys)
+        ),
+        payload={
+            "xshard": {
+                "phase": "prepare",
+                "base": transaction.tx_id,
+                "shard": shard,
+                "participants": tuple(participants),
+                "keys": keys,
+                "reads": reads,
+            }
+        },
+        client=coordinator,
+        client_timestamp=now,
+        submitted_at=now,
+    )
+
+
+def make_decision_record(
+    transaction: Transaction,
+    shard: int,
+    participants: Sequence[int],
+    local_keys: Sequence[str],
+    decision: str,
+    reason: str,
+    updates: Mapping[str, Any],
+    coordinator: str,
+    now: float,
+) -> Transaction:
+    """Build shard ``shard``'s decision (COMMIT/ABORT) record."""
+    keys = tuple(sorted(local_keys))
+    writes = set(cross_shard_lock_key(k) for k in keys)
+    writes.update(updates)
+    # Declare the base keys as reads even when the decision is an abort (no
+    # payload updates): the lock release must conflict with any later
+    # transaction on those keys, or OXII's dependency graph would happily
+    # execute that transaction in parallel — against the still-locked state —
+    # while a serial chain replay sees the lock already released.
+    return Transaction(
+        tx_id=transaction.tx_id + DECISION_SUFFIX,
+        application=CROSS_SHARD_APP,
+        rw_set=ReadWriteSet.build(reads=keys, writes=writes),
+        payload={
+            "xshard": {
+                "phase": "decision",
+                "base": transaction.tx_id,
+                "shard": shard,
+                "participants": tuple(participants),
+                "keys": keys,
+                "decision": decision,
+                "reason": reason,
+                "updates": dict(updates),
+            }
+        },
+        client=coordinator,
+        client_timestamp=now,
+        submitted_at=now,
+    )
+
+
+def stashed_reads(record: Transaction, result: TransactionResult) -> Dict[str, Any]:
+    """Extract the read values a committed PREPARE stashed into its locks."""
+    info = record_info(record)
+    reads: Dict[str, Any] = {}
+    for key in info.get("reads", ()):
+        entry = result.updates.get(cross_shard_lock_key(key))
+        reads[key] = entry[1] if isinstance(entry, (tuple, list)) and len(entry) > 1 else None
+    return reads
+
+
+class CrossShardContract(SmartContract):
+    """Executes PREPARE and decision records deterministically on every peer."""
+
+    application = CROSS_SHARD_APP
+
+    def execute(
+        self, transaction: Transaction, state_view: Mapping[str, object]
+    ) -> TransactionResult:
+        info = record_info(transaction)
+        base = str(info.get("base", ""))
+        keys: Tuple[str, ...] = tuple(info.get("keys", ()))
+        phase = info.get("phase")
+        if not base or phase not in ("prepare", "decision"):
+            return TransactionResult.abort(
+                transaction, reason="malformed_xshard_record"
+            )
+        if phase == "prepare":
+            for key in keys:
+                holder = cross_shard_lock_holder(state_view.get(cross_shard_lock_key(key)))
+                if holder and holder != base:
+                    return TransactionResult.abort(
+                        transaction, reason=CROSS_SHARD_LOCK_ABORT
+                    )
+            # Lock entry = (holder, stashed value): the stash freezes the read
+            # snapshot the shard votes with, as part of the record's result.
+            updates = {
+                cross_shard_lock_key(key): (base, state_view.get(key)) for key in keys
+            }
+            return TransactionResult(
+                tx_id=transaction.tx_id,
+                application=CROSS_SHARD_APP,
+                updates=updates,
+            )
+        updates = {}
+        for key in keys:
+            lock = cross_shard_lock_key(key)
+            if cross_shard_lock_holder(state_view.get(lock)) == base:
+                updates[lock] = ""
+        if info.get("decision") == "commit":
+            updates.update(info.get("updates", {}))
+        return TransactionResult(
+            tx_id=transaction.tx_id,
+            application=CROSS_SHARD_APP,
+            updates=updates,
+        )

@@ -1,0 +1,97 @@
+"""Deterministic key/application → shard routing.
+
+The router is pure arithmetic over stable hashes — no RNG, no per-run state —
+so the same key maps to the same shard in every process, on every platform
+and for every seed.  Two rules:
+
+* Applications are assigned round-robin: ``app-i`` lives on shard
+  ``i % num_shards``.  Keys that embed an application tag (``app-3`` inside
+  ``sb-app-3-17`` or ``acct:hot-app-3-0``) follow their application's shard,
+  so an application's working set is co-located with its executors and the
+  workload generators' ``conflict.spill`` knob directly controls the
+  cross-shard fraction.
+* Untagged keys (``src-0``, ``hot-global-1``) hash to a shard with blake2b —
+  Python's builtin ``hash()`` is salted per process and is never used.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.transaction import Transaction
+
+_APP_TAG = re.compile(r"app-(\d+)")
+
+
+def stable_key_hash(key: str) -> int:
+    """Platform- and process-stable 64-bit hash of ``key``."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ShardRouter:
+    """Maps applications, keys and transactions to shards."""
+
+    def __init__(self, num_shards: int, applications: Sequence[str]) -> None:
+        if num_shards <= 0:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        self.num_shards = num_shards
+        self._app_shard: Dict[str, int] = {
+            app: index % num_shards for index, app in enumerate(applications)
+        }
+
+    # ---------------------------------------------------------------- routing
+    def shard_of_application(self, application: str) -> int:
+        """The shard hosting ``application`` (hash fallback for unknown ids)."""
+        shard = self._app_shard.get(application)
+        if shard is None:
+            return stable_key_hash(application) % self.num_shards
+        return shard
+
+    def shard_of_key(self, key: str) -> int:
+        """The shard owning ``key`` — exactly one, for every key."""
+        match = _APP_TAG.search(key)
+        if match is not None:
+            shard = self._app_shard.get(f"app-{match.group(1)}")
+            if shard is not None:
+                return shard
+        return stable_key_hash(key) % self.num_shards
+
+    def shards_of(self, transaction: Transaction) -> Tuple[int, ...]:
+        """Sorted shards a transaction touches (its participant set)."""
+        keys = transaction.rw_set.keys
+        if not keys:
+            return (self.shard_of_application(transaction.application),)
+        return tuple(sorted({self.shard_of_key(key) for key in keys}))
+
+    def home_shard(self, transaction: Transaction) -> int:
+        """The shard hosting the transaction's application (its executors)."""
+        return self.shard_of_application(transaction.application)
+
+    def is_cross_shard(self, transaction: Transaction) -> bool:
+        """True unless every key lives on the transaction's home shard.
+
+        A transaction can only take the single-shard fast path on the shard
+        that hosts its application's executors/endorsers; keys hashed onto a
+        *different* shard make it cross-shard even if they all share one —
+        someone has to move the values between the key shard and the home
+        shard, and that someone is the 2PC coordinator.
+        """
+        return self.shards_of(transaction) != (self.home_shard(transaction),)
+
+    # ------------------------------------------------------------- partitions
+    def shard_applications(self, shard: int, applications: Sequence[str]) -> List[str]:
+        """The applications (in global order) hosted by ``shard``."""
+        return [app for app in applications if self.shard_of_application(app) == shard]
+
+    def partition_state(
+        self, initial_state: Optional[Mapping[str, object]]
+    ) -> List[Dict[str, object]]:
+        """Split an initial world state into per-shard disjoint slices."""
+        slices: List[Dict[str, object]] = [{} for _ in range(self.num_shards)]
+        if initial_state:
+            for key, value in initial_state.items():
+                slices[self.shard_of_key(key)][key] = value
+        return slices

@@ -12,6 +12,7 @@ sweep per paradigm.  See ``docs/testing.md`` for the guided tour.
 from repro.testing.harness import PeerView, ScenarioConfig, ScenarioOutcome, run_scenario
 from repro.testing.oracles import (
     OracleViolation,
+    check_cross_shard_atomicity,
     check_ledger_prefix_agreement,
     check_liveness,
     check_no_loss_no_duplication,
@@ -36,6 +37,7 @@ __all__ = [
     "PeerView",
     "ScenarioConfig",
     "ScenarioOutcome",
+    "check_cross_shard_atomicity",
     "check_ledger_prefix_agreement",
     "check_liveness",
     "check_no_loss_no_duplication",

@@ -24,12 +24,11 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.common.config import SystemConfig
-from repro.common.registry import paradigm_registry
 from repro.common.rng import child_rng
 from repro.core.transaction import Transaction
 from repro.ledger.ledger import Ledger
 from repro.ledger.state import WorldState
-from repro.paradigms.run import prepare_driver
+from repro.paradigms.run import make_deployment, prepare_driver
 from repro.testing.schedule import FaultInjector, FaultSchedule, random_fault_schedule
 from repro.workload.generator import WorkloadConfig
 
@@ -149,6 +148,8 @@ class ScenarioOutcome:
     stable: bool
     settle_windows: int
     end_time: float
+    #: :class:`repro.sharding.ShardingInfo` for sharded runs, else ``None``.
+    sharding: Optional[Any] = None
 
     def peer(self, node_id: str) -> PeerView:
         for view in self.peers:
@@ -160,9 +161,10 @@ class ScenarioOutcome:
         """A hashable digest of the run for bit-identical determinism checks.
 
         Covers committed data (chains and states), progress counters and the
-        exact times the injector applied each fault.
+        exact times the injector applied each fault.  Sharded runs also cover
+        the coordinator's global commit/abort decisions.
         """
-        return (
+        base = (
             tuple(
                 (p.node_id, tuple(p.chain_digests()), tuple(sorted(p.state.as_dict().items())))
                 for p in self.peers
@@ -172,6 +174,13 @@ class ScenarioOutcome:
             tuple(self.injector.applied),
             self.end_time,
         )
+        if self.sharding is not None:
+            decisions = tuple(
+                sorted((tx, aborted, reason)
+                       for tx, (aborted, reason) in self.sharding.coordinator.decisions.items())
+            )
+            return base + (decisions,)
+        return base
 
 
 def _is_quiescent(peer: Any) -> bool:
@@ -196,6 +205,18 @@ def _progress_fingerprint(handles) -> Tuple:
         tuple(getattr(p, "transactions_aborted", 0) for p in peers),
         tuple(o.blocks_ordered for o in handles.orderers),
         handles.collector.completed_count,
+        # Cross-shard 2PC progress: a coordinator still retrying keeps the
+        # run "in progress", so settle waits for the protocol to drain (or
+        # flags a genuine wedge via max_settle_windows).
+        tuple(
+            (
+                len(getattr(node, "pending", ())),
+                getattr(node, "commits", 0),
+                getattr(node, "aborts", 0),
+                getattr(node, "retries_sent", 0),
+            )
+            for node in getattr(handles, "extra_nodes", ())
+        ),
     )
 
 
@@ -224,7 +245,7 @@ def run_scenario(
         config.offered_load, config.duration,
     )
 
-    deployment = paradigm_registry.get(config.paradigm)(system_config)
+    deployment = make_deployment(config.paradigm, system_config)
     handles = deployment.build(initial_state=initial_state)
     injector = FaultInjector(schedule)
     injector.install(handles, deployment)
@@ -232,6 +253,8 @@ def run_scenario(
         orderer.start()
     for peer in handles.peers:
         peer.start()
+    for node in handles.extra_nodes:
+        node.start()
     driver.start(handles, deployment)
 
     env = handles.env
@@ -280,4 +303,5 @@ def run_scenario(
         stable=stable,
         settle_windows=windows,
         end_time=env.now,
+        sharding=getattr(deployment, "sharding_info", lambda: None)(),
     )

@@ -4,18 +4,35 @@ Four invariants — the paper's correctness claims, phrased as checks that run
 after (and, via the deployment's poll hook, optionally during) any scenario:
 
 * **ledger prefix agreement** — all replicas agree on the committed chain
-  prefix: no two ledgers diverge at any height they share.
-* **no loss / no double-apply** — no transaction is ordered twice into the
-  chain, and nothing appears in a ledger that a client never submitted.
+  prefix: no two ledgers diverge at any height they share.  Sharded runs have
+  one chain per shard, so agreement is checked within each shard's replica
+  group.
+* **no loss / no double-apply** — no transaction is ordered twice into a
+  chain, and nothing appears in a ledger that a client never submitted.  On a
+  sharded cluster the per-shard vocabulary is derived from the router: a
+  single-shard transaction may appear (once, bare) only in its home shard's
+  chain; a cross-shard transaction never appears bare — only as one PREPARE
+  (``b#p``) and one decision (``b#c``) record per *participant* shard.
 * **serializability** — every quiescent replica's world state equals a
   sequential re-execution of its own ledger in block order.  For OXII this is
   exactly the dependency-graph claim: parallel, graph-driven execution across
   distrusting applications commits the state a serial execution would have.
   XOV replicas are replayed under MVCC validation semantics instead (stale
-  read-versions abort), matching that paradigm's commit rule.
+  read-versions abort), matching that paradigm's commit rule.  Sharded
+  replicas replay from their shard's slice of the initial state; 2PC records
+  replay through the same contract path the peers executed.
 * **liveness** — once every fault has healed and the run has settled, every
-  replica holds every ordered block (heights equal the ordered count, nothing
-  stays stuck mid-block).
+  replica holds every block its shard ordered, nothing stays stuck mid-block,
+  the coordinator's in-flight table is empty and every decided cross-shard
+  transaction's decision record reached every participant shard.
+
+Sharded runs get a fifth invariant, **cross-shard atomicity**: participant
+shards carry identical decisions for each cross-shard transaction, a commit
+decision implies a commit vote (a committed PREPARE) on every participant
+shard, and the decision's committed writes equal an independent re-execution
+of the transaction against the read values the PREPAREs stashed — so a
+mutated commit rule (e.g. a coordinator that ignores abort votes) is caught
+from the chains alone.
 
 Each violated invariant yields an :class:`OracleViolation`; an empty list
 means the scenario upholds all checked properties.
@@ -24,8 +41,14 @@ means the scenario upholds all checked properties.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Callable, Dict, List, Mapping, Optional, Set, Tuple
 
+from repro.contracts.base import (
+    CROSS_SHARD_APP,
+    cross_shard_lock_holder,
+    cross_shard_lock_key,
+)
+from repro.core.transaction import Transaction
 from repro.testing.harness import PeerView, ScenarioOutcome
 
 
@@ -41,61 +64,111 @@ class OracleViolation:
         return {"oracle": self.oracle, "message": self.message, "node_id": self.node_id}
 
 
+def _peer_groups(outcome: ScenarioOutcome) -> List[Tuple[Optional[int], List[PeerView]]]:
+    """Replica groups that share one chain: all peers, or one group per shard."""
+    if outcome.sharding is None:
+        return [(None, list(outcome.peers))]
+    groups: Dict[int, List[PeerView]] = {}
+    for view in outcome.peers:
+        groups.setdefault(outcome.sharding.node_shard[view.node_id], []).append(view)
+    return sorted(groups.items())
+
+
+def _initial_state_for(outcome: ScenarioOutcome, shard: Optional[int]) -> Mapping[str, Any]:
+    if shard is None or outcome.sharding is None:
+        return outcome.initial_state
+    return outcome.sharding.shard_initial_state.get(shard, {})
+
+
 # ----------------------------------------------------------- prefix agreement
 def check_ledger_prefix_agreement(outcome: ScenarioOutcome) -> List[OracleViolation]:
-    """No two replicas disagree on any chain prefix they both hold."""
+    """No two replicas of one chain disagree on any prefix they both hold."""
     violations: List[OracleViolation] = []
-    if not outcome.peers:
-        return violations
-    reference = max(outcome.peers, key=lambda p: p.height)
-    reference_digests = reference.chain_digests()
-    for peer in outcome.peers:
-        digests = peer.chain_digests()
-        for height, digest in enumerate(digests):
-            if digest != reference_digests[height]:
-                violations.append(
-                    OracleViolation(
-                        oracle="prefix_agreement",
-                        node_id=peer.node_id,
-                        message=(
-                            f"chain diverges from {reference.node_id} at height {height}"
-                        ),
+    for shard, peers in _peer_groups(outcome):
+        if not peers:
+            continue
+        reference = max(peers, key=lambda p: (p.height, p.node_id))
+        reference_digests = reference.chain_digests()
+        where = "" if shard is None else f" (shard {shard})"
+        for peer in peers:
+            digests = peer.chain_digests()
+            for height, digest in enumerate(digests):
+                if digest != reference_digests[height]:
+                    violations.append(
+                        OracleViolation(
+                            oracle="prefix_agreement",
+                            node_id=peer.node_id,
+                            message=(
+                                f"chain diverges from {reference.node_id} at height "
+                                f"{height}{where}"
+                            ),
+                        )
                     )
-                )
-                break
+                    break
     return violations
 
 
 # ------------------------------------------------------- loss and duplication
+def _allowed_ids_per_shard(outcome: ScenarioOutcome) -> Dict[int, Set[str]]:
+    """What each shard's chain may contain, derived from the router.
+
+    Single-shard transactions appear bare in their home shard only;
+    cross-shard transactions appear only as ``#p``/``#c`` records on their
+    participant shards.
+    """
+    from repro.sharding.protocol import DECISION_SUFFIX, PREPARE_SUFFIX
+
+    info = outcome.sharding
+    allowed: Dict[int, Set[str]] = {shard: set() for shard in range(info.num_shards)}
+    for tx in outcome.transactions:
+        if info.router.is_cross_shard(tx):
+            for shard in info.router.shards_of(tx):
+                allowed[shard].add(tx.tx_id + PREPARE_SUFFIX)
+                allowed[shard].add(tx.tx_id + DECISION_SUFFIX)
+        else:
+            allowed[info.router.home_shard(tx)].add(tx.tx_id)
+    return allowed
+
+
 def check_no_loss_no_duplication(outcome: ScenarioOutcome) -> List[OracleViolation]:
     """No transaction ordered twice; nothing committed that was not submitted."""
     violations: List[OracleViolation] = []
-    submitted = set(outcome.submitted_ids)
-    for peer in outcome.peers:
-        seen: Dict[str, int] = {}
-        for block in peer.ledger:
-            for tx in block:
-                if tx.tx_id in seen:
-                    violations.append(
-                        OracleViolation(
-                            oracle="no_duplication",
-                            node_id=peer.node_id,
-                            message=(
-                                f"{tx.tx_id} ordered twice (blocks {seen[tx.tx_id]} "
-                                f"and {block.sequence})"
-                            ),
+    if outcome.sharding is None:
+        allowed: Dict[Optional[int], Set[str]] = {None: set(outcome.submitted_ids)}
+    else:
+        allowed = dict(_allowed_ids_per_shard(outcome))
+    for shard, peers in _peer_groups(outcome):
+        shard_allowed = allowed.get(shard, set())
+        for peer in peers:
+            seen: Dict[str, int] = {}
+            for block in peer.ledger:
+                for tx in block:
+                    if tx.tx_id in seen:
+                        violations.append(
+                            OracleViolation(
+                                oracle="no_duplication",
+                                node_id=peer.node_id,
+                                message=(
+                                    f"{tx.tx_id} ordered twice (blocks {seen[tx.tx_id]} "
+                                    f"and {block.sequence})"
+                                ),
+                            )
                         )
-                    )
-                else:
-                    seen[tx.tx_id] = block.sequence
-                if tx.tx_id not in submitted:
-                    violations.append(
-                        OracleViolation(
-                            oracle="no_loss",
-                            node_id=peer.node_id,
-                            message=f"{tx.tx_id} committed but never submitted",
+                    else:
+                        seen[tx.tx_id] = block.sequence
+                    if tx.tx_id not in shard_allowed:
+                        detail = (
+                            "committed but never submitted"
+                            if shard is None
+                            else f"not allowed in shard {shard}'s chain"
                         )
-                    )
+                        violations.append(
+                            OracleViolation(
+                                oracle="no_loss",
+                                node_id=peer.node_id,
+                                message=f"{tx.tx_id} {detail}",
+                            )
+                        )
     return violations
 
 
@@ -118,30 +191,52 @@ class _VersionedReplay:
         self.versions[key] = self.versions.get(key, -1) + 1
 
 
-def _replay_sequential(outcome: ScenarioOutcome, peer: PeerView) -> _VersionedReplay:
-    """Re-execute the peer's ledger serially with the deployment's contracts."""
-    replay = _VersionedReplay(outcome.initial_state)
+def _replay_chain(
+    outcome: ScenarioOutcome,
+    peer: PeerView,
+    initial: Mapping[str, Any],
+    on_record: Optional[Callable[[Transaction, Any], None]] = None,
+) -> _VersionedReplay:
+    """Re-execute ``peer``'s ledger serially under its paradigm's commit rule.
+
+    OX/OXII replicas re-run every transaction through the contract registry;
+    XOV replicas apply endorsed write sets under MVCC validation (plus the
+    commit-time cross-shard lock probe the validator performs).  Cross-shard
+    2PC records always execute through the contract path — on every paradigm —
+    and are reported to ``on_record`` for the atomicity oracle.
+    """
+    xov = outcome.config.paradigm == "XOV"
     contracts = outcome.handles.contracts
+    replay = _VersionedReplay(initial)
+
+    def apply(result: Any) -> None:
+        if not result.is_abort:
+            for key, value in result.updates.items():
+                replay.write(key, value)
+
     for block in peer.ledger:
         for tx in block:
-            result = contracts.execute(tx, replay, executed_by="oracle")
-            if not result.is_abort:
-                for key, value in result.updates.items():
-                    replay.write(key, value)
-    return replay
-
-
-def _replay_xov(outcome: ScenarioOutcome, peer: PeerView) -> _VersionedReplay:
-    """Replay the peer's ledger under MVCC validation (the XOV commit rule)."""
-    replay = _VersionedReplay(outcome.initial_state)
-    for block in peer.ledger:
-        for tx in block:
+            if tx.application == CROSS_SHARD_APP:
+                result = contracts.execute(tx, replay, executed_by="oracle")
+                if on_record is not None:
+                    on_record(tx, result)
+                apply(result)
+                continue
+            if not xov:
+                apply(contracts.execute(tx, replay, executed_by="oracle"))
+                continue
             endorsement = tx.payload.get("endorsement")
             if not isinstance(endorsement, Mapping) or endorsement.get("status") == "abort":
                 continue
             read_versions: Mapping[str, int] = endorsement.get("read_versions", {})
             if any(replay.version(k) != v for k, v in read_versions.items()):
                 continue  # stale read: validation aborts the transaction
+            if contracts.cross_shard_locks_enabled and any(
+                (holder := cross_shard_lock_holder(replay.get(cross_shard_lock_key(k))))
+                and holder != tx.tx_id
+                for k in tx.rw_set.writes
+            ):
+                continue  # writes a key locked by an in-flight 2PC
             for key, value in endorsement.get("updates", {}).items():
                 replay.write(key, value)
     return replay
@@ -156,32 +251,177 @@ def check_serializability(outcome: ScenarioOutcome) -> List[OracleViolation]:
     them when the schedule healed.
     """
     violations: List[OracleViolation] = []
-    replay_fn = _replay_xov if outcome.config.paradigm == "XOV" else _replay_sequential
-    for peer in outcome.peers:
-        if not peer.quiescent:
-            continue
-        replay = replay_fn(outcome, peer)
-        actual = peer.state.as_dict()
-        if actual != replay.values:
-            changed = sorted(
-                k
-                for k in set(actual) | set(replay.values)
-                if actual.get(k, _MISSING) != replay.values.get(k, _MISSING)
-            )
-            violations.append(
-                OracleViolation(
-                    oracle="serializability",
-                    node_id=peer.node_id,
-                    message=(
-                        f"committed state diverges from serial re-execution of its own "
-                        f"ledger on {len(changed)} key(s), e.g. {changed[:3]}"
-                    ),
+    for shard, peers in _peer_groups(outcome):
+        initial = _initial_state_for(outcome, shard)
+        for peer in peers:
+            if not peer.quiescent:
+                continue
+            replay = _replay_chain(outcome, peer, initial)
+            actual = peer.state.as_dict()
+            if actual != replay.values:
+                changed = sorted(
+                    k
+                    for k in set(actual) | set(replay.values)
+                    if actual.get(k, _MISSING) != replay.values.get(k, _MISSING)
                 )
-            )
+                violations.append(
+                    OracleViolation(
+                        oracle="serializability",
+                        node_id=peer.node_id,
+                        message=(
+                            f"committed state diverges from serial re-execution of its own "
+                            f"ledger on {len(changed)} key(s), e.g. {changed[:3]}"
+                        ),
+                    )
+                )
     return violations
 
 
 _MISSING = object()
+
+
+# ------------------------------------------------------ cross-shard atomicity
+def _analyse_shard_chains(
+    outcome: ScenarioOutcome,
+) -> Tuple[Dict[int, Dict[str, Dict[str, Any]]], Dict[int, Dict[str, Mapping[str, Any]]]]:
+    """Per shard: each 2PC record's replayed vote/stash and decision payload.
+
+    Derived purely from the reference replica's chain — independent of the
+    coordinator's in-memory state, so a lying/mutated coordinator cannot hide.
+    """
+    from repro.sharding.protocol import record_info, stashed_reads
+
+    prepares: Dict[int, Dict[str, Dict[str, Any]]] = {}
+    decisions: Dict[int, Dict[str, Mapping[str, Any]]] = {}
+    for shard, peers in _peer_groups(outcome):
+        reference = max(peers, key=lambda p: (p.height, p.node_id))
+        shard_prepares: Dict[str, Dict[str, Any]] = {}
+        shard_decisions: Dict[str, Mapping[str, Any]] = {}
+
+        def on_record(tx: Transaction, result: Any) -> None:
+            info = record_info(tx)
+            base = str(info.get("base", ""))
+            if info.get("phase") == "prepare":
+                shard_prepares.setdefault(
+                    base,
+                    {
+                        "vote": "abort" if result.is_abort else "commit",
+                        "reads": {} if result.is_abort else stashed_reads(tx, result),
+                    },
+                )
+            elif info.get("phase") == "decision":
+                shard_decisions.setdefault(base, dict(info))
+
+        _replay_chain(outcome, reference, _initial_state_for(outcome, shard), on_record)
+        prepares[shard] = shard_prepares
+        decisions[shard] = shard_decisions
+    return prepares, decisions
+
+
+def check_cross_shard_atomicity(outcome: ScenarioOutcome) -> List[OracleViolation]:
+    """Cross-shard decisions are unanimous, vote-justified and re-executable."""
+    info = outcome.sharding
+    if info is None:
+        return []
+    violations: List[OracleViolation] = []
+    transactions = {tx.tx_id: tx for tx in outcome.transactions}
+    plans = {
+        tx_id: info.router.shards_of(tx)
+        for tx_id, tx in transactions.items()
+        if info.router.is_cross_shard(tx)
+    }
+    prepares, decisions = _analyse_shard_chains(outcome)
+    for shard, shard_decisions in sorted(decisions.items()):
+        for base in shard_decisions:
+            if shard not in plans.get(base, ()):
+                violations.append(
+                    OracleViolation(
+                        oracle="cross_shard_atomicity",
+                        message=f"{base} has a decision record on non-participant shard {shard}",
+                    )
+                )
+    contracts = outcome.handles.contracts
+    for base, plan in sorted(plans.items()):
+        decided = {
+            shard: decisions[shard][base]
+            for shard in plan
+            if base in decisions.get(shard, {})
+        }
+        if not decided:
+            continue  # never decided — liveness's business, not atomicity's
+        kinds = {str(d.get("decision")) for d in decided.values()}
+        if len(kinds) > 1:
+            violations.append(
+                OracleViolation(
+                    oracle="cross_shard_atomicity",
+                    message=f"{base} committed on some participant shards and aborted on others",
+                )
+            )
+            continue
+        decision = next(iter(kinds))
+        votes = {shard: prepares.get(shard, {}).get(base) for shard in plan}
+        if any(vote is None for vote in votes.values()):
+            if decision == "commit":
+                missing = sorted(s for s, v in votes.items() if v is None)
+                violations.append(
+                    OracleViolation(
+                        oracle="cross_shard_atomicity",
+                        message=(
+                            f"{base} committed without a successful PREPARE on "
+                            f"shard(s) {missing}"
+                        ),
+                    )
+                )
+            continue
+        refused = sorted(s for s, v in votes.items() if v["vote"] != "commit")
+        if refused:
+            if decision == "commit":
+                violations.append(
+                    OracleViolation(
+                        oracle="cross_shard_atomicity",
+                        message=(
+                            f"{base} committed although shard(s) {refused} voted abort"
+                        ),
+                    )
+                )
+            continue
+        # Unanimous commit votes: re-execute against the stashed snapshot and
+        # compare with what the decision records actually applied.
+        merged: Dict[str, Any] = {}
+        for shard in plan:
+            merged.update(votes[shard]["reads"])
+        result = contracts.execute(transactions[base], merged, executed_by="oracle")
+        expected = "abort" if result.is_abort else "commit"
+        if decision != expected:
+            violations.append(
+                OracleViolation(
+                    oracle="cross_shard_atomicity",
+                    message=(
+                        f"{base} decided {decision!r} but re-execution on the stashed "
+                        f"snapshot says {expected!r}"
+                    ),
+                )
+            )
+            continue
+        if decision == "commit":
+            for shard in sorted(decided):
+                embedded = dict(decided[shard].get("updates", {}))
+                recomputed = {
+                    key: value
+                    for key, value in result.updates.items()
+                    if info.router.shard_of_key(key) == shard
+                }
+                if embedded != recomputed:
+                    violations.append(
+                        OracleViolation(
+                            oracle="cross_shard_atomicity",
+                            message=(
+                                f"{base}'s committed updates on shard {shard} differ "
+                                f"from re-execution"
+                            ),
+                        )
+                    )
+    return violations
 
 
 # ------------------------------------------------------------------- liveness
@@ -189,7 +429,10 @@ def check_liveness(outcome: ScenarioOutcome) -> List[OracleViolation]:
     """After heal + settle: every ordered block committed on every replica.
 
     Only meaningful when the schedule fully heals and the run settled; the
-    caller (:func:`run_all_oracles`) gates on that.
+    caller (:func:`run_all_oracles`) gates on that.  Sharded runs additionally
+    require the coordinator's in-flight table to be empty and every decided
+    cross-shard transaction's decision record to be on every participant
+    shard's chain.
     """
     violations: List[OracleViolation] = []
     if not outcome.stable:
@@ -202,24 +445,64 @@ def check_liveness(outcome: ScenarioOutcome) -> List[OracleViolation]:
             )
         )
         return violations
-    ordered = outcome.blocks_ordered
-    for peer in outcome.peers:
-        if peer.height != ordered:
+    info = outcome.sharding
+    for shard, peers in _peer_groups(outcome):
+        if shard is None:
+            ordered = outcome.blocks_ordered
+        else:
+            ordered = info.shard_orderers[shard][0].blocks_ordered
+        for peer in peers:
+            if peer.height != ordered:
+                violations.append(
+                    OracleViolation(
+                        oracle="liveness",
+                        node_id=peer.node_id,
+                        message=f"holds {peer.height}/{ordered} ordered blocks after heal",
+                    )
+                )
+            if not peer.quiescent:
+                violations.append(
+                    OracleViolation(
+                        oracle="liveness",
+                        node_id=peer.node_id,
+                        message="still mid-block after faults healed and the run settled",
+                    )
+                )
+    if info is not None:
+        coordinator = info.coordinator
+        if coordinator.pending:
             violations.append(
                 OracleViolation(
                     oracle="liveness",
-                    node_id=peer.node_id,
-                    message=f"holds {peer.height}/{ordered} ordered blocks after heal",
+                    node_id=coordinator.node_id,
+                    message=(
+                        f"{len(coordinator.pending)} cross-shard transaction(s) still "
+                        f"in flight after heal + settle"
+                    ),
                 )
             )
-        if not peer.quiescent:
-            violations.append(
-                OracleViolation(
-                    oracle="liveness",
-                    node_id=peer.node_id,
-                    message="still mid-block after faults healed and the run settled",
+        _, decisions = _analyse_shard_chains(outcome)
+        transactions = {tx.tx_id: tx for tx in outcome.transactions}
+        for base, (aborted, _reason) in sorted(coordinator.decisions.items()):
+            tx = transactions.get(base)
+            if tx is None:
+                continue
+            missing = [
+                shard
+                for shard in info.router.shards_of(tx)
+                if base not in decisions.get(shard, {})
+            ]
+            if missing:
+                outcome_word = "abort" if aborted else "commit"
+                violations.append(
+                    OracleViolation(
+                        oracle="liveness",
+                        message=(
+                            f"{base}'s {outcome_word} decision never reached "
+                            f"shard(s) {missing}"
+                        ),
+                    )
                 )
-            )
     return violations
 
 
@@ -235,6 +518,7 @@ def run_all_oracles(
         *check_ledger_prefix_agreement(outcome),
         *check_no_loss_no_duplication(outcome),
         *check_serializability(outcome),
+        *check_cross_shard_atomicity(outcome),
     ]
     if include_liveness:
         violations.extend(check_liveness(outcome))

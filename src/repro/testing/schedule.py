@@ -13,6 +13,8 @@ Targets are **roles**, not node ids, so one schedule drives any paradigm:
 * ``peer:<i>`` / ``executor:<i>`` — the i-th executor/committing peer
 * ``gateway`` — the client gateway
 * ``orderers`` / ``peers`` — whole groups, ``all`` — every node
+* ``coordinator`` — the cross-shard 2PC coordinator (sharded deployments)
+* ``shard:<k>`` — every node of shard ``k`` (sharded deployments)
 
 :class:`FaultInjector` resolves roles against a built deployment and registers
 each event with the simulated clock (:meth:`Environment.call_at`), so fault
@@ -235,6 +237,8 @@ class FaultInjector:
         self._orderer_names: List[str] = []
         self._peer_names: List[str] = []
         self._gateway = ""
+        self._extra_names: List[str] = []
+        self._groups: Dict[str, List[str]] = {}
 
     # ------------------------------------------------------------ installation
     def install(self, handles, deployment) -> None:
@@ -243,12 +247,39 @@ class FaultInjector:
         self._orderer_names = [o.node_id for o in handles.orderers]
         self._peer_names = [p.node_id for p in handles.peers]
         self._gateway = handles.gateway.node_id
-        self._nodes = {n.node_id: n for n in (*handles.orderers, *handles.peers, handles.gateway)}
+        extras = list(getattr(handles, "extra_nodes", ()))
+        self._extra_names = [n.node_id for n in extras]
+        # Sharded deployments expose shard membership for the "shard:<k>"
+        # group role; unsharded ones leave it empty.
+        self._groups = {
+            f"shard:{shard}": list(members)
+            for shard, members in getattr(deployment, "shard_members", {}).items()
+        }
+        self._nodes = {
+            n.node_id: n
+            for n in (*handles.orderers, *handles.peers, handles.gateway, *extras)
+        }
         env = handles.env
         for event in self.schedule.events:
             env.call_at(event.at, lambda event=event: self._apply(event))
 
     def _resolve(self, role: str) -> List[str]:
+        if role == "coordinator":
+            if not self._extra_names:
+                raise ConfigurationError(
+                    "role 'coordinator' needs a sharded deployment "
+                    "(shards.num_shards > 1); this deployment has no coordinator"
+                )
+            return list(self._extra_names)
+        if role in self._groups:
+            return list(self._groups[role])
+        if role.startswith("shard:"):
+            raise ConfigurationError(
+                f"unknown shard role {role!r}; this deployment has "
+                f"{sorted(self._groups) if self._groups else 'no shard groups'}"
+            )
+        if role in self._extra_names:
+            return [role]
         return resolve_role(role, self._orderer_names, self._peer_names, self._gateway)
 
     # ------------------------------------------------------------- application

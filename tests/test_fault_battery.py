@@ -20,13 +20,16 @@ only trustworthy if a real safety bug cannot slip past it.
 from __future__ import annotations
 
 import os
+from dataclasses import replace
 from pathlib import Path
 
 import pytest
 
 from repro.nodes import executor as executor_module
+from repro.sharding import coordinator as coordinator_module
 from repro.testing import (
     ScenarioConfig,
+    check_cross_shard_atomicity,
     check_serializability,
     dump_repro_artifact,
     run_all_oracles,
@@ -88,6 +91,54 @@ def test_random_fault_battery(paradigm: str, seed: int):
         )
 
 
+#: Shard counts the sharded battery rows sweep (× REPRO_FAULT_SEEDS seeds).
+SHARD_COUNTS = (2, 4)
+
+
+def sharded_battery_config(seed: int, num_shards: int) -> ScenarioConfig:
+    """A sharded battery row: the unsharded rotation plus a shards section.
+
+    The paradigm rotates with the seed (instead of a full cross product) so
+    the sharded battery stays the same size as one unsharded paradigm sweep
+    while still covering OX/XOV/OXII × kafka/raft/pbft × contention levels.
+    """
+    base = battery_config(PARADIGMS[seed % len(PARADIGMS)], seed)
+    return replace(
+        base,
+        system={"num_applications": 4, "shards": {"num_shards": num_shards}},
+    )
+
+
+@pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+@pytest.mark.parametrize("seed", range(BATTERY_SEEDS))
+def test_sharded_fault_battery(seed: int, num_shards: int):
+    """The random battery over sharded deployments: faults now also hit the
+    coordinator and whole shards (they are in every random role pool via the
+    crash/partition targets), and all oracles — including cross-shard
+    atomicity — must hold."""
+    config = sharded_battery_config(seed, num_shards)
+    schedule = config.random_schedule(events=5)
+    outcome = run_scenario(config, schedule)
+    violations = run_all_oracles(outcome)
+    if violations:
+        def still_fails(candidate):
+            return bool(run_all_oracles(run_scenario(config, candidate)))
+
+        shrunk = shrink_schedule(schedule, still_fails, max_attempts=60)
+        final = run_all_oracles(run_scenario(config, shrunk))
+        artifact = dump_repro_artifact(
+            ARTIFACT_DIR / f"fault-repro-sharded-{num_shards}-{seed}.json",
+            config,
+            shrunk,
+            final or violations,
+        )
+        pytest.fail(
+            f"sharded({num_shards}) seed={seed} violated oracles "
+            f"({'; '.join(v.oracle for v in violations)}); "
+            f"shrunken repro with {len(shrunk)} events at {artifact}"
+        )
+
+
 class TestBrokenCommitRuleIsCaught:
     def test_serializability_oracle_catches_a_mutated_commit_rule(self, monkeypatch, tmp_path):
         """Disable the speculative read view (Algorithm 1's C_e ∪ X_e overlay):
@@ -124,4 +175,63 @@ class TestBrokenCommitRuleIsCaught:
             paradigm="OXII", seed=5, offered_load=250, duration=1.0, contention=0.5,
         )
         outcome = run_scenario(config, config.random_schedule(events=8))
+        assert not run_all_oracles(outcome)
+
+
+def _sharded_canary_config() -> ScenarioConfig:
+    # Contention > 0 produces cross-shard lock conflicts, i.e. abort votes —
+    # the inputs a broken commit rule mishandles.
+    return ScenarioConfig(
+        paradigm="OXII",
+        seed=11,
+        offered_load=300.0,
+        duration=1.0,
+        contention=0.3,
+        system={"num_applications": 4, "shards": {"num_shards": 2}},
+    )
+
+
+class TestBrokenCrossShardCommitRuleIsCaught:
+    def test_atomicity_oracle_catches_a_mutated_decision_rule(self, monkeypatch, tmp_path):
+        """Force every shard's decision record to COMMIT regardless of the
+        coordinator's actual verdict: shards that voted abort now see a commit
+        decision.  The cross-shard atomicity oracle (which re-derives the true
+        votes from the chains) must fire, and the shrinker must reduce the
+        schedule to a small repro artifact."""
+        config = _sharded_canary_config()
+        schedule = config.random_schedule(events=6)
+
+        real = coordinator_module.make_decision_record
+
+        def forced_commit(
+            transaction, shard, participants, local_keys,
+            decision, reason, updates, coordinator, now,
+        ):
+            return real(
+                transaction, shard, participants, local_keys,
+                "commit", "", updates, coordinator, now,
+            )
+
+        monkeypatch.setattr(coordinator_module, "make_decision_record", forced_commit)
+
+        def still_fails(candidate):
+            return bool(check_cross_shard_atomicity(run_scenario(config, candidate)))
+
+        assert still_fails(schedule), "mutated decision rule must violate atomicity"
+        shrunk = shrink_schedule(schedule, still_fails, max_attempts=60)
+        assert len(shrunk) <= 3, f"shrunken schedule still has {len(shrunk)} events"
+
+        outcome = run_scenario(config, shrunk)
+        violations = check_cross_shard_atomicity(outcome)
+        assert violations and all(v.oracle == "cross_shard_atomicity" for v in violations)
+        assert any("voted abort" in v.message for v in violations)
+        artifact = dump_repro_artifact(
+            tmp_path / "broken-cross-shard-commit.json", config, shrunk, violations
+        )
+        assert artifact.exists()
+
+    def test_restored_decision_rule_passes_again(self):
+        """Same scenario, real decision rule: every oracle is clean."""
+        config = _sharded_canary_config()
+        outcome = run_scenario(config, config.random_schedule(events=6))
         assert not run_all_oracles(outcome)

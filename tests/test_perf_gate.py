@@ -97,9 +97,13 @@ class TestEvaluate:
         ]
         rows.append({"benchmark": "endorsement_snapshots", "cow_endorsements_per_s": 10**9})
         rows.append({"benchmark": "agent_suite", "scenario": "xov-backoff", "goodput_tps": 10**9})
+        rows.append({"benchmark": "shard_scaling", "shards": 8, "throughput_tps": 10**9})
+        rows.append(
+            {"benchmark": "shard_spill", "shards": 4, "spill": 0.3, "throughput_tps": 10**9}
+        )
         findings = perf_gate.evaluate(rows, baselines)
         assert all(f["status"] == perf_gate.OK for f in findings)
-        assert len(findings) == 11
+        assert len(findings) == 13
 
 
 class TestTrend:

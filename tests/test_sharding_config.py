@@ -1,0 +1,134 @@
+"""Validation tests for the ``shards`` configuration section.
+
+Every rejected value must produce a :class:`ConfigurationError` that names
+the offending field and lists the valid choices — the error-message
+convention the config layer follows everywhere else.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import (
+    CONSENSUS_PROTOCOLS,
+    MAX_SHARDS,
+    ShardingConfig,
+    SystemConfig,
+)
+from repro.common.errors import ConfigurationError
+from repro.paradigms.run import prepare_driver
+from repro.workload.generator import WorkloadConfig
+
+
+class TestShardingConfigValidation:
+    @pytest.mark.parametrize("bad", [0, -1, MAX_SHARDS + 1, 2.0, "2", True, None])
+    def test_num_shards_must_be_an_int_in_range(self, bad):
+        with pytest.raises(ConfigurationError) as err:
+            ShardingConfig(num_shards=bad)
+        message = str(err.value)
+        assert "shards.num_shards" in message
+        assert f"[1, {MAX_SHARDS}]" in message
+        assert repr(bad) in message
+
+    def test_unknown_consensus_name_lists_valid_choices(self):
+        with pytest.raises(ConfigurationError) as err:
+            ShardingConfig(num_shards=2, consensus="paxos")
+        message = str(err.value)
+        assert "shards.consensus" in message
+        assert "'paxos'" in message
+        for name in CONSENSUS_PROTOCOLS:
+            assert name in message
+        assert "'' to inherit" in message
+
+    def test_unknown_name_inside_sequence_is_caught_too(self):
+        with pytest.raises(ConfigurationError, match="shards.consensus"):
+            ShardingConfig(num_shards=2, consensus=["kafka", "zab"])
+
+    def test_consensus_sequence_length_must_match_num_shards(self):
+        with pytest.raises(ConfigurationError) as err:
+            ShardingConfig(num_shards=3, consensus=["kafka", "raft"])
+        message = str(err.value)
+        assert "shards.consensus" in message
+        assert "2 protocol(s)" in message
+        assert "shards.num_shards is 3" in message
+        assert "one name per" in message
+
+    def test_consensus_rejects_non_string_non_sequence(self):
+        with pytest.raises(ConfigurationError, match="shards.consensus"):
+            ShardingConfig(num_shards=2, consensus=42)
+
+    def test_valid_forms_accepted(self):
+        assert ShardingConfig().num_shards == 1
+        assert not ShardingConfig().enabled
+        assert ShardingConfig(num_shards=2).enabled
+        # Lists normalise to tuples so the config stays hashable/frozen.
+        cfg = ShardingConfig(num_shards=2, consensus=["kafka", "raft"])
+        assert cfg.consensus == ("kafka", "raft")
+
+    def test_consensus_for_inheritance(self):
+        cfg = ShardingConfig(num_shards=3, consensus=("", "raft", "pbft"))
+        assert cfg.consensus_for(0, "kafka") == "kafka"
+        assert cfg.consensus_for(1, "kafka") == "raft"
+        assert cfg.consensus_for(2, "kafka") == "pbft"
+        single = ShardingConfig(num_shards=2, consensus="raft")
+        assert single.consensus_for(0, "kafka") == "raft"
+        assert single.consensus_for(1, "kafka") == "raft"
+
+    def test_consensus_for_rejects_out_of_range_shard(self):
+        cfg = ShardingConfig(num_shards=2)
+        with pytest.raises(ConfigurationError, match=r"out of range \[0, 2\)"):
+            cfg.consensus_for(2, "kafka")
+
+
+class TestSystemConfigShardsSection:
+    def test_mapping_form_is_coerced(self):
+        config = SystemConfig().with_overrides(
+            num_applications=4, shards={"num_shards": 2, "consensus": "raft"}
+        )
+        assert isinstance(config.shards, ShardingConfig)
+        assert config.shards.num_shards == 2
+        assert config.shards.consensus_for(1, "kafka") == "raft"
+
+    def test_unknown_shards_field_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig().with_overrides(shards={"shard_count": 2})
+
+    def test_non_mapping_shards_value_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="shards must be a ShardingConfig"):
+            SystemConfig(shards="two")
+
+    def test_more_shards_than_applications_is_rejected(self):
+        with pytest.raises(ConfigurationError) as err:
+            SystemConfig().with_overrides(num_applications=2, shards={"num_shards": 4})
+        message = str(err.value)
+        assert "shards.num_shards (4)" in message
+        assert "num_applications (2)" in message
+        assert "lower shards.num_shards or raise" in message
+
+
+class TestWorkloadKeyspaceGuard:
+    def test_keyspace_smaller_than_shard_count_names_both_fields(self):
+        system = SystemConfig().with_overrides(
+            num_applications=4, shards={"num_shards": 4}
+        )
+        workload = WorkloadConfig(num_applications=4).with_overrides(
+            conflict={"keyspace": 3}
+        )
+        with pytest.raises(ConfigurationError) as err:
+            prepare_driver("accounting", system, workload, 100.0, 1.0)
+        message = str(err.value)
+        assert "conflict.keyspace (3)" in message
+        assert "shards.num_shards (4)" in message
+        assert "raise conflict.keyspace or lower shards.num_shards" in message
+
+    def test_equal_keyspace_and_shard_count_is_allowed(self):
+        system = SystemConfig().with_overrides(
+            num_applications=4, shards={"num_shards": 4}
+        )
+        workload = WorkloadConfig(num_applications=4).with_overrides(
+            conflict={"keyspace": 4}
+        )
+        system, driver, initial_state = prepare_driver(
+            "accounting", system, workload, 100.0, 1.0
+        )
+        assert driver is not None

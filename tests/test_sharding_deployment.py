@@ -1,0 +1,191 @@
+"""Integration tests for :class:`repro.sharding.ShardedDeployment`.
+
+The two headline contracts:
+
+* a 1-shard sharded deployment is **result-identical** to the plain
+  per-paradigm deployment (same RunMetrics, bit for bit), and
+* multi-shard deployments complete every submitted transaction, report
+  per-shard and cross-shard metrics rows, and only send transactions through
+  2PC when the router says they are cross-shard.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.common.registry import paradigm_registry
+from repro.paradigms.run import execute_run, prepare_driver
+from repro.sharding import ShardedDeployment
+from repro.testing import ScenarioConfig, run_all_oracles, run_scenario
+from repro.workload.generator import WorkloadConfig
+
+PARADIGMS = ("OX", "XOV", "OXII")
+
+
+def run_metrics(paradigm: str, sharded: bool, num_shards: int = 1):
+    """One small accounting run, via the plain or the sharded deployment."""
+    system = SystemConfig().with_overrides(
+        num_applications=4,
+        seed=11,
+        shards={"num_shards": num_shards},
+        block_cut={"max_transactions": 25, "max_delay": 0.1},
+    )
+    workload = WorkloadConfig(num_applications=4, contention=0.2, seed=11)
+    system, driver, initial_state = prepare_driver(
+        "accounting", system, workload, 300.0, 1.0
+    )
+    cls = paradigm_registry.get(paradigm)
+    deployment = ShardedDeployment(cls, system) if sharded else cls(system)
+    return deployment.run(
+        driver=driver,
+        initial_state=initial_state,
+        offered_load=300.0,
+        warmup_fraction=0.2,
+        drain=10.0,
+    )
+
+
+class TestOneShardIdentity:
+    @pytest.mark.parametrize("paradigm", PARADIGMS)
+    def test_one_shard_run_is_bit_identical_to_unsharded(self, paradigm):
+        plain = run_metrics(paradigm, sharded=False)
+        wrapped = run_metrics(paradigm, sharded=True, num_shards=1)
+        assert wrapped.as_dict() == plain.as_dict()
+
+    def test_one_shard_wrapper_builds_the_inner_deployment_untouched(self):
+        config = SystemConfig().with_overrides(num_applications=4)
+        deployment = ShardedDeployment(paradigm_registry.get("OXII"), config)
+        handles = deployment.build(initial_state={})
+        assert deployment.sharding_info() is None
+        assert handles.extra_nodes == []
+        # No shard prefix on any node: identical naming to an unsharded build.
+        for node in (*handles.orderers, *handles.peers):
+            assert not node.node_id.startswith("s0-")
+
+
+def sharded_scenario(paradigm: str, num_shards: int = 2, **kwargs) -> ScenarioConfig:
+    defaults = dict(
+        paradigm=paradigm,
+        seed=11,
+        offered_load=300.0,
+        duration=1.0,
+        contention=0.0,
+        system={"num_applications": 4, "shards": {"num_shards": num_shards}},
+    )
+    defaults.update(kwargs)
+    return ScenarioConfig(**defaults)
+
+
+class TestMultiShardRuns:
+    @pytest.mark.parametrize("paradigm", PARADIGMS)
+    def test_two_shard_run_completes_and_satisfies_oracles(self, paradigm):
+        outcome = run_scenario(sharded_scenario(paradigm))
+        assert outcome.stable
+        info = outcome.sharding
+        assert info is not None and info.num_shards == 2
+        assert info.coordinator.commits > 0
+        assert not info.coordinator.pending
+        assert run_all_oracles(outcome) == []
+
+    def test_metrics_report_per_shard_and_cross_shard_rows(self):
+        metrics = run_metrics("OX", sharded=True, num_shards=2)
+        extra = metrics.extra
+        assert extra["num_shards"] == 2
+        assert sorted(extra["per_shard"]) == ["0", "1"]
+        for row in extra["per_shard"].values():
+            assert set(row) >= {"committed", "aborted", "throughput", "latency_avg"}
+        cross = extra["cross_shard"]
+        assert cross["submitted"] > 0
+        assert cross["committed"] > 0
+        # Every committed cross-shard transaction paid at least one PREPARE.
+        assert cross["prepares"] >= cross["committed"]
+        assert metrics.committed > 0
+
+    def test_execute_run_routes_sharded_points(self):
+        """The shared construction point: a plain execute_run call with a
+        ``shards`` section builds a sharded cluster."""
+        system = SystemConfig().with_overrides(
+            num_applications=4, shards={"num_shards": 2}
+        )
+        metrics = execute_run(
+            "OXII", system_config=system, offered_load=200.0, duration=1.0, seed=3
+        )
+        assert metrics.extra["num_shards"] == 2
+        assert metrics.committed > 0
+
+    def test_single_shard_transactions_never_enter_2pc(self):
+        outcome = run_scenario(sharded_scenario("OX"))
+        info = outcome.sharding
+        gateway = outcome.handles.gateway
+        expected_cross = sum(
+            1 for tx in outcome.transactions if info.router.is_cross_shard(tx)
+        )
+        assert gateway.cross_shard_submitted == expected_cross
+        assert info.coordinator.cross_shard_started == expected_cross
+        # And the fast path really was taken for the rest.
+        assert gateway.submitted == len(outcome.transactions)
+
+    def test_shard_node_naming_and_membership(self):
+        config = SystemConfig().with_overrides(
+            num_applications=4, seed=5, shards={"num_shards": 2}
+        )
+        deployment = ShardedDeployment(paradigm_registry.get("OXII"), config)
+        handles = deployment.build(initial_state={})
+        info = deployment.sharding_info()
+        assert sorted(info.shard_members) == [0, 1]
+        seen = set()
+        for shard, members in info.shard_members.items():
+            prefix = f"s{shard}-"
+            for node_id in members:
+                assert node_id.startswith(prefix)
+                assert node_id not in seen
+                seen.add(node_id)
+                assert info.node_shard[node_id] == shard
+        assert {o.node_id for o in handles.orderers} | {
+            p.node_id for p in handles.peers
+        } == seen
+        assert handles.extra_nodes == [info.coordinator]
+        # Each shard's applications are disjoint and cover the config's.
+        apps = [info.router.shard_applications(s, config.application_names()) for s in (0, 1)]
+        assert sorted(apps[0] + apps[1]) == sorted(config.application_names())
+        assert apps[0] and apps[1]
+
+    def test_per_shard_consensus_heterogeneity(self):
+        outcome = run_scenario(
+            sharded_scenario(
+                "OX",
+                system={
+                    "num_applications": 4,
+                    "shards": {"num_shards": 2, "consensus": ["kafka", "raft"]},
+                },
+            )
+        )
+        assert outcome.stable
+        info = outcome.sharding
+        kinds = {
+            shard: type(orderers[0].consensus).__name__
+            for shard, orderers in info.shard_orderers.items()
+        }
+        assert kinds[0] != kinds[1], kinds
+        assert run_all_oracles(outcome) == []
+
+    def test_cross_shard_transfers_conserve_total_balance(self):
+        """Money moved by cross-shard transfers must neither vanish nor be
+        minted: the union of per-shard states sums to the initial total."""
+        outcome = run_scenario(sharded_scenario("OXII", contention=0.3))
+        info = outcome.sharding
+        merged = {}
+        for shard, peer_ids in info.shard_measurement_peers.items():
+            merged.update(outcome.peer(peer_ids[0]).state.as_dict())
+        balances = sum(
+            value
+            for key, value in merged.items()
+            if not key.startswith("_xlock:") and isinstance(value, (int, float))
+        )
+        initial = sum(
+            value
+            for value in outcome.initial_state.values()
+            if isinstance(value, (int, float))
+        )
+        assert balances == pytest.approx(initial)

@@ -1,0 +1,149 @@
+"""Property tests for the deterministic key/application → shard router.
+
+Hypothesis checks the routing invariants the 2PC layer leans on: every key
+maps to exactly one shard, routing is pure (no per-run or per-process state,
+so it is seed-stable by construction), app-tagged keys are co-located with
+their application, and a transaction takes the single-shard fast path exactly
+when all of its keys live on its home shard.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.transaction import ReadWriteSet, Transaction
+from repro.sharding import ShardRouter, stable_key_hash
+
+SETTINGS = settings(max_examples=40, deadline=None, derandomize=True)
+
+keys = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126), min_size=1, max_size=24
+)
+shard_counts = st.integers(min_value=1, max_value=8)
+
+
+def make_router(num_shards: int, num_apps: int = 8) -> ShardRouter:
+    return ShardRouter(num_shards, [f"app-{i}" for i in range(num_apps)])
+
+
+def make_tx(application: str, tx_keys) -> Transaction:
+    return Transaction(
+        tx_id="t-0",
+        application=application,
+        rw_set=ReadWriteSet.build(writes=tx_keys),
+        timestamp=0,
+        payload={},
+        client="client-0",
+    )
+
+
+class TestStableHash:
+    def test_pinned_values_never_drift(self):
+        """Cross-version/-platform stability: these exact values are part of
+        the routing contract (a drift would silently re-shard every ledger)."""
+        assert stable_key_hash("account/src-0") == 10594815518926271199
+        assert stable_key_hash("sb-app-3-17") == 13684577316041513892
+        assert stable_key_hash("hot-global-1") == 1396981260415584275
+
+    @SETTINGS
+    @given(key=keys)
+    def test_hash_is_a_pure_64_bit_function(self, key):
+        assert 0 <= stable_key_hash(key) < 2**64
+        assert stable_key_hash(key) == stable_key_hash(key)
+
+
+class TestKeyRouting:
+    @SETTINGS
+    @given(key=keys, num_shards=shard_counts)
+    def test_every_key_maps_to_exactly_one_shard(self, key, num_shards):
+        router = make_router(num_shards)
+        shard = router.shard_of_key(key)
+        assert 0 <= shard < num_shards
+        assert router.shard_of_key(key) == shard
+
+    @SETTINGS
+    @given(key=keys, num_shards=shard_counts, seed=st.integers(0, 1000))
+    def test_routing_is_seed_and_instance_stable(self, key, num_shards, seed):
+        """The router takes no seed: two independently built routers (as two
+        runs with different seeds would build) agree on every key."""
+        del seed  # routing must not depend on it, by construction
+        assert make_router(num_shards).shard_of_key(key) == make_router(
+            num_shards
+        ).shard_of_key(key)
+
+    @SETTINGS
+    @given(app=st.integers(0, 7), suffix=st.integers(0, 99), num_shards=shard_counts)
+    def test_app_tagged_keys_follow_their_application(self, app, suffix, num_shards):
+        router = make_router(num_shards)
+        for key in (f"sb-app-{app}-{suffix}", f"acct:hot-app-{app}-{suffix}"):
+            assert router.shard_of_key(key) == router.shard_of_application(f"app-{app}")
+
+    def test_applications_are_round_robin(self):
+        router = make_router(3, num_apps=7)
+        assert [router.shard_of_application(f"app-{i}") for i in range(7)] == [
+            0, 1, 2, 0, 1, 2, 0,
+        ]
+
+
+class TestTransactionRouting:
+    @SETTINGS
+    @given(
+        tx_keys=st.lists(keys, min_size=0, max_size=6),
+        app=st.integers(0, 7),
+        num_shards=shard_counts,
+    )
+    def test_participant_set_is_sorted_and_unique(self, tx_keys, app, num_shards):
+        router = make_router(num_shards)
+        plan = router.shards_of(make_tx(f"app-{app}", tx_keys))
+        assert plan == tuple(sorted(set(plan)))
+        assert plan  # never empty: keyless transactions route to their home
+        assert all(0 <= shard < num_shards for shard in plan)
+
+    @SETTINGS
+    @given(
+        tx_keys=st.lists(keys, min_size=0, max_size=6),
+        app=st.integers(0, 7),
+        num_shards=shard_counts,
+    )
+    def test_fast_path_iff_every_key_is_on_the_home_shard(self, tx_keys, app, num_shards):
+        """``is_cross_shard`` is exactly the home-shard rule: a transaction
+        avoids 2PC only when its participant set is its home shard alone."""
+        router = make_router(num_shards)
+        tx = make_tx(f"app-{app}", tx_keys)
+        home = router.home_shard(tx)
+        assert home == router.shard_of_application(tx.application)
+        expected_cross = router.shards_of(tx) != (home,)
+        assert router.is_cross_shard(tx) == expected_cross
+        if not router.is_cross_shard(tx):
+            assert all(router.shard_of_key(key) == home for key in tx_keys)
+
+    @SETTINGS
+    @given(tx_keys=st.lists(keys, min_size=0, max_size=6), app=st.integers(0, 7))
+    def test_one_shard_cluster_never_goes_cross_shard(self, tx_keys, app):
+        router = make_router(1)
+        assert not router.is_cross_shard(make_tx(f"app-{app}", tx_keys))
+
+
+class TestStatePartitioning:
+    @SETTINGS
+    @given(
+        state_keys=st.lists(keys, min_size=0, max_size=20, unique=True),
+        num_shards=shard_counts,
+    )
+    def test_slices_are_disjoint_and_complete(self, state_keys, num_shards):
+        router = make_router(num_shards)
+        state = {key: index for index, key in enumerate(state_keys)}
+        slices = router.partition_state(state)
+        assert len(slices) == num_shards
+        merged = {}
+        for shard, piece in enumerate(slices):
+            for key in piece:
+                assert key not in merged, "key present in two slices"
+                assert router.shard_of_key(key) == shard
+            merged.update(piece)
+        assert merged == state
+
+    def test_empty_and_none_states(self):
+        router = make_router(4)
+        assert router.partition_state(None) == [{}, {}, {}, {}]
+        assert router.partition_state({}) == [{}, {}, {}, {}]
