@@ -210,7 +210,7 @@ class PopulationEngine:
             delay = rng.expovariate(bound)
             if self.env.now + delay > self.duration:
                 return
-            yield self.env.timeout(delay)
+            yield delay
             if rng.random() * bound > cohort.rate_at(self.env.now):
                 continue  # thinning rejection: exact non-homogeneous sampling
             agent = cohort.pick_agent()
@@ -220,7 +220,7 @@ class PopulationEngine:
         """Step the cohort's churn random walk on the simulated clock."""
         interval = cohort.churn.interval
         while self.env.now + interval <= self.duration:
-            yield self.env.timeout(interval)
+            yield interval
             factor = cohort.churn_step()
             self._log("churn", cohort.name, -1, f"{factor:.6f}")
 

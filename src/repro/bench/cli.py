@@ -70,13 +70,27 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         help="run experiment points in parallel across N worker processes",
     )
+    common.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the run: per-phase wall-clock breakdown plus a cProfile "
+        "top-N hotspot report (implies in-process execution)",
+    )
+    common.add_argument(
+        "--profile-out",
+        dest="profile_out",
+        help="where to write the JSON hotspot artifact (default: profile.json)",
+    )
 
     parser = argparse.ArgumentParser(
         prog="parblockchain-bench",
         description="Run declarative experiment specs and regenerate the paper's figures.",
         parents=[common],
     )
-    parser.set_defaults(quick=False, duration=None, json_path=None, workers=None)
+    parser.set_defaults(
+        quick=False, duration=None, json_path=None, workers=None,
+        profile=False, profile_out=None,
+    )
     parser.add_argument(
         "--smoke",
         action="store_true",
@@ -157,11 +171,18 @@ def _resolve_spec(ref: str, args: argparse.Namespace, settings: BenchmarkSetting
     return spec
 
 
-def _cmd_run(args: argparse.Namespace, settings: BenchmarkSettings) -> int:
+def _cmd_run(
+    args: argparse.Namespace,
+    settings: BenchmarkSettings,
+    rows_sink: Optional[List[dict]] = None,
+) -> int:
     spec = _resolve_spec(args.spec, args, settings)
     engine = SweepEngine(
         workers=args.workers,
-        parallel=not args.serial and (args.workers is None or args.workers > 1),
+        # --profile forces in-process execution so the cProfile capture (and
+        # the phase profiler installed via REPRO_PROFILE) sees the actual runs.
+        parallel=not args.serial and not args.profile
+        and (args.workers is None or args.workers > 1),
     )
     points, workers, use_pool = engine.plan(spec)
     if use_pool:
@@ -169,6 +190,8 @@ def _cmd_run(args: argparse.Namespace, settings: BenchmarkSettings) -> int:
         print(f"running {len(points)} point(s) on {workers} worker(s)...")
     result = engine.run(spec, progress=lambda p: print(f"  running {p.scenario} @ {p.offered_load:.0f} tps"))
     print(format_experiment_result(result))
+    if rows_sink is not None:
+        rows_sink.extend(row.metrics.as_dict() for row in result.rows)
     if args.json_path:
         result.to_json(args.json_path)
         print(f"\nwrote {len(result.rows)} rows (provenance included) to {args.json_path}")
@@ -210,10 +233,80 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _aggregate_phase_times(rows: List[dict]) -> Dict[str, float]:
+    """Sum the per-run ``phase_times`` breakdowns across result rows."""
+    totals: Dict[str, float] = {}
+    for row in rows:
+        phase_times = row.get("phase_times")
+        if not isinstance(phase_times, dict):
+            continue
+        for phase, seconds in phase_times.items():
+            totals[phase] = totals.get(phase, 0.0) + float(seconds)
+    return totals
+
+
+def _profiled(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """Run the selected command under the profilers and write the artifact.
+
+    Two layers, matching :mod:`repro.profiling`: the phase profiler (enabled
+    via the ``REPRO_PROFILE`` environment flag so every ``execute_run`` in the
+    process picks it up) attributes simulated work to run phases, and a
+    ``cProfile`` capture over the whole dispatch yields the top-N hotspot
+    table that becomes the CI artifact.
+    """
+    import os
+
+    from repro.profiling import (
+        ENV_FLAG,
+        capture_profile,
+        format_hotspots,
+        hotspot_rows,
+        write_hotspot_report,
+    )
+
+    previous = os.environ.get(ENV_FLAG)
+    os.environ[ENV_FLAG] = "1"
+    rows: List[dict] = []
+    try:
+        code, profile = capture_profile(_dispatch, args, parser, rows)
+    finally:
+        if previous is None:
+            os.environ.pop(ENV_FLAG, None)
+        else:
+            os.environ[ENV_FLAG] = previous
+    hotspots = hotspot_rows(profile)
+    phase_times = _aggregate_phase_times(rows)
+    if phase_times:
+        print("\nPhase breakdown (wall-clock seconds, summed over runs):")
+        for phase, seconds in phase_times.items():
+            print(f"  {phase:<12} {seconds:9.4f}")
+    print("\nTop hotspots (by own time):")
+    print(format_hotspots(hotspots[:15]))
+    target = write_hotspot_report(
+        args.profile_out or "profile.json",
+        hotspots,
+        phase_times=phase_times or None,
+        meta={"command": args.command or "smoke", "quick": args.quick},
+    )
+    print(f"\nwrote profile artifact to {target}")
+    return code
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Run the selected benchmark and print (and optionally save) its results."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.profile:
+        return _profiled(args, parser)
+    return _dispatch(args, parser)
+
+
+def _dispatch(
+    args: argparse.Namespace,
+    parser: argparse.ArgumentParser,
+    rows_sink: Optional[List[dict]] = None,
+) -> int:
+    """Execute the selected subcommand (``rows_sink`` collects result rows)."""
     rows: List[dict]
 
     if args.smoke:
@@ -227,6 +320,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         results = quick_comparison(contention=0.2, offered_load=500.0, settings=settings)
         print(format_comparison(results, title="Smoke: contention 20% @ 500 tps"))
         rows = [m.as_dict() for m in results.values()]
+        if rows_sink is not None:
+            rows_sink.extend(rows)
         if args.json_path:
             rows_to_json(rows, args.json_path)
             print(f"\nwrote {len(rows)} rows to {args.json_path}")
@@ -241,7 +336,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     settings = _settings(args)
 
     if args.command == "run":
-        return _cmd_run(args, settings)
+        return _cmd_run(args, settings, rows_sink)
     if args.command == "matrix":
         return _cmd_matrix(args, settings)
     if args.command == "list":
@@ -271,6 +366,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error(f"unknown command {args.command!r}")
         return 2
 
+    if rows_sink is not None:
+        rows_sink.extend(rows)
     if args.json_path:
         rows_to_json(rows, args.json_path)
         print(f"\nwrote {len(rows)} rows to {args.json_path}")

@@ -10,7 +10,7 @@ from repro.common.config import CostModel
 from repro.common.errors import ConfigurationError
 from repro.crypto.hashing import content_hash
 from repro.crypto.signatures import KeyRegistry
-from repro.network.message import Envelope, Message
+from repro.network.message import Envelope, Message, build_signed, build_trusted
 from repro.network.transport import NetworkInterface
 from repro.simulation import Environment
 
@@ -75,6 +75,8 @@ class OrderingService(abc.ABC):
         self._next_to_deliver = 1
         self._decision_events: Dict[int, Any] = {}
         self.messages_handled = 0
+        #: Bound signing closure for :func:`build_signed` on the send path.
+        self._sign_hash = lambda digest: registry.sign_hash(digest, node_id)
 
     # ----------------------------------------------------------------- roles
     @property
@@ -181,26 +183,34 @@ class OrderingService(abc.ABC):
 
     def sign_and_send(self, recipient: str, kind: str, body: Dict[str, Any], payload_bytes: int = 0) -> None:
         """Sign a protocol message and send it to one peer."""
-        message = Message(kind=kind, body=body)
-        signed = self.registry.sign(message.canonical_tuple(), self.node_id)
-        self.interface.send(recipient, message.with_signature(signed.signature), payload_bytes or None)
+        message = self._protocol_message(kind, body)
+        self.interface.send(recipient, message, payload_bytes or None)
 
     def sign_and_multicast(self, kind: str, body: Dict[str, Any], payload_bytes: int = 0) -> None:
         """Sign a protocol message and send it to every other orderer."""
-        message = Message(kind=kind, body=body)
-        signed = self.registry.sign(message.canonical_tuple(), self.node_id)
-        self.interface.multicast(self.others, message.with_signature(signed.signature), payload_bytes or None)
+        message = self._protocol_message(kind, body)
+        self.interface.multicast(self.others, message, payload_bytes or None)
+
+    def _protocol_message(self, kind: str, body: Dict[str, Any]) -> Message:
+        if self.registry.trusted:
+            return build_trusted(kind, body)
+        return build_signed(kind, body, self._sign_hash)
 
     def verify_envelope(self, envelope: Envelope) -> bool:
-        """Check the signature on a protocol message against the transport sender."""
+        """Check the signature on a protocol message against the transport sender.
+
+        Reuses the message's memoised unsigned hash (see
+        :meth:`repro.network.message.Message.unsigned_hash`): a multicast body
+        is canonicalised once, not once per verifying orderer.  Over trusted
+        channels (fault-free deployments) the check short-circuits.
+        """
         message = envelope.message
         if not message.signature:
             return False
-        unsigned = Message(kind=message.kind, body=message.body)
-        from repro.crypto.signatures import SignedMessage
-
-        return self.registry.verify(
-            SignedMessage(payload=unsigned.canonical_tuple(), signer=envelope.sender, signature=message.signature)
+        if self.registry.trusted:
+            return True
+        return self.registry.verify_hash(
+            message.unsigned_hash(), envelope.sender, message.signature
         )
 
 

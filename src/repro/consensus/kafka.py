@@ -97,7 +97,7 @@ class KafkaOrdering(OrderingService):
         state.payload = payload
         state.acks.add(self.node_id)
         # Broker-side processing (offset assignment, log append, ZooKeeper path).
-        yield self.env.timeout(self.broker_delay + self.cost_model.consensus_step)
+        yield self.broker_delay + self.cost_model.consensus_step
         self.sign_and_multicast(PRODUCE, {"seq": sequence, "payload": payload})
         if self.required_acks == 1:
             self._commit(sequence)
@@ -110,7 +110,7 @@ class KafkaOrdering(OrderingService):
     def handle_message(self, envelope: Envelope):
         """Handle replication traffic for the partition."""
         self.messages_handled += 1
-        yield self.env.timeout(self.cost_model.consensus_step)
+        yield self.cost_model.consensus_step
         if not self.verify_envelope(envelope):
             return None
         kind = envelope.message.kind

@@ -104,7 +104,7 @@ class PBFTOrdering(OrderingService):
         instance.digest = digest
         instance.pre_prepared = True
         # Signing the pre-prepare plus hashing the batch.
-        yield self.env.timeout(self.cost_model.signature + self.cost_model.block_hash)
+        yield self.cost_model.signature + self.cost_model.block_hash
         body = {"view": self.view, "seq": sequence, "digest": digest, "payload": payload}
         self.sign_and_multicast(PRE_PREPARE, body)
         # The primary's own prepare/commit are implicit in its bookkeeping.
@@ -118,7 +118,7 @@ class PBFTOrdering(OrderingService):
     def handle_message(self, envelope: Envelope):
         """Replica: process one PRE-PREPARE / PREPARE / COMMIT message."""
         self.messages_handled += 1
-        yield self.env.timeout(self.cost_model.consensus_step + self.cost_model.signature)
+        yield self.cost_model.consensus_step + self.cost_model.signature
         if not self.verify_envelope(envelope):
             return None
         kind = envelope.message.kind

@@ -87,7 +87,7 @@ class RaftOrdering(OrderingService):
         entry = self._log.setdefault(sequence, _LogEntry())
         entry.payload = payload
         entry.acks.add(self.node_id)
-        yield self.env.timeout(self.cost_model.consensus_step + self.cost_model.signature)
+        yield self.cost_model.consensus_step + self.cost_model.signature
         self.sign_and_multicast(APPEND, {"term": self.term, "seq": sequence, "payload": payload})
         if self.majority == 1:
             self._commit_as_leader(sequence)
@@ -102,7 +102,7 @@ class RaftOrdering(OrderingService):
     def handle_message(self, envelope: Envelope):
         """Handle APPEND (follower), APPEND_ACK (leader) or COMMIT_NOTICE (follower)."""
         self.messages_handled += 1
-        yield self.env.timeout(self.cost_model.consensus_step)
+        yield self.cost_model.consensus_step
         if not self.verify_envelope(envelope):
             return None
         kind = envelope.message.kind

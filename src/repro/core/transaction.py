@@ -55,12 +55,40 @@ class ReadWriteSet:
         """Every record the transaction touches."""
         return self.reads | self.writes
 
+    def sorted_keys(self) -> Tuple[str, ...]:
+        """Every touched record key in sorted order, computed once.
+
+        The hot consumers — endorsement read-version collection and the
+        contract replay cache — need a deterministic key order per
+        transaction, and the set union + sort is worth not repeating per
+        executing peer.
+        """
+        cached = self.__dict__.get("_sorted_keys")
+        if cached is None:
+            cached = tuple(sorted(self.reads | self.writes))
+            object.__setattr__(self, "_sorted_keys", cached)
+        return cached
+
     def is_read_only(self) -> bool:
         """True if the transaction writes nothing."""
         return not self.writes
 
     def canonical_tuple(self) -> tuple:
         return ("rwset", tuple(sorted(self.reads)), tuple(sorted(self.writes)))
+
+    def canonical_bytes(self) -> bytes:
+        """Canonical encoding, computed once (read/write sets are immutable).
+
+        Transaction copies made by :meth:`Transaction.with_timestamp` and
+        :meth:`Transaction.with_submitted_at` share the same ``ReadWriteSet``
+        object, so the sorted-set encoding is paid once per logical
+        transaction rather than once per copy per consumer.
+        """
+        cached = self.__dict__.get("_canonical_bytes")
+        if cached is None:
+            cached = encode_object_tuple(self.canonical_tuple())
+            object.__setattr__(self, "_canonical_bytes", cached)
+        return cached
 
 
 @dataclass(frozen=True)
@@ -112,30 +140,48 @@ class Transaction:
         return reads + writes
 
     def with_timestamp(self, timestamp: int) -> "Transaction":
-        """Return a copy stamped with its position in the total order."""
-        return Transaction(
-            tx_id=self.tx_id,
-            application=self.application,
-            rw_set=self.rw_set,
-            timestamp=timestamp,
-            payload=self.payload,
-            client=self.client,
-            client_timestamp=self.client_timestamp,
-            submitted_at=self.submitted_at,
-        )
+        """Return a copy stamped with its position in the total order.
+
+        Copies go through ``__dict__`` directly (one per ordered transaction,
+        on the hot path): the original's fields are already validated, so
+        re-running the constructor would only repeat work.  The payload object
+        is shared, so its content hash carries over; the full canonical
+        encoding does not (it covers the timestamp).
+        """
+        copy = object.__new__(Transaction)
+        state = self.__dict__.copy()
+        state["timestamp"] = timestamp
+        state.pop("_canonical_bytes", None)
+        state.pop("_digest", None)
+        copy.__dict__.update(state)
+        return copy
 
     def with_submitted_at(self, submitted_at: float) -> "Transaction":
-        """Return a copy recording when the client submitted the transaction."""
-        return Transaction(
-            tx_id=self.tx_id,
-            application=self.application,
-            rw_set=self.rw_set,
-            timestamp=self.timestamp,
-            payload=self.payload,
-            client=self.client,
-            client_timestamp=self.client_timestamp,
-            submitted_at=submitted_at,
-        )
+        """Return a copy recording when the client submitted the transaction.
+
+        Same direct ``__dict__`` copy as :meth:`with_timestamp` (one per
+        submission).  ``submitted_at`` is excluded from canonical_tuple(), so
+        every canonical memo transfers verbatim to the stamped copy.
+        """
+        copy = object.__new__(Transaction)
+        state = self.__dict__.copy()
+        state["submitted_at"] = submitted_at
+        copy.__dict__.update(state)
+        return copy
+
+    def payload_hash(self) -> str:
+        """Content hash of the payload mapping, computed once.
+
+        The payload dict is shared between the copies made by
+        :meth:`with_timestamp`/:meth:`with_submitted_at`, which forward the
+        memo, so the payload is canonicalised once per logical transaction
+        no matter how many stamped copies the pipeline creates.
+        """
+        cached = self.__dict__.get("_payload_hash")
+        if cached is None:
+            cached = content_hash(dict(self.payload))
+            object.__setattr__(self, "_payload_hash", cached)
+        return cached
 
     def canonical_tuple(self) -> tuple:
         return (
@@ -144,7 +190,7 @@ class Transaction:
             self.application,
             self.rw_set.canonical_tuple(),
             self.timestamp,
-            content_hash(dict(self.payload)),
+            self.payload_hash(),
             self.client,
             self.client_timestamp,
         )

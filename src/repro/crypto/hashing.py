@@ -15,6 +15,140 @@ from typing import Any, Iterable
 GENESIS_HASH = "0" * 64
 
 
+#: Memoised encodings of recurring strings (dict keys, node ids, message
+#: kinds, record keys).  Bounded so pathological workloads with unbounded
+#: distinct strings cannot grow it without limit; once full, new strings are
+#: encoded without being cached.
+_STR_CACHE: dict = {}
+_STR_CACHE_MAX = 1 << 16
+
+
+def _encode_str(value: str) -> bytes:
+    cached = _STR_CACHE.get(value)
+    if cached is None:
+        encoded = value.encode("utf-8")
+        cached = b"s%d:" % len(encoded) + encoded
+        if len(_STR_CACHE) < _STR_CACHE_MAX:
+            _STR_CACHE[value] = cached
+    return cached
+
+
+def _write_str(value: str, out: bytearray) -> None:
+    out += _encode_str(value)
+
+
+def _write_int(value: int, out: bytearray) -> None:
+    out += b"i%d" % value
+
+
+def _write_float(value: float, out: bytearray) -> None:
+    out += b"f"
+    out += repr(value).encode()
+
+
+def _write_bool(value: bool, out: bytearray) -> None:
+    out += b"T" if value else b"F"
+
+
+def _write_none(value: None, out: bytearray) -> None:
+    out += b"N"
+
+
+def _write_bytes(value: bytes, out: bytearray) -> None:
+    out += b"b%d:" % len(value)
+    out += value
+
+
+def _write_sequence(value: Any, out: bytearray) -> None:
+    out += b"l%d:" % len(value)
+    for item in value:
+        _write(item, out)
+
+
+def _write_set(value: Any, out: bytearray) -> None:
+    # Sorting the encodings directly orders elements exactly as sorting the
+    # elements by their encodings did.
+    ordered = sorted(_canonical_bytes(v) for v in value)
+    out += b"el%d:" % len(ordered)
+    for encoded in ordered:
+        out += encoded
+
+
+def _key_bytes(key: Any) -> bytes:
+    if type(key) is str:
+        return _encode_str(key)
+    return _canonical_bytes(key)
+
+
+def _write_dict(value: dict, out: bytearray) -> None:
+    encoded = [(_key_bytes(k), v) for k, v in value.items()]
+    encoded.sort(key=lambda kv: kv[0])
+    out += b"d%d:" % len(encoded)
+    for key_bytes, item in encoded:
+        out += key_bytes
+        _write(item, out)
+
+
+#: Exact-type dispatch for the hot serialisation path; subclasses (e.g. the
+#: ``str``-backed ``OperationType`` enum) fall through to :func:`_write_slow`,
+#: which replicates the original ``isinstance`` chain byte-for-byte.
+_WRITERS = {
+    str: _write_str,
+    int: _write_int,
+    float: _write_float,
+    bool: _write_bool,
+    type(None): _write_none,
+    bytes: _write_bytes,
+    list: _write_sequence,
+    tuple: _write_sequence,
+    set: _write_set,
+    frozenset: _write_set,
+    dict: _write_dict,
+}
+
+
+def _write_slow(value: Any, out: bytearray) -> None:
+    """Encode values missed by exact-type dispatch (subclasses, protocols)."""
+    if value is None:
+        out += b"N"
+    elif isinstance(value, bool):
+        out += b"T" if value else b"F"
+    elif isinstance(value, int):
+        out += b"i%d" % value
+    elif isinstance(value, float):
+        out += b"f"
+        out += repr(value).encode()
+    elif isinstance(value, str):
+        _write_str(value, out)
+    elif isinstance(value, bytes):
+        _write_bytes(value, out)
+    else:
+        cached = getattr(value, "canonical_bytes", None)
+        if cached is not None:
+            out += cached()
+        elif hasattr(value, "canonical_tuple"):
+            out += b"o"
+            _write(value.canonical_tuple(), out)
+        elif isinstance(value, (list, tuple)):
+            _write_sequence(value, out)
+        elif isinstance(value, (set, frozenset)):
+            _write_set(value, out)
+        elif isinstance(value, dict):
+            _write_dict(value, out)
+        else:
+            raise TypeError(
+                f"cannot canonically hash value of type {type(value).__name__}"
+            )
+
+
+def _write(value: Any, out: bytearray) -> None:
+    writer = _WRITERS.get(type(value))
+    if writer is not None:
+        writer(value, out)
+    else:
+        _write_slow(value, out)
+
+
 def _canonical_bytes(value: Any) -> bytes:
     """Serialise ``value`` into a canonical byte string.
 
@@ -26,36 +160,14 @@ def _canonical_bytes(value: Any) -> bytes:
     encoding, typically memoised) short-circuit the recursion — that is how
     a transaction's encoding is computed once and reused by the Merkle leaf,
     the block hash, signatures and COMMIT matching.
+
+    Internally this writes into a single ``bytearray`` accumulator (no
+    intermediate ``bytes`` concatenation) with exact-type dispatch; the
+    output encoding is unchanged.
     """
-    if value is None:
-        return b"N"
-    if isinstance(value, bool):
-        return b"T" if value else b"F"
-    if isinstance(value, int):
-        return b"i" + str(value).encode()
-    if isinstance(value, float):
-        return b"f" + repr(value).encode()
-    if isinstance(value, str):
-        encoded = value.encode("utf-8")
-        return b"s" + str(len(encoded)).encode() + b":" + encoded
-    if isinstance(value, bytes):
-        return b"b" + str(len(value)).encode() + b":" + value
-    cached = getattr(value, "canonical_bytes", None)
-    if cached is not None:
-        return cached()
-    if hasattr(value, "canonical_tuple"):
-        return b"o" + _canonical_bytes(value.canonical_tuple())
-    if isinstance(value, (list, tuple)):
-        parts = b"".join(_canonical_bytes(v) for v in value)
-        return b"l" + str(len(value)).encode() + b":" + parts
-    if isinstance(value, (set, frozenset)):
-        ordered = sorted(value, key=lambda v: _canonical_bytes(v))
-        return b"e" + _canonical_bytes(list(ordered))
-    if isinstance(value, dict):
-        items = sorted(value.items(), key=lambda kv: _canonical_bytes(kv[0]))
-        parts = b"".join(_canonical_bytes(k) + _canonical_bytes(v) for k, v in items)
-        return b"d" + str(len(items)).encode() + b":" + parts
-    raise TypeError(f"cannot canonically hash value of type {type(value).__name__}")
+    out = bytearray()
+    _write(value, out)
+    return bytes(out)
 
 
 def canonical_bytes(value: Any) -> bytes:

@@ -14,6 +14,31 @@ import hashlib
 from repro.crypto.hashing import GENESIS_HASH, content_hash, hash_pair
 
 
+#: Memoised roots keyed by the tuple of leaf digests.  In a deployment run
+#: the same block's tree is rebuilt by every orderer (pre-prepare digest
+#: checks) and every validating peer — identical leaves each time — so the
+#: root is computed once and the other rebuilds are a dict hit.  Bounded so
+#: long-lived processes cannot grow it without limit.
+_ROOT_CACHE: dict = {}
+_ROOT_CACHE_MAX = 4096
+
+
+def merkle_root(leaf_hashes: Sequence[str]) -> str:
+    """Root digest over already-computed leaf digests, memoised per leaf set.
+
+    Equivalent to ``MerkleTree.from_leaf_hashes(leaf_hashes).root`` without
+    building (or re-building) the intermediate levels; use the tree class
+    when proofs are needed.
+    """
+    key = tuple(leaf_hashes)
+    cached = _ROOT_CACHE.get(key)
+    if cached is None:
+        cached = MerkleTree._build_levels(key)[-1][0]
+        if len(_ROOT_CACHE) < _ROOT_CACHE_MAX:
+            _ROOT_CACHE[key] = cached
+    return cached
+
+
 class MerkleTree:
     """An immutable binary Merkle tree built over a sequence of leaves."""
 

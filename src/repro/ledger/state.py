@@ -14,9 +14,13 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VersionedValue:
-    """A value together with the version number of the write that produced it."""
+    """A value together with the version number of the write that produced it.
+
+    Slotted: one is allocated per committed write (and per initial-state key
+    per peer), making this one of the highest-volume small objects in a run.
+    """
 
     value: Any
     version: int
@@ -34,6 +38,15 @@ class WorldState:
     __slots__ = ("_data", "_shared")
 
     def __init__(self, initial: Optional[Mapping[str, Any]] = None) -> None:
+        if isinstance(initial, WorldState):
+            # Copy-on-write clone: share the entry dict (and every
+            # VersionedValue in it) until either side writes.  Deployments
+            # seed one WorldState from the initial state and clone it per
+            # peer, instead of re-wrapping every key on every node.
+            self._data = initial._data
+            self._shared = True
+            initial._shared = True
+            return
         self._data: Dict[str, VersionedValue] = {}
         #: True while ``_data`` is also referenced by a snapshot or a copy;
         #: the next mutation re-materialises a private dict (copy-on-write).

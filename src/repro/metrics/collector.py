@@ -8,7 +8,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set
 from repro.metrics.latency import LatencyStats
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CompletionEvent:
     """One transaction finishing at every measurement peer (commit or abort).
 
@@ -91,6 +91,7 @@ class MetricsCollector:
 
     def __init__(self, measurement_peers: Sequence[str]) -> None:
         self._measurement_peers: Set[str] = set(measurement_peers)
+        self._peer_count = len(self._measurement_peers)
         self._submissions: Dict[str, float] = {}
         self._reports: Dict[str, Dict[str, float]] = {}
         self._aborted_votes: Dict[str, Set[str]] = {}
@@ -98,6 +99,11 @@ class MetricsCollector:
         self._completion_time: Dict[str, float] = {}
         self._completed_aborted: Set[str] = set()
         self._abort_reason_of: Dict[str, str] = {}
+        #: Incrementally accumulated completion records, one compact tuple
+        #: ``(completed_at, aborted, reason, submitted_at)`` per transaction in
+        #: completion order — :meth:`summarise` is a single pass over this list
+        #: instead of a re-aggregation across four per-transaction mappings.
+        self._completions: List[tuple] = []
         self._subscribers: List[Callable[[CompletionEvent], None]] = []
         self.blocks_committed = 0
 
@@ -109,6 +115,18 @@ class MetricsCollector:
     def subscribe(self, callback: Callable[[CompletionEvent], None]) -> None:
         """Call ``callback`` with a :class:`CompletionEvent` per completed tx."""
         self._subscribers.append(callback)
+
+    @property
+    def has_subscribers(self) -> bool:
+        """True if any completion subscriber is registered.
+
+        Peers consult this before block-batching their commit loops: a
+        subscriber (e.g. the closed-loop agent engine) reacts *at* the
+        simulated completion instant, so batching — which records the same
+        completion times but from the end of the block — would shift when
+        those reactions run.
+        """
+        return bool(self._subscribers)
 
     def record_commit(
         self, node_id: str, tx_id: str, time: float, aborted: bool = False, reason: str = ""
@@ -123,23 +141,25 @@ class MetricsCollector:
         if aborted:
             self._aborted_votes.setdefault(tx_id, set()).add(node_id)
             self._reason_votes.setdefault(tx_id, []).append(reason or "abort")
-        if len(reports) == len(self._measurement_peers) and tx_id not in self._completion_time:
+        if len(reports) == self._peer_count and tx_id not in self._completion_time:
             completed_at = max(reports.values())
             self._completion_time[tx_id] = completed_at
             aborts = self._aborted_votes.get(tx_id, set())
-            fully_aborted = len(aborts) >= len(self._measurement_peers)
+            fully_aborted = len(aborts) >= self._peer_count
             stable_reason = ""
             if fully_aborted:
                 self._completed_aborted.add(tx_id)
                 stable_reason = self._stable_reason(tx_id)
                 self._abort_reason_of[tx_id] = stable_reason
+            submitted_at = self._submissions.get(tx_id)
+            self._completions.append((completed_at, fully_aborted, stable_reason, submitted_at))
             if self._subscribers:
                 event = CompletionEvent(
                     tx_id=tx_id,
                     completed_at=completed_at,
                     aborted=fully_aborted,
                     reason=stable_reason,
-                    submitted_at=self._submissions.get(tx_id),
+                    submitted_at=submitted_at,
                 )
                 for subscriber in self._subscribers:
                     subscriber(event)
@@ -209,16 +229,17 @@ class MetricsCollector:
         aborted_in_window = 0
         abort_reasons: Dict[str, int] = {}
         latencies: List[float] = []
-        for tx_id, completed_at in self._completion_time.items():
+        # Single pass over the incrementally accumulated completion records
+        # (kept in completion order, matching the old per-dict traversal).
+        for completed_at, was_aborted, reason, submitted_at in self._completions:
             if completed_at < warmup or completed_at > horizon:
                 continue
-            if tx_id in self._completed_aborted:
+            if was_aborted:
                 aborted_in_window += 1
-                reason = self._abort_reason_of.get(tx_id, "abort")
+                reason = reason or "abort"
                 abort_reasons[reason] = abort_reasons.get(reason, 0) + 1
                 continue
             committed_in_window += 1
-            submitted_at = self._submissions.get(tx_id)
             if submitted_at is not None:
                 latencies.append(completed_at - submitted_at)
         return RunMetrics(

@@ -16,7 +16,11 @@ def percentile(values: Sequence[float], fraction: float) -> float:
         return 0.0
     if not 0.0 <= fraction <= 1.0:
         raise ValueError(f"fraction must be in [0, 1], got {fraction}")
-    ordered = sorted(values)
+    return _percentile_sorted(sorted(values), fraction)
+
+
+def _percentile_sorted(ordered: Sequence[float], fraction: float) -> float:
+    """``percentile`` over an already-sorted non-empty sequence."""
     if len(ordered) == 1:
         return ordered[0]
     position = fraction * (len(ordered) - 1)
@@ -26,7 +30,7 @@ def percentile(values: Sequence[float], fraction: float) -> float:
     return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LatencyStats:
     """Summary of a latency sample (seconds)."""
 
@@ -42,13 +46,17 @@ class LatencyStats:
         """Compute the summary of ``samples`` (all zeros when empty)."""
         if not samples:
             return cls(count=0, average=0.0, p50=0.0, p95=0.0, p99=0.0, maximum=0.0)
+        ordered = sorted(samples)
         return cls(
-            count=len(samples),
-            average=sum(samples) / len(samples),
-            p50=percentile(samples, 0.50),
-            p95=percentile(samples, 0.95),
-            p99=percentile(samples, 0.99),
-            maximum=max(samples),
+            count=len(ordered),
+            # Summed in sample (completion) order, not sorted order: float
+            # addition is not associative, and the average must stay
+            # bit-identical to the historical insertion-order computation.
+            average=sum(samples) / len(ordered),
+            p50=_percentile_sorted(ordered, 0.50),
+            p95=_percentile_sorted(ordered, 0.95),
+            p99=_percentile_sorted(ordered, 0.99),
+            maximum=ordered[-1],
         )
 
     def as_dict(self) -> dict:

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Optional, Set, Tuple
 
 
-@dataclass
+@dataclass(slots=True)
 class LinkFault:
     """Degradation applied to a single directed link.
 

@@ -1,35 +1,134 @@
-"""Message and envelope types carried by the simulated network."""
+"""Message and envelope types carried by the simulated network.
+
+Both types are deliberately lean: they are the highest-volume small objects
+in an end-to-end run (one :class:`Envelope` per delivered hop), so they use
+``__slots__`` and the :class:`Message` memoises the canonical hash of its
+body.  A multicast shares one :class:`Message` instance across every
+recipient, which means the body — often containing a whole block — is
+canonicalised exactly once per message instead of once per hop (signing) plus
+once per recipient (verification).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Mapping, Optional
 
 from repro.crypto.hashing import content_hash
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """An application-level message.
 
     ``kind`` is the protocol message type (``REQUEST``, ``NEWBLOCK``,
     ``COMMIT``, ``PREPARE`` ...), ``body`` is an arbitrary payload dictionary
     and ``signature`` optionally carries the sender's signature over the body.
+
+    The body must not be mutated after the message is constructed: its
+    canonical hash is computed on first use and cached (and shared with the
+    signed copy produced by :meth:`with_signature`).
     """
 
     kind: str
     body: Mapping[str, Any] = field(default_factory=dict)
     signature: str = ""
+    #: Lazily computed canonical hash of ``body`` (see :meth:`body_hash`).
+    _body_hash: Optional[str] = field(
+        default=None, compare=False, repr=False, hash=False
+    )
+    #: Lazily computed hash of :meth:`unsigned_tuple` (see :meth:`unsigned_hash`).
+    _unsigned_hash: Optional[str] = field(
+        default=None, compare=False, repr=False, hash=False
+    )
+
+    def body_hash(self) -> str:
+        """Canonical content hash of the body, computed once and cached."""
+        cached = self._body_hash
+        if cached is None:
+            body = self.body
+            if type(body) is not dict:
+                body = dict(body)
+            cached = content_hash(body)
+            object.__setattr__(self, "_body_hash", cached)
+        return cached
+
+    def unsigned_hash(self) -> str:
+        """Content hash of :meth:`unsigned_tuple`, computed once and cached.
+
+        Exactly what the sender signs and every recipient verifies; since a
+        multicast shares one message instance, caching it here means the
+        signed tuple is canonicalised once per message rather than once per
+        signature check.
+        """
+        cached = self._unsigned_hash
+        if cached is None:
+            cached = content_hash(self.unsigned_tuple())
+            object.__setattr__(self, "_unsigned_hash", cached)
+        return cached
 
     def canonical_tuple(self) -> tuple:
-        return ("msg", self.kind, content_hash(dict(self.body)), self.signature)
+        return ("msg", self.kind, self.body_hash(), self.signature)
+
+    def unsigned_tuple(self) -> tuple:
+        """The canonical tuple of the unsigned form of this message.
+
+        This is what senders sign and receivers verify — computing it here
+        (rather than constructing an unsigned :class:`Message` copy) reuses
+        the memoised body hash on the verification path.
+        """
+        return ("msg", self.kind, self.body_hash(), "")
 
     def with_signature(self, signature: str) -> "Message":
-        """Return a copy carrying ``signature``."""
-        return Message(kind=self.kind, body=self.body, signature=signature)
+        """Return a copy carrying ``signature`` (sharing the cached hashes)."""
+        return Message(
+            kind=self.kind,
+            body=self.body,
+            signature=signature,
+            _body_hash=self._body_hash,
+            _unsigned_hash=self._unsigned_hash,
+        )
 
 
-@dataclass(frozen=True)
+#: Signature placeholder on messages sent over trusted channels (see
+#: :meth:`repro.crypto.signatures.KeyRegistry.trust_channels`).  Non-empty so
+#: the ``if not message.signature`` guard on every verify path still rejects
+#: explicitly unsigned messages.
+TRUSTED_SIGNATURE = "trusted-channel"
+
+
+def build_trusted(kind: str, body: Mapping[str, Any]) -> Message:
+    """Construct a message for a trusted (fault-free) deployment.
+
+    Skips body canonicalisation and signing entirely — in a run with no fault
+    schedule every message is built by honest code, so verification would
+    succeed by construction and the signature bytes are observable nowhere
+    (not in ledgers, metrics or fingerprints).  The hashes stay lazily
+    computable should anything ask for them.
+    """
+    return Message(kind=kind, body=body, signature=TRUSTED_SIGNATURE)
+
+
+def build_signed(kind: str, body: Mapping[str, Any], sign) -> Message:
+    """Construct a signed :class:`Message` in a single allocation.
+
+    ``sign`` maps the unsigned hash (a hex digest) to a signature string.
+    Equivalent to ``Message(kind, body)`` + signing + :meth:`Message.with_signature`,
+    but skips the intermediate unsigned copy — this sits on the hot path of
+    every protocol send.
+    """
+    body_hash = content_hash(body if type(body) is dict else dict(body))
+    unsigned_hash = content_hash(("msg", kind, body_hash, ""))
+    return Message(
+        kind=kind,
+        body=body,
+        signature=sign(unsigned_hash),
+        _body_hash=body_hash,
+        _unsigned_hash=unsigned_hash,
+    )
+
+
+@dataclass(frozen=True, slots=True)
 class Envelope:
     """A message in flight: payload plus transport metadata.
 

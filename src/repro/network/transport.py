@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Dict, Iterable, List, Optional
 
 from repro.common.config import LatencyConfig
@@ -105,21 +106,31 @@ class Network:
         size = payload_bytes if payload_bytes is not None else self.latency.per_message_bytes
         self.messages_sent += 1
         self.bytes_sent += size
+        if not self.faults.any_active():
+            # Fault-free fast path: no drop/duplicate draws, no per-link fault
+            # lookups — the overwhelmingly common case in performance runs.
+            self._schedule_delivery(sender, recipient, message, size, faulty=False)
+            return
         if self.faults.should_drop(sender, recipient):
             return
-        self._schedule_delivery(sender, recipient, message, size)
+        self._schedule_delivery(sender, recipient, message, size, faulty=True)
         # At-least-once faults: the same message may be delivered a second
         # time with an independently drawn delay (the duplicate is injected by
         # the network, so it does not count as another send).
         if self.faults.should_duplicate(sender, recipient):
             self.messages_duplicated += 1
-            self._schedule_delivery(sender, recipient, message, size)
+            self._schedule_delivery(sender, recipient, message, size, faulty=True)
 
-    def _schedule_delivery(self, sender: str, recipient: str, message: Message, size: int) -> None:
+    def _schedule_delivery(
+        self, sender: str, recipient: str, message: Message, size: int, faulty: bool = True
+    ) -> None:
+        now = self.env.now
         delay = self.topology.message_delay(sender, recipient, size)
-        delay += self.faults.extra_delay(sender, recipient)
-        reorder = self.faults.reorder_delay(sender, recipient)
-        deliver_at = self.env.now + delay
+        reorder = None
+        if faulty:
+            delay += self.faults.extra_delay(sender, recipient)
+            reorder = self.faults.reorder_delay(sender, recipient)
+        deliver_at = now + delay
         link = (sender, recipient)
         if reorder is None:
             # FIFO per directed link: never deliver earlier than the previously
@@ -135,11 +146,14 @@ class Network:
             sender=sender,
             recipient=recipient,
             message=message,
-            sent_at=self.env.now,
+            sent_at=now,
             delivered_at=deliver_at,
             size_bytes=size,
         )
-        self.env.process(self._deliver(envelope, deliver_at - self.env.now), name="net-deliver")
+        # Deliveries are lean scheduled callbacks, not processes: one heap
+        # entry and one call per message instead of a bootstrap event, a
+        # generator resume and a timeout event.
+        self.env.schedule_callback(deliver_at - now, partial(self._deliver_now, envelope))
 
     def multicast(
         self,
@@ -159,8 +173,11 @@ class Network:
         self.multicast(sender, self.node_ids(), message, payload_bytes)
 
     # -------------------------------------------------------------- internals
-    def _deliver(self, envelope: Envelope, delay: float):
-        yield self.env.timeout(delay)
+    #: Phase label picked up by the profiler for delivery callbacks.
+    profile_phase = "transport"
+
+    def _deliver_now(self, envelope: Envelope) -> None:
+        """Complete a scheduled delivery (runs at the envelope's delivery time)."""
         # Recipient may have crashed while the message was in flight.
         if self.faults.is_crashed(envelope.recipient):
             return

@@ -6,7 +6,7 @@ from typing import Any, Dict, Iterable, Optional
 
 from repro.common.config import CostModel, LatencyConfig
 from repro.crypto.signatures import KeyRegistry, SignedMessage
-from repro.network.message import Envelope, Message
+from repro.network.message import Envelope, Message, build_signed, build_trusted
 from repro.network.transport import Network, NetworkInterface
 from repro.nodes import messages
 from repro.simulation import CpuPool, Environment
@@ -46,6 +46,9 @@ class BaseNode:
         self.interface: NetworkInterface = network.register(node_id, datacenter=datacenter)
         self.cpu = CpuPool(env, cores)
         registry.register(node_id)
+        #: Bound signing closure for :func:`build_signed` (avoids re-binding
+        #: the registry method on every signed send).
+        self._sign_hash = lambda digest: registry.sign_hash(digest, node_id)
         self._started = False
         self.crash_count = 0
         self.restart_count = 0
@@ -104,7 +107,7 @@ class BaseNode:
                 envelope.message.kind == messages.XSHARD_FETCH
                 and self.xshard_voter is not None
             ):
-                yield self.env.timeout(self.cost_model.signature)
+                yield self.cost_model.signature
                 if self.verify_envelope(envelope):
                     self.xshard_voter.handle_fetch(self, envelope)
                 continue
@@ -136,26 +139,54 @@ class BaseNode:
         self.interface.multicast(recipients, message, payload_bytes)
 
     def _signed_message(self, kind: str, body: Dict[str, Any]) -> Message:
-        message = Message(kind=kind, body=body)
-        signed = self.registry.sign(message.canonical_tuple(), self.node_id)
-        return message.with_signature(signed.signature)
+        if self.registry.trusted:
+            return build_trusted(kind, body)
+        return build_signed(kind, body, self._sign_hash)
 
     def verify_envelope(self, envelope: Envelope) -> bool:
-        """Verify the signature of a received envelope against its transport sender."""
+        """Verify the signature of a received envelope against its transport sender.
+
+        Uses the message's memoised unsigned hash, so a multicast body is
+        canonicalised once per message rather than once per recipient.  Over
+        trusted channels (fault-free deployments) the check short-circuits:
+        every message was built by honest code and would verify anyway.
+        """
         message = envelope.message
         if not message.signature:
             return False
-        unsigned = Message(kind=message.kind, body=message.body)
-        return self.registry.verify(
-            SignedMessage(
-                payload=unsigned.canonical_tuple(),
-                signer=envelope.sender,
-                signature=message.signature,
-            )
+        if self.registry.trusted:
+            return True
+        return self.registry.verify_hash(
+            message.unsigned_hash(), envelope.sender, message.signature
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.node_id}>"
+
+
+class BlockBatchMixin:
+    """Opt-out switch + safety gate for block-batched commit loops.
+
+    Hosts must expose ``collector`` and ``xshard_voter``.  A batched loop
+    sleeps once per block and back-computes per-transaction commit times
+    (bit-identical to the per-transaction arithmetic); it is only safe when
+    nothing can observe the peer between two transactions of a block.
+    """
+
+    #: Class-level default; determinism tests flip this to compare the
+    #: batched and per-transaction paths.
+    batch_block_execution = True
+
+    def _can_batch(self) -> bool:
+        """True when nothing can observe this peer mid-block: no cross-shard
+        voter (which multicasts votes per commit) and no completion
+        subscribers (which react at the completion instant)."""
+        collector = self.collector
+        return (
+            self.batch_block_execution
+            and self.xshard_voter is None
+            and (collector is None or not collector.has_subscribers)
+        )
 
 
 class BlockCatchupMixin:
@@ -170,7 +201,7 @@ class BlockCatchupMixin:
 
     def _handle_tip_announce(self, envelope: Envelope):
         """Fetch the gap between the next expected block and the orderer's tip."""
-        yield self.env.timeout(self.cost_model.signature)
+        yield self.cost_model.signature
         recovery = self.config.recovery
         if not recovery.enabled or not self.verify_envelope(envelope):
             return

@@ -93,7 +93,7 @@ class ClientGateway(BaseNode):
         for submit_at, tx in pairs:
             delay = submit_at - self.env.now
             if delay > 0:
-                yield self.env.timeout(delay)
+                yield delay
             self._submit_one(tx)
 
     def _submit_one(self, tx: Transaction) -> None:
@@ -111,7 +111,9 @@ class ClientGateway(BaseNode):
         self.send_signed(
             self.orderer_entry,
             messages.REQUEST,
-            {"transaction": stamped, "application": tx.application, "client": tx.client},
+            # The transaction itself carries application/client; repeating
+            # them in the body would only grow every REQUEST's hashed bytes.
+            {"transaction": stamped},
             payload_bytes=self.latency.per_tx_bytes,
         )
 
@@ -124,14 +126,14 @@ class ClientGateway(BaseNode):
         self.multicast_signed(
             endorsers,
             messages.ENDORSE_REQUEST,
-            {"transaction": tx, "client": tx.client},
+            {"transaction": tx},
             payload_bytes=self.latency.per_tx_bytes,
         )
 
     def handle_envelope(self, envelope: Envelope):
         if envelope.message.kind != messages.ENDORSE_RESPONSE:
             return
-        yield self.env.timeout(self.cost_model.signature)
+        yield self.cost_model.signature
         if not self.verify_envelope(envelope):
             return
         body = envelope.message.body
@@ -147,7 +149,7 @@ class ClientGateway(BaseNode):
             return
         tx = self._awaiting.pop(tx_id)
         self._pending_endorsements.pop(tx_id, None)
-        yield self.env.timeout(self.cost_model.client_assembly)
+        yield self.cost_model.client_assembly
         endorsed = self._assemble_endorsed_transaction(tx, responses)
         self.endorsed += 1
         self._send_to_orderer(endorsed)
@@ -158,12 +160,16 @@ class ClientGateway(BaseNode):
     ) -> Transaction:
         """Fold the endorsement results into the transaction's payload."""
         primary = responses[0]
+        result = primary.get("result")
+        # The endorsement dict folded into the payload is built from the same
+        # values the exploded body used to carry, so the ordered transaction's
+        # canonical bytes (and every ledger digest downstream) are unchanged.
         endorsement = {
-            "status": primary.get("status", "ok"),
-            "updates": dict(primary.get("updates", {})),
+            "status": result.status if result is not None else "ok",
+            "updates": dict(result.updates) if result is not None else {},
             "read_versions": dict(primary.get("read_versions", {})),
             "endorsers": tuple(str(r.get("endorser", "")) for r in responses),
-            "abort_reason": str(primary.get("abort_reason", "")),
+            "abort_reason": str(result.abort_reason) if result is not None else "",
         }
         payload = dict(tx.payload)
         payload["endorsement"] = endorsement

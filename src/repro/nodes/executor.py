@@ -128,7 +128,7 @@ class ExecutorNode(BaseNode, BlockCatchupMixin):
         """
         interval = self.config.recovery.retransmit_interval
         while True:
-            yield self.env.timeout(interval)
+            yield interval
             for sequence, results in sorted(self._own_results.items()):
                 if results:
                     self._multicast_commit(
@@ -168,7 +168,7 @@ class ExecutorNode(BaseNode, BlockCatchupMixin):
 
     def _handle_new_block(self, envelope: Envelope):
         """Collect NEWBLOCK votes; start processing once the quorum is reached."""
-        yield self.env.timeout(self.cost_model.signature + self.cost_model.block_hash)
+        yield self.cost_model.signature + self.cost_model.block_hash
         if not self.verify_envelope(envelope):
             return
         block = envelope.message.body.get("block")
@@ -188,7 +188,7 @@ class ExecutorNode(BaseNode, BlockCatchupMixin):
 
     def _handle_commit(self, envelope: Envelope):
         """Route a COMMIT message to the right block's processing queue."""
-        yield self.env.timeout(self.cost_model.signature)
+        yield self.cost_model.signature
         if not self.verify_envelope(envelope):
             return
         commit = envelope.message.body.get("commit")
@@ -269,10 +269,7 @@ class ExecutorNode(BaseNode, BlockCatchupMixin):
 
     def _execute_transaction(self, tx: Transaction, queue: Store, view: _SpeculativeView):
         """Occupy one core for the execution cost, then run the smart contract."""
-        result = yield self.env.process(
-            self.cpu.execute(self.cost_model.tx_execution, result=None)
-        )
-        del result  # the CPU slice carries no value; the contract runs below
+        yield from self.cpu.execute(self.cost_model.tx_execution, result=None)
         outcome = self.contracts.execute(tx, view, executed_by=self.node_id)
         queue.put(("executed", outcome))
 

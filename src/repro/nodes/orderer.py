@@ -152,7 +152,7 @@ class OrdererNode(BaseNode):
         """Validate a client request and feed it to the block builder."""
         self.requests_received += 1
         # Signature check of the client request (charged to the dispatcher).
-        yield self.env.timeout(self.cost_model.signature)
+        yield self.cost_model.signature
         if not self.verify_envelope(envelope):
             self.requests_rejected += 1
             return
@@ -185,7 +185,7 @@ class OrdererNode(BaseNode):
 
     def _handle_block_fetch(self, envelope: Envelope):
         """Re-send sealed blocks a lagging peer asks for (recovery catch-up)."""
-        yield self.env.timeout(self.cost_model.signature)
+        yield self.cost_model.signature
         if not self.verify_envelope(envelope):
             return
         sequences = envelope.message.body.get("sequences", ())
@@ -193,7 +193,7 @@ class OrdererNode(BaseNode):
         for sequence in tuple(sequences)[:window]:
             block = self._sealed.get(sequence)
             if block is not None:
-                yield self.env.timeout(self.cost_model.signature)
+                yield self.cost_model.signature
                 self._send_new_block(envelope.sender, block)
 
     def _client_allowed(self, transaction: Transaction) -> bool:
@@ -207,7 +207,7 @@ class OrdererNode(BaseNode):
         """Cut the open block when the maximal production time elapses."""
         interval = max(self.config.block_cut.max_delay / 4.0, 1e-3)
         while True:
-            yield self.env.timeout(interval)
+            yield interval
             if self.builder.timeout_due(self.env.now):
                 pending = self.builder.cut_on_timeout(self.env.now)
                 if pending is not None:
@@ -217,7 +217,9 @@ class OrdererNode(BaseNode):
         """Order cut blocks one at a time through the consensus protocol."""
         while True:
             pending = yield self._proposal_queue.get()
-            decision = yield self.env.process(self.consensus.propose(pending))
+            decision = yield self.env.process(
+                self.consensus.propose(pending), name=f"{self.node_id}-propose"
+            )
             self.blocks_ordered += 1
             if self.multicasts_blocks:
                 yield from self._seal_and_multicast(decision.payload)
@@ -245,7 +247,7 @@ class OrdererNode(BaseNode):
         """
         interval = self.config.recovery.tip_announce_interval
         while True:
-            yield self.env.timeout(interval)
+            yield interval
             if not self._sealed:
                 continue
             tip = max(self._sealed)
@@ -272,7 +274,7 @@ class OrdererNode(BaseNode):
         )
         if self.generate_graphs:
             cost += self.cost_model.dependency_graph_cost(size)
-        yield self.env.timeout(cost)
+        yield cost
         block = self.builder.seal(pending, now=self.env.now)
         if self.config.recovery.enabled:
             self._sealed[block.sequence] = block

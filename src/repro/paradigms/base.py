@@ -276,6 +276,7 @@ class Deployment(abc.ABC):
         fault_schedule: Optional[object] = None,
         poll_hook: Optional[Callable[[DeploymentHandles], None]] = None,
         driver: Optional[object] = None,
+        profile: bool = False,
     ) -> RunMetrics:
         """Build a fresh cluster, drive the workload and summarise the run.
 
@@ -296,13 +297,40 @@ class Deployment(abc.ABC):
         (:class:`repro.testing.FaultInjector`).  ``poll_hook`` is invoked with
         the live handles on every monitor poll — the in-flight oracle hook
         point, letting invariant probes observe the deployment mid-run.
+
+        With ``profile=True`` a :class:`repro.profiling.PhaseProfiler` is
+        installed on the environment and the per-phase wall-clock breakdown
+        lands in ``RunMetrics.extra["phase_times"]``.  Profiling never changes
+        simulated behaviour — only wall-clock instrumentation is added.
         """
         if driver is None:
             if transactions is None or schedule is None:
                 raise ValueError("run() needs either a driver or (transactions, schedule)")
             driver = ScheduleDriver(transactions, schedule)
-        handles = self.build(initial_state=initial_state)
+        profiler = None
+        if profile:
+            from repro.profiling import PhaseProfiler
+
+            profiler = PhaseProfiler()
+            with profiler.timed("build"):
+                handles = self.build(initial_state=initial_state)
+            handles.env._profiler = profiler
+            # Metrics recording happens inside node processes; wrapping the
+            # hot recording entry point re-attributes that time to "metrics".
+            handles.collector.record_commit = profiler.wrap(
+                "metrics", handles.collector.record_commit
+            )
+        else:
+            handles = self.build(initial_state=initial_state)
         env = handles.env
+        if fault_schedule is None:
+            # No fault schedule means every message on the wire is built by
+            # honest protocol code, so signature verification would succeed by
+            # construction: skip the per-message canonicalise+hash+HMAC wall
+            # cost.  Simulated signature latencies are still charged, and the
+            # signature bytes are observable nowhere, so ledgers, metrics and
+            # fingerprints are bit-identical with crypto on.
+            handles.registry.trust_channels()
         for orderer in handles.orderers:
             orderer.start()
         for peer in handles.peers:
@@ -322,7 +350,7 @@ class Deployment(abc.ABC):
                     poll_hook(handles)
                 if driver.is_complete(handles):
                     return "complete"
-                yield env.timeout(poll_interval)
+                yield poll_interval
             return "horizon"
 
         env.run(until=env.process(monitor(), name="run-monitor"))
@@ -337,12 +365,23 @@ class Deployment(abc.ABC):
             "simulated_time": float(env.now),
         }
         extra.update(driver.extra_metrics(handles))
-        return handles.collector.summarise(
-            paradigm=self.name,
-            offered_load=load,
-            warmup=warmup,
-            horizon=measurement_end,
-            messages_sent=handles.network.messages_sent,
-            extra=extra,
-            extra_abort_reasons={"dedup_drop": int(deduplicated)} if deduplicated else None,
-        )
+
+        def summarise() -> RunMetrics:
+            return handles.collector.summarise(
+                paradigm=self.name,
+                offered_load=load,
+                warmup=warmup,
+                horizon=measurement_end,
+                messages_sent=handles.network.messages_sent,
+                extra=extra,
+                extra_abort_reasons={"dedup_drop": int(deduplicated)} if deduplicated else None,
+            )
+
+        if profiler is None:
+            return summarise()
+        with profiler.timed("metrics"):
+            metrics = summarise()
+        # summarise() copied ``extra`` into a plain dict, so the snapshot —
+        # which includes the summarise span itself — is added afterwards.
+        metrics.extra["phase_times"] = profiler.snapshot()  # type: ignore[index]
+        return metrics

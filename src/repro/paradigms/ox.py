@@ -8,6 +8,7 @@ from repro.common.registry import contract_registry, register_paradigm
 from repro.contracts.base import ContractRegistry
 from repro.nodes.ox_peer import OXPeerNode
 from repro.paradigms.base import Deployment, DeploymentHandles
+from repro.ledger.state import WorldState
 
 
 @register_paradigm("OX")
@@ -39,6 +40,10 @@ class OXDeployment(Deployment):
     def build(self, initial_state: Optional[Dict[str, object]] = None) -> DeploymentHandles:
         peer_names = self.peer_names()
         handles = self._build_common(measurement_peers=peer_names)
+        # Seed one WorldState and hand every peer a copy-on-write clone of it
+        # (WorldState(WorldState) shares entries): the initial state is
+        # wrapped into VersionedValues once per run, not once per peer.
+        initial_state = WorldState(initial_state or {})
         self._build_orderers(handles, block_targets=peer_names, generate_graphs=False)
         peer_dc = self.datacenter_for("executors")
         peers = [

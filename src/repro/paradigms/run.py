@@ -136,6 +136,7 @@ def execute_run(
     seed: Optional[int] = None,
     generator: str = "accounting",
     faults: Optional[object] = None,
+    profile: Optional[bool] = None,
 ) -> RunMetrics:
     """Run one paradigm against one workload at one offered load.
 
@@ -151,6 +152,11 @@ def execute_run(
     or the dict form a :class:`~repro.experiments.spec.ScenarioSpec` carries in
     its ``faults`` section (either ``{"events": [...]}`` or ``{"random":
     {...}}``, resolved deterministically from the workload seed).
+
+    ``profile=True`` enables the phase profiler (see :mod:`repro.profiling`),
+    putting a per-phase wall-clock breakdown in
+    ``RunMetrics.extra["phase_times"]``; ``profile=None`` (the default)
+    defers to the ``REPRO_PROFILE`` environment variable.
     """
     paradigm_registry.get(paradigm)  # fail fast on unknown names
     if offered_load <= 0:
@@ -180,6 +186,11 @@ def execute_run(
             default_horizon=duration,
         )
 
+    if profile is None:
+        from repro.profiling import profiling_requested
+
+        profile = profiling_requested()
+
     deployment = make_deployment(paradigm, system_config)
     return deployment.run(
         driver=driver,
@@ -188,6 +199,7 @@ def execute_run(
         warmup_fraction=warmup_fraction,
         drain=drain,
         fault_schedule=fault_schedule,
+        profile=profile,
     )
 
 

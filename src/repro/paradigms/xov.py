@@ -7,6 +7,7 @@ from typing import Dict, Optional
 from repro.common.registry import register_paradigm
 from repro.nodes.xov import EndorserNode, XOVPeerNode
 from repro.paradigms.base import Deployment, DeploymentHandles
+from repro.ledger.state import WorldState
 
 
 @register_paradigm("XOV")
@@ -27,6 +28,10 @@ class XOVDeployment(Deployment):
         non_executor_names = self.non_executor_names()
         all_peer_names = endorser_names + non_executor_names
         handles = self._build_common(measurement_peers=all_peer_names)
+        # Seed one WorldState and hand every peer a copy-on-write clone of it
+        # (WorldState(WorldState) shares entries): the initial state is
+        # wrapped into VersionedValues once per run, not once per peer.
+        initial_state = WorldState(initial_state or {})
 
         self._build_orderers(handles, block_targets=all_peer_names, generate_graphs=False)
         endorser_dc = self.datacenter_for("executors")

@@ -1,0 +1,40 @@
+"""Opt-in profiling for end-to-end runs.
+
+Two complementary layers:
+
+* :class:`PhaseProfiler` — lightweight wall-clock timers attributing every
+  simulator dispatch to a run phase (ordering / consensus / execution /
+  transport / client / metrics), landing in ``RunMetrics.extra["phase_times"]``.
+* :mod:`repro.profiling.report` — full ``cProfile`` capture with top-N
+  hotspot extraction, powering ``bench --profile`` and the CI hotspot
+  artifact.
+
+Both are strictly opt-in: with profiling off the simulator pays a single
+``is None`` check per event dispatch and nothing else.
+"""
+
+from repro.profiling.profiler import (
+    ENV_FLAG,
+    PHASES,
+    PhaseProfiler,
+    classify_process_name,
+    profiling_requested,
+)
+from repro.profiling.report import (
+    capture_profile,
+    format_hotspots,
+    hotspot_rows,
+    write_hotspot_report,
+)
+
+__all__ = [
+    "ENV_FLAG",
+    "PHASES",
+    "PhaseProfiler",
+    "classify_process_name",
+    "profiling_requested",
+    "capture_profile",
+    "format_hotspots",
+    "hotspot_rows",
+    "write_hotspot_report",
+]

@@ -1,0 +1,83 @@
+"""cProfile capture and top-N hotspot reports.
+
+Used by ``bench --profile`` and the CI profile job: run a workload under
+:func:`capture_profile`, extract the top-N functions by own-time with
+:func:`hotspot_rows`, and persist/print them with
+:func:`write_hotspot_report`/:func:`format_hotspots`.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import json
+import pstats
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+def capture_profile(fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Tuple[Any, cProfile.Profile]:
+    """Run ``fn(*args, **kwargs)`` under cProfile.
+
+    Returns ``(result, profile)``; the profile is disabled and ready for
+    :func:`hotspot_rows`.
+    """
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        profile.disable()
+    return result, profile
+
+
+def hotspot_rows(profile: cProfile.Profile, top_n: int = 25) -> List[Dict[str, Any]]:
+    """The ``top_n`` functions by own (tottime) seconds, as plain dicts.
+
+    Each row carries ``function``, ``file``, ``line``, ``calls`` (non-recursive
+    call count), ``tottime`` and ``cumtime`` — everything the CI artifact and
+    the docs' reading guide refer to.
+    """
+    stats = pstats.Stats(profile)
+    rows: List[Dict[str, Any]] = []
+    for (filename, line, func), (cc, nc, tt, ct, _callers) in stats.stats.items():  # type: ignore[attr-defined]
+        rows.append(
+            {
+                "function": func,
+                "file": filename,
+                "line": line,
+                "calls": nc,
+                "tottime": tt,
+                "cumtime": ct,
+            }
+        )
+    rows.sort(key=lambda r: (-r["tottime"], r["file"], r["line"], r["function"]))
+    return rows[:top_n]
+
+
+def format_hotspots(rows: List[Dict[str, Any]]) -> str:
+    """Fixed-width text table of hotspot rows (for terminals and CI logs)."""
+    lines = [f"{'tottime':>9}  {'cumtime':>9}  {'calls':>9}  location"]
+    for row in rows:
+        location = f"{row['file']}:{row['line']}({row['function']})"
+        lines.append(
+            f"{row['tottime']:>9.4f}  {row['cumtime']:>9.4f}  {row['calls']:>9}  {location}"
+        )
+    return "\n".join(lines)
+
+
+def write_hotspot_report(
+    path: str | Path,
+    rows: List[Dict[str, Any]],
+    phase_times: Optional[Dict[str, float]] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write a JSON hotspot report (the CI artifact format) and return its path."""
+    payload: Dict[str, Any] = {"hotspots": rows}
+    if phase_times is not None:
+        payload["phase_times"] = phase_times
+    if meta:
+        payload["meta"] = meta
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return target

@@ -101,7 +101,7 @@ class CoordinatorNode(BaseNode):
             yield from self._handle_ack(envelope)
 
     def _handle_submit(self, envelope: Envelope):
-        yield self.env.timeout(self.cost_model.signature)
+        yield self.cost_model.signature
         if not self.verify_envelope(envelope):
             return
         body = envelope.message.body
@@ -118,7 +118,7 @@ class CoordinatorNode(BaseNode):
             shard: sorted(k for k in tx.rw_set.keys if self.router.shard_of_key(k) == shard)
             for shard in shards
         }
-        yield self.env.timeout(self.cost_model.client_assembly * len(shards))
+        yield self.cost_model.client_assembly * len(shards)
         prepares = {
             shard: make_prepare_record(
                 tx, shard, shards, local_keys[shard], self.node_id, self.env.now
@@ -139,7 +139,7 @@ class CoordinatorNode(BaseNode):
             self._submit_record(shard, prepares[shard])
 
     def _handle_vote(self, envelope: Envelope):
-        yield self.env.timeout(self.cost_model.signature)
+        yield self.cost_model.signature
         if not self.verify_envelope(envelope):
             return
         body = envelope.message.body
@@ -167,7 +167,7 @@ class CoordinatorNode(BaseNode):
             merged: Dict[str, Any] = {}
             for shard in shards:
                 merged.update(votes[shard].get("reads", {}))
-            yield self.env.timeout(self.cost_model.tx_execution)
+            yield self.cost_model.tx_execution
             result = self.contracts.execute(tx, merged, executed_by=self.node_id)
             aborted = result.is_abort
             reason = result.abort_reason
@@ -182,7 +182,7 @@ class CoordinatorNode(BaseNode):
         else:
             self.commits += 1
         decision = "abort" if aborted else "commit"
-        yield self.env.timeout(self.cost_model.client_assembly * len(shards))
+        yield self.cost_model.client_assembly * len(shards)
         records = {
             shard: make_decision_record(
                 tx,
@@ -202,7 +202,7 @@ class CoordinatorNode(BaseNode):
             self._submit_record(shard, records[shard])
 
     def _handle_ack(self, envelope: Envelope):
-        yield self.env.timeout(self.cost_model.signature)
+        yield self.cost_model.signature
         if not self.verify_envelope(envelope):
             return
         body = envelope.message.body
@@ -219,14 +219,14 @@ class CoordinatorNode(BaseNode):
         self.send_signed(
             self.shard_entries[shard],
             messages.REQUEST,
-            {"transaction": record, "application": record.application, "client": record.client},
+            {"transaction": record},
             payload_bytes=self.latency.per_tx_bytes,
         )
 
     def _retry_loop(self):
         interval = self.config.recovery.retransmit_interval
         while True:
-            yield self.env.timeout(interval)
+            yield interval
             for base, entry in list(self.pending.items()):
                 if entry["decision_records"] is None:
                     waiting = [s for s in entry["shards"] if s not in entry["votes"]]

@@ -16,13 +16,23 @@ class Environment:
 
     Events scheduled at the same simulated time are processed in FIFO order of
     scheduling, which keeps runs fully deterministic.
+
+    Besides :class:`Event` objects, the heap accepts *lean callbacks*
+    (plain callables scheduled via :meth:`schedule_callback`): the hot
+    delivery path of the transport uses these to pay one heap entry and one
+    call per message instead of a full process bootstrap/resume cycle.
     """
+
+    __slots__ = ("_now", "_queue", "_counter", "_active_process", "_profiler")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
-        self._queue: List[Tuple[float, int, Event]] = []
+        self._queue: List[Tuple[float, int, Any]] = []
         self._counter = itertools.count()
         self._active_process: Optional[Process] = None
+        #: Optional :class:`repro.profiling.PhaseProfiler`; ``None`` keeps the
+        #: dispatch loop zero-cost (a single ``is None`` check per step).
+        self._profiler = None
 
     # ------------------------------------------------------------------ clock
     @property
@@ -43,6 +53,23 @@ class Environment:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event that fires ``delay`` simulated seconds from now."""
         return Timeout(self, delay, value)
+
+    def timeout_at(self, when: float, value: Any = None) -> Event:
+        """Event that fires at the *absolute* simulated time ``when``.
+
+        Unlike ``timeout(when - now)`` this pushes the exact target time onto
+        the heap, avoiding the one-ulp drift ``now + (when - now)`` can
+        introduce — the block-batched execution loops rely on waking at
+        bit-identical times to their per-transaction equivalents.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule an event in the past (t={when}, now={self._now})"
+            )
+        event = Event(self)
+        event._value = value
+        heapq.heappush(self._queue, (when, next(self._counter), event))
+        return event
 
     def process(self, generator: Generator[Event, Any, Any], name: str = "") -> Process:
         """Start a new process from ``generator``."""
@@ -76,21 +103,47 @@ class Environment:
             raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
         heapq.heappush(self._queue, (self._now + delay, next(self._counter), event))
 
+    def schedule_callback(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule a bare ``callback()`` to run ``delay`` seconds from now.
+
+        The lean fast path for fire-and-forget work (message delivery): the
+        callable goes on the heap directly — no :class:`Event` allocation, no
+        waiter list — and is invoked once when its time arrives.  The callable
+        must not be an :class:`Event` (it is distinguished from events by the
+        absence of a ``callbacks`` attribute) and cannot be awaited.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule a callback in the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + delay, next(self._counter), callback))
+
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if the queue is empty."""
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
-        """Process the single next event."""
+        """Process the single next queue entry (an event or a lean callback)."""
         if not self._queue:
             raise SimulationError("cannot step an empty event queue")
         when, _, event = heapq.heappop(self._queue)
         if when < self._now:
             raise SimulationError("event scheduled in the past — scheduler bug")
         self._now = when
-        callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks or ():
-            callback(event)
+        profiler = self._profiler
+        callbacks = getattr(event, "callbacks", None)
+        if callbacks is None:
+            # Lean callback scheduled via schedule_callback().
+            if profiler is None:
+                event()
+            else:
+                profiler.run_plain(event)
+            return
+        event.callbacks = None
+        if profiler is None:
+            for callback in callbacks:
+                callback(event)
+        else:
+            for callback in callbacks:
+                profiler.run_callback(callback, event)
 
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run the simulation.

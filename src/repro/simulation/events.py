@@ -19,7 +19,14 @@ PENDING = object()
 
 
 class Event:
-    """A one-shot occurrence that callbacks (usually processes) wait on."""
+    """A one-shot occurrence that callbacks (usually processes) wait on.
+
+    Events are the highest-volume objects a run allocates (every timeout,
+    message delivery and process suspension creates one), so the whole
+    hierarchy is slotted.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -85,6 +92,8 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` seconds after it is created."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"timeout delay must be >= 0, got {delay}")
@@ -97,6 +106,8 @@ class Timeout(Event):
 
 class ConditionEvent(Event):
     """Base for events that fire when a condition over child events holds."""
+
+    __slots__ = ("events", "_pending")
 
     def __init__(self, env: "Environment", events: Sequence[Event]) -> None:
         super().__init__(env)
@@ -122,6 +133,8 @@ class ConditionEvent(Event):
 class AllOf(ConditionEvent):
     """Fires when every child event has fired; value is the list of values."""
 
+    __slots__ = ("_remaining",)
+
     def __init__(self, env: "Environment", events: Sequence[Event]) -> None:
         self._remaining = len(events)
         super().__init__(env, events)
@@ -139,6 +152,8 @@ class AllOf(ConditionEvent):
 
 class AnyOf(ConditionEvent):
     """Fires as soon as one child fires; value is that child's value."""
+
+    __slots__ = ()
 
     def _child_done(self, event: Event) -> None:
         if self.triggered:

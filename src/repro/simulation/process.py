@@ -9,6 +9,7 @@ processes can be awaited like any other event (``yield env.process(...)``).
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Any, Generator, TYPE_CHECKING
 
 from repro.common.errors import SimulationError
@@ -26,8 +27,31 @@ class Interrupt(Exception):
         self.cause = cause
 
 
+class _SleepWake:
+    """Stand-in for the event a lean sleep resumes with (always ok, no value)."""
+
+    __slots__ = ()
+    ok = True
+    value = None
+
+
+_SLEEP_WAKE = _SleepWake()
+
+
 class Process(Event):
-    """An executing generator; also an event that fires when it terminates."""
+    """An executing generator; also an event that fires when it terminates.
+
+    Besides :class:`Event` objects, a process generator may yield a plain
+    ``float``/``int`` delay — the lean equivalent of ``yield env.timeout(d)``.
+    The simulator resumes the generator after exactly that much simulated
+    time without allocating a :class:`~repro.simulation.events.Timeout`
+    event, which is what makes per-transaction pacing loops cheap.  The
+    sleep fires at the same heap position the timeout event would have
+    occupied, so switching a call site between the two forms does not change
+    the simulation's event order.
+    """
+
+    __slots__ = ("_generator", "name", "_target", "_sleep_epoch")
 
     def __init__(self, env: "Environment", generator: Generator[Event, Any, Any], name: str = "") -> None:
         if not hasattr(generator, "send"):
@@ -36,6 +60,8 @@ class Process(Event):
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Event | None = None
+        # Monotonic token invalidating in-flight lean sleeps on interrupt.
+        self._sleep_epoch = 0
         # Kick the process off at the current simulation time.
         bootstrap = Event(env)
         bootstrap.succeed(None)
@@ -53,13 +79,15 @@ class Process(Event):
         wakeup = Event(self.env)
         wakeup._ok = False
         wakeup._value = Interrupt(cause)
-        # Detach from the event we were waiting on, if any.
+        # Detach from the event we were waiting on, if any, and invalidate
+        # any pending lean sleep so its wake-up becomes a no-op.
         if self._target is not None and self._target.callbacks is not None:
             try:
                 self._target.callbacks.remove(self._resume)
             except ValueError:
                 pass
         self._target = None
+        self._sleep_epoch += 1
         self.env.schedule(wakeup)
         wakeup.add_callback(self._resume)
 
@@ -81,6 +109,18 @@ class Process(Event):
             self.fail(exc)
             return
         self.env._active_process = None
+        cls = target.__class__
+        if cls is float or cls is int:
+            # Lean sleep: resume after the delay without a Timeout event.
+            self._target = None
+            epoch = self._sleep_epoch + 1
+            self._sleep_epoch = epoch
+            try:
+                self.env.schedule_callback(target, partial(self._wake, epoch))
+            except SimulationError as exc:
+                self._generator.close()
+                self.fail(exc)
+            return
         if not isinstance(target, Event):
             failure = SimulationError(
                 f"process {self.name!r} yielded a non-event: {target!r}"
@@ -95,6 +135,12 @@ class Process(Event):
             return
         self._target = target
         target.add_callback(self._resume)
+
+    def _wake(self, epoch: int) -> None:
+        """Fire a lean sleep; stale wake-ups (post-interrupt) are dropped."""
+        if epoch != self._sleep_epoch or self.triggered:
+            return
+        self._resume(_SLEEP_WAKE)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "finished" if self.triggered else "alive"

@@ -31,6 +31,8 @@ class Request(Event):
         # released automatically
     """
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.env)
         self.resource = resource
@@ -49,6 +51,8 @@ class Request(Event):
 
 class Resource:
     """A counting semaphore with FIFO queuing of requests."""
+
+    __slots__ = ("env", "capacity", "_users", "_waiting")
 
     def __init__(self, env: Environment, capacity: int = 1) -> None:
         if capacity <= 0:
@@ -107,6 +111,8 @@ class CpuPool:
     transactions in parallel.
     """
 
+    __slots__ = ("env", "cores", "_resource", "_busy_time")
+
     def __init__(self, env: Environment, cores: int) -> None:
         self.env = env
         self.cores = cores
@@ -130,7 +136,7 @@ class CpuPool:
         with self._resource.request() as grant:
             yield grant
             if cost > 0:
-                yield self.env.timeout(cost)
+                yield cost
             self._busy_time += cost
         return result
 
@@ -146,6 +152,8 @@ class Store:
     item as soon as one is available.  Multiple pending ``get`` requests are
     served in FIFO order.
     """
+
+    __slots__ = ("env", "_items", "_getters")
 
     def __init__(self, env: Environment) -> None:
         self.env = env

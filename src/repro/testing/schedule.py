@@ -42,7 +42,7 @@ ACTIONS = ("crash", "restart", "partition", "heal_partition", "degrade_link", "h
 _LINK_FIELDS = ("drop_probability", "extra_delay", "duplicate_probability", "reorder_window")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FaultEvent:
     """One scheduled fault action at an absolute simulated time.
 

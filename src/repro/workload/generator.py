@@ -152,6 +152,10 @@ class WorkloadGenerator(WorkloadBase):
         super().__init__(config)
         #: Which application hosts the within-application contention chain.
         self._hot_application = self._applications[0]
+        #: application -> its hot-account pool (the pool is deterministic per
+        #: application, so building the name list once per app instead of
+        #: once per conflicting transaction keeps generation linear).
+        self._hot_pools: Dict[str, List[str]] = {}
 
     # ------------------------------------------------------------- hot keys
     def hot_account_name(self, index: int, application: Optional[str] = None) -> str:
@@ -161,7 +165,14 @@ class WorkloadGenerator(WorkloadBase):
         return f"hot-{application}-{index}"
 
     def _hot_accounts_for(self, application: str) -> List[str]:
-        return [self.hot_account_name(i, application) for i in range(self.config.hot_accounts)]
+        pool = self._hot_pools.get(application)
+        if pool is None:
+            pool = [
+                self.hot_account_name(i, application)
+                for i in range(self.config.hot_accounts)
+            ]
+            self._hot_pools[application] = pool
+        return pool
 
     # --------------------------------------------------------------- workload
     def _build_transaction(self, index: int) -> Transaction:

@@ -61,6 +61,20 @@ class TestBlock:
         b = Block.create(sequence=1, transactions=_stamped(3), previous_hash="00")
         assert a.digest() != b.digest()
 
+    def test_canonical_bytes_memoised_and_consistent(self):
+        from repro.crypto.hashing import canonical_bytes, content_hash
+
+        block = Block.create(sequence=1, transactions=_stamped(2), previous_hash="00")
+        first = block.canonical_bytes()
+        assert block.canonical_bytes() is first  # computed once per sealed block
+        # The memo must be byte-identical to the generic canonical_tuple()
+        # encoding, so message hashes (NEWBLOCK bodies, consensus proposals)
+        # agree whichever path encodes the block.
+        assert canonical_bytes(block) == first
+        # And two equal blocks hash identically through either path.
+        same = Block.create(sequence=1, transactions=block.transactions, previous_hash="00")
+        assert content_hash(same) == content_hash(block)
+
 
 class TestBlockBuilderCutConditions:
     def test_cut_on_max_transactions(self):

@@ -121,6 +121,36 @@ class TestSignatures:
         assert KeyPair.generate("n", seed="x") != KeyPair.generate("n", seed="y")
 
 
+class TestTrustedChannels:
+    def test_registry_starts_untrusted(self):
+        registry = KeyRegistry(seed="s")
+        assert registry.trusted is False
+        registry.trust_channels()
+        assert registry.trusted is True
+
+    def test_trusted_message_skips_hashing_but_stays_verifiable_shape(self):
+        from repro.network.message import TRUSTED_SIGNATURE, build_trusted
+
+        message = build_trusted("REQUEST", {"n": 1})
+        # Non-empty placeholder: the ``if not message.signature`` guard on
+        # every verify path still rejects explicitly unsigned messages.
+        assert message.signature == TRUSTED_SIGNATURE
+        # The hashes were not computed eagerly but stay lazily available.
+        assert message._body_hash is None
+        assert message.body_hash()
+        assert message.unsigned_hash()
+
+    def test_untrusted_registry_rejects_trusted_placeholder(self):
+        """A trusted-channel message is NOT verifiable under real crypto —
+        the trust switch must be deployment-wide, never per message."""
+        from repro.network.message import build_trusted
+
+        registry = KeyRegistry(seed="s")
+        registry.register("a")
+        message = build_trusted("REQUEST", {"n": 1})
+        assert not registry.verify_hash(message.unsigned_hash(), "a", message.signature)
+
+
 class TestMerkleTree:
     def test_empty_tree_has_genesis_root(self):
         assert MerkleTree([]).root == GENESIS_HASH

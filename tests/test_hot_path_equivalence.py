@@ -1,0 +1,82 @@
+"""Hot-path optimisations must be invisible in simulated results.
+
+The end-to-end overhaul trades wall-clock work for memoisation, batching and
+trust short-cuts — every one of which claims to be *behaviour-preserving*:
+the same ``(spec, seed)`` must produce bit-identical metrics whether the
+optimisation is on or off.  These tests pin each claim by running one
+contended scenario per paradigm both ways and diffing the full summary:
+
+* **profiling on vs off** — the phase profiler only adds wall-clock
+  instrumentation (``extra["phase_times"]``), never simulated behaviour;
+* **batched vs per-transaction commit loops** — a block-batched peer sleeps
+  once per block but back-computes the exact per-transaction commit times;
+* **replay cache on vs off** — a cacheable contract's replayed result equals
+  re-execution on every replica;
+* **trusted channels vs full crypto** — fault-free runs skip message
+  signing/verification, whose bytes are observable nowhere.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import BlockCutPolicy, SystemConfig
+from repro.contracts.accounting import AccountingContract
+from repro.crypto.signatures import KeyRegistry
+from repro.nodes.base import BlockBatchMixin
+from repro.paradigms.run import execute_run
+from repro.workload.generator import WorkloadConfig
+
+PARADIGMS = ("ox", "xov", "oxii")
+
+
+def run_contended(paradigm: str, profile: bool = False) -> dict:
+    """One small contended run; returns the full summary dict."""
+    metrics = execute_run(
+        paradigm,
+        system_config=SystemConfig(
+            block_cut=BlockCutPolicy(max_transactions=64, max_delay=0.1)
+        ),
+        workload_config=WorkloadConfig(seed=11, contention=0.5),
+        offered_load=512,
+        duration=0.5,
+        drain=5.0,
+        profile=profile,
+    )
+    return metrics.as_dict()
+
+
+@pytest.mark.parametrize("paradigm", PARADIGMS)
+def test_profiling_does_not_change_results(paradigm):
+    plain = run_contended(paradigm, profile=False)
+    profiled = run_contended(paradigm, profile=True)
+    phase_times = profiled.pop("phase_times")
+    assert phase_times, "profiled run must report a phase breakdown"
+    assert profiled == plain
+
+
+@pytest.mark.parametrize("paradigm", PARADIGMS)
+def test_batched_delivery_matches_per_transaction_loop(paradigm, monkeypatch):
+    monkeypatch.setattr(BlockBatchMixin, "batch_block_execution", True)
+    batched = run_contended(paradigm)
+    monkeypatch.setattr(BlockBatchMixin, "batch_block_execution", False)
+    unbatched = run_contended(paradigm)
+    assert batched == unbatched
+
+
+@pytest.mark.parametrize("paradigm", PARADIGMS)
+def test_replay_cache_matches_reexecution(paradigm, monkeypatch):
+    cached = run_contended(paradigm)
+    monkeypatch.setattr(AccountingContract, "replay_cacheable", False)
+    uncached = run_contended(paradigm)
+    assert cached == uncached
+
+
+@pytest.mark.parametrize("paradigm", PARADIGMS)
+def test_trusted_channels_match_full_crypto(paradigm, monkeypatch):
+    trusted = run_contended(paradigm)
+    # Disabling the trust declaration forces every message through the real
+    # canonicalise+hash+HMAC sign/verify path.
+    monkeypatch.setattr(KeyRegistry, "trust_channels", lambda self: None)
+    full_crypto = run_contended(paradigm)
+    assert trusted == full_crypto

@@ -101,9 +101,13 @@ class TestEvaluate:
         rows.append(
             {"benchmark": "shard_spill", "shards": 4, "spill": 0.3, "throughput_tps": 10**9}
         )
+        rows.extend(
+            {"benchmark": "e2e_scaling", "paradigm": p, "speedup": 10**9}
+            for p in ("ox", "xov", "oxii")
+        )
         findings = perf_gate.evaluate(rows, baselines)
         assert all(f["status"] == perf_gate.OK for f in findings)
-        assert len(findings) == 13
+        assert len(findings) == 16
 
 
 class TestTrend:
@@ -127,6 +131,16 @@ class TestTrend:
         findings = perf_gate.evaluate([_row(1.0)], _baselines())
         history = perf_gate.merge_trend(trend, [_row(1.0)], findings)
         assert history["runs"][-1]["regressions"] == 1
+        assert history["runs"][-1]["missing"] == 0
+
+    def test_run_records_missing_separately_from_regressions(self, tmp_path):
+        # A baseline entry with no matching row is a different failure mode
+        # (broken/renamed benchmark) and must not inflate the regression count.
+        trend = tmp_path / "trend.json"
+        findings = perf_gate.evaluate([], _baselines())
+        history = perf_gate.merge_trend(trend, [], findings)
+        assert history["runs"][-1]["regressions"] == 0
+        assert history["runs"][-1]["missing"] == 1
 
 
 class TestMain:
@@ -159,6 +173,18 @@ class TestMain:
         monkeypatch.setenv("REPRO_BENCH_NO_GATE", "1")
         results, base = self._write(tmp_path, [_row(1.0)], _baselines())
         assert perf_gate.main(self._argv(results, base, tmp_path)) == 0
+
+    def test_verdict_distinguishes_missing_from_regressed(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_BENCH_NO_GATE", raising=False)
+        baselines = _baselines()
+        baselines["entries"].append(
+            {"benchmark": "gone_benchmark", "match": {}, "metric": "tps", "baseline": 10.0}
+        )
+        results, base = self._write(tmp_path, [_row(1.0)], baselines)
+        assert perf_gate.main(self._argv(results, base, tmp_path)) == 1
+        out = capsys.readouterr().out
+        assert "1 below floor" in out
+        assert "1 with no matching row/metric" in out
 
     def test_missing_results_file(self, tmp_path, monkeypatch):
         monkeypatch.delenv("REPRO_BENCH_NO_GATE", raising=False)

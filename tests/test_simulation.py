@@ -27,6 +27,29 @@ class TestEnvironmentBasics:
         with pytest.raises(SimulationError):
             env.timeout(-1.0)
 
+    def test_timeout_at_wakes_at_exact_absolute_time(self, env):
+        # 0.1 is not exactly representable: now + (when - now) drifts by an
+        # ulp, which is exactly what timeout_at exists to avoid.
+        target = 0.1 + 0.2  # 0.30000000000000004
+        def proc(env):
+            yield env.timeout(0.1)
+            yield env.timeout_at(target)
+            return env.now
+
+        process = env.process(proc(env))
+        env.run()
+        assert process.value == target
+
+    def test_timeout_at_rejects_past_times(self, env):
+        def proc(env):
+            yield env.timeout(1.0)
+
+        env.process(proc(env))
+        env.run()
+        assert env.now == 1.0
+        with pytest.raises(SimulationError):
+            env.timeout_at(0.5)
+
     def test_events_fire_in_time_order(self, env):
         order = []
 
@@ -109,11 +132,75 @@ class TestProcesses:
 
     def test_yielding_non_event_fails_process(self, env):
         def proc(env):
-            yield 42  # not an Event
+            yield "not an event"
 
         process = env.process(proc(env))
         env.run()
         assert not process.ok
+
+    def test_yielding_number_sleeps(self, env):
+        """A numeric yield is a lean timeout: the process resumes after the delay."""
+        marks = []
+
+        def proc(env):
+            yield 1.5
+            marks.append(env.now)
+            yield 2  # ints work too
+            marks.append(env.now)
+            return "slept"
+
+        process = env.process(proc(env))
+        value = env.run(until=process)
+        assert marks == [1.5, 3.5]
+        assert value == "slept"
+
+    def test_numeric_sleep_orders_like_timeout(self, env):
+        """Lean sleeps and timeout events at the same instant keep FIFO order."""
+        order = []
+
+        def lean(env):
+            yield 1.0
+            order.append("lean")
+
+        def evented(env):
+            yield env.timeout(1.0)
+            order.append("event")
+
+        env.process(lean(env))
+        env.process(evented(env))
+        env.run()
+        assert order == ["lean", "event"]
+
+    def test_negative_sleep_fails_process(self, env):
+        def proc(env):
+            yield -0.5
+
+        process = env.process(proc(env))
+        env.run()
+        assert not process.ok
+
+    def test_interrupt_cancels_pending_lean_sleep(self, env):
+        """An interrupt during a lean sleep must not resume the process twice."""
+        marks = []
+
+        def sleeper(env):
+            try:
+                yield 10.0
+            except Interrupt:
+                marks.append(("interrupted", env.now))
+            yield 5.0
+            marks.append(("resumed", env.now))
+            return "done"
+
+        def interrupter(env, victim):
+            yield env.timeout(1.0)
+            victim.interrupt("wake up")
+
+        victim = env.process(sleeper(env))
+        env.process(interrupter(env, victim))
+        env.run()
+        assert marks == [("interrupted", 1.0), ("resumed", 6.0)]
+        assert victim.value == "done"
 
     def test_interrupt_raises_inside_process(self, env):
         caught = []

@@ -28,6 +28,12 @@ class TestReadWriteSet:
         assert ReadWriteSet.build(reads=["x"]).is_read_only()
         assert not ReadWriteSet.build(writes=["x"]).is_read_only()
 
+    def test_sorted_keys_is_memoised_and_sorted(self):
+        rw = ReadWriteSet.build(reads=["b", "a"], writes=["c", "a"])
+        first = rw.sorted_keys()
+        assert first == ("a", "b", "c")
+        assert rw.sorted_keys() is first  # memoised on the hot path
+
 
 class TestTransaction:
     def test_requires_id_and_application(self):

@@ -141,7 +141,12 @@ def merge_trend(trend_path: Path, rows: List[dict], findings: List[dict]) -> Dic
         {
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
             "sha": git_sha(),
-            "regressions": sum(1 for f in findings if f["status"] != OK),
+            # Distinct failure modes, recorded separately: "regressions" are
+            # rows measurably below their floor, "missing" are baseline
+            # entries no fresh row matched (a broken/renamed benchmark, which
+            # would otherwise hide as "no regression" forever).
+            "regressions": sum(1 for f in findings if f["status"] == REGRESSION),
+            "missing": sum(1 for f in findings if f["status"] == MISSING),
             "rows": rows,
         }
     )
@@ -171,9 +176,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(describe(finding))
     merge_trend(args.trend, rows, findings)
 
-    bad = [f for f in findings if f["status"] != OK]
-    if bad:
-        print(f"perf_gate: {len(bad)}/{len(findings)} entries regressed or missing")
+    regressed = [f for f in findings if f["status"] == REGRESSION]
+    absent = [f for f in findings if f["status"] == MISSING]
+    if regressed or absent:
+        parts = []
+        if regressed:
+            parts.append(f"{len(regressed)} below floor")
+        if absent:
+            parts.append(f"{len(absent)} with no matching row/metric")
+        print(f"perf_gate: {' and '.join(parts)} (of {len(findings)} entries)")
         if no_gate():
             print("perf_gate: REPRO_BENCH_NO_GATE set — reporting only")
             return 0
