@@ -1,0 +1,77 @@
+"""First *real* throughput numbers: the asyncio backends at honest pacing.
+
+Every other benchmark in this suite records simulated throughput — the
+number to compare against the paper.  This one runs the same deployment on
+the wall clock (``speed=1.0``: one simulated second takes one real second,
+and all I/O is real asyncio machinery), so the recorded
+``wall_clock_throughput`` is what this host actually sustains end-to-end.
+
+Rows land in ``BENCH_results.json`` as ``"benchmark": "realnet"`` with the
+backend name attached; they are informational (no gate) because wall-clock
+numbers are machine-dependent by definition — the parity suite in
+``tests/test_realnet_parity.py`` is what gates correctness.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.bench.runner import BenchmarkSettings, run_point
+from repro.network.message import Message
+
+from benchmarks.conftest import record_rows
+
+#: Offered load for the wall-clock point: modest enough that a CI container
+#: keeps up at speed=1 without the event loop becoming the bottleneck.
+OFFERED_LOAD = 200.0
+DURATION = 1.0
+
+
+def _frames_pickle() -> bool:
+    """TCP frames carry slotted frozen dataclasses — picklable on >= 3.11."""
+    try:
+        pickle.loads(pickle.dumps(Message(kind="PROBE", body={})))
+    except Exception:
+        return False
+    return True
+
+
+@pytest.mark.parametrize(
+    "backend",
+    (
+        "asyncio",
+        pytest.param(
+            "asyncio-tcp",
+            marks=pytest.mark.skipif(
+                not _frames_pickle(),
+                reason="TCP frames pickle slotted frozen dataclasses (requires Python >= 3.11)",
+            ),
+        ),
+    ),
+)
+def test_realnet_wall_clock_point(backend) -> None:
+    settings = BenchmarkSettings(
+        duration=DURATION, drain=10.0, quick=True, backend=backend, realtime_speed=1.0
+    )
+    metrics = run_point("OX", offered_load=OFFERED_LOAD, settings=settings)
+    assert metrics.committed > 0
+    assert metrics.extra["backend"] == backend
+    wall = metrics.extra["wall_clock_seconds"]
+    assert wall > 0
+    record_rows(
+        [
+            {
+                "benchmark": "realnet",
+                "backend": backend,
+                "paradigm": metrics.paradigm,
+                "offered_load_tps": round(metrics.offered_load, 1),
+                "committed": metrics.committed,
+                "aborted": metrics.aborted,
+                "wall_clock_seconds": round(wall, 4),
+                "wall_clock_throughput_tps": round(metrics.extra["wall_clock_throughput"], 1),
+                "realtime_speed": 1.0,
+            }
+        ]
+    )

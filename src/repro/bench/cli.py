@@ -54,12 +54,34 @@ BUILTIN_SPECS: Dict[str, Callable[[BenchmarkSettings], ExperimentSpec]] = {
 }
 
 
+#: Post-parse defaults for the shared flags.  These deliberately live outside
+#: the parser: ``parser.set_defaults`` mutates the default on the matching
+#: actions, and ``parents=[common]`` *shares* those action objects with every
+#: subcommand parser — so a ``set_defaults`` value would replace the
+#: subcommands' ``SUPPRESS`` defaults and clobber any flag given *before* the
+#: subcommand (``bench --quick quick`` would silently drop ``--quick``).
+_SHARED_DEFAULTS = dict(
+    quick=False, duration=None, json_path=None, workers=None,
+    profile=False, profile_out=None, backend="sim", realtime_speed=None,
+)
+
+
+def parse_args(argv: Optional[Sequence[str]] = None) -> argparse.Namespace:
+    """Parse ``argv`` and fill in the shared-flag defaults post-parse."""
+    args = build_parser().parse_args(argv)
+    for dest, default in _SHARED_DEFAULTS.items():
+        if not hasattr(args, dest):
+            setattr(args, dest, default)
+    return args
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser for the benchmark CLI.
 
     The shared flags (``--quick``, ``--duration``, ``--json``, ``--workers``)
-    are accepted both before and after the subcommand; the subcommand copies
-    use ``SUPPRESS`` defaults so they only override when actually given.
+    are accepted both before and after the subcommand; every copy uses
+    ``SUPPRESS`` defaults so they only bind when actually given (defaults are
+    applied afterwards by :func:`parse_args`).
     """
     common = argparse.ArgumentParser(add_help=False, argument_default=argparse.SUPPRESS)
     common.add_argument("--quick", action="store_true", help="smaller sweeps, shorter runs")
@@ -81,15 +103,25 @@ def build_parser() -> argparse.ArgumentParser:
         dest="profile_out",
         help="where to write the JSON hotspot artifact (default: profile.json)",
     )
+    common.add_argument(
+        "--backend",
+        choices=("sim", "asyncio", "asyncio-tcp"),
+        help="transport/clock backend: 'sim' (deterministic simulation, the "
+        "default) or a real asyncio backend measuring wall clock "
+        "(see docs/performance.md)",
+    )
+    common.add_argument(
+        "--realtime-speed",
+        dest="realtime_speed",
+        type=float,
+        help="pacing factor for real backends: one simulated second takes "
+        "1/SPEED wall seconds (default 1.0, the honest wall clock)",
+    )
 
     parser = argparse.ArgumentParser(
         prog="parblockchain-bench",
         description="Run declarative experiment specs and regenerate the paper's figures.",
         parents=[common],
-    )
-    parser.set_defaults(
-        quick=False, duration=None, json_path=None, workers=None,
-        profile=False, profile_out=None,
     )
     parser.add_argument(
         "--smoke",
@@ -137,6 +169,11 @@ def _settings(args: argparse.Namespace) -> BenchmarkSettings:
     settings = BenchmarkSettings(quick=args.quick)
     if args.duration is not None:
         settings = settings.with_duration(args.duration)
+    if args.backend != "sim":
+        settings = settings.with_overrides(
+            backend=args.backend,
+            realtime_speed=args.realtime_speed if args.realtime_speed is not None else 1.0,
+        )
     return settings
 
 
@@ -168,7 +205,21 @@ def _resolve_spec(ref: str, args: argparse.Namespace, settings: BenchmarkSetting
         )
     if args.duration is not None and spec.duration != args.duration:
         spec = dataclasses.replace(spec, duration=args.duration)
+    if args.backend != "sim":
+        spec = _with_backend(spec, args.backend, args.realtime_speed or 1.0)
     return spec
+
+
+def _with_backend(spec: ExperimentSpec, backend: str, realtime_speed: float) -> ExperimentSpec:
+    """Rewrite every scenario's system overrides to run on ``backend``."""
+    scenarios = tuple(
+        dataclasses.replace(
+            scenario,
+            system={**dict(scenario.system), "backend": backend, "realtime_speed": realtime_speed},
+        )
+        for scenario in spec.scenarios
+    )
+    return dataclasses.replace(spec, scenarios=scenarios)
 
 
 def _cmd_run(
@@ -295,7 +346,7 @@ def _profiled(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Run the selected benchmark and print (and optionally save) its results."""
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parse_args(argv)
     if args.profile:
         return _profiled(args, parser)
     return _dispatch(args, parser)
@@ -317,6 +368,11 @@ def _dispatch(
             drain=2.0,
             quick=True,
         )
+        if args.backend != "sim":
+            settings = settings.with_overrides(
+                backend=args.backend,
+                realtime_speed=args.realtime_speed if args.realtime_speed is not None else 1.0,
+            )
         results = quick_comparison(contention=0.2, offered_load=500.0, settings=settings)
         print(format_comparison(results, title="Smoke: contention 20% @ 500 tps"))
         rows = [m.as_dict() for m in results.values()]

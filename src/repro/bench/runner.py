@@ -38,6 +38,11 @@ class BenchmarkSettings:
     block_size: int = 200
     xov_block_size: int = 100
     seed: int = 7
+    #: Transport/clock backend the runs execute on ("sim", "asyncio",
+    #: "asyncio-tcp"); real backends measure wall clock (see repro.realnet).
+    backend: str = "sim"
+    #: Pacing factor for real backends (1.0 = honest wall-clock pacing).
+    realtime_speed: float = 1.0
 
     def loads_for(self, paradigm: str) -> Sequence[float]:
         """The offered-load sweep for ``paradigm``."""
@@ -60,6 +65,10 @@ class BenchmarkSettings:
         applied when the caller does not supply an explicit configuration.
         """
         config = base or SystemConfig()
+        if self.backend != "sim":
+            config = config.with_overrides(
+                backend=self.backend, realtime_speed=self.realtime_speed
+            )
         if paradigm.upper() == "XOV":
             return config.with_block_size(self.xov_block_size)
         return config.with_block_size(self.block_size)

@@ -373,6 +373,16 @@ class SystemConfig:
     #: or "all_pairs" (one edge per conflicting pair, Section III-A
     #: verbatim).  See :class:`repro.core.dependency_graph.GraphConstruction`.
     graph_construction: str = "sparse"
+    #: Transport/clock backend the deployment runs on: "sim" (deterministic
+    #: discrete-event simulation, the default and the correctness oracle),
+    #: "asyncio" (wall-clock inproc queues) or "asyncio-tcp" (wall-clock
+    #: localhost TCP with length-prefixed frames).  See :mod:`repro.realnet`.
+    backend: str = "sim"
+    #: Pacing factor for real backends: one simulated second takes
+    #: ``1/realtime_speed`` wall seconds.  ``1.0`` for honest wall-clock
+    #: benchmarks; parity suites raise it to keep smoke runs fast.  Ignored
+    #: by the simulated backend.
+    realtime_speed: float = 1.0
 
     def __post_init__(self) -> None:
         if self.num_orderers <= 0:
@@ -412,6 +422,18 @@ class SystemConfig:
                 f"num_applications ({self.num_applications}): each shard hosts "
                 "at least one application — lower shards.num_shards or raise "
                 "num_applications"
+            )
+        if self.backend not in ("sim", "asyncio", "asyncio-tcp"):
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r} "
+                "(expected 'sim', 'asyncio' or 'asyncio-tcp')"
+            )
+        if self.realtime_speed <= 0:
+            raise ConfigurationError("realtime_speed must be positive")
+        if self.backend != "sim" and self.shards.num_shards > 1:
+            raise ConfigurationError(
+                f"backend {self.backend!r} does not support sharded deployments yet "
+                "(shards.num_shards must be 1)"
             )
         if self.max_faulty_orderers < 0:
             raise ConfigurationError("max_faulty_orderers must be >= 0")

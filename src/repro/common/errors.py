@@ -48,5 +48,9 @@ class AccessControlError(ParBlockchainError):
     """A client attempted an operation it is not authorised for."""
 
 
+class RealnetError(ParBlockchainError):
+    """A real-transport (asyncio) backend operation failed."""
+
+
 class ContractError(TransactionError):
     """A smart contract rejected a transaction (e.g. insufficient funds)."""

@@ -10,12 +10,14 @@ the true sender on every envelope, so a Byzantine node cannot forge a message
 from a correct node.
 """
 
+from repro.network.backend import BaseTransport
 from repro.network.message import Envelope, Message
 from repro.network.topology import Topology
 from repro.network.transport import Network, NetworkInterface
 from repro.network.faults import FaultPlan
 
 __all__ = [
+    "BaseTransport",
     "Envelope",
     "FaultPlan",
     "Message",

@@ -1,0 +1,175 @@
+"""The transport backend contract shared by the simulated and real networks.
+
+Every backend moves :class:`~repro.network.message.Message` objects between
+registered node interfaces and keeps the same conservation-law accounting:
+
+``messages_sent + messages_duplicated ==
+  messages_delivered + messages_dropped + messages_discarded_crash
+  + messages_in_flight``
+
+* ``messages_sent`` counts every :meth:`send` attempt (a drop is still an
+  attempted send — the sender paid for it).
+* ``messages_duplicated`` counts network-injected at-least-once duplicates
+  (scheduled deliveries that no ``send`` call produced).
+* ``messages_dropped`` counts sends the fault plan dropped before scheduling.
+* ``messages_discarded_crash`` counts scheduled deliveries discarded because
+  the recipient was crashed at delivery time.
+* ``messages_in_flight`` counts deliveries scheduled but not yet resolved.
+
+:meth:`reconcile` asserts the identity; the fault battery calls it after
+every scenario so a backend can never silently leak or invent messages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.common.errors import NetworkError
+from repro.network.message import Message
+from repro.simulation import Environment, Event, Store
+
+
+class NetworkInterface:
+    """A node's handle on the network: its inbox plus send helpers.
+
+    The interface is backend-agnostic: nodes written against it run unchanged
+    over the simulated transport and the asyncio backends.
+    """
+
+    __slots__ = ("_network", "node_id", "inbox")
+
+    def __init__(self, network: "BaseTransport", node_id: str) -> None:
+        self._network = network
+        self.node_id = node_id
+        self.inbox: Store = Store(network.env)
+
+    def send(self, recipient: str, message: Message, payload_bytes: Optional[int] = None) -> None:
+        """Send ``message`` to ``recipient`` (fire-and-forget)."""
+        self._network.send(self.node_id, recipient, message, payload_bytes)
+
+    def multicast(
+        self, recipients: Iterable[str], message: Message, payload_bytes: Optional[int] = None
+    ) -> None:
+        """Send ``message`` to every node in ``recipients``."""
+        self._network.multicast(self.node_id, recipients, message, payload_bytes)
+
+    def receive(self) -> Event:
+        """Event that fires with the next :class:`Envelope` in the inbox."""
+        return self.inbox.get()
+
+    def pending(self) -> int:
+        """Number of envelopes waiting in the inbox."""
+        return len(self.inbox)
+
+
+class BaseTransport:
+    """Registration, fan-out helpers and conservation-law accounting.
+
+    Concrete backends implement :meth:`send` (and whatever delivery machinery
+    they need) and call the ``_account_*`` helpers at the corresponding
+    lifecycle points so the :meth:`reconcile` identity holds by construction.
+    """
+
+    #: Phase label picked up by the profiler for delivery callbacks.
+    profile_phase = "transport"
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._interfaces: Dict[str, NetworkInterface] = {}
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_duplicated = 0
+        self.messages_dropped = 0
+        self.messages_discarded_crash = 0
+        self.messages_in_flight = 0
+        self.bytes_sent = 0
+
+    # ----------------------------------------------------------- registration
+    def register(self, node_id: str, datacenter: Optional[str] = None) -> NetworkInterface:
+        """Attach ``node_id`` to the network and return its interface."""
+        if node_id in self._interfaces:
+            raise NetworkError(f"node {node_id!r} is already registered")
+        self._place(node_id, datacenter)
+        interface = NetworkInterface(self, node_id)
+        self._interfaces[node_id] = interface
+        return interface
+
+    def _place(self, node_id: str, datacenter: Optional[str]) -> None:
+        """Hook for backends with a placement notion (topology datacenters)."""
+
+    def interface(self, node_id: str) -> NetworkInterface:
+        """Return the interface of a registered node."""
+        try:
+            return self._interfaces[node_id]
+        except KeyError:
+            raise NetworkError(f"unknown node {node_id!r}") from None
+
+    def node_ids(self) -> List[str]:
+        """All registered node ids."""
+        return list(self._interfaces)
+
+    # ------------------------------------------------------------------ sends
+    def send(
+        self,
+        sender: str,
+        recipient: str,
+        message: Message,
+        payload_bytes: Optional[int] = None,
+    ) -> None:
+        """Deliver ``message`` from ``sender`` to ``recipient`` asynchronously."""
+        raise NotImplementedError
+
+    def multicast(
+        self,
+        sender: str,
+        recipients: Iterable[str],
+        message: Message,
+        payload_bytes: Optional[int] = None,
+    ) -> None:
+        """Send ``message`` from ``sender`` to every node in ``recipients``."""
+        for recipient in recipients:
+            if recipient == sender:
+                continue
+            self.send(sender, recipient, message, payload_bytes)
+
+    def broadcast(self, sender: str, message: Message, payload_bytes: Optional[int] = None) -> None:
+        """Send ``message`` to every registered node except the sender."""
+        self.multicast(sender, self.node_ids(), message, payload_bytes)
+
+    # ------------------------------------------------------------- accounting
+    def counters(self) -> Dict[str, int]:
+        """The accounting counters as a plain dict (metrics / debugging)."""
+        return {
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "messages_duplicated": self.messages_duplicated,
+            "messages_dropped": self.messages_dropped,
+            "messages_discarded_crash": self.messages_discarded_crash,
+            "messages_in_flight": self.messages_in_flight,
+            "bytes_sent": self.bytes_sent,
+        }
+
+    def reconcile(self) -> Dict[str, int]:
+        """Assert the message conservation identity and return the counters.
+
+        ``sent + duplicated == delivered + dropped + discarded_crash +
+        in_flight`` must hold at any instant; a violation means the backend
+        lost or invented a message without accounting for it.
+        """
+        counters = self.counters()
+        produced = self.messages_sent + self.messages_duplicated
+        resolved = (
+            self.messages_delivered
+            + self.messages_dropped
+            + self.messages_discarded_crash
+            + self.messages_in_flight
+        )
+        if produced != resolved:
+            raise NetworkError(
+                "transport accounting identity violated: "
+                f"sent({self.messages_sent}) + duplicated({self.messages_duplicated}) "
+                f"!= delivered({self.messages_delivered}) + dropped({self.messages_dropped}) "
+                f"+ discarded_crash({self.messages_discarded_crash}) "
+                f"+ in_flight({self.messages_in_flight})"
+            )
+        return counters

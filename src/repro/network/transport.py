@@ -3,44 +3,20 @@
 from __future__ import annotations
 
 from functools import partial
-from typing import Dict, Iterable, List, Optional
+from typing import Iterable, Optional
 
 from repro.common.config import LatencyConfig
 from repro.common.errors import NetworkError
+from repro.network.backend import BaseTransport, NetworkInterface
 from repro.network.faults import FaultPlan
 from repro.network.message import Envelope, Message
 from repro.network.topology import Topology
-from repro.simulation import Environment, Event, Store
+from repro.simulation import Environment
+
+__all__ = ["Network", "NetworkInterface"]
 
 
-class NetworkInterface:
-    """A node's handle on the network: its inbox plus send helpers."""
-
-    def __init__(self, network: "Network", node_id: str) -> None:
-        self._network = network
-        self.node_id = node_id
-        self.inbox: Store = Store(network.env)
-
-    def send(self, recipient: str, message: Message, payload_bytes: Optional[int] = None) -> None:
-        """Send ``message`` to ``recipient`` (fire-and-forget)."""
-        self._network.send(self.node_id, recipient, message, payload_bytes)
-
-    def multicast(
-        self, recipients: Iterable[str], message: Message, payload_bytes: Optional[int] = None
-    ) -> None:
-        """Send ``message`` to every node in ``recipients``."""
-        self._network.multicast(self.node_id, recipients, message, payload_bytes)
-
-    def receive(self) -> Event:
-        """Event that fires with the next :class:`Envelope` in the inbox."""
-        return self.inbox.get()
-
-    def pending(self) -> int:
-        """Number of envelopes waiting in the inbox."""
-        return len(self.inbox)
-
-
-class Network:
+class Network(BaseTransport):
     """Point-to-point message delivery over a :class:`Topology`.
 
     Messages are delivered to each recipient's inbox after the topology's
@@ -48,6 +24,10 @@ class Network:
     them.  Delivery per link is FIFO: the transport never reorders two
     messages sent over the same directed link (it enforces this by tracking
     the last scheduled delivery time per link).
+
+    This is the deterministic simulated implementation of
+    :class:`~repro.network.backend.BaseTransport`; ``repro.realnet`` provides
+    the wall-clock asyncio implementations of the same contract.
     """
 
     def __init__(
@@ -57,38 +37,15 @@ class Network:
         faults: Optional[FaultPlan] = None,
         latency: Optional[LatencyConfig] = None,
     ) -> None:
-        self.env = env
+        super().__init__(env)
         self.topology = topology or Topology(latency=latency)
         self.faults = faults or FaultPlan()
         self.latency = self.topology.latency
-        self._interfaces: Dict[str, NetworkInterface] = {}
-        self._last_delivery: Dict[tuple, float] = {}
-        self.messages_sent = 0
-        self.messages_delivered = 0
-        self.messages_duplicated = 0
-        self.bytes_sent = 0
+        self._last_delivery: dict[tuple, float] = {}
 
-    # ----------------------------------------------------------- registration
-    def register(self, node_id: str, datacenter: Optional[str] = None) -> NetworkInterface:
-        """Attach ``node_id`` to the network and return its interface."""
-        if node_id in self._interfaces:
-            raise NetworkError(f"node {node_id!r} is already registered")
+    def _place(self, node_id: str, datacenter: Optional[str]) -> None:
         if datacenter is not None:
             self.topology.place(node_id, datacenter)
-        interface = NetworkInterface(self, node_id)
-        self._interfaces[node_id] = interface
-        return interface
-
-    def interface(self, node_id: str) -> NetworkInterface:
-        """Return the interface of a registered node."""
-        try:
-            return self._interfaces[node_id]
-        except KeyError:
-            raise NetworkError(f"unknown node {node_id!r}") from None
-
-    def node_ids(self) -> List[str]:
-        """All registered node ids."""
-        return list(self._interfaces)
 
     # ------------------------------------------------------------------ sends
     def send(
@@ -112,6 +69,10 @@ class Network:
             self._schedule_delivery(sender, recipient, message, size, faulty=False)
             return
         if self.faults.should_drop(sender, recipient):
+            # The send was attempted (it counts as sent and paid its bytes);
+            # the fault plan ate it.  Without this counter the conservation
+            # identity could never reconcile under lossy links.
+            self.messages_dropped += 1
             return
         self._schedule_delivery(sender, recipient, message, size, faulty=True)
         # At-least-once faults: the same message may be delivered a second
@@ -150,36 +111,19 @@ class Network:
             delivered_at=deliver_at,
             size_bytes=size,
         )
+        self.messages_in_flight += 1
         # Deliveries are lean scheduled callbacks, not processes: one heap
         # entry and one call per message instead of a bootstrap event, a
         # generator resume and a timeout event.
         self.env.schedule_callback(deliver_at - now, partial(self._deliver_now, envelope))
 
-    def multicast(
-        self,
-        sender: str,
-        recipients: Iterable[str],
-        message: Message,
-        payload_bytes: Optional[int] = None,
-    ) -> None:
-        """Send ``message`` from ``sender`` to every node in ``recipients``."""
-        for recipient in recipients:
-            if recipient == sender:
-                continue
-            self.send(sender, recipient, message, payload_bytes)
-
-    def broadcast(self, sender: str, message: Message, payload_bytes: Optional[int] = None) -> None:
-        """Send ``message`` to every registered node except the sender."""
-        self.multicast(sender, self.node_ids(), message, payload_bytes)
-
     # -------------------------------------------------------------- internals
-    #: Phase label picked up by the profiler for delivery callbacks.
-    profile_phase = "transport"
-
     def _deliver_now(self, envelope: Envelope) -> None:
         """Complete a scheduled delivery (runs at the envelope's delivery time)."""
+        self.messages_in_flight -= 1
         # Recipient may have crashed while the message was in flight.
         if self.faults.is_crashed(envelope.recipient):
+            self.messages_discarded_crash += 1
             return
         self.messages_delivered += 1
         self._interfaces[envelope.recipient].inbox.put(envelope)

@@ -1,0 +1,35 @@
+"""Real-transport backends: the same nodes over asyncio I/O and wall clock.
+
+The discrete-event simulator (`repro.simulation`) is the deterministic
+oracle; this package is the deployable counterpart.  It keeps the node code,
+protocol logic and metrics untouched and swaps only the two substrates
+underneath them:
+
+* :class:`RealtimeEnvironment` — paces the simulator's event heap against
+  the wall clock inside an asyncio event loop, so every node process
+  (generator) runs unchanged while its sleeps become real sleeps.
+* :class:`InprocTransport` / :class:`TcpTransport` — implementations of
+  :class:`repro.network.backend.BaseTransport` that move pickled frames
+  through asyncio queues or length-prefixed TCP streams instead of
+  scheduling simulated deliveries.
+
+``repro.realnet.parity`` holds the sim≡prod parity oracle: the same
+``ScenarioSpec`` must produce equivalent committed ledgers and per-tx
+outcomes on either backend, modulo timing.
+"""
+
+from repro.realnet.clock import RealtimeEnvironment
+from repro.realnet.transport import InprocTransport, TcpTransport, build_realnet
+from repro.realnet.parity import ParityMismatch, ParityReport, assert_parity, ledger_fingerprint
+from repro.realnet import workload as _parity_workload  # noqa: F401 - registers "parity_kv"
+
+__all__ = [
+    "InprocTransport",
+    "ParityMismatch",
+    "ParityReport",
+    "RealtimeEnvironment",
+    "TcpTransport",
+    "assert_parity",
+    "build_realnet",
+    "ledger_fingerprint",
+]

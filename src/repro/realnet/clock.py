@@ -1,0 +1,175 @@
+"""A wall-clock environment: the simulator's event heap paced by real time.
+
+The discrete-event :class:`~repro.simulation.core.Environment` dispatches the
+next heap entry immediately; :class:`RealtimeEnvironment` dispatches it only
+once the wall clock has caught up with its timestamp.  Everything written
+against the simulation API — processes, stores, CPU pools, lean callbacks —
+runs unchanged; node sleeps simply take real time, and asyncio tasks (the
+transport pumps) interleave with the dispatch loop through an ``inject``
+hook that is the single entry point for externally produced events.
+
+``speed`` compresses the pacing: at ``speed=s`` one simulated second takes
+``1/s`` wall seconds, so smoke-scale parity suites don't pay multi-second
+walls while the bench runs at ``speed=1`` for honest numbers.  ``env.now``
+remains *simulated* seconds in both cases, which keeps every metrics window
+(warmup fractions, horizons, drain tails) meaningful across backends.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import time
+from typing import Any, Callable, List, Optional
+
+from repro.common.errors import SimulationError
+from repro.simulation.core import Environment
+from repro.simulation.events import Event
+
+#: Dispatch this many ready events between cooperative yields so transport
+#: pump tasks are never starved during a burst of same-time events.
+_STEPS_PER_YIELD = 64
+
+#: How often the idle loop re-checks for externally injected work (seconds,
+#: wall clock) when the heap is empty but services may still produce events.
+_IDLE_POLL = 0.02
+
+
+class RealtimeEnvironment(Environment):
+    """Drop-in :class:`Environment` that paces dispatch against wall time.
+
+    ``run()`` keeps the synchronous signature — it spins up its own asyncio
+    loop, starts the registered services (transports), paces the heap and
+    tears the services down — so ``Deployment.run`` works on either backend
+    without a branch.
+    """
+
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        speed: float = 1.0,
+        max_wall: Optional[float] = 120.0,
+    ) -> None:
+        super().__init__(initial_time)
+        if speed <= 0:
+            raise SimulationError(f"speed must be positive, got {speed}")
+        self.speed = float(speed)
+        #: Hard wall-clock ceiling for one ``run()`` call; a hung transport or
+        #: a driver that never completes raises instead of hanging the caller
+        #: (and CI) forever.  ``None`` disables the watchdog.
+        self.max_wall = max_wall
+        self._services: List[Any] = []
+        self._start_monotonic: Optional[float] = None
+        self._wake: Optional[asyncio.Event] = None
+
+    # -------------------------------------------------------------- services
+    def add_service(self, service: Any) -> None:
+        """Register a service with async ``start(env)`` / ``stop()`` hooks.
+
+        Services (the asyncio transports) are started inside the event loop
+        before dispatch begins and stopped when ``run()`` returns, so their
+        pump tasks always have a running loop.
+        """
+        self._services.append(service)
+
+    # ----------------------------------------------------------------- clock
+    def elapsed(self) -> float:
+        """Wall-clock time since ``run()`` started, in *simulated* seconds."""
+        if self._start_monotonic is None:
+            return self._now
+        return (time.monotonic() - self._start_monotonic) * self.speed
+
+    def inject(self, callback: Callable[[], None]) -> None:
+        """Schedule ``callback()`` from an asyncio task and wake the loop.
+
+        The single entry point for events produced outside the dispatch loop
+        (transport pumps handing over received frames).  The callback lands at
+        the current wall-clock instant — never before ``now``, so the heap
+        invariant survives — and the dispatcher is woken if it is sleeping.
+        """
+        when = max(self._now, self.elapsed())
+        heapq.heappush(self._queue, (when, next(self._counter), callback))
+        if self._wake is not None:
+            self._wake.set()
+
+    # ------------------------------------------------------------------- run
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Pace the heap against the wall clock until ``until`` is reached.
+
+        Same contract as the simulated environment: ``None`` runs until the
+        system is quiescent (empty heap *and* idle services), a float runs to
+        that simulated time, an :class:`Event` runs until it is processed and
+        returns its value.
+        """
+        return asyncio.run(self._arun(until))
+
+    async def _arun(self, until: Optional[float | Event]) -> Any:
+        self._wake = asyncio.Event()
+        self._start_monotonic = time.monotonic() - self._now / self.speed
+        for service in self._services:
+            await service.start(self)
+        try:
+            if self.max_wall is None:
+                return await self._dispatch(until)
+            try:
+                return await asyncio.wait_for(self._dispatch(until), timeout=self.max_wall)
+            except asyncio.TimeoutError:
+                raise SimulationError(
+                    f"realtime run exceeded max_wall={self.max_wall}s "
+                    f"(simulated time reached {self._now:.3f}s)"
+                ) from None
+        finally:
+            for service in reversed(self._services):
+                await service.stop()
+            self._wake = None
+
+    async def _dispatch(self, until: Optional[float | Event]) -> Any:
+        stop_event = until if isinstance(until, Event) else None
+        horizon = float(until) if isinstance(until, (int, float)) else None
+        if horizon is not None and horizon < self._now:
+            raise SimulationError(f"cannot run to {horizon}, already at {self._now}")
+        steps = 0
+        while True:
+            if stop_event is not None and stop_event.processed:
+                if not stop_event.ok:
+                    raise stop_event._value
+                return stop_event.value
+            if not self._queue:
+                if stop_event is None and horizon is None and self._quiescent():
+                    return None
+                # Heap empty but a service may still hand frames over (or the
+                # horizon lies ahead): wait for an injection, then re-check.
+                await self._sleep_until_wake(_IDLE_POLL)
+                if horizon is not None and self.elapsed() >= horizon and not self._queue:
+                    self._now = horizon
+                    return None
+                continue
+            next_when = self._queue[0][0]
+            if horizon is not None and next_when > horizon:
+                if self.elapsed() < horizon:
+                    await self._sleep_until_wake((horizon - self.elapsed()) / self.speed)
+                    continue
+                self._now = horizon
+                return None
+            gap = next_when - self.elapsed()
+            if gap > 0:
+                await self._sleep_until_wake(gap / self.speed)
+                continue
+            self.step()
+            steps += 1
+            if steps >= _STEPS_PER_YIELD:
+                steps = 0
+                # Cooperative yield: let transport pumps drain their queues.
+                await asyncio.sleep(0)
+
+    async def _sleep_until_wake(self, seconds: float) -> None:
+        """Sleep up to ``seconds`` (wall), returning early on :meth:`inject`."""
+        self._wake.clear()
+        try:
+            await asyncio.wait_for(self._wake.wait(), timeout=max(seconds, 0.0))
+        except asyncio.TimeoutError:
+            pass
+
+    def _quiescent(self) -> bool:
+        """True when every service reports no buffered or in-flight work."""
+        return all(service.idle() for service in self._services)

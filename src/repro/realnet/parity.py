@@ -1,0 +1,230 @@
+"""The sim≡prod parity oracle: same scenario, two backends, one verdict.
+
+A parity check runs the *same* smoke-scale scenario once on the deterministic
+simulated backend and once on a real asyncio backend, then compares what must
+not depend on timing:
+
+* **Committed work** — the set of transaction ids that reached the ledger,
+  and each transaction's commit/abort outcome (with its stable abort reason).
+* **Intra-run agreement** — within each run, every peer's committed sequence
+  is a prefix of (or equal to) the reference peer's, whatever the backend.
+* **Sequence parity** (``strict_order=True``) — the exact committed order.
+  Valid for paradigms whose entry orderer sees one FIFO submission stream
+  (OX, OXII direct submission); XOV's endorsement round-trips make arrival
+  order a timing artefact, so XOV compares sets and outcomes only.
+
+Wall-clock quantities (latency, throughput, block boundaries, timestamps)
+are deliberately *not* compared — they are the honest difference between the
+backends, not a bug signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.config import SystemConfig
+from repro.common.errors import RealnetError
+from repro.metrics.collector import RunMetrics
+from repro.paradigms.run import make_deployment, prepare_driver
+from repro.workload.generator import WorkloadConfig
+
+
+class ParityMismatch(RealnetError):
+    """The two backends disagree on timing-independent observables."""
+
+
+@dataclass(frozen=True)
+class BackendRun:
+    """Everything the oracle keeps from one run of one backend."""
+
+    backend: str
+    metrics: RunMetrics
+    #: Committed transaction ids, in ledger order, of the reference peer.
+    committed_sequence: Tuple[str, ...]
+    #: Per-peer committed sequences (``node_id`` → ledger order).
+    peer_sequences: Dict[str, Tuple[str, ...]]
+    #: tx_id → stable outcome: ``""`` for commit, abort reason otherwise.
+    outcomes: Dict[str, str]
+
+
+@dataclass
+class ParityReport:
+    """The oracle's verdict plus enough context to debug a failure."""
+
+    sim: BackendRun
+    real: BackendRun
+    strict_order: bool
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.mismatches)} mismatch(es)"
+        return (
+            f"parity[{self.sim.metrics.paradigm}] sim vs {self.real.backend}: {status} — "
+            f"{len(self.sim.committed_sequence)} vs {len(self.real.committed_sequence)} "
+            f"committed, strict_order={self.strict_order}"
+        )
+
+
+def ledger_fingerprint(handles) -> Dict[str, Tuple[str, ...]]:
+    """Per-peer committed transaction-id sequences, flattened across blocks.
+
+    Block boundaries are cut on timers, so they differ across backends by
+    design; the flattened sequence is the timing-independent part.
+    """
+    sequences: Dict[str, Tuple[str, ...]] = {}
+    for peer in handles.peers:
+        ledger = getattr(peer, "ledger", None)
+        if ledger is None:
+            continue
+        sequences[peer.node_id] = tuple(
+            tx.tx_id for block in ledger.blocks() for tx in block
+        )
+    return sequences
+
+
+def _outcome_map(handles) -> Dict[str, str]:
+    collector = handles.collector
+    outcomes: Dict[str, str] = {}
+    for tx_id in collector.completion_times():
+        outcomes[tx_id] = collector.abort_reason_of(tx_id)
+    return outcomes
+
+
+def run_backend_point(
+    paradigm: str,
+    backend: str,
+    *,
+    generator: str = "parity_kv",
+    offered_load: float = 40.0,
+    duration: float = 1.0,
+    drain: float = 30.0,
+    seed: int = 7,
+    speed: float = 25.0,
+    system_config: Optional[SystemConfig] = None,
+    workload_config: Optional[WorkloadConfig] = None,
+) -> BackendRun:
+    """Run one scenario point on one backend and capture its observables.
+
+    ``speed`` only affects real backends (it compresses paced sleeps so a
+    smoke parity suite finishes in wall-milliseconds-per-simulated-second);
+    the simulated backend ignores it by construction.
+    """
+    system_config = system_config or SystemConfig()
+    system_config = system_config.with_overrides(backend=backend, seed=seed)
+    if backend != "sim":
+        system_config = replace(system_config, realtime_speed=speed)
+    workload_config = workload_config or WorkloadConfig(
+        num_applications=system_config.num_applications, seed=seed
+    )
+    system_config, driver, initial_state = prepare_driver(
+        generator, system_config, workload_config, offered_load, duration
+    )
+    deployment = make_deployment(paradigm, system_config)
+    metrics = deployment.run(
+        driver=driver,
+        initial_state=initial_state,
+        offered_load=offered_load,
+        drain=drain,
+    )
+    handles = deployment.handles
+    sequences = ledger_fingerprint(handles)
+    reference = _reference_sequence(sequences)
+    return BackendRun(
+        backend=backend,
+        metrics=metrics,
+        committed_sequence=reference,
+        peer_sequences=sequences,
+        outcomes=_outcome_map(handles),
+    )
+
+
+def _reference_sequence(sequences: Dict[str, Tuple[str, ...]]) -> Tuple[str, ...]:
+    """The longest per-peer sequence (the most caught-up peer)."""
+    if not sequences:
+        return ()
+    return max(sequences.values(), key=len)
+
+
+def _check_intra_run_prefixes(run: BackendRun, mismatches: List[str]) -> None:
+    reference = run.committed_sequence
+    for node_id, sequence in sorted(run.peer_sequences.items()):
+        if reference[: len(sequence)] != sequence:
+            mismatches.append(
+                f"[{run.backend}] peer {node_id} ledger diverges from the reference "
+                f"sequence (first {min(len(sequence), 5)} entries: {sequence[:5]})"
+            )
+
+
+def compare_runs(sim: BackendRun, real: BackendRun, strict_order: bool) -> ParityReport:
+    """Compare two captured runs; the report lists every mismatch found."""
+    report = ParityReport(sim=sim, real=real, strict_order=strict_order)
+    mismatches = report.mismatches
+    _check_intra_run_prefixes(sim, mismatches)
+    _check_intra_run_prefixes(real, mismatches)
+
+    sim_set = set(sim.committed_sequence)
+    real_set = set(real.committed_sequence)
+    if sim_set != real_set:
+        only_sim = sorted(sim_set - real_set)[:5]
+        only_real = sorted(real_set - sim_set)[:5]
+        mismatches.append(
+            f"committed sets differ: {len(sim_set)} sim vs {len(real_set)} "
+            f"{real.backend}; only-sim={only_sim} only-real={only_real}"
+        )
+    elif strict_order and sim.committed_sequence != real.committed_sequence:
+        divergence = next(
+            (
+                i
+                for i, (a, b) in enumerate(zip(sim.committed_sequence, real.committed_sequence))
+                if a != b
+            ),
+            min(len(sim.committed_sequence), len(real.committed_sequence)),
+        )
+        mismatches.append(
+            f"committed sequences diverge at position {divergence}: "
+            f"sim={sim.committed_sequence[divergence:divergence + 3]} "
+            f"{real.backend}={real.committed_sequence[divergence:divergence + 3]}"
+        )
+
+    shared = set(sim.outcomes) & set(real.outcomes)
+    for tx_id in sorted(shared):
+        if sim.outcomes[tx_id] != real.outcomes[tx_id]:
+            mismatches.append(
+                f"outcome of {tx_id} differs: sim={sim.outcomes[tx_id] or 'commit'!r} "
+                f"{real.backend}={real.outcomes[tx_id] or 'commit'!r}"
+            )
+    missing = set(sim.outcomes) ^ set(real.outcomes)
+    if missing:
+        mismatches.append(
+            f"{len(missing)} transaction(s) completed on one backend only: "
+            f"{sorted(missing)[:5]}"
+        )
+    return report
+
+
+def assert_parity(
+    paradigm: str,
+    backend: str = "asyncio",
+    *,
+    strict_order: Optional[bool] = None,
+    **point_kwargs,
+) -> ParityReport:
+    """Run the scenario on both backends and raise on any mismatch.
+
+    ``strict_order`` defaults per paradigm: exact committed order for the
+    direct-submission paradigms (OX, OXII), set+outcome equality for XOV.
+    """
+    if strict_order is None:
+        strict_order = paradigm.lower() != "xov"
+    sim = run_backend_point(paradigm, "sim", **point_kwargs)
+    real = run_backend_point(paradigm, backend, **point_kwargs)
+    report = compare_runs(sim, real, strict_order)
+    if not report.ok:
+        details = "\n  - ".join(report.mismatches)
+        raise ParityMismatch(f"{report.summary()}\n  - {details}")
+    return report

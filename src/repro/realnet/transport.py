@@ -1,0 +1,315 @@
+"""Asyncio transport backends: inproc queues and framed TCP streams.
+
+Both implement the :class:`~repro.network.backend.BaseTransport` contract and
+run as *services* of a :class:`~repro.realnet.clock.RealtimeEnvironment`:
+``send()`` is called synchronously from inside the dispatch loop (node code
+never changes), the bytes move through asyncio machinery, and the receive
+side hands completed envelopes back to the dispatcher via ``env.inject`` —
+the only door external events enter the heap through.
+
+* :class:`InprocTransport` — one ``asyncio.Queue`` per node with a pump
+  task; messages pass by reference.  The minimal real backend: real
+  concurrency and wall-clock ordering, zero serialisation cost.
+* :class:`TcpTransport` — one localhost TCP server per node and one lazy
+  outbound connection per directed link, carrying length-prefixed pickled
+  frames.  What an actual multi-process deployment would speak, exercised
+  in-process so tests need no orchestration.
+
+Neither backend simulates faults: fault injection belongs to the
+deterministic backend, where it is reproducible.  They still keep a
+(permanently inactive) :class:`FaultPlan` so node-side checks like
+``network.faults.is_crashed`` work unchanged.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import struct
+from functools import partial
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import NetworkError
+from repro.network.backend import BaseTransport
+from repro.network.faults import FaultPlan
+from repro.network.message import Envelope, Message
+from repro.network.topology import Topology
+from repro.realnet.clock import RealtimeEnvironment
+
+#: Frame header: one unsigned 32-bit big-endian payload length.
+_HEADER = struct.Struct(">I")
+#: Refuse frames above this size — a corrupt header must not allocate 4 GiB.
+_MAX_FRAME = 64 * 1024 * 1024
+
+
+class _RealnetTransport(BaseTransport):
+    """Shared machinery of the asyncio backends (registration, delivery)."""
+
+    def __init__(self, env: RealtimeEnvironment, topology: Optional[Topology] = None) -> None:
+        super().__init__(env)
+        self.env: RealtimeEnvironment = env
+        #: Placement is kept for reporting parity with the simulated backend;
+        #: real backends do not add modelled latency on top of the real I/O.
+        self.topology = topology or Topology()
+        #: Payload-sizing defaults (nodes read ``network.latency.per_tx_bytes``
+        #: etc.); the delay fields are unused — real I/O takes real time.
+        self.latency = self.topology.latency
+        #: Permanently inactive: real backends never inject faults, but node
+        #: code may still consult ``network.faults``.
+        self.faults = FaultPlan()
+        env.add_service(self)
+
+    def _place(self, node_id: str, datacenter: Optional[str]) -> None:
+        if datacenter is not None:
+            self.topology.place(node_id, datacenter)
+
+    # ------------------------------------------------------------- delivery
+    def _deliver(self, sender: str, recipient: str, message: Message, sent_at: float,
+                 size: int) -> None:
+        """Runs inside the dispatch loop (via ``env.inject``)."""
+        self.messages_in_flight -= 1
+        interface = self._interfaces.get(recipient)
+        if interface is None:
+            # Receiver deregistered/unknown at delivery time — account it the
+            # same way the simulated backend accounts a crashed recipient.
+            self.messages_discarded_crash += 1
+            return
+        envelope = Envelope(
+            sender=sender,
+            recipient=recipient,
+            message=message,
+            sent_at=sent_at,
+            delivered_at=self.env.now,
+            size_bytes=size,
+        )
+        self.messages_delivered += 1
+        interface.inbox.put(envelope)
+
+    def _check_endpoints(self, sender: str, recipient: str) -> None:
+        if sender not in self._interfaces:
+            raise NetworkError(f"unknown sender {sender!r}")
+        if recipient not in self._interfaces:
+            raise NetworkError(f"unknown recipient {recipient!r}")
+
+    # ------------------------------------------------------------- lifecycle
+    async def start(self, env: RealtimeEnvironment) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    async def stop(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def idle(self) -> bool:
+        """True when no message is buffered anywhere in the backend."""
+        return self.messages_in_flight == 0
+
+
+class InprocTransport(_RealnetTransport):
+    """Wall-clock transport over per-node ``asyncio.Queue`` inboxes.
+
+    ``send`` enqueues ``(sender, message, sent_at, size)`` on the recipient's
+    queue; the recipient's pump task dequeues and injects the delivery into
+    the dispatch loop.  Messages pass by reference — the serialisation-free
+    lower bound for the real backends.
+    """
+
+    def __init__(self, env: RealtimeEnvironment, topology: Optional[Topology] = None) -> None:
+        super().__init__(env, topology)
+        self._queues: Dict[str, asyncio.Queue] = {}
+        self._pumps: List[asyncio.Task] = []
+
+    def send(
+        self,
+        sender: str,
+        recipient: str,
+        message: Message,
+        payload_bytes: Optional[int] = None,
+    ) -> None:
+        self._check_endpoints(sender, recipient)
+        size = payload_bytes if payload_bytes is not None else (
+            self.topology.latency.per_message_bytes
+        )
+        self.messages_sent += 1
+        self.bytes_sent += size
+        self.messages_in_flight += 1
+        queue = self._queues.setdefault(recipient, asyncio.Queue())
+        queue.put_nowait((sender, message, self.env.now, size))
+
+    async def start(self, env: RealtimeEnvironment) -> None:
+        for node_id in self.node_ids():
+            self._queues.setdefault(node_id, asyncio.Queue())
+        for node_id, queue in self._queues.items():
+            self._pumps.append(asyncio.create_task(self._pump(node_id, queue)))
+
+    async def _pump(self, node_id: str, queue: asyncio.Queue) -> None:
+        while True:
+            sender, message, sent_at, size = await queue.get()
+            self.env.inject(partial(self._deliver, sender, node_id, message, sent_at, size))
+
+    async def stop(self) -> None:
+        for task in self._pumps:
+            task.cancel()
+        for task in self._pumps:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._pumps.clear()
+
+    def idle(self) -> bool:
+        return self.messages_in_flight == 0 and all(q.empty() for q in self._queues.values())
+
+
+class TcpTransport(_RealnetTransport):
+    """Wall-clock transport over localhost TCP with length-prefixed frames.
+
+    Every node runs an ``asyncio`` server on ``127.0.0.1`` (ephemeral port);
+    each directed link lazily opens one client connection on first send and
+    keeps it for the run.  A frame is a 4-byte big-endian length followed by
+    the pickled ``(sender, recipient, message, sent_at, size)`` tuple — the
+    same framing a genuinely multi-process deployment would use, so message
+    payloads are proven serialisable end-to-end.
+    """
+
+    def __init__(self, env: RealtimeEnvironment, topology: Optional[Topology] = None) -> None:
+        super().__init__(env, topology)
+        self._servers: Dict[str, asyncio.AbstractServer] = {}
+        self._ports: Dict[str, int] = {}
+        self._outboxes: Dict[Tuple[str, str], asyncio.Queue] = {}
+        self._writers: Dict[Tuple[str, str], asyncio.Task] = {}
+        self._readers: List[asyncio.Task] = []
+        self._started = False
+
+    # ----------------------------------------------------------------- sends
+    def send(
+        self,
+        sender: str,
+        recipient: str,
+        message: Message,
+        payload_bytes: Optional[int] = None,
+    ) -> None:
+        self._check_endpoints(sender, recipient)
+        frame = pickle.dumps(
+            (sender, recipient, message, self.env.now,
+             payload_bytes if payload_bytes is not None
+             else self.topology.latency.per_message_bytes),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        # Real wire accounting: bytes_sent counts the actual frame (payload
+        # plus header), not the simulated cost-model size.
+        self.messages_sent += 1
+        self.bytes_sent += len(frame) + _HEADER.size
+        self.messages_in_flight += 1
+        link = (sender, recipient)
+        outbox = self._outboxes.get(link)
+        if outbox is None:
+            outbox = self._outboxes[link] = asyncio.Queue()
+            if self._started:
+                self._writers[link] = asyncio.create_task(self._write_link(link, outbox))
+        outbox.put_nowait(frame)
+
+    # ------------------------------------------------------------- lifecycle
+    async def start(self, env: RealtimeEnvironment) -> None:
+        for node_id in self.node_ids():
+            server = await asyncio.start_server(self._handle_connection, "127.0.0.1", 0)
+            self._servers[node_id] = server
+            self._ports[node_id] = server.sockets[0].getsockname()[1]
+        self._started = True
+        # Links whose first send predates start() get their writers now.
+        for link, outbox in self._outboxes.items():
+            if link not in self._writers:
+                self._writers[link] = asyncio.create_task(self._write_link(link, outbox))
+
+    async def _write_link(self, link: Tuple[str, str], outbox: asyncio.Queue) -> None:
+        _, recipient = link
+        reader_writer = await asyncio.open_connection("127.0.0.1", self._ports[recipient])
+        writer = reader_writer[1]
+        try:
+            while True:
+                frame = await outbox.get()
+                writer.write(_HEADER.pack(len(frame)))
+                writer.write(frame)
+                await writer.drain()
+        finally:
+            writer.close()
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._readers.append(task)
+        try:
+            while True:
+                header = await reader.readexactly(_HEADER.size)
+                (length,) = _HEADER.unpack(header)
+                if length > _MAX_FRAME:
+                    raise NetworkError(f"frame of {length} bytes exceeds limit {_MAX_FRAME}")
+                frame = await reader.readexactly(length)
+                sender, recipient, message, sent_at, size = pickle.loads(frame)
+                self.env.inject(
+                    partial(self._deliver, sender, recipient, message, sent_at, size)
+                )
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            pass  # peer closed the link — normal shutdown path
+        finally:
+            writer.close()
+
+    async def stop(self) -> None:
+        # Cancel writers first: their ``finally`` closes the outbound
+        # connections, so every server-side reader sees a clean EOF and
+        # returns by itself instead of being cancelled mid-read (which would
+        # make asyncio's stream machinery log spurious CancelledErrors).
+        writers = [t for t in self._writers.values() if t is not None]
+        for task in writers:
+            task.cancel()
+        if writers:
+            await asyncio.gather(*writers, return_exceptions=True)
+        readers = [t for t in self._readers if t is not None]
+        if readers:
+            _, pending = await asyncio.wait(readers, timeout=1.0)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        for server in self._servers.values():
+            server.close()
+            await server.wait_closed()
+        self._writers.clear()
+        self._readers.clear()
+        self._servers.clear()
+        self._started = False
+
+    def idle(self) -> bool:
+        return self.messages_in_flight == 0 and all(
+            q.empty() for q in self._outboxes.values()
+        )
+
+
+#: backend name → transport class, the registry `build_realnet` resolves.
+REALNET_BACKENDS = {
+    "asyncio": InprocTransport,
+    "asyncio-tcp": TcpTransport,
+}
+
+
+def build_realnet(
+    backend: str,
+    *,
+    speed: float = 1.0,
+    max_wall: Optional[float] = 120.0,
+    topology: Optional[Topology] = None,
+) -> Tuple[RealtimeEnvironment, _RealnetTransport]:
+    """Create a paced environment plus the requested asyncio transport.
+
+    The factory `Deployment._build_common` calls when ``SystemConfig.backend``
+    names a real backend; returns ``(env, network)`` shaped exactly like the
+    simulated pair.
+    """
+    try:
+        transport_cls = REALNET_BACKENDS[backend]
+    except KeyError:
+        raise NetworkError(
+            f"unknown realnet backend {backend!r}; choose from {sorted(REALNET_BACKENDS)}"
+        ) from None
+    env = RealtimeEnvironment(speed=speed, max_wall=max_wall)
+    network = transport_cls(env, topology=topology)
+    return env, network

@@ -54,18 +54,26 @@ class Environment:
         """Create an event that fires ``delay`` simulated seconds from now."""
         return Timeout(self, delay, value)
 
-    def timeout_at(self, when: float, value: Any = None) -> Event:
+    def timeout_at(self, when: float, value: Any = None, *, allow_past: bool = False) -> Event:
         """Event that fires at the *absolute* simulated time ``when``.
 
         Unlike ``timeout(when - now)`` this pushes the exact target time onto
         the heap, avoiding the one-ulp drift ``now + (when - now)`` can
         introduce — the block-batched execution loops rely on waking at
         bit-identical times to their per-transaction equivalents.
+
+        ``when`` in the past raises :class:`SimulationError` unless
+        ``allow_past=True``, which clamps it to the current time (the event
+        fires on the next dispatch round, after already-queued same-time
+        entries — FIFO determinism is preserved).  This is the same contract
+        as :meth:`call_at`.
         """
         if when < self._now:
-            raise SimulationError(
-                f"cannot schedule an event in the past (t={when}, now={self._now})"
-            )
+            if not allow_past:
+                raise SimulationError(
+                    f"cannot schedule an event in the past (t={when}, now={self._now})"
+                )
+            when = self._now
         event = Event(self)
         event._value = value
         heapq.heappush(self._queue, (when, next(self._counter), event))
@@ -83,14 +91,28 @@ class Environment:
         """Event that fires when any of ``events`` has fired."""
         return AnyOf(self, events)
 
-    def call_at(self, when: float, callback: Callable[[], None]) -> Event:
+    def call_at(
+        self, when: float, callback: Callable[[], None], *, allow_past: bool = False
+    ) -> Event:
         """Invoke ``callback()`` at absolute simulated time ``when``.
 
         The schedule-driven clock hook used by the fault injector: external
         controllers register actions against the simulated clock without
-        writing a process generator.  ``when`` in the past (or now) runs at
-        the current time, preserving event-queue FIFO determinism.
+        writing a process generator.
+
+        ``when`` in the past raises :class:`SimulationError` unless
+        ``allow_past=True``, which runs the callback at the current time
+        (after already-queued same-time entries, preserving event-queue FIFO
+        determinism).  The fault injector opts into ``allow_past`` because a
+        schedule may legitimately name an instant the clock has already
+        passed — e.g. an action at t=0 registered after warm-up; silently
+        clamping for every caller hid real scheduler bugs, which is why the
+        default now matches :meth:`timeout_at` and raises.
         """
+        if when < self._now and not allow_past:
+            raise SimulationError(
+                f"cannot schedule a callback in the past (t={when}, now={self._now})"
+            )
         delay = max(0.0, when - self._now)
         event = self.timeout(delay)
         event.add_callback(lambda _event: callback())

@@ -274,6 +274,11 @@ def run_scenario(
             break
         previous = current
 
+    # Every fault run exercises the transport conservation law: sent traffic
+    # must be fully explained as delivered, dropped, discarded at a crashed
+    # recipient, or still in flight (raises NetworkError on violation).
+    handles.network.reconcile()
+
     entry = handles.orderers[0]
     # Closed-loop drivers only know what they submitted after the run.
     transactions = list(driver.submitted_transactions())

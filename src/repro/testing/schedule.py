@@ -260,8 +260,11 @@ class FaultInjector:
             for n in (*handles.orderers, *handles.peers, handles.gateway, *extras)
         }
         env = handles.env
+        # allow_past: a schedule may name an instant the clock has already
+        # passed (e.g. an action at t=0 installed after deployment warm-up);
+        # such actions apply immediately, in schedule order.
         for event in self.schedule.events:
-            env.call_at(event.at, lambda event=event: self._apply(event))
+            env.call_at(event.at, lambda event=event: self._apply(event), allow_past=True)
 
     def _resolve(self, role: str) -> List[str]:
         if role == "coordinator":

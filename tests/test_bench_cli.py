@@ -1,0 +1,61 @@
+"""Regression tests for the bench CLI argument parser.
+
+The shared flags are accepted both before and after the subcommand.  That
+contract is easy to break: ``parents=[common]`` shares action objects
+between the main parser and every subcommand parser, so a
+``parser.set_defaults`` for a shared dest would mutate the subcommands'
+``SUPPRESS`` defaults and make the subparser clobber any flag given
+*before* the subcommand (``bench --quick quick`` silently dropped
+``--quick``).  Defaults are therefore applied post-parse by
+:func:`repro.bench.cli.parse_args`; these tests pin the contract.
+"""
+
+from __future__ import annotations
+
+from repro.bench.cli import parse_args
+
+
+class TestSharedFlagPlacement:
+    def test_flags_before_subcommand_survive(self) -> None:
+        args = parse_args(["--quick", "--duration", "0.5", "--json", "out.json", "quick"])
+        assert args.command == "quick"
+        assert args.quick is True
+        assert args.duration == 0.5
+        assert args.json_path == "out.json"
+
+    def test_flags_after_subcommand_bind(self) -> None:
+        args = parse_args(["quick", "--quick", "--backend", "asyncio"])
+        assert args.quick is True
+        assert args.backend == "asyncio"
+
+    def test_after_subcommand_overrides_before(self) -> None:
+        args = parse_args(["--duration", "1.0", "quick", "--duration", "2.0"])
+        assert args.duration == 2.0
+
+    def test_unset_flags_get_defaults(self) -> None:
+        args = parse_args(["quick"])
+        assert args.quick is False
+        assert args.duration is None
+        assert args.json_path is None
+        assert args.workers is None
+        assert args.backend == "sim"
+        assert args.realtime_speed is None
+
+    def test_smoke_without_subcommand(self) -> None:
+        args = parse_args(["--smoke", "--backend", "asyncio"])
+        assert args.smoke is True
+        assert args.command is None
+        assert args.backend == "asyncio"
+
+
+class TestBackendFlags:
+    def test_backend_before_subcommand(self) -> None:
+        args = parse_args(["--backend", "asyncio-tcp", "--realtime-speed", "25", "run", "figure5"])
+        assert args.backend == "asyncio-tcp"
+        assert args.realtime_speed == 25.0
+        assert args.spec == "figure5"
+
+    def test_subcommand_locals_unaffected(self) -> None:
+        args = parse_args(["--backend", "asyncio", "figure6", "--contention", "0", "0.8"])
+        assert args.backend == "asyncio"
+        assert args.contention == [0.0, 0.8]

@@ -1,0 +1,146 @@
+"""Regression tests for the absolute-time scheduling contract.
+
+``Environment.call_at`` used to clamp past target times silently while
+``timeout_at`` raised — two entry points, two contracts.  Both now raise
+:class:`SimulationError` on a past ``when`` unless the caller opts in with
+``allow_past=True`` (which clamps to the current time).  The fault injector
+is the one legitimate ``allow_past`` user: a schedule may name an instant
+the clock has already passed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.simulation import Environment
+
+
+def advance_to(env: Environment, when: float) -> None:
+    """Drive the clock forward to ``when`` via a throwaway timeout."""
+    env.timeout(when - env.now)
+    env.run()
+    assert env.now == when
+
+
+class TestTimeoutAtContract:
+    def test_future_time_fires_at_target(self) -> None:
+        env = Environment()
+        event = env.timeout_at(2.5, value="late")
+        env.run()
+        assert env.now == 2.5
+        assert event.value == "late"
+
+    def test_exactly_now_is_allowed(self) -> None:
+        env = Environment()
+        advance_to(env, 1.0)
+        event = env.timeout_at(1.0, value="on-time")
+        env.run()
+        assert env.now == 1.0
+        assert event.value == "on-time"
+
+    def test_past_time_raises_by_default(self) -> None:
+        env = Environment()
+        advance_to(env, 3.0)
+        with pytest.raises(SimulationError, match="past"):
+            env.timeout_at(1.0)
+
+    def test_past_time_clamps_with_allow_past(self) -> None:
+        env = Environment()
+        advance_to(env, 3.0)
+        event = env.timeout_at(1.0, value="clamped", allow_past=True)
+        env.run()
+        # Clamped to the time of scheduling, not rewound.
+        assert env.now == 3.0
+        assert event.value == "clamped"
+
+    def test_allow_past_preserves_fifo_with_queued_work(self) -> None:
+        """A clamped event fires after entries already queued at ``now``."""
+        env = Environment()
+        advance_to(env, 2.0)
+        order = []
+        env.schedule_callback(0.0, lambda: order.append("queued-first"))
+        event = env.timeout_at(0.5, allow_past=True)
+        event.add_callback(lambda _e: order.append("clamped-second"))
+        env.run()
+        assert order == ["queued-first", "clamped-second"]
+
+
+class TestCallAtContract:
+    def test_future_callback_runs_at_target(self) -> None:
+        env = Environment()
+        fired = []
+        env.call_at(1.5, lambda: fired.append(env.now))
+        env.run()
+        assert fired == [1.5]
+
+    def test_past_time_raises_by_default(self) -> None:
+        env = Environment()
+        advance_to(env, 2.0)
+        with pytest.raises(SimulationError, match="past"):
+            env.call_at(0.5, lambda: None)
+
+    def test_past_time_runs_now_with_allow_past(self) -> None:
+        env = Environment()
+        advance_to(env, 2.0)
+        fired = []
+        env.call_at(0.5, lambda: fired.append(env.now), allow_past=True)
+        env.run()
+        assert fired == [2.0]
+
+    def test_contract_matches_timeout_at(self) -> None:
+        """Both entry points now agree: raise on past, clamp on opt-in."""
+        env = Environment()
+        advance_to(env, 1.0)
+        with pytest.raises(SimulationError):
+            env.call_at(0.0, lambda: None)
+        with pytest.raises(SimulationError):
+            env.timeout_at(0.0)
+        # Both accept the same opt-out.
+        env.call_at(0.0, lambda: None, allow_past=True)
+        env.timeout_at(0.0, allow_past=True)
+        env.run()
+
+
+class TestFaultInjectorUsesAllowPast:
+    def test_install_after_clock_advanced_applies_immediately(self) -> None:
+        """An event at an instant the clock already passed still applies.
+
+        The injector opts into ``allow_past``: a schedule may name t=0 while
+        being installed into a deployment whose clock has already run (e.g.
+        after a warm-up phase).  The action must fire immediately, not raise.
+        """
+        from repro.common.config import SystemConfig
+        from repro.paradigms.run import make_deployment
+        from repro.testing.schedule import FaultEvent, FaultInjector, FaultSchedule
+
+        deployment = make_deployment("OX", SystemConfig())
+        handles = deployment.build(initial_state={})
+        advance_to(handles.env, 1.0)
+
+        schedule = FaultSchedule(events=(FaultEvent(at=0.0, action="crash", target="peer:0"),))
+        injector = FaultInjector(schedule)
+        injector.install(handles, deployment)
+        handles.env.run()
+        assert [action for _at, action in injector.applied] == ["crash"]
+        crashed_peer = handles.peers[0].node_id
+        assert handles.network.faults.is_crashed(crashed_peer)
+
+    def test_scenario_with_t0_crash_runs_to_completion(self) -> None:
+        from repro.testing import run_scenario
+        from repro.testing.harness import ScenarioConfig
+        from repro.testing.schedule import FaultEvent, FaultSchedule
+
+        schedule = FaultSchedule(
+            events=(
+                FaultEvent(at=0.0, action="crash", target="peer:1"),
+                FaultEvent(at=0.5, action="restart", target="peer:1"),
+            )
+        )
+        outcome = run_scenario(
+            ScenarioConfig(paradigm="OX", duration=0.4, offered_load=25.0, seed=11),
+            schedule,
+        )
+        assert outcome.stable
+        applied = [action for _at, action in outcome.injector.applied]
+        assert applied == ["crash", "restart"]

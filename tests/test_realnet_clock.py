@@ -1,0 +1,138 @@
+"""Tests for the wall-clock environment (`repro.realnet.clock`).
+
+The realtime environment must honour the simulated-environment contract
+(processes, lean sleeps, ``until`` variants) while actually pacing against
+the wall clock, accepting externally injected events, and guarding every run
+with the ``max_wall`` watchdog.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.realnet import RealtimeEnvironment
+
+
+class TestDispatchContract:
+    def test_processes_run_unchanged(self) -> None:
+        env = RealtimeEnvironment(speed=200.0)
+        trace = []
+
+        def worker():
+            trace.append(env.now)
+            yield 0.5
+            trace.append(env.now)
+            yield env.timeout(0.25, value="done")
+            trace.append(env.now)
+            return "finished"
+
+        process = env.process(worker())
+        result = env.run(until=process)
+        assert result == "finished"
+        assert trace == [0.0, 0.5, 0.75]
+        assert env.now == 0.75
+
+    def test_run_until_float_advances_to_horizon(self) -> None:
+        env = RealtimeEnvironment(speed=500.0)
+        fired = []
+        env.call_at(0.2, lambda: fired.append(env.now))
+        env.run(until=1.0)
+        assert fired == [0.2]
+        assert env.now == 1.0
+
+    def test_run_until_none_returns_when_quiescent(self) -> None:
+        env = RealtimeEnvironment(speed=500.0)
+        fired = []
+        env.schedule_callback(0.1, lambda: fired.append(env.now))
+        env.run()
+        assert fired == [0.1]
+
+    def test_run_to_past_horizon_raises(self) -> None:
+        env = RealtimeEnvironment(speed=500.0)
+        env.run(until=1.0)
+        with pytest.raises(SimulationError, match="already at"):
+            env.run(until=0.5)
+
+    def test_fifo_at_equal_times(self) -> None:
+        env = RealtimeEnvironment(speed=500.0)
+        order = []
+        for label in ("first", "second", "third"):
+            env.schedule_callback(0.1, lambda label=label: order.append(label))
+        env.run()
+        assert order == ["first", "second", "third"]
+
+
+class TestPacing:
+    def test_sleeps_take_real_time(self) -> None:
+        env = RealtimeEnvironment(speed=10.0)
+        env.schedule_callback(1.0, lambda: None)  # 1 simulated second
+        start = time.monotonic()
+        env.run()
+        wall = time.monotonic() - start
+        # At speed=10, one simulated second costs ~0.1 wall seconds.
+        assert wall >= 0.08
+        assert env.now == 1.0
+
+    def test_speed_must_be_positive(self) -> None:
+        with pytest.raises(SimulationError, match="speed"):
+            RealtimeEnvironment(speed=0.0)
+
+    def test_elapsed_before_run_is_current_time(self) -> None:
+        env = RealtimeEnvironment()
+        assert env.elapsed() == 0.0
+
+
+class TestInject:
+    def test_injected_callback_runs_and_wakes_dispatcher(self) -> None:
+        """A thread injecting mid-run is serviced without waiting out the heap."""
+        env = RealtimeEnvironment(speed=1.0, max_wall=30.0)
+        seen = []
+        env.schedule_callback(5.0, lambda: seen.append("horizon"))
+
+        def late_injection():
+            time.sleep(0.05)
+            env.inject(lambda: seen.append(("injected", env.now)))
+
+        process = env.process(_stop_after_injection(env, seen))
+        thread = threading.Thread(target=late_injection)
+        thread.start()
+        env.run(until=process)
+        thread.join()
+        kinds = [s[0] if isinstance(s, tuple) else s for s in seen]
+        assert "injected" in kinds
+        # The injected event landed at the wall-clock instant, not at 5s.
+        injected_at = next(s[1] for s in seen if isinstance(s, tuple))
+        assert injected_at < 1.0
+
+    def test_inject_never_rewinds_the_clock(self) -> None:
+        env = RealtimeEnvironment(speed=1000.0)
+        times = []
+        env.schedule_callback(0.5, lambda: env.inject(lambda: times.append(env.now)))
+        env.run()
+        assert times and times[0] >= 0.5
+
+
+def _stop_after_injection(env, seen):
+    while not any(isinstance(s, tuple) for s in seen):
+        yield 0.01
+    return "saw-injection"
+
+
+class TestWatchdog:
+    def test_max_wall_raises_instead_of_hanging(self) -> None:
+        env = RealtimeEnvironment(speed=1.0, max_wall=0.2)
+        env.schedule_callback(3600.0, lambda: None)  # an hour of simulated time
+        start = time.monotonic()
+        with pytest.raises(SimulationError, match="max_wall"):
+            env.run()
+        assert time.monotonic() - start < 5.0
+
+    def test_max_wall_none_disables_watchdog(self) -> None:
+        env = RealtimeEnvironment(speed=1000.0, max_wall=None)
+        env.schedule_callback(0.5, lambda: None)
+        env.run()
+        assert env.now == 0.5

@@ -1,0 +1,163 @@
+"""Regression tests for the transport conservation-law accounting.
+
+The transport used to count dropped messages as sent and silently discard
+envelopes whose recipient crashed mid-flight, so ``messages_sent`` could
+never be reconciled against ``messages_delivered`` under faults.  Every
+backend now keeps the identity
+
+    sent + duplicated == delivered + dropped + discarded_crash + in_flight
+
+at every instant; :meth:`BaseTransport.reconcile` asserts it and the fault
+harness calls it after every scenario.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import LatencyConfig
+from repro.common.errors import NetworkError
+from repro.network import FaultPlan, Network, Topology
+from repro.network.message import Message
+from repro.paradigms.run import execute_run
+from repro.simulation import Environment
+
+
+def _network(env: Environment, faults: FaultPlan | None = None) -> Network:
+    topology = Topology(latency=LatencyConfig(jitter_fraction=0.0))
+    network = Network(env, topology=topology, faults=faults)
+    for node in ("a", "b", "c"):
+        network.register(node)
+    return network
+
+
+def _ping(n: int = 0) -> Message:
+    return Message(kind="PING", body={"n": n})
+
+
+class TestConservationIdentity:
+    def test_fault_free_sent_equals_delivered(self) -> None:
+        env = Environment()
+        network = _network(env)
+        for i in range(5):
+            network.send("a", "b", _ping(i))
+        env.run()
+        counters = network.reconcile()
+        assert counters["messages_sent"] == 5
+        assert counters["messages_delivered"] == 5
+        assert counters["messages_in_flight"] == 0
+        assert counters["messages_dropped"] == 0
+        assert counters["messages_discarded_crash"] == 0
+
+    def test_in_flight_counted_before_delivery(self) -> None:
+        env = Environment()
+        network = _network(env)
+        network.send("a", "b", _ping())
+        # Not yet delivered: the message is in flight, and the identity
+        # already reconciles mid-transfer.
+        counters = network.reconcile()
+        assert counters["messages_sent"] == 1
+        assert counters["messages_in_flight"] == 1
+        assert counters["messages_delivered"] == 0
+        env.run()
+        assert network.reconcile()["messages_in_flight"] == 0
+
+    def test_dropped_sends_are_counted_not_delivered(self) -> None:
+        faults = FaultPlan()
+        faults.degrade_link("a", "b", drop_probability=1.0)
+        env = Environment()
+        network = _network(env, faults)
+        for i in range(4):
+            network.send("a", "b", _ping(i))
+        network.send("a", "c", _ping())  # healthy link, control
+        env.run()
+        counters = network.reconcile()
+        assert counters["messages_sent"] == 5
+        assert counters["messages_dropped"] == 4
+        assert counters["messages_delivered"] == 1
+        # The sender still paid the wire cost of the dropped sends.
+        assert counters["bytes_sent"] == 5 * network.latency.per_message_bytes
+
+    def test_send_to_already_crashed_recipient_is_a_drop(self) -> None:
+        faults = FaultPlan()
+        faults.crash("b")
+        env = Environment()
+        network = _network(env, faults)
+        network.send("a", "b", _ping())
+        env.run()
+        counters = network.reconcile()
+        assert counters["messages_dropped"] == 1
+        assert counters["messages_discarded_crash"] == 0
+
+    def test_crash_while_in_flight_is_a_discard(self) -> None:
+        env = Environment()
+        network = _network(env)
+        network.send("a", "b", _ping())
+        # Crash after the send was scheduled but before its delivery time.
+        network.faults.crash("b")
+        env.run()
+        counters = network.reconcile()
+        assert counters["messages_sent"] == 1
+        assert counters["messages_discarded_crash"] == 1
+        assert counters["messages_delivered"] == 0
+        assert network.interface("b").pending() == 0
+
+    def test_duplicates_balance_as_extra_production(self) -> None:
+        faults = FaultPlan()
+        faults.degrade_link("a", "b", duplicate_probability=1.0)
+        env = Environment()
+        network = _network(env, faults)
+        for i in range(3):
+            network.send("a", "b", _ping(i))
+        env.run()
+        counters = network.reconcile()
+        assert counters["messages_sent"] == 3
+        assert counters["messages_duplicated"] == 3
+        assert counters["messages_delivered"] == 6
+
+    def test_reconcile_raises_on_violation(self) -> None:
+        env = Environment()
+        network = _network(env)
+        network.send("a", "b", _ping())
+        env.run()
+        network.messages_delivered += 1  # simulate an invented message
+        with pytest.raises(NetworkError, match="identity violated"):
+            network.reconcile()
+
+
+class TestCountersSurfaceInMetrics:
+    def test_fault_run_exposes_transport_counters(self) -> None:
+        """A fault run carries the reconciled counters in ``extra``."""
+        # Crash the entry orderer mid-submission: client traffic addressed to
+        # it while it is down is dropped at the send, so the drop counters are
+        # guaranteed to move.
+        faults = {
+            "events": [
+                {"at": 0.05, "action": "crash", "target": "leader"},
+                {"at": 0.3, "action": "restart", "target": "leader"},
+            ]
+        }
+        metrics = execute_run(
+            "OX",
+            offered_load=60.0,
+            duration=0.4,
+            drain=5.0,
+            seed=3,
+            faults=faults,
+        )
+        transport = metrics.extra["transport"]
+        produced = transport["messages_sent"] + transport["messages_duplicated"]
+        resolved = (
+            transport["messages_delivered"]
+            + transport["messages_dropped"]
+            + transport["messages_discarded_crash"]
+            + transport["messages_in_flight"]
+        )
+        assert produced == resolved
+        # The crash window makes at least one message undeliverable.
+        assert transport["messages_dropped"] + transport["messages_discarded_crash"] > 0
+
+    def test_fault_free_run_keeps_extra_lean(self) -> None:
+        """No fault schedule → no transport block (sim rows stay bit-identical)."""
+        metrics = execute_run("OX", offered_load=60.0, duration=0.4, drain=5.0, seed=3)
+        assert "transport" not in metrics.extra
